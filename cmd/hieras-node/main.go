@@ -1,0 +1,189 @@
+// Command hieras-node runs a live HIERAS peer speaking the TCP wire
+// protocol — the "real implementation" the paper lists as future work.
+// Nodes are placed on a virtual latency plane (-coord) so the distributed
+// binning scheme is deterministic and demoable on one machine; pass
+// -rtt to bin using real measured round-trip times instead.
+//
+// Start a network:
+//
+//	hieras-node -listen 127.0.0.1:7001 -coord 0,0 -create \
+//	            -landmarks 127.0.0.1:7001,127.0.0.1:7002
+//
+// Join it:
+//
+//	hieras-node -listen 127.0.0.1:7003 -coord 10,5 \
+//	            -join 127.0.0.1:7001
+//
+// Then type commands on stdin: put <key> <value> | get <key> |
+// lookup <key> | neighbors | info | quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hieras-node: ")
+
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		create    = flag.Bool("create", false, "create a new overlay instead of joining")
+		join      = flag.String("join", "", "bootstrap node address to join through")
+		landmarks = flag.String("landmarks", "", "comma-separated landmark addresses (joiners inherit the bootstrap's)")
+		coordStr  = flag.String("coord", "0,0", "virtual plane coordinates x,y (milliseconds)")
+		depth     = flag.Int("depth", 2, "hierarchy depth")
+		rtt       = flag.Bool("rtt", false, "bin with real RTT probes instead of virtual coordinates")
+		stabMs    = flag.Int("stabilize", 500, "stabilization period in milliseconds")
+	)
+	flag.Parse()
+
+	coord, err := parseCoord(*coordStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := transport.Config{
+		Depth: *depth,
+		Coord: coord,
+	}
+	if *landmarks != "" {
+		cfg.Landmarks = strings.Split(*landmarks, ",")
+	}
+	if *rtt {
+		cfg.Prober = &transport.RTTProber{Samples: 5, Timeout: 2 * time.Second}
+	}
+	node, err := transport.Start(*listen, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("node %s listening on %s\n", node.ID().Short(), node.Addr())
+
+	switch {
+	case *create:
+		if err := node.CreateNetwork(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("created a new overlay")
+	case *join != "":
+		if err := node.Join(*join); err != nil {
+			log.Fatal(err)
+		}
+		if err := node.BuildAllFingers(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("joined via %s; rings: %v\n", *join, node.RingNames())
+	default:
+		log.Fatal("pass -create or -join <addr>")
+	}
+
+	// Background maintenance.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(time.Duration(*stabMs) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = node.StabilizeOnce()
+				_ = node.FixFingersOnce(4)
+			}
+		}
+	}()
+	defer close(stop)
+
+	repl(node)
+}
+
+func parseCoord(s string) ([2]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return [2]float64{}, fmt.Errorf("coord must be x,y, got %q", s)
+	}
+	var c [2]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return c, fmt.Errorf("coord %q: %v", s, err)
+		}
+		c[i] = v
+	}
+	return c, nil
+}
+
+func repl(node *transport.Node) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "info":
+			fmt.Printf("addr %s id %s rings %v handled %d\n",
+				node.Addr(), node.ID().Short(), node.RingNames(), node.Handled())
+		case "neighbors":
+			for layer := 1; ; layer++ {
+				succ, pred, err := node.Neighbors(layer)
+				if err != nil {
+					break
+				}
+				fmt.Printf("layer %d: pred=%s succ=", layer, pred.Addr)
+				for _, s := range succ {
+					fmt.Printf("%s ", s.Addr)
+				}
+				fmt.Println()
+			}
+		case "lookup":
+			if len(fields) != 2 {
+				fmt.Println("usage: lookup <key>")
+				break
+			}
+			res, err := node.Lookup(transport.LiveKeyID(fields[1]))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("owner %s (%d hops, per layer %v)\n", res.Owner.Addr, res.Hops, res.LayerHops)
+		case "put":
+			if len(fields) < 3 {
+				fmt.Println("usage: put <key> <value...>")
+				break
+			}
+			if err := node.Put(fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				break
+			}
+			v, err := node.Get(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%s\n", v)
+			}
+		default:
+			fmt.Println("commands: info | neighbors | lookup <key> | put <k> <v> | get <k> | quit")
+		}
+		fmt.Print("> ")
+	}
+}

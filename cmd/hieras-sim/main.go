@@ -1,0 +1,97 @@
+// Command hieras-sim runs a single HIERAS-vs-Chord simulation and prints
+// the comparison, optionally writing a per-request CSV trace.
+//
+// Usage:
+//
+//	hieras-sim -model ts -nodes 1000 -landmarks 4 -depth 2 -requests 10000
+//	hieras-sim -nodes 400 -trace out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hieras-sim: ")
+
+	var (
+		model     = flag.String("model", "ts", "topology model: ts, inet or brite")
+		nodes     = flag.Int("nodes", 1000, "number of overlay peers")
+		landmarks = flag.Int("landmarks", 4, "number of landmark nodes")
+		depth     = flag.Int("depth", 2, "hierarchy depth (1 = plain Chord only)")
+		requests  = flag.Int("requests", 10000, "routing requests")
+		seed      = flag.Int64("seed", 1, "random seed")
+		routers   = flag.Int("routers", 0, "router count for inet/brite (0 = auto)")
+		traceOut  = flag.String("trace", "", "write a per-request CSV trace to this file")
+	)
+	flag.Parse()
+
+	s := experiments.Scenario{
+		Model:     *model,
+		Nodes:     *nodes,
+		Landmarks: *landmarks,
+		Depth:     *depth,
+		Requests:  *requests,
+		Seed:      *seed,
+		Routers:   *routers,
+	}
+	fmt.Printf("building %s underlay with %d peers (depth %d, %d landmarks, seed %d)...\n",
+		s.Model, s.Nodes, s.Depth, s.Landmarks, s.Seed)
+	o, err := experiments.BuildOverlay(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ls := range o.LayerStats() {
+		fmt.Printf("layer %d: %d rings, sizes %d..%d (mean %.1f)\n",
+			ls.Layer, ls.Rings, ls.MinSize, ls.MaxSize, ls.MeanSize)
+	}
+
+	cmp, err := experiments.CompareOn(o, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-28s %10s %10s\n", "metric", "chord", "hieras")
+	fmt.Printf("%-28s %10.4f %10.4f\n", "avg hops", cmp.Chord.Hops.Mean(), cmp.Hieras.Hops.Mean())
+	fmt.Printf("%-28s %10.2f %10.2f\n", "avg latency (ms)", cmp.Chord.Latency.Mean(), cmp.Hieras.Latency.Mean())
+	fmt.Printf("%-28s %10s %9.2f%%\n", "latency ratio", "", 100*cmp.LatencyRatio())
+	fmt.Printf("%-28s %10s %9.2f%%\n", "hop overhead", "", 100*(cmp.HopRatio()-1))
+	fmt.Printf("%-28s %10s %9.2f%%\n", "lower-layer hop share", "", 100*cmp.LowerHopShare())
+	fmt.Printf("%-28s %10.2f %10.2f\n", "mean link delay (ms)", cmp.TopLink.Mean(), cmp.LowerLink.Mean())
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, s, o); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s\n", *traceOut)
+	}
+}
+
+// writeTrace replays the scenario's request stream and records each HIERAS
+// route.
+func writeTrace(path string, s experiments.Scenario, o *core.Overlay) error {
+	gen, err := workload.NewUniform(s.Seed+1, o.N())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for i, req := range gen.Batch(s.Requests) {
+		if err := w.Write(trace.FromRoute(i, o.Route(req.Origin, req.Key))); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

@@ -1,0 +1,58 @@
+// Command traceview analyses a routing trace recorded by
+// `hieras-sim -trace`: descriptive statistics, lower-layer shares, and the
+// paper-style hop PDF and latency CDF.
+//
+// Usage:
+//
+//	hieras-sim -nodes 1000 -trace run.csv
+//	traceview run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	full := flag.Bool("dist", false, "also print the full hop PDF and latency CDF")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: traceview [-dist] <trace.csv>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := trace.Analyze(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requests: %d\n", a.Requests)
+	fmt.Printf("hops:     mean %.3f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
+		a.Hops.Mean, a.Hops.P50, a.Hops.P90, a.Hops.P99, a.Hops.Max)
+	fmt.Printf("latency:  mean %.1f ms  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		a.Latency.Mean, a.Latency.P50, a.Latency.P90, a.Latency.P99, a.Latency.Max)
+	fmt.Printf("lower-layer shares: %.1f%% of hops, %.1f%% of latency\n",
+		100*a.LowerHopShare, 100*a.LowerLatencyShare)
+	if *full {
+		fmt.Println("\nhops pdf:")
+		for _, p := range a.HopsPDF {
+			fmt.Printf("  %3.0f  %.4f\n", p.X, p.Y)
+		}
+		fmt.Println("latency cdf (20 ms buckets):")
+		for _, p := range a.LatencyCDF {
+			fmt.Printf("  %6.0f  %.4f\n", p.X, p.Y)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package hieras_test
+
+import (
+	"fmt"
+
+	hieras "repro"
+)
+
+// Example builds a small two-layer HIERAS system on a simulated
+// Transit-Stub internetwork and routes one lookup both hierarchically and
+// over the flat Chord baseline.
+func Example() {
+	sys, err := hieras.New(hieras.Options{
+		Model:     "ts",
+		Nodes:     200,
+		Landmarks: 4,
+		Depth:     2,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	h, _ := sys.Lookup(0, "shared/movie.mkv")
+	c, _ := sys.ChordLookup(0, "shared/movie.mkv")
+	fmt.Printf("peers: %d, depth: %d\n", sys.N(), sys.Depth())
+	fmt.Printf("same destination: %v\n", h.Dest == c.Dest)
+	fmt.Printf("hieras used lower rings: %v\n", h.LowerHops > 0)
+	// Output:
+	// peers: 200, depth: 2
+	// same destination: true
+	// hieras used lower rings: true
+}

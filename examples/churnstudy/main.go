@@ -1,0 +1,65 @@
+// Churnstudy: availability of the hierarchical overlay under node
+// dynamics. Nodes join, leave and fail as Poisson processes while lookups
+// measure routing correctness — quantifying the paper's claim (§3.3) that
+// Chord's failure handling carries over to every HIERAS layer.
+//
+// Run with: go run ./examples/churnstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/churn"
+	"repro/internal/topology"
+	"repro/internal/topology/transitstub"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	rng := rand.New(rand.NewSource(11))
+	m, err := transitstub.Generate(transitstub.DefaultConfig(120), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := topology.Attach(m, m.G, topology.AttachOptions{
+		Hosts: 120, Routers: m.StubRouters, Spread: true,
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := churn.Config{
+		InitialNodes:     60,
+		JoinEvery:        8,
+		LookupEvery:      0.4,
+		StabilizeEvery:   2,
+		Duration:         300,
+		Seed:             99,
+		Depth:            2,
+		Landmarks:        4,
+		SuccessorListLen: 6,
+	}
+
+	fmt.Println("lookup correctness vs failure intensity (60 initial nodes, 300 s)")
+	fmt.Printf("%-22s %10s %10s %10s\n", "mean time between", "failures", "correct", "completed")
+	fmt.Printf("%-22s %10s %10s %10s\n", "failures (s)", "", "", "")
+	for _, failEvery := range []float64{0, 40, 20, 10, 5} {
+		cfg := base
+		cfg.FailEvery = failEvery
+		res, err := churn.Run(net, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "none"
+		if failEvery > 0 {
+			label = fmt.Sprintf("%.0f", failEvery)
+		}
+		fmt.Printf("%-22s %10d %9.1f%% %9.1f%%\n",
+			label, res.Fails, 100*res.CorrectRate, 100*res.CompletionRate)
+	}
+	fmt.Println("\nper-layer successor lists keep the hierarchy routable under churn;")
+	fmt.Println("correctness dips only while stabilization catches up with failures.")
+}

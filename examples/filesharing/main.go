@@ -1,0 +1,79 @@
+// Filesharing: the workload that motivated HIERAS. Peers publish file
+// locations into a replicated DHT store over the overlay and look them up
+// from anywhere; the demo also kills the owner of a hot file and shows the
+// read surviving through replicas.
+//
+// Run with: go run ./examples/filesharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hieras "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := hieras.New(hieras.Options{Nodes: 300, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := sys.Store(3) // owner + 3 replicas
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every tenth peer publishes a file it serves.
+	type file struct {
+		name, location string
+		publisher      int
+	}
+	var files []file
+	for p := 0; p < sys.N(); p += 10 {
+		f := file{
+			name:      fmt.Sprintf("shared/archive-%03d.tar", p),
+			location:  fmt.Sprintf("peer-%d:/data/archive-%03d.tar", p, p),
+			publisher: p,
+		}
+		files = append(files, f)
+		if _, err := store.Put(f.publisher, f.name, []byte(f.location)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("published %d file locations from %d peers\n\n", len(files), len(files))
+
+	// Random peers resolve a few of them.
+	var totalMs float64
+	var totalHops int
+	for i, f := range files[:8] {
+		reader := (f.publisher + 137) % sys.N()
+		loc, cost, err := store.Get(reader, f.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalMs += cost.Latency
+		totalHops += cost.Hops
+		fmt.Printf("peer %3d resolves %-24s -> %-32s (%d hops, %5.1f ms)\n",
+			reader, f.name, loc, cost.Hops, cost.Latency)
+		_ = i
+	}
+	fmt.Printf("\nmean resolution cost: %.1f hops, %.1f ms\n", float64(totalHops)/8, totalMs/8)
+
+	// Failure drill: kill the owner of the first file.
+	hot := files[0]
+	put, err := store.Put(hot.publisher, hot.name, []byte(hot.location))
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := put.Nodes[0]
+	store.MarkDown(owner)
+	fmt.Printf("\nowner peer %d of %q failed...\n", owner, hot.name)
+	loc, cost, err := store.Get(42, hot.name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("still resolved via %d replica fallback(s): %s (%5.1f ms)\n",
+		cost.Fallbacks, loc, cost.Latency)
+}

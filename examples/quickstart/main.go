@@ -1,0 +1,58 @@
+// Quickstart: build a simulated HIERAS system on a Transit-Stub
+// internetwork, route a few lookups, and compare against flat Chord.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hieras "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 500 peers on a GT-ITM Transit-Stub underlay, two-layer hierarchy,
+	// four landmarks — the paper's default configuration.
+	sys, err := hieras.New(hieras.Options{
+		Model:     "ts",
+		Nodes:     500,
+		Landmarks: 4,
+		Depth:     2,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built a depth-%d overlay of %d peers with %d lower-layer rings\n",
+		sys.Depth(), sys.N(), sys.NumRings())
+	fmt.Printf("peer 0 lives in ring %q (its landmark order)\n\n", sys.RingName(0))
+
+	// Route one lookup both ways.
+	for _, key := range []string{"alice/movie.mkv", "bob/thesis.pdf", "carol/dataset.tar"} {
+		h, err := sys.Lookup(0, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := sys.ChordLookup(0, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> peer %4d | hieras: %d hops (%d local) %6.1f ms | chord: %d hops %6.1f ms\n",
+			key, h.Dest, h.Hops, h.LowerHops, h.Latency, c.Hops, c.Latency)
+	}
+
+	// Aggregate comparison over a real workload.
+	cmp, err := sys.Compare(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nover %d random requests:\n", cmp.Requests)
+	fmt.Printf("  avg hops:    hieras %.2f vs chord %.2f (+%.1f%%)\n",
+		cmp.HierasHops, cmp.ChordHops, 100*(cmp.HopRatio-1))
+	fmt.Printf("  avg latency: hieras %.0f ms vs chord %.0f ms (%.0f%% of chord)\n",
+		cmp.HierasLatencyMs, cmp.ChordLatencyMs, 100*cmp.LatencyRatio)
+	fmt.Printf("  %.0f%% of hops ran inside low-latency rings\n", 100*cmp.LowerHopShare)
+}

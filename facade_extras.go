@@ -1,0 +1,96 @@
+package hieras
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Cached wraps the system with per-peer location caches (see
+// internal/cache): repeated lookups for popular keys short-circuit to one
+// direct hop. alongPath seeds the caches of every peer a lookup traverses
+// (DHash-style) instead of only the requester's.
+func (s *System) Cached(capacity int, alongPath bool) (*CachedSystem, error) {
+	policy := cache.CacheAtOrigin
+	if alongPath {
+		policy = cache.CacheAlongPath
+	}
+	c, err := cache.New(s.overlay, capacity, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedSystem{sys: s, c: c}, nil
+}
+
+// CachedSystem is a System with location caching enabled.
+type CachedSystem struct {
+	sys *System
+	c   *cache.Overlay
+}
+
+// Lookup routes to the owner of key, consulting the requester's cache.
+func (cs *CachedSystem) Lookup(origin int, key string) (Route, bool, error) {
+	if origin < 0 || origin >= cs.sys.N() {
+		return Route{}, false, fmt.Errorf("hieras: origin %d out of range", origin)
+	}
+	res := cs.c.Lookup(origin, core.KeyID(key))
+	return Route{Dest: res.Dest, Hops: res.Hops, Latency: res.Latency}, res.Hit, nil
+}
+
+// HitRate returns the cumulative cache hit rate.
+func (cs *CachedSystem) HitRate() float64 { return cs.c.HitRate() }
+
+// FailPeers returns a degraded view of the system in which `fraction` of
+// the peers (chosen with the seed) have silently failed; lookups route
+// around them using the per-layer successor lists.
+func (s *System) FailPeers(fraction float64, seed int64) (*DegradedSystem, error) {
+	if fraction < 0 || fraction >= 1 {
+		return nil, fmt.Errorf("hieras: failure fraction %v out of [0,1)", fraction)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dead := make([]bool, s.N())
+	for killed := 0; killed < int(fraction*float64(s.N())); {
+		i := rng.Intn(s.N())
+		if !dead[i] {
+			dead[i] = true
+			killed++
+		}
+	}
+	v, err := s.overlay.WithFailures(dead)
+	if err != nil {
+		return nil, err
+	}
+	return &DegradedSystem{sys: s, view: v, dead: dead}, nil
+}
+
+// DegradedSystem is a System view with failed peers.
+type DegradedSystem struct {
+	sys  *System
+	view *core.FaultyView
+	dead []bool
+}
+
+// Alive reports whether a peer survived.
+func (d *DegradedSystem) Alive(peer int) bool {
+	return peer >= 0 && peer < len(d.dead) && !d.dead[peer]
+}
+
+// Lookup routes around the failures to the key's live owner.
+func (d *DegradedSystem) Lookup(origin int, key string) (Route, error) {
+	res, err := d.view.Route(origin, core.KeyID(key))
+	if err != nil {
+		return Route{}, err
+	}
+	return fromResult(res), nil
+}
+
+// ChordLookup is the flat baseline under the same failures.
+func (d *DegradedSystem) ChordLookup(origin int, key string) (Route, error) {
+	res, err := d.view.ChordRoute(origin, core.KeyID(key))
+	if err != nil {
+		return Route{}, err
+	}
+	return fromResult(res), nil
+}

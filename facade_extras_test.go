@@ -1,0 +1,79 @@
+package hieras
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCachedSystem(t *testing.T) {
+	sys := newSmall(t)
+	cs, err := sys.Cached(64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Cached(0, false); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	r1, hit1, err := cs.Lookup(3, "popular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit1 {
+		t.Error("first lookup cannot hit")
+	}
+	r2, hit2, err := cs.Lookup(3, "popular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 || r2.Dest != r1.Dest || r2.Hops > 1 {
+		t.Errorf("second lookup should be a 1-hop hit: %+v hit=%v", r2, hit2)
+	}
+	if cs.HitRate() != 0.5 {
+		t.Errorf("hit rate %v", cs.HitRate())
+	}
+	if _, _, err := cs.Lookup(-1, "x"); err == nil {
+		t.Error("bad origin accepted")
+	}
+}
+
+func TestDegradedSystem(t *testing.T) {
+	sys := newSmall(t)
+	if _, err := sys.FailPeers(1.5, 1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	deg, err := sys.FailPeers(0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadCount := 0
+	for i := 0; i < sys.N(); i++ {
+		if !deg.Alive(i) {
+			deadCount++
+		}
+	}
+	if deadCount != sys.N()*15/100 {
+		t.Errorf("dead = %d, want %d", deadCount, sys.N()*15/100)
+	}
+	delivered := 0
+	for i := 0; i < 60; i++ {
+		origin := i % sys.N()
+		if !deg.Alive(origin) {
+			continue
+		}
+		key := fmt.Sprintf("k-%d", i)
+		r, err := deg.Lookup(origin, key)
+		if err != nil {
+			continue
+		}
+		if !deg.Alive(r.Dest) {
+			t.Fatal("delivered to a dead peer")
+		}
+		delivered++
+		if c, err := deg.ChordLookup(origin, key); err == nil && !deg.Alive(c.Dest) {
+			t.Fatal("chord delivered to a dead peer")
+		}
+	}
+	if delivered < 30 {
+		t.Errorf("only %d/60 lookups survived 15%% failures", delivered)
+	}
+}

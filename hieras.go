@@ -1,0 +1,185 @@
+// Package hieras is the public entry point of this repository: a
+// reproduction of "HIERAS: A DHT Based Hierarchical P2P Routing Algorithm"
+// (Xu, Min, Hu — ICPP 2003).
+//
+// HIERAS layers multiple P2P rings on top of a Chord overlay. Every node
+// belongs to one ring per layer; lower-layer rings group topologically
+// adjacent nodes, discovered with the distributed binning scheme
+// (landmark latency orders). Lookups run Chord once per layer, starting in
+// the most local ring, so most routing hops cross short links: the paper
+// reports ~50% of Chord's lookup latency at ~1-3% extra hops.
+//
+// The facade wraps the simulation stack (topology models, binning, Chord,
+// the HIERAS overlay, workloads and the experiment harness):
+//
+//	sys, err := hieras.New(hieras.Options{Model: "ts", Nodes: 1000})
+//	route := sys.Lookup(0, "some-file")
+//	cmp, err := sys.Compare(10000)
+//
+// For the full evaluation suite see cmd/hieras-bench; for live TCP nodes
+// see cmd/hieras-node and internal/transport.
+package hieras
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kv"
+)
+
+// Options configures a simulated HIERAS system.
+type Options struct {
+	// Model selects the underlay topology generator: "ts" (GT-ITM
+	// Transit-Stub, the paper's primary model), "inet" or "brite".
+	// Default "ts".
+	Model string
+	// Nodes is the number of overlay peers (default 1000).
+	Nodes int
+	// Landmarks is the landmark count for distributed binning (default 4,
+	// as in the paper's main experiments).
+	Landmarks int
+	// Depth is the hierarchy depth (default 2; the paper recommends 2-3).
+	Depth int
+	// Seed makes the whole system — topology, binning, identifiers —
+	// reproducible.
+	Seed int64
+	// Routers overrides the router count for inet/brite underlays.
+	Routers int
+	// Workers bounds build/query parallelism (default: all CPUs).
+	Workers int
+	// ProximityFingers enables proximity neighbor selection when filling
+	// finger tables (a locality optimisation that stacks with the
+	// hierarchy).
+	ProximityFingers bool
+}
+
+// System is a fully built HIERAS overlay over a simulated internetwork.
+type System struct {
+	overlay  *core.Overlay
+	scenario experiments.Scenario
+}
+
+// New builds a system: it generates the underlay, attaches hosts, selects
+// landmarks, bins every node and constructs all per-ring routing state.
+func New(opts Options) (*System, error) {
+	sc := experiments.Scenario{
+		Model:            opts.Model,
+		Nodes:            opts.Nodes,
+		Landmarks:        opts.Landmarks,
+		Depth:            opts.Depth,
+		Seed:             opts.Seed,
+		Routers:          opts.Routers,
+		Workers:          opts.Workers,
+		ProximityFingers: opts.ProximityFingers,
+	}
+	o, err := experiments.BuildOverlay(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{overlay: o, scenario: sc}, nil
+}
+
+// N returns the number of peers.
+func (s *System) N() int { return s.overlay.N() }
+
+// Depth returns the hierarchy depth.
+func (s *System) Depth() int { return s.overlay.Depth() }
+
+// NumRings returns the number of lower-layer P2P rings.
+func (s *System) NumRings() int { return s.overlay.NumRings() }
+
+// RingName returns the layer-2 ring name of a peer (its landmark order),
+// or "" for depth-1 systems.
+func (s *System) RingName(peer int) string {
+	nd := s.overlay.Node(peer)
+	if len(nd.RingNames) == 0 {
+		return ""
+	}
+	return nd.RingNames[0]
+}
+
+// Route is the outcome of one lookup.
+type Route struct {
+	// Dest is the peer owning the key.
+	Dest int
+	// Hops is the total number of routing hops; LowerHops counts those
+	// taken in lower-layer rings.
+	Hops, LowerHops int
+	// Latency is the routing latency in milliseconds; LowerLatency the
+	// share accumulated in lower-layer rings.
+	Latency, LowerLatency float64
+}
+
+func fromResult(r core.RouteResult) Route {
+	return Route{
+		Dest:         r.Dest,
+		Hops:         r.NumHops(),
+		LowerHops:    r.LowerHops,
+		Latency:      r.Latency,
+		LowerLatency: r.LowerLatency,
+	}
+}
+
+// Lookup routes from peer `origin` to the owner of the named key using
+// HIERAS's hierarchical procedure.
+func (s *System) Lookup(origin int, key string) (Route, error) {
+	if origin < 0 || origin >= s.N() {
+		return Route{}, fmt.Errorf("hieras: origin %d out of range [0,%d)", origin, s.N())
+	}
+	return fromResult(s.overlay.Route(origin, core.KeyID(key))), nil
+}
+
+// ChordLookup routes the same request over the flat global ring — the
+// baseline the paper compares against.
+func (s *System) ChordLookup(origin int, key string) (Route, error) {
+	if origin < 0 || origin >= s.N() {
+		return Route{}, fmt.Errorf("hieras: origin %d out of range [0,%d)", origin, s.N())
+	}
+	return fromResult(s.overlay.ChordRoute(origin, core.KeyID(key))), nil
+}
+
+// ComparisonSummary condenses a HIERAS-vs-Chord measurement.
+type ComparisonSummary struct {
+	Requests          int
+	HierasHops        float64
+	ChordHops         float64
+	HierasLatencyMs   float64
+	ChordLatencyMs    float64
+	LatencyRatio      float64 // HIERAS / Chord (paper: ~0.52 on TS)
+	HopRatio          float64 // HIERAS / Chord (paper: ~1.01-1.03)
+	LowerHopShare     float64 // fraction of hops in lower rings (~0.71)
+	LowerLatencyShare float64
+}
+
+// Compare routes `requests` random lookups through both algorithms over
+// this system and summarises the comparison.
+func (s *System) Compare(requests int) (ComparisonSummary, error) {
+	sc := s.scenario
+	sc.Requests = requests
+	cmp, err := experiments.CompareOn(s.overlay, sc)
+	if err != nil {
+		return ComparisonSummary{}, err
+	}
+	return ComparisonSummary{
+		Requests:          requests,
+		HierasHops:        cmp.Hieras.Hops.Mean(),
+		ChordHops:         cmp.Chord.Hops.Mean(),
+		HierasLatencyMs:   cmp.Hieras.Latency.Mean(),
+		ChordLatencyMs:    cmp.Chord.Latency.Mean(),
+		LatencyRatio:      cmp.LatencyRatio(),
+		HopRatio:          cmp.HopRatio(),
+		LowerHopShare:     cmp.LowerHopShare(),
+		LowerLatencyShare: cmp.LowerLatencyShare(),
+	}, nil
+}
+
+// Store creates a replicated key-value (file-location) service over this
+// system.
+func (s *System) Store(replicas int) (*kv.Store, error) {
+	return kv.New(s.overlay, replicas)
+}
+
+// Overlay exposes the underlying overlay for advanced use (experiment
+// harnesses, custom metrics).
+func (s *System) Overlay() *core.Overlay { return s.overlay }

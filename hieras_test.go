@@ -1,0 +1,128 @@
+package hieras
+
+import (
+	"testing"
+)
+
+func newSmall(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Options{Nodes: 150, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return sys
+}
+
+func TestNewDefaults(t *testing.T) {
+	sys := newSmall(t)
+	if sys.N() != 150 {
+		t.Errorf("N = %d", sys.N())
+	}
+	if sys.Depth() != 2 {
+		t.Errorf("Depth = %d", sys.Depth())
+	}
+	if sys.NumRings() == 0 {
+		t.Error("no lower rings")
+	}
+	if sys.RingName(0) == "" {
+		t.Error("peer 0 has no ring name")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Options{Model: "bogus", Nodes: 50}); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func TestLookupAgreesWithChord(t *testing.T) {
+	sys := newSmall(t)
+	for i := 0; i < 50; i++ {
+		key := "key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		h, err := sys.Lookup(i%sys.N(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := sys.ChordLookup(i%sys.N(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Dest != c.Dest {
+			t.Fatalf("HIERAS dest %d != Chord dest %d for %q", h.Dest, c.Dest, key)
+		}
+		if h.Latency < 0 || h.LowerLatency > h.Latency {
+			t.Fatalf("latency accounting broken: %+v", h)
+		}
+		if c.LowerHops != 0 {
+			t.Error("Chord route should have no lower hops")
+		}
+	}
+}
+
+func TestLookupRangeChecks(t *testing.T) {
+	sys := newSmall(t)
+	if _, err := sys.Lookup(-1, "k"); err == nil {
+		t.Error("negative origin accepted")
+	}
+	if _, err := sys.ChordLookup(sys.N(), "k"); err == nil {
+		t.Error("out-of-range origin accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	sys := newSmall(t)
+	cmp, err := sys.Compare(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Requests != 800 {
+		t.Errorf("Requests = %d", cmp.Requests)
+	}
+	if cmp.LatencyRatio >= 1 {
+		t.Errorf("latency ratio %.3f: HIERAS should beat Chord on TS", cmp.LatencyRatio)
+	}
+	if cmp.HopRatio < 0.9 || cmp.HopRatio > 1.5 {
+		t.Errorf("hop ratio %.3f implausible", cmp.HopRatio)
+	}
+	if cmp.LowerHopShare <= 0 {
+		t.Error("no lower-layer hops recorded")
+	}
+}
+
+func TestStoreIntegration(t *testing.T) {
+	sys := newSmall(t)
+	st, err := sys.Store(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put(0, "shared-file", []byte("host 42, path /x")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := st.Get(99, "shared-file")
+	if err != nil || string(v) != "host 42, path /x" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+}
+
+func TestOverlayEscapeHatch(t *testing.T) {
+	sys := newSmall(t)
+	if sys.Overlay() == nil || sys.Overlay().N() != sys.N() {
+		t.Error("Overlay escape hatch broken")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := New(Options{Nodes: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Nodes: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := a.Lookup(5, "same-key")
+	rb, _ := b.Lookup(5, "same-key")
+	if ra != rb {
+		t.Error("same seed produced different routes")
+	}
+}

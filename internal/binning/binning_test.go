@@ -1,0 +1,379 @@
+package binning
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdsValidate(t *testing.T) {
+	cases := []struct {
+		t  Thresholds
+		ok bool
+	}{
+		{Thresholds{}, false},
+		{Thresholds{20, 100}, true},
+		{Thresholds{100, 20}, false},
+		{Thresholds{20, 20}, false},
+		{Thresholds{-5, 20}, false},
+		{Thresholds{0, 20}, false},
+		{Thresholds{math.NaN()}, false},
+		{Thresholds{math.Inf(1)}, false},
+		{make(Thresholds, MaxLevels), false}, // too many levels (and zeros)
+	}
+	for i, c := range cases {
+		if err := c.t.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d (%v): Validate err=%v, want ok=%v", i, c.t, err, c.ok)
+		}
+	}
+}
+
+func TestLevelPaperPartition(t *testing.T) {
+	// Paper §2.2: level 0 for [0,20], level 1 for [20,100], level 2 above.
+	th := DefaultThresholds
+	cases := []struct {
+		lat  float64
+		want int
+	}{
+		{0, 0}, {5, 0}, {19.99, 0},
+		{20, 1}, {50, 1}, {99.99, 1},
+		{100, 2}, {180, 2}, {10000, 2},
+	}
+	for _, c := range cases {
+		if got := th.Level(c.lat); got != c.want {
+			t.Errorf("Level(%v) = %d, want %d", c.lat, got, c.want)
+		}
+	}
+	if th.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", th.Levels())
+	}
+}
+
+func TestOrderPaperTable1(t *testing.T) {
+	// Table 1 of the paper: six sample nodes, 4 landmarks, order strings.
+	cases := []struct {
+		node string
+		lats []float64
+		want string
+	}{
+		{"A", []float64{25, 5, 30, 100}, "1012"},
+		{"B", []float64{40, 18, 12, 200}, "1002"},
+		{"C", []float64{100, 180, 5, 10}, "2200"},
+		{"D", []float64{160, 220, 8, 20}, "2201"}, // paper prints 2200; 20ms is the boundary, see below
+		{"E", []float64{45, 10, 100, 5}, "1020"},
+		{"F", []float64{20, 140, 50, 40}, "1211"}, // paper prints 0211; 20ms is the boundary
+	}
+	for _, c := range cases {
+		got, err := Order(c.lats, DefaultThresholds)
+		if err != nil {
+			t.Fatalf("node %s: %v", c.node, err)
+		}
+		if got != c.want {
+			t.Errorf("node %s: Order = %q, want %q", c.node, got, c.want)
+		}
+	}
+	// Note: the paper describes the ranges as [0,20] and [20,100] with both
+	// endpoints inclusive, which is ambiguous at exactly 20 and 100. We use
+	// half-open intervals [0,20), [20,100), [100,inf); only measurements
+	// exactly on a boundary differ, and nodes C and D still share a ring
+	// prefix "220" differing only in the boundary digit.
+}
+
+func TestOrderSameOrderSameRing(t *testing.T) {
+	o1, _ := Order([]float64{100, 180, 5, 10}, DefaultThresholds)
+	o2, _ := Order([]float64{160, 220, 8, 19}, DefaultThresholds)
+	if o1 != o2 {
+		t.Errorf("C and D should bin together: %q vs %q", o1, o2)
+	}
+}
+
+func TestOrderErrors(t *testing.T) {
+	if _, err := Order(nil, DefaultThresholds); err == nil {
+		t.Error("empty latency vector accepted")
+	}
+	if _, err := Order([]float64{5}, Thresholds{}); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+	if _, err := Order([]float64{-1}, DefaultThresholds); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := Order([]float64{math.NaN()}, DefaultThresholds); err == nil {
+		t.Error("NaN latency accepted")
+	}
+}
+
+func TestLevelDigitBase36(t *testing.T) {
+	th := Thresholds{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12} // 13 levels
+	got, err := Order([]float64{0.5, 11.5, 100}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "0bc" {
+		t.Errorf("Order = %q, want 0bc (levels 0, 11, 12)", got)
+	}
+}
+
+func TestDropLandmark(t *testing.T) {
+	if got := DropLandmark("1012", 1); got != "112" {
+		t.Errorf("DropLandmark = %q, want 112", got)
+	}
+	if got := DropLandmark("1012", 0); got != "012" {
+		t.Errorf("DropLandmark = %q", got)
+	}
+	if got := DropLandmark("1012", 3); got != "101" {
+		t.Errorf("DropLandmark = %q", got)
+	}
+	if got := DropLandmark("1012", 4); got != "1012" {
+		t.Errorf("out-of-range drop should be identity, got %q", got)
+	}
+	if got := DropLandmark("1012", -1); got != "1012" {
+		t.Errorf("negative drop should be identity, got %q", got)
+	}
+}
+
+func TestDropLandmarkPreservesBinning(t *testing.T) {
+	// Nodes in the same bin stay together after any landmark failure.
+	latsC := []float64{100, 180, 5, 10}
+	latsD := []float64{160, 220, 8, 19}
+	oC, _ := Order(latsC, DefaultThresholds)
+	oD, _ := Order(latsD, DefaultThresholds)
+	for i := 0; i < 4; i++ {
+		if DropLandmark(oC, i) != DropLandmark(oD, i) {
+			t.Errorf("dropping landmark %d split a bin", i)
+		}
+	}
+}
+
+func TestDefaultLadder(t *testing.T) {
+	for depth := 2; depth <= 5; depth++ {
+		l, err := DefaultLadder(depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if l.Depth() != depth {
+			t.Errorf("depth %d: ladder depth %d", depth, l.Depth())
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("depth %d: default ladder invalid: %v", depth, err)
+		}
+	}
+	if _, err := DefaultLadder(1); err == nil {
+		t.Error("depth 1 accepted")
+	}
+	if _, err := DefaultLadder(6); err == nil {
+		t.Error("depth 6 accepted")
+	}
+}
+
+func TestLadderValidateNesting(t *testing.T) {
+	good := Ladder{{20, 100}, {10, 20, 100}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("nested ladder rejected: %v", err)
+	}
+	bad := Ladder{{20, 100}, {10, 30, 100}} // 20 missing from layer 3
+	if err := bad.Validate(); err == nil {
+		t.Error("non-nested ladder accepted")
+	}
+	if err := (Ladder{}).Validate(); err == nil {
+		t.Error("empty ladder accepted")
+	}
+}
+
+func TestRingNamesRefinement(t *testing.T) {
+	l, err := DefaultLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Property: if two latency vectors share a layer-(i+1) name, they share
+	// the layer-i name (rings refine).
+	for trial := 0; trial < 500; trial++ {
+		latsA := randLats(rng, 4)
+		latsB := randLats(rng, 4)
+		na, err := RingNames(latsA, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := RingNames(latsB, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := len(l) - 1; i > 0; i-- {
+			if na[i] == nb[i] && na[i-1] != nb[i-1] {
+				t.Fatalf("refinement violated: same layer-%d ring %q but different layer-%d rings %q vs %q",
+					i+2, na[i], i+1, na[i-1], nb[i-1])
+			}
+		}
+	}
+}
+
+func randLats(rng *rand.Rand, k int) []float64 {
+	lats := make([]float64, k)
+	for i := range lats {
+		lats[i] = rng.Float64() * 300
+	}
+	return lats
+}
+
+func TestRingNamesErrors(t *testing.T) {
+	if _, err := RingNames([]float64{5}, Ladder{}); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	l, _ := DefaultLadder(2)
+	if _, err := RingNames(nil, l); err == nil {
+		t.Error("empty latencies accepted")
+	}
+}
+
+func TestQuickOrderDeterministicAndLength(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		lats := []float64{float64(a) / 10, float64(b) / 10, float64(c) / 10}
+		o1, err1 := Order(lats, DefaultThresholds)
+		o2, err2 := Order(lats, DefaultThresholds)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return o1 == o2 && len(o1) == 3 && !strings.ContainsAny(o1, "3456789")
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloseNodesBinTogether(t *testing.T) {
+	// If every coordinate differs by less than the gap to the nearest
+	// boundary, orders are equal. We test the contrapositive-friendly
+	// sufficient condition: same level per coordinate => same order.
+	f := func(a, b, c uint16) bool {
+		lats := []float64{float64(a) / 100, float64(b) / 100, float64(c) / 100}
+		shifted := make([]float64, 3)
+		for i, v := range lats {
+			lv := DefaultThresholds.Level(v)
+			// Shift within the level band.
+			switch lv {
+			case 0:
+				shifted[i] = v / 2
+			case 1:
+				shifted[i] = 20 + (v-20)/2
+			default:
+				shifted[i] = v + 50
+			}
+		}
+		o1, _ := Order(lats, DefaultThresholds)
+		o2, _ := Order(shifted, DefaultThresholds)
+		return o1 == o2
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdaptiveThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 300
+	}
+	th, err := AdaptiveThresholds(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th) != 2 {
+		t.Fatalf("boundaries = %d, want 2", len(th))
+	}
+	// Uniform samples on [0,300): tertile boundaries near 100 and 200.
+	if th[0] < 70 || th[0] > 130 || th[1] < 170 || th[1] > 230 {
+		t.Errorf("boundaries %v far from uniform tertiles", th)
+	}
+	// Levels get roughly equal mass.
+	counts := make([]int, 3)
+	for _, s := range samples {
+		counts[th.Level(s)]++
+	}
+	for lv, c := range counts {
+		if c < 250 || c > 420 {
+			t.Errorf("level %d holds %d of 1000 samples", lv, c)
+		}
+	}
+}
+
+func TestAdaptiveThresholdsErrors(t *testing.T) {
+	if _, err := AdaptiveThresholds([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("levels < 2 accepted")
+	}
+	if _, err := AdaptiveThresholds([]float64{1, 2, 3}, MaxLevels+1); err == nil {
+		t.Error("too many levels accepted")
+	}
+	if _, err := AdaptiveThresholds([]float64{1}, 3); err == nil {
+		t.Error("too few samples accepted")
+	}
+	if _, err := AdaptiveThresholds([]float64{-1, 2, 3}, 2); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := AdaptiveThresholds([]float64{math.NaN(), 2, 3}, 2); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestAdaptiveThresholdsDegenerateMass(t *testing.T) {
+	// All-identical samples: boundaries must still ascend strictly.
+	samples := []float64{50, 50, 50, 50, 50, 50}
+	th, err := AdaptiveThresholds(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Errorf("degenerate thresholds invalid: %v (%v)", err, th)
+	}
+}
+
+func TestAdaptiveLadder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.Float64() * 500
+	}
+	for depth := 2; depth <= 5; depth++ {
+		l, err := AdaptiveLadder(samples, depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if l.Depth() != depth {
+			t.Errorf("depth %d: ladder depth %d", depth, l.Depth())
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+		if got := l[0].Levels(); got != 3 {
+			t.Errorf("depth %d: layer-2 levels = %d, want 3", depth, got)
+		}
+		if got := l[depth-2].Levels(); got != 3<<(depth-2) {
+			t.Errorf("depth %d: deepest levels = %d", depth, got)
+		}
+	}
+	if _, err := AdaptiveLadder(samples, 1); err == nil {
+		t.Error("depth 1 accepted")
+	}
+	if _, err := AdaptiveLadder(samples, 6); err == nil {
+		t.Error("depth 6 accepted")
+	}
+}
+
+func TestAdaptiveLadderDuplicateMassStillNested(t *testing.T) {
+	// Heavy duplicate mass forces boundary nudging; nesting must survive.
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = float64((i % 3) * 50) // only values 0, 50, 100
+	}
+	l, err := AdaptiveLadder(samples, 4)
+	if err != nil {
+		t.Fatalf("AdaptiveLadder: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("nesting broken under duplicate mass: %v", err)
+	}
+}

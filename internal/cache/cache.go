@@ -1,0 +1,179 @@
+// Package cache adds DHash-style key-location caching on top of the
+// HIERAS overlay. The paper argues that by reusing an existing DHT as the
+// underlying algorithm, "the well-designed data structure and mechanisms
+// for fault tolerance, load balance and caching scheme of the underlying
+// algorithm are still kept in HIERAS" (§3.2); this package realises the
+// caching part: peers remember key→owner bindings (optionally seeding the
+// caches of every peer a lookup passed through) and answer repeated
+// lookups with one direct hop.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/id"
+)
+
+// Policy selects which peers learn a binding after a successful lookup.
+type Policy int
+
+const (
+	// CacheAtOrigin stores the binding only at the requesting peer.
+	CacheAtOrigin Policy = iota
+	// CacheAlongPath stores it at the requester and every peer the
+	// routing procedure traversed (DHash's approach).
+	CacheAlongPath
+)
+
+func (p Policy) String() string {
+	switch p {
+	case CacheAtOrigin:
+		return "origin"
+	case CacheAlongPath:
+		return "path"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// lru is a fixed-capacity LRU map from key id to owner index.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are lruEntry
+	items map[id.ID]*list.Element
+}
+
+type lruEntry struct {
+	key   id.ID
+	owner int
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), items: make(map[id.ID]*list.Element, capacity)}
+}
+
+func (c *lru) get(key id.ID) (int, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(lruEntry).owner, true
+}
+
+func (c *lru) put(key id.ID, owner int) {
+	if e, ok := c.items[key]; ok {
+		e.Value = lruEntry{key, owner}
+		c.order.MoveToFront(e)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry).key)
+	}
+	c.items[key] = c.order.PushFront(lruEntry{key, owner})
+}
+
+func (c *lru) len() int { return c.order.Len() }
+
+// Overlay wraps a core overlay with per-peer location caches. Safe for
+// concurrent use.
+type Overlay struct {
+	o      *core.Overlay
+	policy Policy
+
+	mu     sync.Mutex
+	caches []*lru
+	hits   int64
+	misses int64
+}
+
+// New wraps o with per-peer caches of the given capacity.
+func New(o *core.Overlay, capacity int, policy Policy) (*Overlay, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity must be >= 1, got %d", capacity)
+	}
+	caches := make([]*lru, o.N())
+	for i := range caches {
+		caches[i] = newLRU(capacity)
+	}
+	return &Overlay{o: o, policy: policy, caches: caches}, nil
+}
+
+// Result describes one cached lookup.
+type Result struct {
+	Dest    int
+	Hops    int
+	Latency float64
+	Hit     bool
+}
+
+// Lookup routes from `from` to the owner of key, consulting the
+// requester's cache first. A hit costs a single direct hop; misses run the
+// full HIERAS procedure and populate caches per the policy.
+func (v *Overlay) Lookup(from int, key id.ID) Result {
+	v.mu.Lock()
+	owner, ok := v.caches[from].get(key)
+	v.mu.Unlock()
+	if ok {
+		v.mu.Lock()
+		v.hits++
+		v.mu.Unlock()
+		res := Result{Dest: owner, Hit: true}
+		if owner != from {
+			res.Hops = 1
+			res.Latency = v.o.Network().Latency(v.o.Node(from).Host, v.o.Node(owner).Host)
+		}
+		return res
+	}
+	route := v.o.Route(from, key)
+	v.mu.Lock()
+	v.misses++
+	v.caches[from].put(key, route.Dest)
+	if v.policy == CacheAlongPath {
+		for _, h := range route.Hops {
+			v.caches[h.To].put(key, route.Dest)
+		}
+	}
+	v.mu.Unlock()
+	return Result{Dest: route.Dest, Hops: route.NumHops(), Latency: route.Latency}
+}
+
+// Stats returns cumulative hit/miss counts.
+func (v *Overlay) Stats() (hits, misses int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.hits, v.misses
+}
+
+// HitRate returns hits / lookups (0 before any lookup).
+func (v *Overlay) HitRate() float64 {
+	h, m := v.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Entries reports how many bindings peer i currently caches.
+func (v *Overlay) Entries(i int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.caches[i].len()
+}
+
+// Invalidate removes a binding everywhere (e.g. after the owner departed).
+func (v *Overlay) Invalidate(key id.ID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, c := range v.caches {
+		if e, ok := c.items[key]; ok {
+			c.order.Remove(e)
+			delete(c.items, key)
+		}
+	}
+}

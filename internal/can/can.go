@@ -1,0 +1,320 @@
+// Package can implements a Content-Addressable Network (Ratnasamy et al.)
+// and its hierarchical HIERAS variant. The paper claims its scheme is not
+// Chord-specific: "if we use CAN as the underlying algorithm, the whole
+// coordinate space can be divided multiple times in different layers, we
+// can create multilayer neighbor sets accordingly and use these neighbor
+// sets in different loops during a routing procedure" (§3.2). This package
+// substantiates that claim: Space is a flat d-dimensional CAN, Hierarchy
+// divides the same coordinate space once per HIERAS layer (one division
+// among each ring's members) and routes through the layers bottom-up.
+package can
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in the unit d-torus.
+type Point []float64
+
+// KeyPoint hashes an application key to a point in the unit d-torus.
+func KeyPoint(key string, dims int) Point {
+	sum := sha1.Sum([]byte("can:" + key))
+	p := make(Point, dims)
+	for i := 0; i < dims; i++ {
+		// Derive independent coordinates by re-hashing per dimension.
+		h := sha1.Sum(append(sum[:], byte(i)))
+		v := binary.BigEndian.Uint64(h[:8])
+		p[i] = float64(v) / float64(math.MaxUint64)
+	}
+	return p
+}
+
+// zone is an axis-aligned box [lo, hi) in the unit torus. Zones never wrap
+// (splits always happen inside [0,1)).
+type zone struct {
+	lo, hi []float64
+}
+
+func (z zone) contains(p Point) bool {
+	for i := range p {
+		if p[i] < z.lo[i] || p[i] >= z.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// longestDim returns the index of the zone's longest side.
+func (z zone) longestDim() int {
+	best, bestLen := 0, z.hi[0]-z.lo[0]
+	for i := 1; i < len(z.lo); i++ {
+		if l := z.hi[i] - z.lo[i]; l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}
+
+// torusDist1 is the circular distance between scalars in [0,1).
+func torusDist1(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// distToZone is the squared torus distance from p to the closest point of
+// z.
+func (z zone) distToZone(p Point) float64 {
+	var sum float64
+	for i := range p {
+		if p[i] >= z.lo[i] && p[i] < z.hi[i] {
+			continue
+		}
+		d := math.Min(torusDist1(p[i], z.lo[i]), torusDist1(p[i], z.hi[i]))
+		sum += d * d
+	}
+	return sum
+}
+
+// intervalsTouch reports whether [al,ah) and [bl,bh) abut on the unit
+// torus (share a face coordinate).
+func intervalsTouch(al, ah, bl, bh float64) bool {
+	const eps = 1e-12
+	if math.Abs(ah-bl) < eps || math.Abs(bh-al) < eps {
+		return true
+	}
+	// Torus wrap: 1.0 touches 0.0.
+	if (math.Abs(ah-1) < eps && math.Abs(bl) < eps) || (math.Abs(bh-1) < eps && math.Abs(al) < eps) {
+		return true
+	}
+	return false
+}
+
+// intervalsOverlap reports whether [al,ah) and [bl,bh) overlap with
+// positive measure.
+func intervalsOverlap(al, ah, bl, bh float64) bool {
+	return al < bh && bl < ah
+}
+
+// adjacent reports whether zones a and b abut in exactly one dimension and
+// overlap in all others — CAN's neighbor relation.
+func adjacent(a, b zone) bool {
+	touch := 0
+	for i := range a.lo {
+		switch {
+		case intervalsOverlap(a.lo[i], a.hi[i], b.lo[i], b.hi[i]):
+			// overlapping dimension: fine
+		case intervalsTouch(a.lo[i], a.hi[i], b.lo[i], b.hi[i]):
+			touch++
+		default:
+			return false
+		}
+	}
+	return touch == 1
+}
+
+// Space is a flat CAN over a fixed member set: member i owns zones[i].
+// Immutable after Build; safe for concurrent routing.
+type Space struct {
+	dims      int
+	zones     []zone
+	hosts     []int32
+	neighbors [][]int32
+	hostIdx   map[int]int
+}
+
+// HostPoint derives a host's canonical join point. Every layer's space
+// division uses the same point for a given host — that alignment is what
+// makes the hierarchical transplant effective: a ring member whose RING
+// zone contains a target point also owns a GLOBAL zone near that point
+// (both zones contain the member's join point), so the global loop that
+// follows a lower-layer loop only has a short distance left to cover.
+func HostPoint(host, dims int) Point {
+	return KeyPoint(fmt.Sprintf("host:%d", host), dims)
+}
+
+// Build inserts the hosts into the coordinate space one at a time: each
+// newcomer's zone is split off the zone containing its canonical join
+// point (HostPoint), and neighbor sets update locally — CAN's join
+// procedure with global knowledge standing in for the bootstrap routing.
+// rng shuffles the insertion order (zone shapes depend on it; ownership
+// of each join point does not).
+func Build(hosts []int, dims int, rng *rand.Rand) (*Space, error) {
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("can: empty member set")
+	}
+	if dims < 1 || dims > 8 {
+		return nil, fmt.Errorf("can: dims must be in [1,8], got %d", dims)
+	}
+	order := make([]int, len(hosts))
+	copy(order, hosts)
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	s := &Space{dims: dims, hostIdx: make(map[int]int, len(order))}
+	full := zone{lo: make([]float64, dims), hi: make([]float64, dims)}
+	for i := range full.hi {
+		full.hi[i] = 1
+	}
+	s.zones = append(s.zones, full)
+	s.hosts = append(s.hosts, int32(order[0]))
+	s.neighbors = append(s.neighbors, nil)
+	s.hostIdx[order[0]] = 0
+	for _, h := range order[1:] {
+		s.insert(h, HostPoint(h, dims))
+	}
+	return s, nil
+}
+
+// insert splits the zone owning p and gives the newcomer the half
+// containing p.
+func (s *Space) insert(host int, p Point) {
+	owner := s.ownerScanOrRoute(p)
+	z := s.zones[owner]
+	d := z.longestDim()
+	mid := (z.lo[d] + z.hi[d]) / 2
+
+	low := zone{lo: append([]float64(nil), z.lo...), hi: append([]float64(nil), z.hi...)}
+	high := zone{lo: append([]float64(nil), z.lo...), hi: append([]float64(nil), z.hi...)}
+	low.hi[d] = mid
+	high.lo[d] = mid
+
+	var oldZone, newZone zone
+	if p[d] < mid {
+		newZone, oldZone = low, high
+	} else {
+		newZone, oldZone = high, low
+	}
+	newIdx := len(s.zones)
+	s.zones[owner] = oldZone
+	s.zones = append(s.zones, newZone)
+	s.hosts = append(s.hosts, int32(host))
+	s.neighbors = append(s.neighbors, nil)
+	s.hostIdx[host] = newIdx
+
+	// Rebuild adjacency for the two halves against the owner's old
+	// neighborhood; everyone else is unaffected.
+	oldNbrs := s.neighbors[owner]
+	s.neighbors[owner] = nil
+	cand := append(append([]int32(nil), oldNbrs...), int32(newIdx))
+	for _, v := range cand {
+		s.unlink(int(v), owner)
+	}
+	for _, v := range cand {
+		if int(v) != owner && adjacent(s.zones[owner], s.zones[v]) {
+			s.link(owner, int(v))
+		}
+	}
+	for _, v := range oldNbrs {
+		if int(v) != newIdx && adjacent(s.zones[newIdx], s.zones[v]) {
+			s.link(newIdx, int(v))
+		}
+	}
+	if adjacent(s.zones[owner], s.zones[newIdx]) {
+		s.link(owner, newIdx)
+	}
+}
+
+func (s *Space) link(a, b int) {
+	for _, v := range s.neighbors[a] {
+		if int(v) == b {
+			return
+		}
+	}
+	s.neighbors[a] = append(s.neighbors[a], int32(b))
+	s.neighbors[b] = append(s.neighbors[b], int32(a))
+}
+
+func (s *Space) unlink(a, b int) {
+	rm := func(list []int32, x int) []int32 {
+		out := list[:0]
+		for _, v := range list {
+			if int(v) != x {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	s.neighbors[a] = rm(s.neighbors[a], b)
+	s.neighbors[b] = rm(s.neighbors[b], a)
+}
+
+// ownerScanOrRoute finds the zone containing p (greedy route from member
+// 0, falling back to a scan while the space is tiny).
+func (s *Space) ownerScanOrRoute(p Point) int {
+	if len(s.zones) < 8 {
+		for i, z := range s.zones {
+			if z.contains(p) {
+				return i
+			}
+		}
+	}
+	owner, _ := s.Route(0, p, nil)
+	return owner
+}
+
+// Len returns the member count.
+func (s *Space) Len() int { return len(s.zones) }
+
+// Dims returns the dimensionality.
+func (s *Space) Dims() int { return s.dims }
+
+// Host returns member i's host index.
+func (s *Space) Host(i int) int { return int(s.hosts[i]) }
+
+// Neighbors returns member i's neighbor count.
+func (s *Space) Neighbors(i int) int { return len(s.neighbors[i]) }
+
+// OwnerOf returns the member whose zone contains p (exact scan; use Route
+// for protocol-style lookup).
+func (s *Space) OwnerOf(p Point) int {
+	for i, z := range s.zones {
+		if z.contains(p) {
+			return i
+		}
+	}
+	return -1 // unreachable: zones partition the torus
+}
+
+// Route greedily forwards from member `from` toward the zone containing
+// p, calling visit per hop, and returns the owner and hop count.
+func (s *Space) Route(from int, p Point, visit func(f, to int)) (int, int) {
+	u := from
+	hops := 0
+	limit := 8 * len(s.zones)
+	for !s.zones[u].contains(p) {
+		if hops >= limit {
+			return u, hops // defensive; cannot happen with consistent zones
+		}
+		best := -1
+		bestDist := math.Inf(1)
+		for _, v := range s.neighbors[u] {
+			if d := s.zones[v].distToZone(p); d < bestDist {
+				best, bestDist = int(v), d
+			}
+		}
+		if best == -1 {
+			return u, hops // singleton space
+		}
+		if visit != nil {
+			visit(u, best)
+		}
+		u = best
+		hops++
+	}
+	return u, hops
+}
+
+// IndexOfHost returns the member index owning a host, or -1.
+func (s *Space) IndexOfHost(host int) int {
+	if i, ok := s.hostIdx[host]; ok {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,299 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+	"repro/internal/topology/transitstub"
+)
+
+func buildSpace(t testing.TB, n, dims int, seed int64) *Space {
+	t.Helper()
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	s, err := Build(hosts, dims, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(nil, 2, rng); err == nil {
+		t.Error("empty hosts accepted")
+	}
+	if _, err := Build([]int{1}, 0, rng); err == nil {
+		t.Error("dims 0 accepted")
+	}
+	if _, err := Build([]int{1}, 9, rng); err == nil {
+		t.Error("dims 9 accepted")
+	}
+}
+
+// zonesPartition checks that zones tile the unit torus: volumes sum to 1
+// and random points have exactly one owner.
+func zonesPartition(t *testing.T, s *Space, seed int64) {
+	t.Helper()
+	var vol float64
+	for _, z := range s.zones {
+		v := 1.0
+		for i := range z.lo {
+			v *= z.hi[i] - z.lo[i]
+		}
+		vol += v
+	}
+	if math.Abs(vol-1) > 1e-9 {
+		t.Fatalf("zone volumes sum to %v", vol)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 300; trial++ {
+		p := make(Point, s.Dims())
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		owners := 0
+		for _, z := range s.zones {
+			if z.contains(p) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %v has %d owners", p, owners)
+		}
+	}
+}
+
+func TestZonesPartitionTorus(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 300} {
+		for _, dims := range []int{1, 2, 3} {
+			s := buildSpace(t, n, dims, int64(n*10+dims))
+			zonesPartition(t, s, int64(n+dims))
+		}
+	}
+}
+
+func TestNeighborsSymmetricAndAdjacent(t *testing.T) {
+	s := buildSpace(t, 200, 2, 3)
+	for u := 0; u < s.Len(); u++ {
+		for _, v := range s.neighbors[u] {
+			if !adjacent(s.zones[u], s.zones[v]) {
+				t.Fatalf("neighbor %d-%d not adjacent", u, v)
+			}
+			found := false
+			for _, w := range s.neighbors[v] {
+				if int(w) == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation %d-%d not symmetric", u, v)
+			}
+		}
+		if s.Len() > 1 && s.Neighbors(u) == 0 {
+			t.Fatalf("member %d isolated", u)
+		}
+	}
+}
+
+func TestRouteFindsOwner(t *testing.T) {
+	s := buildSpace(t, 150, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		from := rng.Intn(s.Len())
+		got, hops := s.Route(from, p, nil)
+		want := s.OwnerOf(p)
+		if got != want {
+			t.Fatalf("routed to %d, owner is %d", got, want)
+		}
+		if hops > 8*s.Len() {
+			t.Fatalf("hop bound hit")
+		}
+	}
+}
+
+func TestRouteHopScaling(t *testing.T) {
+	// CAN hops grow like (d/4) n^(1/d); check sublinear growth.
+	rng := rand.New(rand.NewSource(6))
+	mean := func(n int) float64 {
+		s := buildSpace(t, n, 2, 7)
+		total := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			_, hops := s.Route(rng.Intn(n), p, nil)
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	m64, m1024 := mean(64), mean(1024)
+	// sqrt(1024/64) = 4; allow generous slack but demand sublinearity.
+	if m1024 > 6*m64 {
+		t.Errorf("hops grew from %.1f (n=64) to %.1f (n=1024): superlinear", m64, m1024)
+	}
+}
+
+func TestRouteVisitContiguous(t *testing.T) {
+	s := buildSpace(t, 100, 2, 8)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		from := rng.Intn(s.Len())
+		cur := from
+		p := Point{rng.Float64(), rng.Float64()}
+		owner, hops := s.Route(from, p, func(f, to int) {
+			if f != cur {
+				t.Fatal("discontiguous path")
+			}
+			cur = to
+		})
+		if cur != owner {
+			t.Fatal("path does not end at owner")
+		}
+		_ = hops
+	}
+}
+
+func TestKeyPoint(t *testing.T) {
+	p := KeyPoint("hello", 3)
+	if len(p) != 3 {
+		t.Fatalf("dims = %d", len(p))
+	}
+	for _, c := range p {
+		if c < 0 || c >= 1 {
+			t.Fatalf("coordinate %v out of [0,1)", c)
+		}
+	}
+	if KeyPoint("hello", 3)[0] != p[0] {
+		t.Error("KeyPoint not deterministic")
+	}
+	q := KeyPoint("world", 3)
+	if q[0] == p[0] && q[1] == p[1] {
+		t.Error("distinct keys collided (vanishingly unlikely)")
+	}
+}
+
+func TestQuickPartitionInvariant(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%120
+		hosts := make([]int, n)
+		for i := range hosts {
+			hosts[i] = i
+		}
+		s, err := Build(hosts, 2, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		var vol float64
+		for _, z := range s.zones {
+			v := 1.0
+			for i := range z.lo {
+				v *= z.hi[i] - z.lo[i]
+			}
+			vol += v
+		}
+		return math.Abs(vol-1) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(10))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func testNet(t testing.TB, hosts int, seed int64) *topology.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := transitstub.Generate(transitstub.DefaultConfig(hosts), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Attach(m, m.G, topology.AttachOptions{
+		Hosts: hosts, Routers: m.StubRouters, Spread: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestHierarchyBuildAndRoute(t *testing.T) {
+	net := testNet(t, 250, 11)
+	h, err := BuildHierarchy(net, HierarchyConfig{Depth: 2, Landmarks: 4}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 250 || h.NumRings() == 0 {
+		t.Fatalf("N=%d rings=%d", h.N(), h.NumRings())
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		from := rng.Intn(h.N())
+		hier := h.Route(from, p)
+		flat := h.FlatRoute(from, p)
+		if hier.OwnerHost != flat.OwnerHost {
+			t.Fatalf("hierarchical and flat CAN disagree on the owner")
+		}
+		if hier.LowerLat > hier.Latency+1e-9 {
+			t.Fatal("lower latency exceeds total")
+		}
+	}
+}
+
+func TestHierarchyLatencyWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	net := testNet(t, 400, 14)
+	h, err := BuildHierarchy(net, HierarchyConfig{Depth: 2, Landmarks: 6}, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	var hier, flat float64
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		from := rng.Intn(h.N())
+		hier += h.Route(from, p).Latency
+		flat += h.FlatRoute(from, p).Latency
+	}
+	ratio := hier / flat
+	t.Logf("HIERAS-over-CAN latency ratio: %.3f", ratio)
+	if ratio > 0.95 {
+		t.Errorf("hierarchical CAN ratio %.3f shows no benefit", ratio)
+	}
+}
+
+func TestHierarchyDepth1IsFlat(t *testing.T) {
+	net := testNet(t, 80, 17)
+	h, err := BuildHierarchy(net, HierarchyConfig{Depth: 1}, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		p := Point{rng.Float64(), rng.Float64()}
+		from := rng.Intn(h.N())
+		a, b := h.Route(from, p), h.FlatRoute(from, p)
+		if a.Hops != b.Hops || a.OwnerHost != b.OwnerHost {
+			t.Fatal("depth-1 hierarchy must equal flat CAN")
+		}
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	net := testNet(t, 20, 20)
+	if _, err := BuildHierarchy(net, HierarchyConfig{Depth: -2}, rand.New(rand.NewSource(21))); err == nil {
+		t.Error("negative depth accepted")
+	}
+	empty := &topology.Network{Model: topology.NewDijkstraOracle(topology.NewGraph(1)), HostDelay: 1}
+	if _, err := BuildHierarchy(empty, HierarchyConfig{}, rand.New(rand.NewSource(22))); err == nil {
+		t.Error("empty network accepted")
+	}
+}

@@ -1,0 +1,396 @@
+package chord
+
+import (
+	"fmt"
+
+	"repro/internal/id"
+)
+
+// ProtoNode is a peer in the message-level Chord protocol simulation.
+// Fields are manipulated only through Proto methods.
+type ProtoNode struct {
+	ID   id.ID
+	Host int
+
+	pred    *ProtoNode
+	succ    []*ProtoNode // successor list; succ[0] is the immediate successor
+	finger  []*ProtoNode // finger[k] ~ successor(ID + 2^k); may be stale
+	alive   bool
+	nextFix int // rotating finger index for fix-fingers
+}
+
+// Alive reports whether the node is still part of the overlay.
+func (n *ProtoNode) Alive() bool { return n.alive }
+
+// Successor returns the node's current immediate successor pointer (may be
+// a failed node until stabilization runs).
+func (n *ProtoNode) Successor() *ProtoNode {
+	if len(n.succ) == 0 {
+		return nil
+	}
+	return n.succ[0]
+}
+
+// Predecessor returns the node's current predecessor pointer.
+func (n *ProtoNode) Predecessor() *ProtoNode { return n.pred }
+
+// Proto is a message-level Chord overlay: nodes join through the protocol,
+// pointers converge through stabilization, and every remote interaction is
+// counted in Msgs. It is not safe for concurrent use; the simulations
+// drive it single-threaded for determinism.
+type Proto struct {
+	r     int // successor-list length
+	Msgs  int64
+	nodes map[id.ID]*ProtoNode
+}
+
+// NewProto creates an empty protocol overlay whose nodes keep
+// successor lists of length r (r >= 1).
+func NewProto(r int) *Proto {
+	if r < 1 {
+		r = 1
+	}
+	return &Proto{r: r, nodes: make(map[id.ID]*ProtoNode)}
+}
+
+// SuccessorListLen returns the configured successor-list length.
+func (p *Proto) SuccessorListLen() int { return p.r }
+
+// Size returns the number of live nodes.
+func (p *Proto) Size() int {
+	n := 0
+	for _, nd := range p.nodes {
+		if nd.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Nodes returns all live nodes (unspecified order).
+func (p *Proto) Nodes() []*ProtoNode {
+	out := make([]*ProtoNode, 0, len(p.nodes))
+	for _, nd := range p.nodes {
+		if nd.alive {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Bootstrap creates the first node of the overlay.
+func (p *Proto) Bootstrap(m Member) (*ProtoNode, error) {
+	if len(p.nodes) != 0 {
+		return nil, fmt.Errorf("chord: overlay already bootstrapped")
+	}
+	n := p.newNode(m)
+	n.pred = n
+	n.succ = []*ProtoNode{n}
+	return n, nil
+}
+
+func (p *Proto) newNode(m Member) *ProtoNode {
+	n := &ProtoNode{
+		ID:     m.ID,
+		Host:   m.Host,
+		finger: make([]*ProtoNode, id.Bits),
+		alive:  true,
+	}
+	p.nodes[m.ID] = n
+	return n
+}
+
+// Join adds a new node via bootstrap node boot, as in the Chord paper: the
+// newcomer learns its successor with one lookup; predecessor pointers and
+// fingers converge through Stabilize and FixFingers.
+func (p *Proto) Join(m Member, boot *ProtoNode) (*ProtoNode, error) {
+	if boot == nil || !boot.alive {
+		return nil, fmt.Errorf("chord: bootstrap node is not alive")
+	}
+	if _, dup := p.nodes[m.ID]; dup {
+		return nil, fmt.Errorf("chord: identifier %s already joined", m.ID.Short())
+	}
+	succ, _, err := p.FindSuccessorFrom(boot, m.ID)
+	if err != nil {
+		return nil, err
+	}
+	n := p.newNode(m)
+	n.pred = nil
+	n.succ = []*ProtoNode{succ}
+	p.Msgs++ // join notification to successor
+	return n, nil
+}
+
+// firstAliveSuccessor returns the first live entry of n's successor list,
+// or nil when the whole list has failed (a disconnected node).
+func (n *ProtoNode) firstAliveSuccessor() *ProtoNode {
+	for _, s := range n.succ {
+		if s != nil && s.alive {
+			return s
+		}
+	}
+	return nil
+}
+
+// closestPrecedingLive scans fingers high-to-low for a live node in
+// (n, key), falling back to the successor list, as Chord does under
+// failures.
+func (n *ProtoNode) closestPrecedingLive(key id.ID) *ProtoNode {
+	for k := id.Bits - 1; k >= 0; k-- {
+		f := n.finger[k]
+		if f != nil && f.alive && f != n && id.Between(f.ID, n.ID, key) {
+			return f
+		}
+	}
+	for i := len(n.succ) - 1; i >= 0; i-- {
+		s := n.succ[i]
+		if s != nil && s.alive && s != n && id.Between(s.ID, n.ID, key) {
+			return s
+		}
+	}
+	return n
+}
+
+// FindSuccessorFrom routes from node `from` to the owner of key, counting
+// one message per hop in Msgs and returning the hop count. It fails only
+// if routing gets stuck (e.g. a partitioned overlay after mass failures).
+func (p *Proto) FindSuccessorFrom(from *ProtoNode, key id.ID) (*ProtoNode, int, error) {
+	if from == nil || !from.alive {
+		return nil, 0, fmt.Errorf("chord: lookup from dead node")
+	}
+	u := from
+	hops := 0
+	// Generous bound: lookups are O(log N) whp; 4*Bits catches livelock
+	// from grossly inconsistent state without masking real behaviour.
+	for limit := 0; limit < 4*id.Bits; limit++ {
+		s := u.firstAliveSuccessor()
+		if s == nil {
+			return nil, hops, fmt.Errorf("chord: node %s has no live successor", u.ID.Short())
+		}
+		if id.InOpenClosed(key, u.ID, s.ID) {
+			if s != u {
+				p.Msgs++
+				hops++
+			}
+			return s, hops, nil
+		}
+		v := u.closestPrecedingLive(key)
+		if v == u {
+			v = s
+		}
+		p.Msgs++
+		hops++
+		u = v
+	}
+	return nil, hops, fmt.Errorf("chord: lookup for %s did not converge", key.Short())
+}
+
+// WalkToPredecessor routes from `from` to the live node immediately
+// preceding key in this overlay (the protocol counterpart of
+// Table.WalkToPredecessor), counting messages and hops.
+func (p *Proto) WalkToPredecessor(from *ProtoNode, key id.ID) (*ProtoNode, int, error) {
+	if from == nil || !from.alive {
+		return nil, 0, fmt.Errorf("chord: walk from dead node")
+	}
+	u := from
+	hops := 0
+	for limit := 0; limit < 4*id.Bits; limit++ {
+		s := u.firstAliveSuccessor()
+		if s == nil {
+			return nil, hops, fmt.Errorf("chord: node %s has no live successor", u.ID.Short())
+		}
+		if id.InOpenClosed(key, u.ID, s.ID) {
+			return u, hops, nil
+		}
+		v := u.closestPrecedingLive(key)
+		if v == u {
+			v = s
+		}
+		p.Msgs++
+		hops++
+		u = v
+	}
+	return nil, hops, fmt.Errorf("chord: walk for %s did not converge", key.Short())
+}
+
+// Stabilize runs one stabilization round on node n (Chord's stabilize +
+// notify): it verifies its successor, adopts a closer one if the successor
+// knows of it, refreshes its successor list and notifies the successor.
+func (p *Proto) Stabilize(n *ProtoNode) {
+	if !n.alive {
+		return
+	}
+	s := n.firstAliveSuccessor()
+	if s == nil {
+		return
+	}
+	p.Msgs++ // ask successor for its predecessor
+	if x := s.pred; x != nil && x.alive && x != n && id.Between(x.ID, n.ID, s.ID) {
+		s = x
+	}
+	// Rebuild the successor list from s's list.
+	p.Msgs++ // fetch successor list
+	list := make([]*ProtoNode, 0, p.r)
+	list = append(list, s)
+	for _, e := range s.succ {
+		if len(list) >= p.r {
+			break
+		}
+		if e != nil && e.alive && e != n {
+			list = append(list, e)
+		}
+	}
+	n.succ = list
+	// notify(s, n)
+	p.Msgs++
+	if s.pred == nil || !s.pred.alive || id.Between(n.ID, s.pred.ID, s.ID) {
+		s.pred = n
+	}
+}
+
+// FixFinger refreshes one finger of n (round-robin), at the cost of one
+// lookup through the overlay.
+func (p *Proto) FixFinger(n *ProtoNode) error {
+	if !n.alive {
+		return nil
+	}
+	k := n.nextFix
+	n.nextFix = (n.nextFix + 1) % id.Bits
+	target := id.AddPow2(n.ID, uint(k))
+	s, _, err := p.FindSuccessorFrom(n, target)
+	if err != nil {
+		return err
+	}
+	n.finger[k] = s
+	return nil
+}
+
+// BuildFingers fills n's whole finger table with lookups routed through
+// boot — the join-time finger construction HIERAS uses (paper §3.3 "it can
+// learn its fingers by asking node n' to look them up").
+func (p *Proto) BuildFingers(n *ProtoNode, boot *ProtoNode) error {
+	for k := uint(0); k < id.Bits; k++ {
+		s, _, err := p.FindSuccessorFrom(boot, id.AddPow2(n.ID, k))
+		if err != nil {
+			return err
+		}
+		n.finger[k] = s
+	}
+	return nil
+}
+
+// StabilizeAll runs one stabilization round on every live node in
+// identifier order (deterministic).
+func (p *Proto) StabilizeAll() {
+	for _, n := range p.sortedLive() {
+		p.Stabilize(n)
+	}
+}
+
+// FixAllFingers refreshes every finger of every live node. Expensive; used
+// by tests and by maintenance-cost accounting.
+func (p *Proto) FixAllFingers() error {
+	for _, n := range p.sortedLive() {
+		for k := 0; k < id.Bits; k++ {
+			if err := p.FixFinger(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Proto) sortedLive() []*ProtoNode {
+	live := p.Nodes()
+	sortNodes(live)
+	return live
+}
+
+func sortNodes(ns []*ProtoNode) {
+	// Insertion-friendly simple sort by ID; node counts in protocol tests
+	// are modest.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].ID.Less(ns[j-1].ID); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// Leave removes n gracefully: it hands its predecessor and successor to
+// each other before departing.
+func (p *Proto) Leave(n *ProtoNode) {
+	if !n.alive {
+		return
+	}
+	s := n.firstAliveSuccessor()
+	if s != nil && s != n {
+		p.Msgs += 2 // notify successor and predecessor
+		if n.pred != nil && n.pred.alive {
+			s.pred = n.pred
+			n.pred.succ = append([]*ProtoNode{s}, trimSucc(n.pred.succ, p.r-1)...)
+		}
+	}
+	n.alive = false
+	delete(p.nodes, n.ID)
+}
+
+func trimSucc(succ []*ProtoNode, max int) []*ProtoNode {
+	if len(succ) > max {
+		return succ[:max]
+	}
+	return succ
+}
+
+// Fail kills n silently; other nodes discover the failure through
+// stabilization timeouts.
+func (p *Proto) Fail(n *ProtoNode) {
+	n.alive = false
+	delete(p.nodes, n.ID)
+}
+
+// Converged reports whether every live node's successor pointer matches
+// the true ring order — the postcondition stabilization must reach.
+func (p *Proto) Converged() bool {
+	live := p.sortedLive()
+	if len(live) == 0 {
+		return true
+	}
+	for i, n := range live {
+		want := live[(i+1)%len(live)]
+		if n.firstAliveSuccessor() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// FingersExact reports whether every live node's finger table matches the
+// oracle definition finger[k] == successor(ID + 2^k).
+func (p *Proto) FingersExact() bool {
+	live := p.sortedLive()
+	n := len(live)
+	if n == 0 {
+		return true
+	}
+	ids := make([]id.ID, n)
+	for i, nd := range live {
+		ids[i] = nd.ID
+	}
+	succOf := func(key id.ID) *ProtoNode {
+		for i := range ids {
+			prev := ids[(i-1+n)%n]
+			if id.InOpenClosed(key, prev, ids[i]) {
+				return live[i]
+			}
+		}
+		return live[0]
+	}
+	for _, nd := range live {
+		for k := uint(0); k < id.Bits; k++ {
+			if nd.finger[k] != succOf(id.AddPow2(nd.ID, k)) {
+				return false
+			}
+		}
+	}
+	return true
+}

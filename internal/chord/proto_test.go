@@ -1,0 +1,230 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// buildProto bootstraps a protocol overlay with n nodes and runs enough
+// stabilization to converge, failing the test otherwise.
+func buildProto(t *testing.T, rng *rand.Rand, n, succLen int) (*Proto, []*ProtoNode) {
+	t.Helper()
+	p := NewProto(succLen)
+	ms := makeMembers(rng, n)
+	first, err := p.Bootstrap(ms[0])
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	nodes := []*ProtoNode{first}
+	for _, m := range ms[1:] {
+		nd, err := p.Join(m, nodes[rng.Intn(len(nodes))])
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		nodes = append(nodes, nd)
+		// A couple of rounds after each join keeps pointers fresh, as the
+		// periodic stabilization protocol would.
+		p.StabilizeAll()
+	}
+	for i := 0; i < 3 && !p.Converged(); i++ {
+		p.StabilizeAll()
+	}
+	if !p.Converged() {
+		t.Fatal("stabilization did not converge")
+	}
+	return p, nodes
+}
+
+func TestBootstrapSingle(t *testing.T) {
+	p := NewProto(3)
+	n, err := p.Bootstrap(Member{ID: id.HashString("n0"), Host: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Successor() != n || n.Predecessor() != n {
+		t.Error("bootstrap node should point at itself")
+	}
+	if _, err := p.Bootstrap(Member{ID: id.HashString("n1")}); err == nil {
+		t.Error("double bootstrap accepted")
+	}
+	owner, hops, err := p.FindSuccessorFrom(n, id.HashString("key"))
+	if err != nil || owner != n || hops != 0 {
+		t.Errorf("single-node lookup: %v %v %v", owner, hops, err)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	p := NewProto(3)
+	n, _ := p.Bootstrap(Member{ID: id.HashString("n0")})
+	if _, err := p.Join(Member{ID: id.HashString("n0")}, n); err == nil {
+		t.Error("duplicate ID join accepted")
+	}
+	if _, err := p.Join(Member{ID: id.HashString("n1")}, nil); err == nil {
+		t.Error("nil bootstrap accepted")
+	}
+	dead := &ProtoNode{alive: false}
+	if _, err := p.Join(Member{ID: id.HashString("n2")}, dead); err == nil {
+		t.Error("dead bootstrap accepted")
+	}
+}
+
+func TestStabilizationConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, _ := buildProto(t, rng, 40, 4)
+	if p.Size() != 40 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestFixFingersMakesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := buildProto(t, rng, 30, 4)
+	if err := p.FixAllFingers(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.FingersExact() {
+		t.Error("fingers should be exact after FixAllFingers on a converged ring")
+	}
+}
+
+func TestProtoLookupMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, nodes := buildProto(t, rng, 50, 4)
+	if err := p.FixAllFingers(); err != nil {
+		t.Fatal(err)
+	}
+	// Oracle table over the same members.
+	ms := make([]Member, len(nodes))
+	for i, n := range nodes {
+		ms[i] = Member{ID: n.ID, Host: n.Host}
+	}
+	tbl := mustTable(t, ms)
+	for trial := 0; trial < 300; trial++ {
+		key := id.Rand(rng)
+		from := nodes[rng.Intn(len(nodes))]
+		got, _, err := p.FindSuccessorFrom(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tbl.ID(tbl.SuccessorIndex(key))
+		if got.ID != want {
+			t.Fatalf("protocol owner %s, oracle owner %s", got.ID.Short(), want.Short())
+		}
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, nodes := buildProto(t, rng, 20, 4)
+	before := p.Msgs
+	if before == 0 {
+		t.Error("joins and stabilization should have cost messages")
+	}
+	_, hops, err := p.FindSuccessorFrom(nodes[0], id.Rand(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Msgs != before+int64(hops) {
+		t.Errorf("Msgs grew by %d, hops were %d", p.Msgs-before, hops)
+	}
+}
+
+func TestLeaveGraceful(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, nodes := buildProto(t, rng, 25, 4)
+	victim := nodes[7]
+	p.Leave(victim)
+	if victim.Alive() {
+		t.Error("left node still alive")
+	}
+	for i := 0; i < 5 && !p.Converged(); i++ {
+		p.StabilizeAll()
+	}
+	if !p.Converged() {
+		t.Error("ring did not re-converge after graceful leave")
+	}
+	if p.Size() != 24 {
+		t.Errorf("Size = %d, want 24", p.Size())
+	}
+	// Leaving twice is a no-op.
+	p.Leave(victim)
+}
+
+func TestSilentFailureRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p, nodes := buildProto(t, rng, 40, 6)
+	if err := p.FixAllFingers(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill 5 random nodes silently.
+	perm := rng.Perm(len(nodes))
+	killed := map[*ProtoNode]bool{}
+	for _, i := range perm[:5] {
+		p.Fail(nodes[i])
+		killed[nodes[i]] = true
+	}
+	for i := 0; i < 8 && !p.Converged(); i++ {
+		p.StabilizeAll()
+	}
+	if !p.Converged() {
+		t.Fatal("ring did not heal after silent failures")
+	}
+	// Lookups still succeed from every survivor.
+	for _, n := range nodes {
+		if killed[n] {
+			continue
+		}
+		if _, _, err := p.FindSuccessorFrom(n, id.Rand(rng)); err != nil {
+			t.Fatalf("post-failure lookup from %s: %v", n.ID.Short(), err)
+		}
+	}
+}
+
+func TestLookupFromDeadNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, nodes := buildProto(t, rng, 10, 3)
+	p.Fail(nodes[0])
+	if _, _, err := p.FindSuccessorFrom(nodes[0], id.Rand(rng)); err == nil {
+		t.Error("lookup from dead node should fail")
+	}
+}
+
+func TestBuildFingers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p, nodes := buildProto(t, rng, 20, 4)
+	n := nodes[5]
+	for k := range n.finger {
+		n.finger[k] = nil
+	}
+	if err := p.BuildFingers(n, nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint(0); k < id.Bits; k++ {
+		if n.finger[k] == nil {
+			t.Fatalf("finger %d not built", k)
+		}
+	}
+}
+
+func TestConvergedEmptyAndSingle(t *testing.T) {
+	p := NewProto(2)
+	if !p.Converged() {
+		t.Error("empty overlay is trivially converged")
+	}
+	n, _ := p.Bootstrap(Member{ID: id.HashString("solo")})
+	if !p.Converged() {
+		t.Error("single node is converged")
+	}
+	_ = n
+}
+
+func TestSuccessorListLenClamped(t *testing.T) {
+	if NewProto(0).SuccessorListLen() != 1 {
+		t.Error("r < 1 should clamp to 1")
+	}
+	if NewProto(5).SuccessorListLen() != 5 {
+		t.Error("r not preserved")
+	}
+}

@@ -1,0 +1,262 @@
+// Package churn simulates node dynamics on the message-level HIERAS
+// overlay using the eventsim kernel: nodes join, leave gracefully and fail
+// silently as Poisson processes while lookups measure routing availability
+// and periodic stabilization repairs the rings. The paper assumes Chord's
+// failure machinery carries over to every layer (§3.3); this package
+// quantifies that claim.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eventsim"
+	"repro/internal/id"
+	"repro/internal/topology"
+)
+
+// Config parametrises a churn run. All times are in simulated seconds;
+// Every* fields are mean exponential interarrival times (0 disables that
+// process).
+type Config struct {
+	InitialNodes   int
+	JoinEvery      float64
+	LeaveEvery     float64
+	FailEvery      float64
+	LookupEvery    float64
+	StabilizeEvery float64
+	Duration       float64
+	Seed           int64
+
+	Depth     int
+	Landmarks int
+	// SuccessorListLen is each ring's successor-list length.
+	SuccessorListLen int
+}
+
+func (c Config) validate() error {
+	if c.InitialNodes < 1 {
+		return fmt.Errorf("churn: need at least one initial node")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("churn: duration must be positive")
+	}
+	if c.LookupEvery <= 0 {
+		return fmt.Errorf("churn: lookup process required (LookupEvery > 0)")
+	}
+	if c.StabilizeEvery <= 0 {
+		return fmt.Errorf("churn: stabilization period required")
+	}
+	return nil
+}
+
+// Result summarises a churn run.
+type Result struct {
+	Lookups        int
+	Correct        int // destination was the true owner among live nodes
+	Completed      int // routing finished without error
+	Joins          int
+	Leaves         int
+	Fails          int
+	FinalNodes     int
+	Msgs           int64
+	CorrectRate    float64
+	CompletionRate float64
+}
+
+// Run executes a churn simulation over net.
+func Run(net *topology.Network, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialNodes > net.Hosts() {
+		return nil, fmt.Errorf("churn: %d initial nodes exceed %d hosts", cfg.InitialNodes, net.Hosts())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	po, err := core.NewProtoOverlay(net, core.Config{
+		Depth:            cfg.Depth,
+		Landmarks:        cfg.Landmarks,
+		SuccessorListLen: cfg.SuccessorListLen,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host pool management.
+	var live []*core.ProtoNode
+	free := make([]int, 0, net.Hosts())
+	for h := net.Hosts() - 1; h >= cfg.InitialNodes; h-- {
+		free = append(free, h)
+	}
+	for h := 0; h < cfg.InitialNodes; h++ {
+		var boot *core.ProtoNode
+		if len(live) > 0 {
+			boot = live[rng.Intn(len(live))]
+		}
+		n, _, err := po.Join(h, boot, rng)
+		if err != nil {
+			return nil, fmt.Errorf("churn: initial join %d: %w", h, err)
+		}
+		live = append(live, n)
+	}
+	for i := 0; i < 3; i++ {
+		po.StabilizeAll()
+	}
+	if err := po.FixAllFingers(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var sim eventsim.Sim
+	exp := func(mean float64) float64 { return rng.ExpFloat64() * mean }
+	removeLive := func(i int) *core.ProtoNode {
+		n := live[i]
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+		free = append(free, n.Host)
+		return n
+	}
+
+	var scheduleJoin, scheduleLeave, scheduleFail, scheduleLookup, scheduleStab func()
+	scheduleJoin = func() {
+		if cfg.JoinEvery <= 0 {
+			return
+		}
+		_ = sim.After(exp(cfg.JoinEvery), func() {
+			defer scheduleJoin()
+			if len(free) == 0 || len(live) == 0 {
+				return
+			}
+			h := free[len(free)-1]
+			free = free[:len(free)-1]
+			boot := live[rng.Intn(len(live))]
+			n, _, err := po.Join(h, boot, rng)
+			if err != nil {
+				free = append(free, h) // bootstrap raced a failure; retry later
+				return
+			}
+			live = append(live, n)
+			res.Joins++
+		})
+	}
+	scheduleLeave = func() {
+		if cfg.LeaveEvery <= 0 {
+			return
+		}
+		_ = sim.After(exp(cfg.LeaveEvery), func() {
+			defer scheduleLeave()
+			if len(live) <= 2 {
+				return
+			}
+			po.Leave(removeLive(rng.Intn(len(live))))
+			res.Leaves++
+		})
+	}
+	scheduleFail = func() {
+		if cfg.FailEvery <= 0 {
+			return
+		}
+		_ = sim.After(exp(cfg.FailEvery), func() {
+			defer scheduleFail()
+			if len(live) <= 2 {
+				return
+			}
+			po.Fail(removeLive(rng.Intn(len(live))))
+			res.Fails++
+		})
+	}
+	scheduleLookup = func() {
+		_ = sim.After(exp(cfg.LookupEvery), func() {
+			defer scheduleLookup()
+			if len(live) == 0 {
+				return
+			}
+			res.Lookups++
+			from := live[rng.Intn(len(live))]
+			key := id.Rand(rng)
+			dest, _, err := po.Route(from, key)
+			if err != nil {
+				return
+			}
+			res.Completed++
+			if dest.ID == trueOwner(live, key) {
+				res.Correct++
+			}
+		})
+	}
+	scheduleStab = func() {
+		_ = sim.After(cfg.StabilizeEvery, func() {
+			defer scheduleStab()
+			po.StabilizeAll()
+			po.RepairRingTables()
+			// One finger refresh per node per period, as real Chord would
+			// rotate through fix_fingers.
+			for _, n := range live {
+				if n.Global.Alive() {
+					_ = po.GlobalProto().FixFinger(n.Global)
+				}
+			}
+		})
+	}
+	scheduleJoin()
+	scheduleLeave()
+	scheduleFail()
+	scheduleLookup()
+	scheduleStab()
+	sim.RunUntil(cfg.Duration)
+
+	res.FinalNodes = len(live)
+	res.Msgs = po.Msgs()
+	if res.Lookups > 0 {
+		res.CorrectRate = float64(res.Correct) / float64(res.Lookups)
+		res.CompletionRate = float64(res.Completed) / float64(res.Lookups)
+	}
+	return res, nil
+}
+
+// trueOwner returns the identifier of the key's owner among the live
+// nodes: the first live identifier clockwise from the key.
+func trueOwner(live []*core.ProtoNode, key id.ID) id.ID {
+	best := id.ID{}
+	bestSet := false
+	var bestDist id.ID
+	for _, n := range live {
+		d := id.Dist(key, n.ID)
+		if !bestSet || cmpID(d, bestDist) < 0 {
+			best, bestDist, bestSet = n.ID, d, true
+		}
+	}
+	return best
+}
+
+func cmpID(a, b id.ID) int { return a.Cmp(b) }
+
+// Sweep runs churn at several failure intensities and reports rows of
+// (mean fail interarrival, correctness). Used by the ablation benches.
+type SweepRow struct {
+	FailEvery   float64
+	CorrectRate float64
+	Fails       int
+}
+
+// FailureSweep varies FailEvery and returns one row per setting.
+func FailureSweep(net *topology.Network, base Config, failEvery []float64) ([]SweepRow, error) {
+	var out []SweepRow
+	for _, fe := range failEvery {
+		cfg := base
+		cfg.FailEvery = fe
+		if math.IsNaN(fe) {
+			return nil, fmt.Errorf("churn: NaN failure interval")
+		}
+		r, err := Run(net, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepRow{FailEvery: fe, CorrectRate: r.CorrectRate, Fails: r.Fails})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FailEvery < out[j].FailEvery })
+	return out, nil
+}

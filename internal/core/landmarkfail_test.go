@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+)
+
+func TestDropLandmarksValidation(t *testing.T) {
+	net := testNetwork(t, 30, 80)
+	rng := rand.New(rand.NewSource(81))
+	if _, err := Build(net, Config{Depth: 2, Landmarks: 4, DropLandmarks: []int{7}}, rng); err == nil {
+		t.Error("out-of-range drop index accepted")
+	}
+	if _, err := Build(net, Config{Depth: 2, Landmarks: 2, DropLandmarks: []int{0, 1}}, rng); err == nil {
+		t.Error("dropping every landmark accepted")
+	}
+}
+
+func TestDropLandmarkShortensOrders(t *testing.T) {
+	healthy := buildOverlay(t, 60, Config{Depth: 2, Landmarks: 4}, 82)
+	broken := buildOverlay(t, 60, Config{Depth: 2, Landmarks: 4, DropLandmarks: []int{1}}, 82)
+	for i := 0; i < healthy.N(); i++ {
+		h, b := healthy.Node(i).RingNames[0], broken.Node(i).RingNames[0]
+		if len(h) != 4 || len(b) != 3 {
+			t.Fatalf("order lengths %d/%d, want 4/3", len(h), len(b))
+		}
+		// The surviving digits must match: dropping landmark 1 removes
+		// exactly position 1 from the healthy order.
+		if b != h[:1]+h[2:] {
+			t.Fatalf("node %d: healthy %q, after drop %q", i, h, b)
+		}
+	}
+}
+
+func TestDropLandmarkCoarsensRings(t *testing.T) {
+	healthy := buildOverlay(t, 120, Config{Depth: 2, Landmarks: 6}, 83)
+	broken := buildOverlay(t, 120, Config{Depth: 2, Landmarks: 6, DropLandmarks: []int{2}}, 83)
+	// Dropping a digit merges rings: the broken overlay cannot have more.
+	if broken.NumRings() > healthy.NumRings() {
+		t.Errorf("rings grew after landmark failure: %d -> %d",
+			healthy.NumRings(), broken.NumRings())
+	}
+	// Nodes that shared a ring still share one (merging only).
+	for i := 0; i < healthy.N(); i++ {
+		for j := i + 1; j < healthy.N(); j++ {
+			if healthy.Node(i).RingNames[0] == healthy.Node(j).RingNames[0] &&
+				broken.Node(i).RingNames[0] != broken.Node(j).RingNames[0] {
+				t.Fatalf("landmark failure split a ring (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPerformanceDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	ratio := func(drop []int) float64 {
+		o := buildOverlay(t, 400, Config{Depth: 2, Landmarks: 6, DropLandmarks: drop}, 84)
+		rng := rand.New(rand.NewSource(85))
+		var h, c float64
+		for trial := 0; trial < 1500; trial++ {
+			from := rng.Intn(o.N())
+			key := id.Rand(rng)
+			h += o.Route(from, key).Latency
+			c += o.ChordRoute(from, key).Latency
+		}
+		return h / c
+	}
+	healthy := ratio(nil)
+	oneDown := ratio([]int{0})
+	t.Logf("latency ratio: healthy %.3f, one landmark down %.3f", healthy, oneDown)
+	if oneDown >= 1.0 {
+		t.Errorf("one landmark failure should not erase the benefit entirely: %.3f", oneDown)
+	}
+	if oneDown < healthy-0.05 {
+		t.Errorf("losing a landmark should not improve binning markedly: %.3f vs %.3f", oneDown, healthy)
+	}
+}
+
+func TestAdaptiveBinning(t *testing.T) {
+	o := buildOverlay(t, 200, Config{Depth: 2, Landmarks: 4, AdaptiveBinning: true}, 90)
+	if o.NumRings() == 0 {
+		t.Fatal("adaptive binning produced no rings")
+	}
+	// Routing still correct.
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		key := id.Rand(rng)
+		res := o.Route(rng.Intn(o.N()), key)
+		if res.Dest != o.Global().SuccessorIndex(key) {
+			t.Fatal("adaptive overlay routed to wrong owner")
+		}
+	}
+}
+
+func TestAdaptiveBinningDepth3Refines(t *testing.T) {
+	o := buildOverlay(t, 150, Config{Depth: 3, Landmarks: 4, AdaptiveBinning: true}, 92)
+	for i := 0; i < o.N(); i++ {
+		for j := i + 1; j < o.N(); j++ {
+			a, b := o.Node(i), o.Node(j)
+			if a.RingNames[1] == b.RingNames[1] && a.RingNames[0] != b.RingNames[0] {
+				t.Fatal("adaptive ladder broke the refinement property")
+			}
+		}
+	}
+}
+
+func TestAdaptiveBinningCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	ratio := func(adaptive bool) float64 {
+		o := buildOverlay(t, 400, Config{Depth: 2, Landmarks: 6, AdaptiveBinning: adaptive}, 93)
+		rng := rand.New(rand.NewSource(94))
+		var h, c float64
+		for trial := 0; trial < 1500; trial++ {
+			from := rng.Intn(o.N())
+			key := id.Rand(rng)
+			h += o.Route(from, key).Latency
+			c += o.ChordRoute(from, key).Latency
+		}
+		return h / c
+	}
+	fixed, adaptive := ratio(false), ratio(true)
+	t.Logf("latency ratio: fixed thresholds %.3f, adaptive %.3f", fixed, adaptive)
+	if adaptive >= 1.0 {
+		t.Errorf("adaptive binning should still beat Chord: %.3f", adaptive)
+	}
+	if adaptive > fixed+0.15 {
+		t.Errorf("adaptive binning (%.3f) much worse than fixed (%.3f) on its home turf", adaptive, fixed)
+	}
+}

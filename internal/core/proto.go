@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/binning"
+	"repro/internal/chord"
+	"repro/internal/id"
+	"repro/internal/topology"
+)
+
+// ProtoOverlay is the message-level HIERAS overlay: nodes join one at a
+// time through the protocol of paper §3.3, ring tables live on their
+// responsible nodes, and every remote interaction is counted. It exists to
+// validate the oracle Overlay (both must produce identical routing
+// structure) and to measure join/maintenance overheads.
+type ProtoOverlay struct {
+	cfg       Config
+	net       *topology.Network
+	ladder    binning.Ladder
+	landmarks []int
+
+	global *chord.Proto
+	rings  map[RingKey]*chord.Proto
+
+	ringTables map[RingKey]*RingTable
+
+	nodes map[int]*ProtoNode // by host
+
+	// ExtraMsgs counts protocol messages outside the per-ring Chord
+	// protocols: landmark pings, ring table requests and updates.
+	ExtraMsgs int64
+}
+
+// ProtoNode is one peer of the protocol overlay.
+type ProtoNode struct {
+	Host      int
+	ID        id.ID
+	RingNames []string
+	Global    *chord.ProtoNode
+	Lower     []*chord.ProtoNode // per lower layer, most global first (layer 2 at index 0)
+}
+
+// NewProtoOverlay prepares an empty protocol overlay over net. Landmarks
+// are selected up front (they are "well-known machines", paper §2.3).
+func NewProtoOverlay(net *topology.Network, cfg Config, rng *rand.Rand) (*ProtoOverlay, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &ProtoOverlay{
+		cfg:        cfg,
+		net:        net,
+		global:     chord.NewProto(cfg.SuccessorListLen),
+		rings:      make(map[RingKey]*chord.Proto),
+		ringTables: make(map[RingKey]*RingTable),
+		nodes:      make(map[int]*ProtoNode),
+	}
+	if cfg.Depth > 1 {
+		var err error
+		p.ladder = cfg.Ladder
+		if p.ladder == nil {
+			if p.ladder, err = binning.DefaultLadder(cfg.Depth); err != nil {
+				return nil, err
+			}
+		}
+		if p.landmarks, err = topology.SelectLandmarks(net, cfg.Landmarks, cfg.LandmarkStrategy, rng); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Size returns the number of joined peers.
+func (p *ProtoOverlay) Size() int { return len(p.nodes) }
+
+// NodeByHost returns the peer for a host, or nil.
+func (p *ProtoOverlay) NodeByHost(host int) *ProtoNode { return p.nodes[host] }
+
+// Msgs returns the total protocol message count across the global ring,
+// all lower rings and the ring-table machinery.
+func (p *ProtoOverlay) Msgs() int64 {
+	total := p.global.Msgs + p.ExtraMsgs
+	for _, r := range p.rings {
+		total += r.Msgs
+	}
+	return total
+}
+
+// Join adds host to the overlay through the paper's §3.3 procedure. The
+// bootstrap peer may be nil only for the first node. rng supplies ping
+// noise. It returns the new peer and the number of protocol messages the
+// join consumed.
+func (p *ProtoOverlay) Join(host int, bootstrap *ProtoNode, rng *rand.Rand) (*ProtoNode, int64, error) {
+	if _, dup := p.nodes[host]; dup {
+		return nil, 0, fmt.Errorf("core: host %d already joined", host)
+	}
+	before := p.Msgs()
+	n := &ProtoNode{Host: host, ID: NodeID(host)}
+
+	// Step 1: learn the landmark table from the nearby node and measure
+	// distances (one ping per landmark).
+	if p.cfg.Depth > 1 {
+		if bootstrap != nil {
+			p.ExtraMsgs++ // fetch landmark table
+		}
+		lats := p.net.PingVector(host, p.landmarks, rng)
+		p.ExtraMsgs += int64(len(p.landmarks))
+		names, err := binning.RingNames(lats, p.ladder)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.RingNames = names
+	}
+
+	// Step 2: join the global ring and build the highest-layer finger
+	// table via lookups through the bootstrap node.
+	m := chord.Member{ID: n.ID, Host: host}
+	if bootstrap == nil {
+		if p.Size() != 0 {
+			return nil, 0, fmt.Errorf("core: bootstrap peer required after the first join")
+		}
+		g, err := p.global.Bootstrap(m)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.Global = g
+	} else {
+		g, err := p.global.Join(m, bootstrap.Global)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.Global = g
+		p.global.StabilizeAll()
+		if err := p.global.BuildFingers(g, bootstrap.Global); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	// Step 3: per lower layer, locate the ring table, learn a member of
+	// the ring, and join that ring.
+	for l := 0; l < p.cfg.Depth-1; l++ {
+		key := RingKey{Layer: l + 2, Name: n.RingNames[l]}
+		ringID := key.RingID()
+		// Ordinary Chord routing to the node storing the ring table.
+		if p.Size() > 1 {
+			if _, _, err := p.global.FindSuccessorFrom(n.Global, ringID); err != nil {
+				return nil, 0, err
+			}
+			p.ExtraMsgs++ // ring table response
+		}
+		ring, exists := p.rings[key]
+		rt := p.ringTables[key]
+		if !exists {
+			// First member: create the ring and its table.
+			ring = chord.NewProto(p.cfg.SuccessorListLen)
+			ln, err := ring.Bootstrap(m)
+			if err != nil {
+				return nil, 0, err
+			}
+			p.rings[key] = ring
+			n.Lower = append(n.Lower, ln)
+			rt = &RingTable{Key: key, RingID: ringID}
+			rt.Smallest, rt.SecondSmallest = n.ID, n.ID
+			rt.Largest, rt.SecondLargest = n.ID, n.ID
+			p.ringTables[key] = rt
+			p.ExtraMsgs++ // store the new ring table
+			continue
+		}
+		// Ask a known member (from the ring table) to integrate us: the
+		// member performs the in-ring lookups that build our finger table.
+		member := p.memberFromTable(ring, rt)
+		if member == nil {
+			return nil, 0, fmt.Errorf("core: ring table for %v names no live member", key)
+		}
+		p.ExtraMsgs++ // finger table creation request
+		ln, err := ring.Join(m, member)
+		if err != nil {
+			return nil, 0, err
+		}
+		ring.StabilizeAll()
+		if err := ring.BuildFingers(ln, member); err != nil {
+			return nil, 0, err
+		}
+		n.Lower = append(n.Lower, ln)
+		// Step 4: update the ring table if the newcomer is a boundary node.
+		if p.updateRingTableOnJoin(rt, ring) {
+			p.ExtraMsgs++ // ring table modification message
+		}
+	}
+	p.nodes[host] = n
+	return n, p.Msgs() - before, nil
+}
+
+// memberFromTable resolves a live ring member named by the ring table.
+func (p *ProtoOverlay) memberFromTable(ring *chord.Proto, rt *RingTable) *chord.ProtoNode {
+	for _, cand := range []id.ID{rt.Smallest, rt.Largest, rt.SecondSmallest, rt.SecondLargest} {
+		for _, nd := range ring.Nodes() {
+			if nd.ID == cand && nd.Alive() {
+				return nd
+			}
+		}
+	}
+	// Fall back to any live member (the periodic repair path).
+	nodes := ring.Nodes()
+	if len(nodes) > 0 {
+		return nodes[0]
+	}
+	return nil
+}
+
+// updateRingTableOnJoin refreshes the boundary entries from the ring's
+// live membership; it reports whether the table changed.
+func (p *ProtoOverlay) updateRingTableOnJoin(rt *RingTable, ring *chord.Proto) bool {
+	ids := make([]id.ID, 0, len(ring.Nodes()))
+	for _, nd := range ring.Nodes() {
+		ids = append(ids, nd.ID)
+	}
+	sortIDs(ids)
+	s1, s2, l1, l2 := rt.Smallest, rt.SecondSmallest, rt.Largest, rt.SecondLargest
+	rt.boundaryFromSorted(ids)
+	return s1 != rt.Smallest || s2 != rt.SecondSmallest || l1 != rt.Largest || l2 != rt.SecondLargest
+}
+
+func sortIDs(ids []id.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// StabilizeAll runs one stabilization round over the global ring and every
+// lower ring.
+func (p *ProtoOverlay) StabilizeAll() {
+	p.global.StabilizeAll()
+	for _, r := range p.rings {
+		r.StabilizeAll()
+	}
+}
+
+// FixAllFingers refreshes every finger of every node in every ring.
+func (p *ProtoOverlay) FixAllFingers() error {
+	if err := p.global.FixAllFingers(); err != nil {
+		return err
+	}
+	for _, r := range p.rings {
+		if err := r.FixAllFingers(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Route performs the hierarchical routing procedure over the protocol
+// overlay and returns the destination peer and per-layer hop counts
+// (index 0 = global ring, index l = layer l+1).
+func (p *ProtoOverlay) Route(from *ProtoNode, key id.ID) (*chord.ProtoNode, []int, error) {
+	hops := make([]int, p.cfg.Depth)
+	cur := from
+	// owns reports the local destination check of paper §3.2: a peer owns
+	// the key when it lies in (predecessor, self].
+	owns := func(n *ProtoNode) bool {
+		pred := n.Global.Predecessor()
+		return pred != nil && id.InOpenClosed(key, pred.ID, n.ID)
+	}
+	for l := p.cfg.Depth - 2; l >= 0; l-- {
+		if owns(cur) {
+			return cur.Global, hops, nil
+		}
+		ring := p.rings[RingKey{Layer: l + 2, Name: cur.RingNames[l]}]
+		if ring == nil {
+			return nil, nil, fmt.Errorf("core: missing ring for layer %d", l+2)
+		}
+		pred, h, err := ring.WalkToPredecessor(cur.Lower[l], key)
+		if err != nil {
+			return nil, nil, err
+		}
+		hops[l+1] = h
+		nd := p.nodes[pred.Host]
+		if nd == nil {
+			return nil, nil, fmt.Errorf("core: unknown host %d in ring", pred.Host)
+		}
+		cur = nd
+	}
+	if owns(cur) {
+		return cur.Global, hops, nil
+	}
+	dest, h, err := p.global.FindSuccessorFrom(cur.Global, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	hops[0] = h
+	return dest, hops, nil
+}
+
+// RingTableFor exposes a ring table (protocol view).
+func (p *ProtoOverlay) RingTableFor(layer int, name string) *RingTable {
+	return p.ringTables[RingKey{Layer: layer, Name: name}]
+}
+
+// RingProto returns the protocol instance of a lower ring, or nil.
+func (p *ProtoOverlay) RingProto(layer int, name string) *chord.Proto {
+	return p.rings[RingKey{Layer: layer, Name: name}]
+}
+
+// GlobalProto returns the global-ring protocol instance.
+func (p *ProtoOverlay) GlobalProto() *chord.Proto { return p.global }
+
+// Leave removes a peer gracefully from every ring it belongs to.
+func (p *ProtoOverlay) Leave(n *ProtoNode) {
+	for l, ln := range n.Lower {
+		key := RingKey{Layer: l + 2, Name: n.RingNames[l]}
+		ring := p.rings[key]
+		ring.Leave(ln)
+		if ring.Size() == 0 {
+			delete(p.rings, key)
+			delete(p.ringTables, key)
+		} else if rt := p.ringTables[key]; rt != nil && p.updateRingTableOnJoin(rt, ring) {
+			p.ExtraMsgs++
+		}
+	}
+	p.global.Leave(n.Global)
+	delete(p.nodes, n.Host)
+}
+
+// Fail kills a peer silently in every ring; other members discover the
+// failure through stabilization.
+func (p *ProtoOverlay) Fail(n *ProtoNode) {
+	for l, ln := range n.Lower {
+		key := RingKey{Layer: l + 2, Name: n.RingNames[l]}
+		if ring := p.rings[key]; ring != nil {
+			ring.Fail(ln)
+			if ring.Size() == 0 {
+				delete(p.rings, key)
+				delete(p.ringTables, key)
+			}
+		}
+	}
+	p.global.Fail(n.Global)
+	delete(p.nodes, n.Host)
+}
+
+// RepairRingTables is the storing node's periodic check (paper §3.1): it
+// refreshes boundary entries from live membership, one message per ring.
+func (p *ProtoOverlay) RepairRingTables() {
+	for key, rt := range p.ringTables {
+		ring := p.rings[key]
+		if ring == nil || ring.Size() == 0 {
+			delete(p.ringTables, key)
+			continue
+		}
+		p.ExtraMsgs++
+		p.updateRingTableOnJoin(rt, ring)
+	}
+}

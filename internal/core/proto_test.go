@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+)
+
+// buildProtoOverlay joins all hosts of a test network through the §3.3
+// protocol and converges routing state.
+func buildProtoOverlay(t *testing.T, hosts int, cfg Config, seed int64) (*ProtoOverlay, []*ProtoNode) {
+	t.Helper()
+	net := testNetwork(t, hosts, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	p, err := NewProtoOverlay(net, cfg, rng)
+	if err != nil {
+		t.Fatalf("NewProtoOverlay: %v", err)
+	}
+	nodes := make([]*ProtoNode, 0, hosts)
+	for h := 0; h < hosts; h++ {
+		var boot *ProtoNode
+		if len(nodes) > 0 {
+			boot = nodes[rng.Intn(len(nodes))]
+		}
+		n, cost, err := p.Join(h, boot, rng)
+		if err != nil {
+			t.Fatalf("Join host %d: %v", h, err)
+		}
+		if len(nodes) > 0 && cost <= 0 {
+			t.Fatalf("join of host %d reported non-positive cost %d", h, cost)
+		}
+		nodes = append(nodes, n)
+	}
+	for i := 0; i < 4; i++ {
+		p.StabilizeAll()
+	}
+	if err := p.FixAllFingers(); err != nil {
+		t.Fatalf("FixAllFingers: %v", err)
+	}
+	return p, nodes
+}
+
+func TestProtoJoinBasics(t *testing.T) {
+	p, nodes := buildProtoOverlay(t, 30, Config{Depth: 2, Landmarks: 4}, 50)
+	if p.Size() != 30 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	if p.Msgs() == 0 {
+		t.Error("protocol joins should cost messages")
+	}
+	for _, n := range nodes {
+		if len(n.RingNames) != 1 || len(n.Lower) != 1 {
+			t.Fatalf("node %d should belong to exactly one lower ring", n.Host)
+		}
+		if p.NodeByHost(n.Host) != n {
+			t.Fatal("NodeByHost broken")
+		}
+	}
+	// Duplicate join rejected.
+	if _, _, err := p.Join(0, nodes[1], rand.New(rand.NewSource(1))); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+func TestProtoRequiresBootstrapAfterFirst(t *testing.T) {
+	net := testNetwork(t, 5, 51)
+	rng := rand.New(rand.NewSource(52))
+	p, err := NewProtoOverlay(net, Config{Depth: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Join(0, nil, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Join(1, nil, rng); err == nil {
+		t.Error("second join without bootstrap accepted")
+	}
+}
+
+// TestProtoMatchesOracle is the central equivalence property: the overlay
+// built through the join protocol must be structurally identical to the
+// oracle-built overlay — same ring memberships and same routing results.
+func TestProtoMatchesOracle(t *testing.T) {
+	const hosts = 40
+	const seed = 53
+	cfg := Config{Depth: 2, Landmarks: 4}
+	p, pNodes := buildProtoOverlay(t, hosts, cfg, seed)
+
+	net := testNetwork(t, hosts, seed) // same seed -> identical topology
+	o, err := Build(net, cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ring names match per host.
+	for _, pn := range pNodes {
+		i := o.IndexOfHost(pn.Host)
+		if i < 0 {
+			t.Fatalf("host %d missing from oracle overlay", pn.Host)
+		}
+		if o.Node(i).RingNames[0] != pn.RingNames[0] {
+			t.Fatalf("host %d: proto ring %q, oracle ring %q",
+				pn.Host, pn.RingNames[0], o.Node(i).RingNames[0])
+		}
+	}
+
+	// Ring tables agree on boundaries.
+	for key, rt := range o.RingTables() {
+		prt := p.RingTableFor(key.Layer, key.Name)
+		if prt == nil {
+			t.Fatalf("protocol overlay missing ring table %v", key)
+		}
+		if prt.Smallest != rt.Smallest || prt.Largest != rt.Largest ||
+			prt.SecondSmallest != rt.SecondSmallest || prt.SecondLargest != rt.SecondLargest {
+			t.Fatalf("ring table %v boundaries differ", key)
+		}
+	}
+
+	// Routing: same destination and same hop counts for random requests.
+	rng := rand.New(rand.NewSource(seed + 2))
+	for trial := 0; trial < 300; trial++ {
+		host := rng.Intn(hosts)
+		key := id.Rand(rng)
+		pres, pHops, err := p.Route(p.NodeByHost(host), key)
+		if err != nil {
+			t.Fatalf("proto route: %v", err)
+		}
+		ores := o.Route(o.IndexOfHost(host), key)
+		if pres.ID != o.Node(ores.Dest).ID {
+			t.Fatalf("destinations differ: proto %s oracle %s",
+				pres.ID.Short(), o.Node(ores.Dest).ID.Short())
+		}
+		total := 0
+		for _, h := range pHops {
+			total += h
+		}
+		if total != ores.NumHops() {
+			t.Fatalf("hop counts differ: proto %d oracle %d (key %s)",
+				total, ores.NumHops(), key.Short())
+		}
+	}
+}
+
+func TestProtoLeave(t *testing.T) {
+	p, nodes := buildProtoOverlay(t, 25, Config{Depth: 2, Landmarks: 4}, 54)
+	victim := nodes[5]
+	p.Leave(victim)
+	if p.Size() != 24 {
+		t.Errorf("Size = %d after leave", p.Size())
+	}
+	if p.NodeByHost(victim.Host) != nil {
+		t.Error("left node still registered")
+	}
+	for i := 0; i < 4; i++ {
+		p.StabilizeAll()
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 50; trial++ {
+		n := nodes[rng.Intn(len(nodes))]
+		if n == victim {
+			continue
+		}
+		if _, _, err := p.Route(n, id.Rand(rng)); err != nil {
+			t.Fatalf("route after leave: %v", err)
+		}
+	}
+}
+
+func TestProtoFail(t *testing.T) {
+	p, nodes := buildProtoOverlay(t, 30, Config{Depth: 2, Landmarks: 4, SuccessorListLen: 6}, 56)
+	rng := rand.New(rand.NewSource(57))
+	// Kill three nodes silently.
+	killed := map[int]bool{}
+	for _, i := range []int{3, 11, 22} {
+		p.Fail(nodes[i])
+		killed[i] = true
+	}
+	for i := 0; i < 6; i++ {
+		p.StabilizeAll()
+	}
+	p.RepairRingTables()
+	if err := p.FixAllFingers(); err != nil {
+		t.Fatalf("FixAllFingers after failures: %v", err)
+	}
+	for i, n := range nodes {
+		if killed[i] {
+			continue
+		}
+		if _, _, err := p.Route(n, id.Rand(rng)); err != nil {
+			t.Fatalf("route after failures from host %d: %v", n.Host, err)
+		}
+	}
+	if p.Size() != 27 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestProtoRingTableRepair(t *testing.T) {
+	p, nodes := buildProtoOverlay(t, 20, Config{Depth: 2, Landmarks: 4}, 58)
+	// Fail a boundary node of some ring, then repair.
+	var rt *RingTable
+	var boundary *ProtoNode
+	for _, n := range nodes {
+		cand := p.RingTableFor(2, n.RingNames[0])
+		if cand != nil && cand.Smallest == n.ID && p.RingProto(2, n.RingNames[0]).Size() > 2 {
+			rt, boundary = cand, n
+			break
+		}
+	}
+	if rt == nil {
+		t.Skip("no multi-member ring with an identifiable boundary node")
+	}
+	p.Fail(boundary)
+	for i := 0; i < 4; i++ {
+		p.StabilizeAll()
+	}
+	p.RepairRingTables()
+	if rt.Smallest == boundary.ID {
+		t.Error("ring table still names the failed node after repair")
+	}
+}
+
+func TestProtoDepth3(t *testing.T) {
+	p, nodes := buildProtoOverlay(t, 25, Config{Depth: 3, Landmarks: 4}, 59)
+	for _, n := range nodes {
+		if len(n.Lower) != 2 {
+			t.Fatalf("depth-3 node in %d lower rings", len(n.Lower))
+		}
+	}
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 100; trial++ {
+		n := nodes[rng.Intn(len(nodes))]
+		dest, _, err := p.Route(n, id.Rand(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dest == nil {
+			t.Fatal("nil destination")
+		}
+	}
+}
+
+func TestProtoJoinCostGrowsWithDepth(t *testing.T) {
+	cost := map[int]int64{}
+	for _, depth := range []int{2, 3} {
+		net := testNetwork(t, 30, 61)
+		rng := rand.New(rand.NewSource(62))
+		p, err := NewProtoOverlay(net, Config{Depth: depth, Landmarks: 4}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodes []*ProtoNode
+		var total int64
+		for h := 0; h < 30; h++ {
+			var boot *ProtoNode
+			if len(nodes) > 0 {
+				boot = nodes[0]
+			}
+			n, c, err := p.Join(h, boot, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += c
+			nodes = append(nodes, n)
+		}
+		cost[depth] = total
+	}
+	if cost[3] <= cost[2] {
+		t.Errorf("depth-3 joins (%d msgs) should cost more than depth-2 (%d msgs)", cost[3], cost[2])
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/id"
+)
+
+// Hop is one message forward during a routing procedure.
+type Hop struct {
+	Layer    int // ring layer the hop was taken in; 1 = global ring
+	From, To int // overlay node indexes
+	Latency  float64
+}
+
+// RouteResult describes one completed routing procedure.
+type RouteResult struct {
+	Origin, Dest int   // overlay node indexes
+	Key          id.ID // requested key
+	Hops         []Hop
+	// Latency is the total routing latency in milliseconds (sum of hop
+	// link latencies).
+	Latency float64
+	// LowerHops / LowerLatency aggregate the hops taken in layers >= 2,
+	// the quantity paper §4.3 reports as "hops executed on the lower
+	// layer P2P rings".
+	LowerHops    int
+	LowerLatency float64
+	// Accelerated reports whether the successor-list shortcut ended the
+	// route (only with Config.AccelerateWithSuccessorList).
+	Accelerated bool
+}
+
+// NumHops returns the routing hop count.
+func (r *RouteResult) NumHops() int { return len(r.Hops) }
+
+// Route performs a HIERAS routing procedure for key starting at overlay
+// node `from` (paper §3.2): the lookup runs the underlying Chord routing
+// once per layer from the originator's most local ring up to the global
+// ring, checking after every layer whether the current peer is already the
+// destination.
+func (o *Overlay) Route(from int, key id.ID) RouteResult {
+	res := RouteResult{Origin: from, Key: key}
+	owner := o.global.SuccessorIndex(key)
+	res.Dest = owner
+	cur := from
+
+	record := func(layer, f, t int) {
+		lat := o.net.Latency(o.nodes[f].Host, o.nodes[t].Host)
+		res.Hops = append(res.Hops, Hop{Layer: layer, From: f, To: t, Latency: lat})
+		res.Latency += lat
+		if layer >= 2 {
+			res.LowerHops++
+			res.LowerLatency += lat
+		}
+	}
+
+	// Lower layers, most local first.
+	for layer := o.cfg.Depth; layer >= 2; layer-- {
+		if cur == owner {
+			return res // destination check between loops (paper §3.2)
+		}
+		if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, layer, cur, owner) {
+			return res
+		}
+		ring, member := o.RingOf(cur, layer)
+		p, _ := ring.Table.WalkToPredecessor(member, key, func(f, t int) {
+			record(layer, int(ring.Global[f]), int(ring.Global[t]))
+		})
+		cur = int(ring.Global[p])
+	}
+
+	if cur == owner {
+		return res
+	}
+	if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, 1, cur, owner) {
+		return res
+	}
+	// Global ring: finish at the key's owner.
+	o.global.Lookup(cur, key, func(f, t int) { record(1, f, t) })
+	return res
+}
+
+// trySuccessorShortcut implements the paper's successor-list acceleration:
+// if the destination is within the current peer's successor list in the
+// global ring, forward straight to it.
+func (o *Overlay) trySuccessorShortcut(res *RouteResult, layer, cur, owner int) bool {
+	for _, s := range o.global.SuccessorList(cur, o.cfg.SuccessorListLen) {
+		if s == owner {
+			lat := o.net.Latency(o.nodes[cur].Host, o.nodes[owner].Host)
+			res.Hops = append(res.Hops, Hop{Layer: 1, From: cur, To: owner, Latency: lat})
+			res.Latency += lat
+			res.Accelerated = true
+			return true
+		}
+	}
+	return false
+}
+
+// ChordRoute performs a plain flat Chord lookup over the global ring —
+// the baseline the paper compares against. Hop accounting mirrors Route.
+func (o *Overlay) ChordRoute(from int, key id.ID) RouteResult {
+	res := RouteResult{Origin: from, Key: key}
+	res.Dest = o.global.SuccessorIndex(key)
+	o.global.Lookup(from, key, func(f, t int) {
+		lat := o.net.Latency(o.nodes[f].Host, o.nodes[t].Host)
+		res.Hops = append(res.Hops, Hop{Layer: 1, From: f, To: t, Latency: lat})
+		res.Latency += lat
+	})
+	return res
+}

@@ -1,0 +1,140 @@
+package eventsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var s Sim
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if err := s.At(at, func() { got = append(got, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Run(0) {
+		t.Fatal("queue should drain")
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if s.Now() != 5 || s.Fired() != 5 {
+		t.Errorf("Now=%v Fired=%d", s.Now(), s.Fired())
+	}
+}
+
+func TestTiesFIFO(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = s.At(7, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestAfterAndCascade(t *testing.T) {
+	var s Sim
+	var trace []float64
+	var tick func()
+	tick = func() {
+		trace = append(trace, s.Now())
+		if len(trace) < 4 {
+			_ = s.After(10, tick)
+		}
+	}
+	_ = s.After(0, tick)
+	s.Run(0)
+	want := []float64{0, 10, 20, 30}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSchedulingErrors(t *testing.T) {
+	var s Sim
+	_ = s.At(10, func() {})
+	s.Run(0)
+	if err := s.At(5, func() {}); err == nil {
+		t.Error("scheduling in the past accepted")
+	}
+	if err := s.After(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := s.At(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if err := s.At(20, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	var s Sim
+	n := 0
+	for i := 0; i < 10; i++ {
+		_ = s.At(float64(i), func() { n++ })
+	}
+	if s.Run(3) {
+		t.Error("Run should report queue not drained")
+	}
+	if n != 3 || s.Pending() != 7 {
+		t.Errorf("n=%d pending=%d", n, s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	fired := map[float64]bool{}
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		_ = s.At(at, func() { fired[at] = true })
+	}
+	s.RunUntil(5)
+	if !fired[1] || !fired[2] || !fired[3] || fired[10] {
+		t.Errorf("fired = %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestQuickOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Sim
+		n := 1 + r.Intn(100)
+		var fireTimes []float64
+		for i := 0; i < n; i++ {
+			at := r.Float64() * 100
+			_ = s.At(at, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run(0)
+		return sort.Float64sAreSorted(fireTimes) && len(fireTimes) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

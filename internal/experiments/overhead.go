@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// OverheadRow quantifies HIERAS's extra state and protocol cost at one
+// hierarchy depth.
+type OverheadRow struct {
+	Depth int
+	State core.StateStats
+	// JoinMsgs is the mean protocol messages per node join, measured on a
+	// protocol overlay.
+	JoinMsgs float64
+	// StabilizeMsgs is the messages of one full stabilization round over
+	// every ring, divided by the node count.
+	StabilizeMsgsPerNode float64
+}
+
+// OverheadResult is the quantitative overhead analysis (paper §3.4 and the
+// future-work item of §6): per-node routing state and join/maintenance
+// message costs for Chord (depth 1) and HIERAS (depths 2+).
+type OverheadResult struct {
+	Nodes int
+	Rows  []OverheadRow
+}
+
+// Overhead measures state and protocol costs across depths. The protocol
+// measurements cap the population at 150 nodes to keep the message-level
+// simulation fast; state statistics use the full scenario size.
+func Overhead(base Scenario, depths []int) (*OverheadResult, error) {
+	base = base.withDefaults()
+	res := &OverheadResult{Nodes: base.Nodes}
+	for _, depth := range depths {
+		s := base
+		s.Depth = depth
+		o, err := BuildOverlay(s)
+		if err != nil {
+			return nil, fmt.Errorf("depth %d: %w", depth, err)
+		}
+		row := OverheadRow{Depth: depth, State: o.StateStats()}
+
+		// Protocol costs on a smaller population.
+		protoNodes := base.Nodes
+		if protoNodes > 150 {
+			protoNodes = 150
+		}
+		net := o.Network()
+		// Reuse the big network's first protoNodes hosts: build a protocol
+		// overlay directly on the same underlay.
+		rng := rand.New(rand.NewSource(s.Seed + 17))
+		po, err := core.NewProtoOverlay(net, core.Config{
+			Depth:     depth,
+			Landmarks: s.Landmarks,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		var joins stats.Online
+		var first *core.ProtoNode
+		for h := 0; h < protoNodes; h++ {
+			var boot *core.ProtoNode
+			if first != nil {
+				boot = first
+			}
+			n, cost, err := po.Join(h, boot, rng)
+			if err != nil {
+				return nil, fmt.Errorf("depth %d join %d: %w", depth, h, err)
+			}
+			if first == nil {
+				first = n
+			} else {
+				joins.Add(float64(cost))
+			}
+		}
+		row.JoinMsgs = joins.Mean()
+		before := po.Msgs()
+		po.StabilizeAll()
+		po.RepairRingTables()
+		row.StabilizeMsgsPerNode = float64(po.Msgs()-before) / float64(protoNodes)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the overhead analysis.
+func (r *OverheadResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Overhead analysis (%d nodes; depth 1 = plain Chord)", r.Nodes),
+		Header: []string{"depth", "finger_slots", "distinct_fingers", "succ_entries",
+			"rings", "est_bytes/node", "join_msgs", "stabilize_msgs/node"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprint(row.Depth),
+			fmt.Sprint(row.State.FingerEntriesPerNode),
+			f1(row.State.DistinctFingersPerNode),
+			fmt.Sprint(row.State.SuccessorListEntriesPerNode),
+			fmt.Sprint(row.State.Rings),
+			f1(row.State.EstBytesPerNode),
+			f1(row.JoinMsgs),
+			f2(row.StabilizeMsgsPerNode))
+	}
+	return t
+}

@@ -1,0 +1,319 @@
+// Package experiments reproduces every table and figure of the HIERAS
+// paper's evaluation (§4) plus the overhead analysis its future-work
+// section calls for. Each experiment has a typed result with Render
+// (aligned text) and CSV output; cmd/hieras-bench drives the full suite
+// and bench_test.go exposes one benchmark per artifact.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/topology/brite"
+	"repro/internal/topology/inet"
+	"repro/internal/topology/transitstub"
+	"repro/internal/topology/waxman"
+	"repro/internal/workload"
+)
+
+// Model names accepted by Scenario.Model.
+const (
+	ModelTS     = "ts"
+	ModelInet   = "inet"
+	ModelBRITE  = "brite"
+	ModelWaxman = "waxman"
+)
+
+// Scenario describes one simulated system instance.
+type Scenario struct {
+	Model     string // ts | inet | brite
+	Nodes     int    // overlay peers
+	Landmarks int    // landmark nodes (paper default 4)
+	Depth     int    // hierarchy depth (paper default 2)
+	Requests  int    // routing requests (paper: 100000)
+	Seed      int64
+	// Routers overrides the router count for inet/brite underlays
+	// (default: Nodes/4 clamped to [256, 2048]; the TS model always uses
+	// one stub router per overlay host).
+	Routers int
+	Workers int
+	// ProximityFingers enables PNS finger selection in every ring (see
+	// core.Config.ProximityFingers).
+	ProximityFingers bool
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Model == "" {
+		s.Model = ModelTS
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 1000
+	}
+	if s.Landmarks == 0 {
+		s.Landmarks = 4
+	}
+	if s.Depth == 0 {
+		s.Depth = 2
+	}
+	if s.Requests == 0 {
+		s.Requests = 10000
+	}
+	if s.Routers == 0 {
+		r := s.Nodes / 4
+		if r < 256 {
+			r = 256
+		}
+		if r > 2048 {
+			r = 2048
+		}
+		s.Routers = r
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// BuildOverlay generates the underlay for the scenario's topology model,
+// attaches the overlay hosts and builds the HIERAS overlay.
+func BuildOverlay(s Scenario) (*core.Overlay, error) {
+	s = s.withDefaults()
+	rng := rand.New(rand.NewSource(s.Seed))
+	var u *topology.Underlay
+	switch s.Model {
+	case ModelTS:
+		m, err := transitstub.Generate(transitstub.DefaultConfig(s.Nodes), rng)
+		if err != nil {
+			return nil, err
+		}
+		u = &topology.Underlay{Graph: m.G, Model: m, HostCandidates: m.StubRouters}
+	case ModelInet:
+		var err error
+		u, err = inet.Generate(inet.Config{Routers: s.Routers}, rng)
+		if err != nil {
+			return nil, err
+		}
+	case ModelBRITE:
+		var err error
+		u, err = brite.Generate(brite.Config{Routers: s.Routers}, rng)
+		if err != nil {
+			return nil, err
+		}
+	case ModelWaxman:
+		var err error
+		u, err = waxman.Generate(waxman.Config{Routers: s.Routers}, rng)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology model %q", s.Model)
+	}
+	net, err := topology.Attach(u.Model, u.Graph, topology.AttachOptions{
+		Hosts:   s.Nodes,
+		Routers: u.HostCandidates,
+		Spread:  true,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(net, core.Config{
+		Depth:            s.Depth,
+		Landmarks:        s.Landmarks,
+		Workers:          s.Workers,
+		ProximityFingers: s.ProximityFingers,
+	}, rng)
+}
+
+// RouteStats aggregates one algorithm's routing metrics.
+type RouteStats struct {
+	Hops    stats.Online
+	Latency stats.Online
+}
+
+// Comparison holds HIERAS-vs-Chord metrics for one scenario — the raw
+// material for Figures 2-9.
+type Comparison struct {
+	Scenario Scenario
+
+	Hieras RouteStats
+	Chord  RouteStats
+
+	// LowerHops / LowerLatency aggregate per-request lower-layer hops and
+	// latency in HIERAS.
+	LowerHops    stats.Online
+	LowerLatency stats.Online
+
+	// TopLink / LowerLink aggregate per-hop link latencies by layer
+	// (paper §4.3: 79 ms vs 27.8 ms).
+	TopLink   stats.Online
+	LowerLink stats.Online
+
+	// Distributions for Figures 4 and 5.
+	HopsHistHieras *stats.Histogram // width 1
+	HopsHistChord  *stats.Histogram
+	HopsHistTop    *stats.Histogram // HIERAS hops taken in the top layer
+	LatHistHieras  *stats.Histogram // width 20 ms
+	LatHistChord   *stats.Histogram
+}
+
+// HopRatio returns mean HIERAS hops / mean Chord hops.
+func (c *Comparison) HopRatio() float64 { return c.Hieras.Hops.Mean() / c.Chord.Hops.Mean() }
+
+// LatencyRatio returns mean HIERAS latency / mean Chord latency.
+func (c *Comparison) LatencyRatio() float64 {
+	return c.Hieras.Latency.Mean() / c.Chord.Latency.Mean()
+}
+
+// LowerHopShare returns the fraction of HIERAS hops taken in lower rings.
+func (c *Comparison) LowerHopShare() float64 {
+	total := c.Hieras.Hops.Mean() * float64(c.Hieras.Hops.N())
+	if total == 0 {
+		return 0
+	}
+	return c.LowerHops.Mean() * float64(c.LowerHops.N()) / total
+}
+
+// LowerLatencyShare returns the fraction of HIERAS routing latency spent
+// in lower rings.
+func (c *Comparison) LowerLatencyShare() float64 {
+	total := c.Hieras.Latency.Mean() * float64(c.Hieras.Latency.N())
+	if total == 0 {
+		return 0
+	}
+	return c.LowerLatency.Mean() * float64(c.LowerLatency.N()) / total
+}
+
+// RunComparison routes the scenario's request stream through both HIERAS
+// and flat Chord over the same overlay, in parallel across Workers.
+func RunComparison(s Scenario) (*Comparison, error) {
+	s = s.withDefaults()
+	o, err := BuildOverlay(s)
+	if err != nil {
+		return nil, err
+	}
+	return CompareOn(o, s)
+}
+
+// CompareOn runs the comparison workload over an existing overlay (so
+// several experiments can share one expensive build).
+func CompareOn(o *core.Overlay, s Scenario) (*Comparison, error) {
+	s = s.withDefaults()
+	gen, err := workload.NewUniform(s.Seed+1, o.N())
+	if err != nil {
+		return nil, err
+	}
+	reqs := gen.Batch(s.Requests)
+
+	type acc struct {
+		cmp Comparison
+		err error
+	}
+	workers := s.Workers
+	if workers > len(reqs) {
+		workers = 1
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	chunk := (len(reqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			a := &accs[w]
+			if a.err = initHists(&a.cmp); a.err != nil {
+				return
+			}
+			for _, r := range reqs[lo:hi] {
+				h := o.Route(r.Origin, r.Key)
+				c := o.ChordRoute(r.Origin, r.Key)
+				a.cmp.Hieras.Hops.Add(float64(h.NumHops()))
+				a.cmp.Hieras.Latency.Add(h.Latency)
+				a.cmp.Chord.Hops.Add(float64(c.NumHops()))
+				a.cmp.Chord.Latency.Add(c.Latency)
+				a.cmp.LowerHops.Add(float64(h.LowerHops))
+				a.cmp.LowerLatency.Add(h.LowerLatency)
+				for _, hop := range h.Hops {
+					if hop.Layer == 1 {
+						a.cmp.TopLink.Add(hop.Latency)
+					} else {
+						a.cmp.LowerLink.Add(hop.Latency)
+					}
+				}
+				_ = a.cmp.HopsHistHieras.Add(float64(h.NumHops()))
+				_ = a.cmp.HopsHistChord.Add(float64(c.NumHops()))
+				_ = a.cmp.HopsHistTop.Add(float64(h.NumHops() - h.LowerHops))
+				_ = a.cmp.LatHistHieras.Add(h.Latency)
+				_ = a.cmp.LatHistChord.Add(c.Latency)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := &Comparison{Scenario: s}
+	if err := initHists(out); err != nil {
+		return nil, err
+	}
+	for i := range accs {
+		a := &accs[i]
+		if a.err != nil {
+			return nil, a.err
+		}
+		if a.cmp.HopsHistHieras == nil {
+			continue // unstarted slot
+		}
+		out.Hieras.Hops.Merge(&a.cmp.Hieras.Hops)
+		out.Hieras.Latency.Merge(&a.cmp.Hieras.Latency)
+		out.Chord.Hops.Merge(&a.cmp.Chord.Hops)
+		out.Chord.Latency.Merge(&a.cmp.Chord.Latency)
+		out.LowerHops.Merge(&a.cmp.LowerHops)
+		out.LowerLatency.Merge(&a.cmp.LowerLatency)
+		out.TopLink.Merge(&a.cmp.TopLink)
+		out.LowerLink.Merge(&a.cmp.LowerLink)
+		if err := out.HopsHistHieras.Merge(a.cmp.HopsHistHieras); err != nil {
+			return nil, err
+		}
+		if err := out.HopsHistChord.Merge(a.cmp.HopsHistChord); err != nil {
+			return nil, err
+		}
+		if err := out.HopsHistTop.Merge(a.cmp.HopsHistTop); err != nil {
+			return nil, err
+		}
+		if err := out.LatHistHieras.Merge(a.cmp.LatHistHieras); err != nil {
+			return nil, err
+		}
+		if err := out.LatHistChord.Merge(a.cmp.LatHistChord); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func initHists(c *Comparison) error {
+	var err error
+	if c.HopsHistHieras, err = stats.NewHistogram(1); err != nil {
+		return err
+	}
+	if c.HopsHistChord, err = stats.NewHistogram(1); err != nil {
+		return err
+	}
+	if c.HopsHistTop, err = stats.NewHistogram(1); err != nil {
+		return err
+	}
+	if c.LatHistHieras, err = stats.NewHistogram(20); err != nil {
+		return err
+	}
+	c.LatHistChord, err = stats.NewHistogram(20)
+	return err
+}

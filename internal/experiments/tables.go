@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/binning"
+	"repro/internal/id"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1: the distributed-binning example.
+// ---------------------------------------------------------------------------
+
+// Table1 reproduces the paper's Table 1: six sample nodes with measured
+// latencies to four landmarks, quantised into the paper's three levels.
+// (We use half-open level intervals; the paper's prose is ambiguous at
+// exactly 20 and 100 ms — see the note row.)
+func Table1() (*Table, error) {
+	type sample struct {
+		node string
+		lats []float64
+	}
+	samples := []sample{
+		{"A", []float64{25, 5, 30, 100}},
+		{"B", []float64{40, 18, 12, 200}},
+		{"C", []float64{100, 180, 5, 10}},
+		{"D", []float64{160, 220, 8, 20}},
+		{"E", []float64{45, 10, 100, 5}},
+		{"F", []float64{20, 140, 50, 40}},
+	}
+	t := &Table{
+		Title:  "Table 1: sample nodes in a two-layer HIERAS system, 4 landmarks",
+		Header: []string{"node", "dist_L1", "dist_L2", "dist_L3", "dist_L4", "order"},
+	}
+	for _, s := range samples {
+		order, err := binning.Order(s.lats, binning.DefaultThresholds)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.node,
+			fmt.Sprintf("%gms", s.lats[0]), fmt.Sprintf("%gms", s.lats[1]),
+			fmt.Sprintf("%gms", s.lats[2]), fmt.Sprintf("%gms", s.lats[3]),
+			order)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: a node's layered finger tables.
+// ---------------------------------------------------------------------------
+
+// Table2 builds a small two-layer overlay and renders one node's highest
+// finger-table entries in the paper's Table 2 format: the finger start,
+// the layer-1 successor (chosen among all peers) and the layer-2 successor
+// (chosen only within the node's own ring), each annotated with its ring.
+func Table2(s Scenario) (*Table, error) {
+	s = s.withDefaults()
+	s.Depth = 2
+	o, err := BuildOverlay(s)
+	if err != nil {
+		return nil, err
+	}
+	// Pick a node whose layer-2 ring has several members so the contrast
+	// between the two columns is visible.
+	node := 0
+	for i := 0; i < o.N(); i++ {
+		if r, _ := o.RingOf(i, 2); r.Size() >= 4 {
+			node = i
+			break
+		}
+	}
+	ring, member := o.RingOf(node, 2)
+	t := &Table{
+		Title: fmt.Sprintf("Table 2: node %s (ring %q) finger tables, highest 8 fingers",
+			o.Node(node).ID.Short(), ring.Name),
+		Header: []string{"start", "layer1_successor", "l1_ring", "layer2_successor", "l2_ring"},
+	}
+	for k := uint(id.Bits - 8); k < id.Bits; k++ {
+		start := id.AddPow2(o.Node(node).ID, k)
+		g := o.Global().Finger(node, k)
+		l2 := ring.Table.Finger(member, k)
+		l2global := int(ring.Global[l2])
+		t.AddRow(
+			start.Short(),
+			o.Node(g).ID.Short(), o.Node(g).RingNames[0],
+			o.Node(l2global).ID.Short(), o.Node(l2global).RingNames[0],
+		)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: the ring table structure.
+// ---------------------------------------------------------------------------
+
+// Table3 renders the ring tables of a small overlay in the paper's Table 3
+// layout.
+func Table3(s Scenario) (*Table, error) {
+	s = s.withDefaults()
+	o, err := BuildOverlay(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Table 3: ring tables (one per lower-layer P2P ring)",
+		Header: []string{"ringid", "ringname", "largest", "second_largest",
+			"smallest", "second_smallest", "stored_at"},
+	}
+	for layer := 2; layer <= o.Depth(); layer++ {
+		names := make([]string, 0, len(o.Rings(layer)))
+		for name := range o.Rings(layer) {
+			names = append(names, name)
+		}
+		sortStrings(names)
+		for _, name := range names {
+			rt := o.RingTable(layer, name)
+			t.AddRow(rt.RingID.Short(), fmt.Sprintf("%d:%s", layer, name),
+				rt.Largest.Short(), rt.SecondLargest.Short(),
+				rt.Smallest.Short(), rt.SecondSmallest.Short(),
+				o.Node(rt.StoredAt).ID.Short())
+		}
+	}
+	return t, nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ring population summary (supports §2.4 / §4.4 analysis).
+// ---------------------------------------------------------------------------
+
+// RingStatsTable summarises ring counts and sizes per layer for an
+// overlay configuration.
+func RingStatsTable(s Scenario) (*Table, error) {
+	s = s.withDefaults()
+	o, err := BuildOverlay(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ring population: %d nodes, %d landmarks, depth %d", s.Nodes, s.Landmarks, s.Depth),
+		Header: []string{"layer", "rings", "min_size", "mean_size", "max_size"},
+	}
+	for _, ls := range o.LayerStats() {
+		t.AddRow(fmt.Sprint(ls.Layer), fmt.Sprint(ls.Rings),
+			fmt.Sprint(ls.MinSize), f1(ls.MeanSize), fmt.Sprint(ls.MaxSize))
+	}
+	return t, nil
+}

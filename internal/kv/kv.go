@@ -1,0 +1,164 @@
+// Package kv layers a file-location service over the HIERAS overlay: the
+// use case motivating the paper ("the node returns the location
+// information of the requested file to the originator"). Values are stored
+// at the key's owner and replicated on its successor list; reads route
+// with HIERAS and fall back to replicas when the owner is marked down.
+package kv
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/id"
+)
+
+// Store is a DHT key-value store over an oracle-built overlay. It is safe
+// for concurrent use.
+type Store struct {
+	o        *core.Overlay
+	replicas int
+
+	mu   sync.RWMutex
+	data []map[string][]byte // per overlay node
+	down []bool
+}
+
+// New creates a store replicating each value on the owner plus `replicas`
+// successors.
+func New(o *core.Overlay, replicas int) (*Store, error) {
+	if replicas < 0 {
+		return nil, fmt.Errorf("kv: negative replica count %d", replicas)
+	}
+	data := make([]map[string][]byte, o.N())
+	for i := range data {
+		data[i] = make(map[string][]byte)
+	}
+	return &Store{o: o, replicas: replicas, data: data, down: make([]bool, o.N())}, nil
+}
+
+// CostReport accounts one operation's routing effort.
+type CostReport struct {
+	Hops    int
+	Latency float64
+	// Fallbacks counts replica nodes tried after the primary (reads only).
+	Fallbacks int
+	// Nodes are the overlay node indexes written (puts only).
+	Nodes []int
+}
+
+// keyID maps an application key to the identifier space.
+func keyID(key string) id.ID { return core.KeyID(key) }
+
+// Put routes from origin to the key's owner and stores value there and on
+// the owner's live successors.
+func (s *Store) Put(origin int, key string, value []byte) (CostReport, error) {
+	if origin < 0 || origin >= s.o.N() {
+		return CostReport{}, fmt.Errorf("kv: origin %d out of range", origin)
+	}
+	res := s.o.Route(origin, keyID(key))
+	rep := CostReport{Hops: res.NumHops(), Latency: res.Latency}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stored := 0
+	targets := append([]int{res.Dest}, s.o.Global().SuccessorList(res.Dest, s.replicas)...)
+	v := make([]byte, len(value))
+	copy(v, value)
+	for _, n := range targets {
+		if s.down[n] {
+			continue
+		}
+		s.data[n][key] = v
+		rep.Nodes = append(rep.Nodes, n)
+		stored++
+	}
+	if stored == 0 {
+		return rep, fmt.Errorf("kv: no live node available to store %q", key)
+	}
+	return rep, nil
+}
+
+// Get routes from origin to the key's owner and returns the value,
+// falling back along the successor list when nodes are down or missing
+// the key. Each fallback adds one extra hop's latency.
+func (s *Store) Get(origin int, key string) ([]byte, CostReport, error) {
+	if origin < 0 || origin >= s.o.N() {
+		return nil, CostReport{}, fmt.Errorf("kv: origin %d out of range", origin)
+	}
+	res := s.o.Route(origin, keyID(key))
+	rep := CostReport{Hops: res.NumHops(), Latency: res.Latency}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	candidates := append([]int{res.Dest}, s.o.Global().SuccessorList(res.Dest, s.replicas)...)
+	prev := res.Dest
+	for i, n := range candidates {
+		if i > 0 {
+			rep.Fallbacks++
+			rep.Hops++
+			rep.Latency += s.o.Network().Latency(s.o.Node(prev).Host, s.o.Node(n).Host)
+			prev = n
+		}
+		if s.down[n] {
+			continue
+		}
+		if v, ok := s.data[n][key]; ok {
+			out := make([]byte, len(v))
+			copy(out, v)
+			return out, rep, nil
+		}
+	}
+	return nil, rep, fmt.Errorf("kv: key %q not found", key)
+}
+
+// Delete removes the key from the owner and every replica.
+func (s *Store) Delete(origin int, key string) (CostReport, error) {
+	if origin < 0 || origin >= s.o.N() {
+		return CostReport{}, fmt.Errorf("kv: origin %d out of range", origin)
+	}
+	res := s.o.Route(origin, keyID(key))
+	rep := CostReport{Hops: res.NumHops(), Latency: res.Latency}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range append([]int{res.Dest}, s.o.Global().SuccessorList(res.Dest, s.replicas)...) {
+		delete(s.data[n], key)
+	}
+	return rep, nil
+}
+
+// MarkDown simulates a node failure: the node stops answering reads and
+// receiving writes (its stored data is considered lost).
+func (s *Store) MarkDown(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if node >= 0 && node < len(s.down) {
+		s.down[node] = true
+		s.data[node] = make(map[string][]byte)
+	}
+}
+
+// MarkUp revives a node (empty, as a rejoined node would be).
+func (s *Store) MarkUp(node int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if node >= 0 && node < len(s.down) {
+		s.down[node] = false
+	}
+}
+
+// KeysAt reports how many keys node i currently stores.
+func (s *Store) KeysAt(i int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data[i])
+}
+
+// TotalKeys reports the number of (node, key) pairs stored system-wide.
+func (s *Store) TotalKeys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, m := range s.data {
+		total += len(m)
+	}
+	return total
+}

@@ -1,0 +1,211 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/topology/transitstub"
+)
+
+func testOverlay(t testing.TB, hosts int, seed int64) *core.Overlay {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := transitstub.Generate(transitstub.DefaultConfig(hosts), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Attach(m, m.G, topology.AttachOptions{
+		Hosts: hosts, Routers: m.StubRouters, Spread: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := core.Build(net, core.Config{Depth: 2, Landmarks: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	o := testOverlay(t, 60, 1)
+	s, err := New(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Put(3, "alpha", []byte("file-location-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != 3 {
+		t.Errorf("stored on %d nodes, want 3 (owner + 2 replicas)", len(rep.Nodes))
+	}
+	v, getRep, err := s.Get(40, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("file-location-1")) {
+		t.Errorf("value = %q", v)
+	}
+	if getRep.Fallbacks != 0 {
+		t.Errorf("healthy read took %d fallbacks", getRep.Fallbacks)
+	}
+	if getRep.Latency < 0 || getRep.Hops < 0 {
+		t.Error("negative cost")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	o := testOverlay(t, 40, 2)
+	s, _ := New(o, 1)
+	if _, _, err := s.Get(0, "nope"); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	o := testOverlay(t, 40, 3)
+	s, _ := New(o, 1)
+	val := []byte("mutate-me")
+	_, _ = s.Put(0, "k", val)
+	val[0] = 'X'
+	got, _, err := s.Get(1, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 'X' {
+		t.Error("stored value aliased the caller's buffer")
+	}
+	got[1] = 'Y'
+	got2, _, _ := s.Get(1, "k")
+	if got2[1] == 'Y' {
+		t.Error("returned value aliased the stored buffer")
+	}
+}
+
+func TestReplicaFallbackAfterFailure(t *testing.T) {
+	o := testOverlay(t, 60, 4)
+	s, _ := New(o, 3)
+	rep, err := s.Put(0, "resilient", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := rep.Nodes[0]
+	s.MarkDown(owner)
+	v, getRep, err := s.Get(10, "resilient")
+	if err != nil {
+		t.Fatalf("read after owner failure: %v", err)
+	}
+	if string(v) != "v" {
+		t.Errorf("value %q", v)
+	}
+	if getRep.Fallbacks == 0 {
+		t.Error("read should have fallen back to a replica")
+	}
+	// All replicas down -> not found.
+	for _, n := range rep.Nodes {
+		s.MarkDown(n)
+	}
+	if _, _, err := s.Get(10, "resilient"); err == nil {
+		t.Error("read with all replicas down should fail")
+	}
+	// Revive and re-put.
+	s.MarkUp(owner)
+	if _, err := s.Put(0, "resilient", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err = s.Get(10, "resilient")
+	if err != nil || string(v) != "v2" {
+		t.Errorf("after revive: %q %v", v, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	o := testOverlay(t, 40, 5)
+	s, _ := New(o, 2)
+	_, _ = s.Put(0, "gone", []byte("x"))
+	if _, err := s.Delete(5, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(0, "gone"); err == nil {
+		t.Error("deleted key still readable")
+	}
+	if s.TotalKeys() != 0 {
+		t.Errorf("TotalKeys = %d after delete", s.TotalKeys())
+	}
+}
+
+func TestLoadDistribution(t *testing.T) {
+	o := testOverlay(t, 80, 6)
+	s, _ := New(o, 0)
+	for i := 0; i < 400; i++ {
+		if _, err := s.Put(i%o.N(), fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TotalKeys() != 400 {
+		t.Fatalf("TotalKeys = %d", s.TotalKeys())
+	}
+	// Consistent hashing should spread keys: no node hoards more than an
+	// outsized share.
+	max := 0
+	for i := 0; i < o.N(); i++ {
+		if k := s.KeysAt(i); k > max {
+			max = k
+		}
+	}
+	if max > 80 {
+		t.Errorf("hottest node stores %d of 400 keys", max)
+	}
+}
+
+func TestInvalidArguments(t *testing.T) {
+	o := testOverlay(t, 30, 7)
+	if _, err := New(o, -1); err == nil {
+		t.Error("negative replicas accepted")
+	}
+	s, _ := New(o, 1)
+	if _, err := s.Put(-1, "k", nil); err == nil {
+		t.Error("negative origin accepted in Put")
+	}
+	if _, _, err := s.Get(999, "k"); err == nil {
+		t.Error("out-of-range origin accepted in Get")
+	}
+	if _, err := s.Delete(999, "k"); err == nil {
+		t.Error("out-of-range origin accepted in Delete")
+	}
+	// MarkDown/MarkUp ignore out-of-range nodes.
+	s.MarkDown(-5)
+	s.MarkUp(1 << 20)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	o := testOverlay(t, 50, 8)
+	s, _ := New(o, 2)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if _, err := s.Put(w, key, []byte(key)); err != nil {
+					done <- err
+					return
+				}
+				if v, _, err := s.Get((w+i)%o.N(), key); err != nil || string(v) != key {
+					done <- fmt.Errorf("get %q: %q %v", key, v, err)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package pastry implements Pastry (Rowstron & Druschel, Middleware 2001)
+// as a simulation-oracle routing structure, the locality-aware DHT the
+// HIERAS paper compares itself against qualitatively and names as future
+// comparison work (§6). Pastry routes by correcting one identifier digit
+// per hop and fills its routing table with *topologically close* entries
+// (proximity neighbor selection), so it attacks the same problem as
+// HIERAS — lookup latency — through per-hop locality instead of a ring
+// hierarchy.
+//
+// Identifiers reuse the 160-bit space of package id, interpreted as 40
+// base-16 digits (b = 4, Pastry's default).
+package pastry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/topology"
+)
+
+// Member is one peer known to the routing structure.
+type Member struct {
+	ID   id.ID
+	Host int
+}
+
+// Config parametrises construction.
+type Config struct {
+	// LeafSet is the total leaf-set size L (default 16: L/2 per side).
+	LeafSet int
+	// Samples bounds how many candidates are latency-probed per routing
+	// table slot (default 8). Real Pastry nodes see only the candidates
+	// that joins and maintenance happen to present; sampling models that.
+	Samples int
+	// Seed drives candidate sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafSet == 0 {
+		c.LeafSet = 16
+	}
+	if c.Samples == 0 {
+		c.Samples = 8
+	}
+	return c
+}
+
+// digits is the identifier length in base-16 digits.
+const digits = id.Size * 2
+
+// digit returns the i'th base-16 digit of x (0 = most significant).
+func digit(x id.ID, i int) int {
+	b := x[i/2]
+	if i%2 == 0 {
+		return int(b >> 4)
+	}
+	return int(b & 0x0f)
+}
+
+// sharedPrefix counts the leading base-16 digits a and b agree on.
+func sharedPrefix(a, b id.ID) int {
+	for i := 0; i < id.Size; i++ {
+		if a[i] != b[i] {
+			if a[i]>>4 == b[i]>>4 {
+				return 2*i + 1
+			}
+			return 2 * i
+		}
+	}
+	return digits
+}
+
+// circDist is the circular distance |a-b| on the identifier ring.
+func circDist(a, b id.ID) id.ID {
+	d1 := id.Dist(a, b)
+	d2 := id.Dist(b, a)
+	if d1.Less(d2) {
+		return d1
+	}
+	return d2
+}
+
+// Table is an oracle-built Pastry routing structure over a fixed member
+// set. Member indexes follow ascending identifier order. Immutable after
+// Build and safe for concurrent routing.
+type Table struct {
+	cfg   Config
+	ids   []id.ID
+	hosts []int32
+	// rows[m] is member m's routing table: rows[m][r][c] is the member
+	// index of a peer sharing exactly r leading digits with m and having
+	// digit c at position r, or -1. Rows stop once m's prefix is unique.
+	rows [][][]int32
+}
+
+// Build constructs proximity-aware routing state for the members. The
+// network supplies latencies for proximity neighbor selection; pass nil to
+// fall back to arbitrary (first-candidate) selection, which models Pastry
+// without locality.
+func Build(members []Member, net *topology.Network, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(members) == 0 {
+		return nil, fmt.Errorf("pastry: empty member set")
+	}
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(a, b int) bool { return ms[a].ID.Less(ms[b].ID) })
+	t := &Table{
+		cfg:   cfg,
+		ids:   make([]id.ID, len(ms)),
+		hosts: make([]int32, len(ms)),
+	}
+	for i, m := range ms {
+		if i > 0 && m.ID == ms[i-1].ID {
+			return nil, fmt.Errorf("pastry: duplicate identifier %s", m.ID.Short())
+		}
+		t.ids[i] = m.ID
+		t.hosts[i] = int32(m.Host)
+	}
+	n := len(ms)
+	t.rows = make([][][]int32, n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for m := 0; m < n; m++ {
+		t.rows[m] = t.buildRows(m, net, rng)
+	}
+	return t, nil
+}
+
+// prefixRange returns the half-open member index range whose identifiers
+// start with the first `plen` digits of base, with digit `c` at position
+// plen. plen+1 digits must fit.
+func (t *Table) prefixRange(base id.ID, plen, c int) (int, int) {
+	lo := base
+	// Zero digits from position plen onward, then set digit plen to c.
+	for i := plen; i < digits; i++ {
+		setDigit(&lo, i, 0)
+	}
+	setDigit(&lo, plen, c)
+	hi := lo
+	for i := plen + 1; i < digits; i++ {
+		setDigit(&hi, i, 0x0f)
+	}
+	l := sort.Search(len(t.ids), func(j int) bool { return !t.ids[j].Less(lo) })
+	r := sort.Search(len(t.ids), func(j int) bool { return hi.Less(t.ids[j]) })
+	return l, r
+}
+
+func setDigit(x *id.ID, i, v int) {
+	b := x[i/2]
+	if i%2 == 0 {
+		x[i/2] = (b & 0x0f) | byte(v<<4)
+	} else {
+		x[i/2] = (b & 0xf0) | byte(v)
+	}
+}
+
+func (t *Table) buildRows(m int, net *topology.Network, rng *rand.Rand) [][]int32 {
+	self := t.ids[m]
+	var rows [][]int32
+	for r := 0; r < digits; r++ {
+		// Stop once no other member shares r digits with us.
+		selfLo, selfHi := t.prefixRangeWhole(self, r)
+		if selfHi-selfLo <= 1 {
+			break
+		}
+		row := make([]int32, 16)
+		for c := 0; c < 16; c++ {
+			row[c] = -1
+			if c == digit(self, r) {
+				continue
+			}
+			lo, hi := t.prefixRange(self, r, c)
+			if lo >= hi {
+				continue
+			}
+			row[c] = t.pickProximal(m, lo, hi, net, rng)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// prefixRangeWhole returns the member range sharing the first r digits
+// with base (any digit at position r and beyond).
+func (t *Table) prefixRangeWhole(base id.ID, r int) (int, int) {
+	if r == 0 {
+		return 0, len(t.ids)
+	}
+	lo := base
+	for i := r; i < digits; i++ {
+		setDigit(&lo, i, 0)
+	}
+	hi := base
+	for i := r; i < digits; i++ {
+		setDigit(&hi, i, 0x0f)
+	}
+	l := sort.Search(len(t.ids), func(j int) bool { return !t.ids[j].Less(lo) })
+	rr := sort.Search(len(t.ids), func(j int) bool { return hi.Less(t.ids[j]) })
+	return l, rr
+}
+
+// pickProximal chooses the topologically closest of up to Samples random
+// candidates in [lo, hi) — proximity neighbor selection.
+func (t *Table) pickProximal(m, lo, hi int, net *topology.Network, rng *rand.Rand) int32 {
+	size := hi - lo
+	if net == nil {
+		return int32(lo + rng.Intn(size))
+	}
+	samples := t.cfg.Samples
+	if samples > size {
+		samples = size
+	}
+	best := -1
+	bestLat := 0.0
+	for s := 0; s < samples; s++ {
+		cand := lo + rng.Intn(size)
+		lat := net.Latency(int(t.hosts[m]), int(t.hosts[cand]))
+		if best == -1 || lat < bestLat {
+			best, bestLat = cand, lat
+		}
+	}
+	return int32(best)
+}
+
+// Len returns the member count.
+func (t *Table) Len() int { return len(t.ids) }
+
+// ID returns member i's identifier.
+func (t *Table) ID(i int) id.ID { return t.ids[i] }
+
+// Host returns member i's host index.
+func (t *Table) Host(i int) int { return int(t.hosts[i]) }
+
+// Rows returns how many routing-table rows member i maintains.
+func (t *Table) Rows(i int) int { return len(t.rows[i]) }
+
+// Dest returns the member numerically closest to key (Pastry's delivery
+// rule), breaking the exact tie toward the clockwise successor.
+func (t *Table) Dest(key id.ID) int {
+	n := len(t.ids)
+	succ := sort.Search(n, func(j int) bool { return !t.ids[j].Less(key) }) % n
+	pred := (succ - 1 + n) % n
+	if circDist(t.ids[succ], key).Less(circDist(t.ids[pred], key)) ||
+		circDist(t.ids[succ], key) == circDist(t.ids[pred], key) {
+		return succ
+	}
+	return pred
+}
+
+// inLeafSet reports whether member v falls within member u's leaf set
+// (L/2 positions either side on the sorted ring).
+func (t *Table) inLeafSet(u, v int) bool {
+	n := len(t.ids)
+	half := t.cfg.LeafSet / 2
+	if half >= n-1 {
+		return true
+	}
+	d := v - u
+	if d < 0 {
+		d += n
+	}
+	return d <= half || n-d <= half
+}
+
+// Route performs a Pastry lookup from member `from` to the member
+// numerically closest to key. visit, if non-nil, is called per hop. It
+// returns the destination and hop count.
+func (t *Table) Route(from int, key id.ID, visit func(f, to int)) (int, int) {
+	dest := t.Dest(key)
+	u := from
+	hops := 0
+	for u != dest {
+		if hops >= 4*digits {
+			// Unreachable in a consistent table; defensive bound.
+			break
+		}
+		var next int
+		switch {
+		case t.inLeafSet(u, dest):
+			next = dest
+		default:
+			next = t.prefixStep(u, key)
+		}
+		if visit != nil {
+			visit(u, next)
+		}
+		u = next
+		hops++
+	}
+	return u, hops
+}
+
+// prefixStep picks the next hop by prefix routing with Pastry's "rare
+// case" fallback.
+func (t *Table) prefixStep(u int, key id.ID) int {
+	r := sharedPrefix(t.ids[u], key)
+	if r < len(t.rows[u]) {
+		if e := t.rows[u][r][digit(key, r)]; e >= 0 {
+			return int(e)
+		}
+	}
+	// Rare case: no entry — find any known node with an equal-or-longer
+	// shared prefix that is numerically closer to the key than we are.
+	myDist := circDist(t.ids[u], key)
+	best := -1
+	bestDist := myDist
+	consider := func(v int) {
+		if v < 0 || v == u {
+			return
+		}
+		if sharedPrefix(t.ids[v], key) < r {
+			return
+		}
+		if d := circDist(t.ids[v], key); d.Less(bestDist) {
+			best, bestDist = v, d
+		}
+	}
+	n := len(t.ids)
+	half := t.cfg.LeafSet / 2
+	for s := 1; s <= half && s < n; s++ {
+		consider((u + s) % n)
+		consider((u - s + n) % n)
+	}
+	for _, row := range t.rows[u] {
+		for _, e := range row {
+			consider(int(e))
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Last resort: clockwise successor — always makes ring progress.
+	return (u + 1) % n
+}

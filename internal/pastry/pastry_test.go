@@ -1,0 +1,250 @@
+package pastry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/topology"
+	"repro/internal/topology/transitstub"
+)
+
+func makeMembers(rng *rand.Rand, n int) []Member {
+	seen := map[id.ID]bool{}
+	ms := make([]Member, 0, n)
+	for len(ms) < n {
+		x := id.Rand(rng)
+		if !seen[x] {
+			seen[x] = true
+			ms = append(ms, Member{ID: x, Host: len(ms)})
+		}
+	}
+	return ms
+}
+
+func testNet(t testing.TB, hosts int, seed int64) *topology.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := transitstub.Generate(transitstub.DefaultConfig(hosts), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Attach(m, m.G, topology.AttachOptions{
+		Hosts: hosts, Routers: m.StubRouters, Spread: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestDigitAndPrefix(t *testing.T) {
+	x, _ := id.ParseHex("ab12000000000000000000000000000000000000")
+	if digit(x, 0) != 0xa || digit(x, 1) != 0xb || digit(x, 2) != 1 || digit(x, 3) != 2 {
+		t.Errorf("digits: %x %x %x %x", digit(x, 0), digit(x, 1), digit(x, 2), digit(x, 3))
+	}
+	y, _ := id.ParseHex("ab17000000000000000000000000000000000000")
+	if got := sharedPrefix(x, y); got != 3 {
+		t.Errorf("sharedPrefix = %d, want 3", got)
+	}
+	if got := sharedPrefix(x, x); got != digits {
+		t.Errorf("self prefix = %d, want %d", got, digits)
+	}
+	z, _ := id.ParseHex("1b12000000000000000000000000000000000000")
+	if got := sharedPrefix(x, z); got != 0 {
+		t.Errorf("prefix = %d, want 0", got)
+	}
+}
+
+func TestSetDigitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		x := id.Rand(rng)
+		i := rng.Intn(digits)
+		v := rng.Intn(16)
+		setDigit(&x, i, v)
+		if digit(x, i) != v {
+			t.Fatalf("setDigit(%d,%x) readback %x", i, v, digit(x, i))
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil, Config{}); err == nil {
+		t.Error("empty members accepted")
+	}
+	x := id.HashString("dup")
+	if _, err := Build([]Member{{ID: x}, {ID: x, Host: 1}}, nil, Config{}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestRouteReachesNumericallyClosest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tbl, err := Build(makeMembers(rng, 200), nil, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		key := id.Rand(rng)
+		from := rng.Intn(tbl.Len())
+		got, hops := tbl.Route(from, key, nil)
+		// Brute-force numerically closest.
+		want, wantDist := 0, circDist(tbl.ID(0), key)
+		for i := 1; i < tbl.Len(); i++ {
+			if d := circDist(tbl.ID(i), key); d.Less(wantDist) {
+				want, wantDist = i, d
+			}
+		}
+		if circDist(tbl.ID(got), key) != wantDist {
+			t.Fatalf("routed to %d (dist %s), closest is %d", got, circDist(tbl.ID(got), key).Short(), want)
+		}
+		if hops > 40 {
+			t.Fatalf("%d hops on 200 nodes", hops)
+		}
+	}
+}
+
+func TestRouteLogarithmicHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{64, 512} {
+		tbl, err := Build(makeMembers(rng, n), nil, Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const trials = 300
+		for trial := 0; trial < trials; trial++ {
+			_, hops := tbl.Route(rng.Intn(n), id.Rand(rng), nil)
+			total += hops
+		}
+		mean := float64(total) / trials
+		// Pastry corrects one hex digit per hop: ~log16(n)+leafset hop.
+		bound := math.Log(float64(n))/math.Log(16) + 3
+		if mean > bound {
+			t.Errorf("n=%d: mean hops %.2f exceeds %.2f", n, mean, bound)
+		}
+	}
+}
+
+func TestRoutePathContiguousAndVisitsMatchHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tbl, err := Build(makeMembers(rng, 150), nil, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		from := rng.Intn(tbl.Len())
+		cur := from
+		count := 0
+		dest, hops := tbl.Route(from, id.Rand(rng), func(f, to int) {
+			if f != cur {
+				t.Fatalf("discontiguous path")
+			}
+			cur = to
+			count++
+		})
+		if cur != dest || count != hops {
+			t.Fatalf("path bookkeeping wrong: cur %d dest %d count %d hops %d", cur, dest, count, hops)
+		}
+	}
+}
+
+func TestSelfRouteZeroHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tbl, err := Build(makeMembers(rng, 50), nil, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		dest, hops := tbl.Route(i, tbl.ID(i), nil)
+		if dest != i || hops != 0 {
+			t.Fatalf("self route: dest %d hops %d", dest, hops)
+		}
+	}
+}
+
+func TestTinyNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 3, 5} {
+		tbl, err := Build(makeMembers(rng, n), nil, Config{Seed: 11})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			key := id.Rand(rng)
+			dest, hops := tbl.Route(rng.Intn(n), key, nil)
+			if hops > 1 {
+				t.Fatalf("n=%d: %d hops (leaf set covers everything)", n, hops)
+			}
+			_ = dest
+		}
+	}
+}
+
+func TestProximitySelectionLowersLinkLatency(t *testing.T) {
+	const n = 300
+	net := testNet(t, n, 12)
+	rng := rand.New(rand.NewSource(13))
+	ms := makeMembers(rng, n)
+	withPNS, err := Build(ms, net, Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutPNS, err := Build(ms, nil, Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanLat := func(tbl *Table) float64 {
+		r2 := rand.New(rand.NewSource(15))
+		var sum float64
+		var hops int
+		for trial := 0; trial < 1500; trial++ {
+			tbl.Route(r2.Intn(n), id.Rand(r2), func(f, to int) {
+				sum += net.Latency(tbl.Host(f), tbl.Host(to))
+				hops++
+			})
+		}
+		return sum / float64(hops)
+	}
+	pns, plain := meanLat(withPNS), meanLat(withoutPNS)
+	t.Logf("per-hop latency: PNS %.1f ms vs plain %.1f ms", pns, plain)
+	if pns >= plain {
+		t.Errorf("proximity selection should lower per-hop latency: %.1f vs %.1f", pns, plain)
+	}
+}
+
+func TestRowsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	tbl, err := Build(makeMembers(rng, 256), nil, Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRows := 0
+	for i := 0; i < tbl.Len(); i++ {
+		if r := tbl.Rows(i); r > maxRows {
+			maxRows = r
+		}
+	}
+	// 256 random nodes share at most a few leading hex digits.
+	if maxRows > 6 {
+		t.Errorf("max rows %d implausibly deep for 256 nodes", maxRows)
+	}
+	if maxRows < 1 {
+		t.Error("no routing rows built")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(18))
+	rng2 := rand.New(rand.NewSource(18))
+	t1, _ := Build(makeMembers(rng1, 100), nil, Config{Seed: 19})
+	t2, _ := Build(makeMembers(rng2, 100), nil, Config{Seed: 19})
+	key := id.HashString("det")
+	d1, h1 := t1.Route(5, key, nil)
+	d2, h2 := t2.Route(5, key, nil)
+	if d1 != d2 || h1 != h2 {
+		t.Error("same seed produced different routes")
+	}
+}

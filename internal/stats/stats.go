@@ -1,0 +1,225 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: streaming summaries, fixed-width histograms and the
+// PDF/CDF curves reported in the paper's Figures 4 and 5.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates a streaming mean and variance (Welford's algorithm)
+// plus extrema. The zero value is ready to use.
+type Online struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add feeds one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+	if !o.hasExtrema || x < o.min {
+		o.min = x
+	}
+	if !o.hasExtrema || x > o.max {
+		o.max = x
+	}
+	o.hasExtrema = true
+}
+
+// N returns the observation count.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the running mean (0 for no data).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation (0 for no data).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation (0 for no data).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge folds another accumulator into o (parallel reduction).
+func (o *Online) Merge(b *Online) {
+	if b.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *b
+		return
+	}
+	n := o.n + b.n
+	d := b.mean - o.mean
+	mean := o.mean + d*float64(b.n)/float64(n)
+	o.m2 += b.m2 + d*d*float64(o.n)*float64(b.n)/float64(n)
+	o.mean = mean
+	o.n = n
+	if b.min < o.min {
+		o.min = b.min
+	}
+	if b.max > o.max {
+		o.max = b.max
+	}
+}
+
+// Summary is a one-shot descriptive summary.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	s.Mean, s.Std = o.Mean(), o.Std()
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P50 = Quantile(sorted, 0.50)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0..1) of an ascending-sorted slice
+// using linear interpolation. It panics on an empty slice.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Point is one (x, y) sample of a distribution curve.
+type Point struct {
+	X, Y float64
+}
+
+// Histogram counts observations in fixed-width buckets starting at zero.
+// Bucket i covers [i*Width, (i+1)*Width). Negative observations are
+// rejected.
+type Histogram struct {
+	Width  float64
+	counts []int64
+	n      int64
+}
+
+// NewHistogram creates a histogram with the given bucket width (> 0).
+func NewHistogram(width float64) (*Histogram, error) {
+	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		return nil, fmt.Errorf("stats: bucket width must be positive, got %v", width)
+	}
+	return &Histogram{Width: width}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) error {
+	if x < 0 || math.IsNaN(x) {
+		return fmt.Errorf("stats: histogram observation %v out of domain", x)
+	}
+	b := int(x / h.Width)
+	for b >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.n++
+	return nil
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Count returns the observations in bucket b.
+func (h *Histogram) Count(b int) int64 {
+	if b < 0 || b >= len(h.counts) {
+		return 0
+	}
+	return h.counts[b]
+}
+
+// Buckets returns the number of allocated buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// PDF returns the probability density per bucket: X is the bucket's lower
+// edge, Y the fraction of observations in the bucket.
+func (h *Histogram) PDF() []Point {
+	out := make([]Point, len(h.counts))
+	for i, c := range h.counts {
+		y := 0.0
+		if h.n > 0 {
+			y = float64(c) / float64(h.n)
+		}
+		out[i] = Point{X: float64(i) * h.Width, Y: y}
+	}
+	return out
+}
+
+// CDF returns the cumulative distribution per bucket: X is the bucket's
+// upper edge, Y the fraction of observations at or below it.
+func (h *Histogram) CDF() []Point {
+	out := make([]Point, len(h.counts))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		y := 0.0
+		if h.n > 0 {
+			y = float64(cum) / float64(h.n)
+		}
+		out[i] = Point{X: float64(i+1) * h.Width, Y: y}
+	}
+	return out
+}
+
+// Merge folds another histogram with the same width into h.
+func (h *Histogram) Merge(b *Histogram) error {
+	if h.Width != b.Width {
+		return fmt.Errorf("stats: merging histograms with widths %v and %v", h.Width, b.Width)
+	}
+	for len(h.counts) < len(b.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range b.counts {
+		h.counts[i] += c
+	}
+	h.n += b.n
+	return nil
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Std() != 0 {
+		t.Error("zero-value accumulator should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Errorf("N = %d", o.N())
+	}
+	if !almostEq(o.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", o.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEq(o.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %v", o.Var())
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("extrema %v %v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		var whole, a, b Online
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64() * 10
+			whole.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			almostEq(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(a.Var(), whole.Var(), 1e-6) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Add(3)
+	a.Merge(&b) // empty b: no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merge with empty changed state")
+	}
+	b.Merge(&a) // empty receiver adopts a
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Error("empty receiver should adopt argument")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almostEq(s.Mean, 3, 1e-12) {
+		t.Errorf("summary %+v", s)
+	}
+	if !almostEq(s.P50, 3, 1e-12) {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+	// Input must not be reordered.
+	in := []float64{9, 1, 5}
+	Summarize(in)
+	if in[0] != 9 || in[2] != 5 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Quantile(sorted, 0) != 10 || Quantile(sorted, 1) != 40 {
+		t.Error("endpoint quantiles wrong")
+	}
+	if !almostEq(Quantile(sorted, 0.5), 25, 1e-12) {
+		t.Errorf("median = %v", Quantile(sorted, 0.5))
+	}
+	if !almostEq(Quantile(sorted, 1.0/3.0), 20, 1e-12) {
+		t.Errorf("1/3 quantile = %v", Quantile(sorted, 1.0/3.0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty quantile should panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.5, 1, 2.7, 2.9} {
+		if err := h.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.N() != 5 || h.Buckets() != 3 {
+		t.Errorf("N=%d buckets=%d", h.N(), h.Buckets())
+	}
+	if h.Count(0) != 2 || h.Count(1) != 1 || h.Count(2) != 2 {
+		t.Errorf("counts %d %d %d", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if h.Count(-1) != 0 || h.Count(99) != 0 {
+		t.Error("out-of-range counts should be 0")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewHistogram(-2); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := NewHistogram(math.NaN()); err == nil {
+		t.Error("NaN width accepted")
+	}
+	h, _ := NewHistogram(1)
+	if err := h.Add(-1); err == nil {
+		t.Error("negative observation accepted")
+	}
+	if err := h.Add(math.NaN()); err == nil {
+		t.Error("NaN observation accepted")
+	}
+}
+
+func TestHistogramPDFandCDF(t *testing.T) {
+	h, _ := NewHistogram(10)
+	for i := 0; i < 6; i++ {
+		_ = h.Add(5) // bucket 0
+	}
+	for i := 0; i < 4; i++ {
+		_ = h.Add(15) // bucket 1
+	}
+	pdf := h.PDF()
+	if len(pdf) != 2 || !almostEq(pdf[0].Y, 0.6, 1e-12) || !almostEq(pdf[1].Y, 0.4, 1e-12) {
+		t.Errorf("pdf %+v", pdf)
+	}
+	if pdf[0].X != 0 || pdf[1].X != 10 {
+		t.Error("pdf X should be bucket lower edges")
+	}
+	cdf := h.CDF()
+	if !almostEq(cdf[0].Y, 0.6, 1e-12) || !almostEq(cdf[1].Y, 1.0, 1e-12) {
+		t.Errorf("cdf %+v", cdf)
+	}
+	if cdf[1].X != 20 {
+		t.Error("cdf X should be bucket upper edges")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram(1)
+	b, _ := NewHistogram(1)
+	_ = a.Add(0.5)
+	_ = b.Add(2.5)
+	_ = b.Add(0.1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 3 || a.Count(0) != 2 || a.Count(2) != 1 {
+		t.Errorf("merged histogram wrong: N=%d", a.N())
+	}
+	c, _ := NewHistogram(2)
+	if err := a.Merge(c); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, _ := NewHistogram(0.5 + r.Float64()*10)
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			if err := h.Add(r.Float64() * 100); err != nil {
+				return false
+			}
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, p := range cdf {
+			if p.Y < prev-1e-12 {
+				return false
+			}
+			prev = p.Y
+		}
+		return almostEq(cdf[len(cdf)-1].Y, 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPDFSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, _ := NewHistogram(1 + r.Float64()*5)
+		n := 1 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			_ = h.Add(r.Float64() * 50)
+		}
+		sum := 0.0
+		for _, p := range h.PDF() {
+			sum += p.Y
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

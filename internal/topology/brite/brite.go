@@ -1,0 +1,199 @@
+// Package brite generates BRITE-style router topologies (Medina et al.,
+// MASCOTS'01) in the Barabási–Albert mode used for comparison in the
+// HIERAS evaluation: incremental growth with preferential connectivity on a
+// Euclidean plane, with link delay proportional to distance.
+package brite
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parametrises the generator.
+type Config struct {
+	// Routers is the number of routers (>= 3).
+	Routers int
+	// LinksPerNode is the BA parameter m: links added per new router
+	// (default 2).
+	LinksPerNode int
+	// PlaneKm is the side of the square placement plane in kilometres
+	// (default 20000, roughly global scale).
+	PlaneKm float64
+	// KmPerMs converts distance to propagation delay (default 200 km/ms,
+	// approximately light speed in fibre).
+	KmPerMs float64
+	// MinDelay is a per-link floor in milliseconds modelling router
+	// processing (default 0.5).
+	MinDelay float64
+}
+
+func (c *Config) setDefaults() {
+	if c.LinksPerNode <= 0 {
+		c.LinksPerNode = 2
+	}
+	if c.PlaneKm <= 0 {
+		// Global scale: the plane diagonal is ~140 one-way ms, so the
+		// binning thresholds {20,100} separate intra-city, continental and
+		// intercontinental paths.
+		c.PlaneKm = 20000
+	}
+	if c.KmPerMs <= 0 {
+		c.KmPerMs = 200
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 0.5
+	}
+}
+
+// Generate builds a BRITE/BA underlay with cfg.Routers routers.
+func Generate(cfg Config, rng *rand.Rand) (*topology.Underlay, error) {
+	cfg.setDefaults()
+	n := cfg.Routers
+	m := cfg.LinksPerNode
+	if n < 3 {
+		return nil, fmt.Errorf("brite: need at least 3 routers, got %d", n)
+	}
+	if m >= n {
+		return nil, fmt.Errorf("brite: LinksPerNode %d must be < Routers %d", m, n)
+	}
+	g := topology.NewGraph(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	// Clustered ("heavy-tailed") placement: routers concentrate around a
+	// handful of population centers, as in BRITE's non-uniform placement
+	// mode and the real router-level Internet. The resulting latency
+	// contrast between intra-city and inter-city paths is the structure
+	// distributed binning discovers.
+	centers := 8
+	if n < 64 {
+		centers = 3
+	}
+	cx := make([]float64, centers)
+	cy := make([]float64, centers)
+	for i := range cx {
+		cx[i] = rng.Float64() * cfg.PlaneKm
+		cy[i] = rng.Float64() * cfg.PlaneKm
+	}
+	spread := cfg.PlaneKm * 0.03
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= cfg.PlaneKm {
+			return cfg.PlaneKm - 1e-9
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(centers)
+		x[i] = clamp(cx[c] + rng.NormFloat64()*spread)
+		y[i] = clamp(cy[c] + rng.NormFloat64()*spread)
+	}
+	delay := func(u, v int) float64 {
+		dx, dy := x[u]-x[v], y[u]-y[v]
+		return cfg.MinDelay + math.Hypot(dx, dy)/cfg.KmPerMs
+	}
+
+	// Seed core: ring over the first m0 = m+1 routers.
+	m0 := m + 1
+	for i := 0; i < m0; i++ {
+		j := (i + 1) % m0
+		if i != j && !g.HasEdge(i, j) {
+			if err := g.AddEdge(i, j, delay(i, j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Incremental growth with locality-biased preferential connectivity
+	// (BRITE's combined degree/distance mode): candidate targets are drawn
+	// with probability proportional to degree (repeated-node sampling),
+	// and the geographically closest of several candidates wins. Degrees
+	// stay heavy-tailed while shortest paths stay roughly geographic —
+	// the structure distributed binning relies on.
+	targets := make([]int, 0, 4*n*m)
+	for i := 0; i < m0; i++ {
+		for range g.Neighbors(i) {
+			targets = append(targets, i)
+		}
+	}
+	const localityCands = 4
+	for v := m0; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			best, bestD := -1, math.Inf(1)
+			for try := 0; try < localityCands; try++ {
+				var c int
+				if len(targets) == 0 || rng.Float64() < 0.05 {
+					c = rng.Intn(v) // small uniform component avoids star collapse
+				} else {
+					c = targets[rng.Intn(len(targets))]
+				}
+				if c == v || chosen[c] {
+					continue
+				}
+				if d := math.Hypot(x[v]-x[c], y[v]-y[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best >= 0 {
+				chosen[best] = true
+			}
+		}
+		picked := make([]int, 0, len(chosen))
+		for c := range chosen {
+			picked = append(picked, c)
+		}
+		sort.Ints(picked) // map order is random; keep builds deterministic
+		for _, c := range picked {
+			if err := g.AddEdge(v, c, delay(v, c)); err != nil {
+				return nil, err
+			}
+			targets = append(targets, v, c)
+		}
+	}
+	// Local mesh pass: link every router to its geometrically nearest
+	// neighbor (if not already adjacent). Backbone hubs give the graph its
+	// heavy tail; these short edges give it geographic coherence — nearby
+	// routers reach each other without a detour through a distant hub,
+	// which is what makes latency-based binning meaningful on this model.
+	for v := 0; v < n; v++ {
+		best, bestD := -1, math.Inf(1)
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			if d := math.Hypot(x[v]-x[u], y[v]-y[u]); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		if best >= 0 && !g.HasEdge(v, best) {
+			if err := g.AddEdge(v, best, delay(v, best)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("brite: generated graph is not connected (bug)")
+	}
+	return &topology.Underlay{
+		Graph:          g,
+		Model:          topology.NewDijkstraOracle(g),
+		HostCandidates: edgeRouters(g),
+	}, nil
+}
+
+// edgeRouters returns the lower-degree half of the routers, sorted by
+// degree; hosts should attach at the network edge rather than at hubs.
+func edgeRouters(g *topology.Graph) []int {
+	idx := make([]int, g.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.Degree(idx[a]) < g.Degree(idx[b]) })
+	return idx[:(g.N()+1)/2]
+}

@@ -1,0 +1,105 @@
+package brite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	u, err := Generate(Config{Routers: 200}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Graph.N() != 200 {
+		t.Errorf("N = %d", u.Graph.N())
+	}
+	if !u.Graph.Connected() {
+		t.Fatal("BA graph must be connected")
+	}
+	// With m=2 plus the nearest-neighbor mesh pass the graph has roughly
+	// 2-3.5 links per node.
+	if e := u.Graph.EdgeCount(); e < 200 || e > 750 {
+		t.Errorf("edge count %d implausible for m=2 + local mesh", e)
+	}
+	if len(u.HostCandidates) == 0 {
+		t.Error("no host candidates")
+	}
+	if u.Model.Routers() != 200 {
+		t.Error("model router count mismatch")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Routers: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("too-small router count accepted")
+	}
+	if _, err := Generate(Config{Routers: 5, LinksPerNode: 9}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("m >= n accepted")
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	u, err := Generate(Config{Routers: 500}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, minDeg := 0, 1<<30
+	for v := 0; v < 500; v++ {
+		d := u.Graph.Degree(v)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < 1 {
+		t.Error("isolated router")
+	}
+	// BA graphs are heavy-tailed: the hub should dominate the minimum.
+	if maxDeg < 8*minDeg {
+		t.Errorf("degree skew too small: max %d, min %d", maxDeg, minDeg)
+	}
+}
+
+func TestDelaysPositiveAndBounded(t *testing.T) {
+	u, err := Generate(Config{Routers: 100, PlaneKm: 5000, KmPerMs: 200}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPossible := 0.5 + 5000*1.4143/200 // diagonal plus floor
+	for v := 0; v < 100; v++ {
+		for _, e := range u.Graph.Neighbors(v) {
+			if e.Delay <= 0 || e.Delay > maxPossible {
+				t.Fatalf("edge delay %v out of range", e.Delay)
+			}
+		}
+	}
+}
+
+func TestHostCandidatesAreLowDegree(t *testing.T) {
+	u, err := Generate(Config{Routers: 300}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var candSum, allSum float64
+	for _, v := range u.HostCandidates {
+		candSum += float64(u.Graph.Degree(v))
+	}
+	for v := 0; v < 300; v++ {
+		allSum += float64(u.Graph.Degree(v))
+	}
+	candMean := candSum / float64(len(u.HostCandidates))
+	allMean := allSum / 300
+	if candMean >= allMean {
+		t.Errorf("host candidates mean degree %.2f >= global mean %.2f", candMean, allMean)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	u1, _ := Generate(Config{Routers: 150}, rand.New(rand.NewSource(5)))
+	u2, _ := Generate(Config{Routers: 150}, rand.New(rand.NewSource(5)))
+	if u1.Graph.EdgeCount() != u2.Graph.EdgeCount() {
+		t.Error("same seed produced different graphs")
+	}
+}

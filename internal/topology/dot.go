@@ -1,0 +1,41 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the underlay as a Graphviz graph: transit routers as
+// boxes, stub routers as small circles, link labels carrying delays.
+// Intended for eyeballing generated topologies (`topogen -dot`).
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = "underlay"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  layout=neato;\n  overlap=false;\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		shape := "point"
+		switch g.Kind(v) {
+		case Transit:
+			shape = "box"
+		case Stub:
+			shape = "circle"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [shape=%s, label=\"%d\", fontsize=8];\n", v, shape, v); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.Neighbors(v) {
+			if e.To > v {
+				if _, err := fmt.Fprintf(w, "  n%d -- n%d [label=\"%.0f\", fontsize=6];\n", v, e.To, e.Delay); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

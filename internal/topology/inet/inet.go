@@ -1,0 +1,242 @@
+// Package inet generates Inet-style router topologies (Jin, Chen, Jamin,
+// U. Michigan CSE-TR-443-00): graphs whose degree distribution follows the
+// power law observed in the AS-level Internet. The HIERAS evaluation uses
+// Inet as a secondary model with a minimum of 3000 nodes; the generator
+// accepts smaller sizes but mirrors Inet's structure: a densely connected
+// high-degree core, a spanning tree attaching every router, and extra edges
+// placed to satisfy sampled power-law degree targets.
+package inet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parametrises the generator.
+type Config struct {
+	// Routers is the number of routers (>= 10).
+	Routers int
+	// Exponent is the power-law exponent alpha in P(degree = d) ∝ d^-alpha
+	// (default 2.2, Inet's empirical value).
+	Exponent float64
+	// PlaneKm, KmPerMs, MinDelay control link delays as in package brite
+	// (defaults 20000 km, 200 km/ms, 0.5 ms).
+	PlaneKm  float64
+	KmPerMs  float64
+	MinDelay float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Exponent <= 1 {
+		c.Exponent = 2.2
+	}
+	if c.PlaneKm <= 0 {
+		// Global scale: the plane diagonal is ~140 one-way ms, so the
+		// binning thresholds {20,100} separate intra-city, continental and
+		// intercontinental paths.
+		c.PlaneKm = 20000
+	}
+	if c.KmPerMs <= 0 {
+		c.KmPerMs = 200
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 0.5
+	}
+}
+
+// Generate builds an Inet-like underlay with cfg.Routers routers.
+func Generate(cfg Config, rng *rand.Rand) (*topology.Underlay, error) {
+	cfg.setDefaults()
+	n := cfg.Routers
+	if n < 10 {
+		return nil, fmt.Errorf("inet: need at least 10 routers, got %d", n)
+	}
+	g := topology.NewGraph(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	// Clustered ("heavy-tailed") placement: routers concentrate around a
+	// handful of population centers, as in BRITE's non-uniform placement
+	// mode and the real router-level Internet. The resulting latency
+	// contrast between intra-city and inter-city paths is the structure
+	// distributed binning discovers.
+	centers := 8
+	if n < 64 {
+		centers = 3
+	}
+	cx := make([]float64, centers)
+	cy := make([]float64, centers)
+	for i := range cx {
+		cx[i] = rng.Float64() * cfg.PlaneKm
+		cy[i] = rng.Float64() * cfg.PlaneKm
+	}
+	spread := cfg.PlaneKm * 0.03
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= cfg.PlaneKm {
+			return cfg.PlaneKm - 1e-9
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(centers)
+		x[i] = clamp(cx[c] + rng.NormFloat64()*spread)
+		y[i] = clamp(cy[c] + rng.NormFloat64()*spread)
+	}
+	delay := func(u, v int) float64 {
+		dx, dy := x[u]-x[v], y[u]-y[v]
+		return cfg.MinDelay + math.Hypot(dx, dy)/cfg.KmPerMs
+	}
+
+	// 1. Sample power-law degree targets: d = floor(dmin * u^(-1/(a-1))),
+	// capped to avoid a single router dominating.
+	target := make([]int, n)
+	maxDeg := n / 5
+	if maxDeg < 4 {
+		maxDeg = 4
+	}
+	for i := range target {
+		u := rng.Float64()
+		if u < 1e-9 {
+			u = 1e-9
+		}
+		d := int(math.Floor(math.Pow(u, -1/(cfg.Exponent-1))))
+		if d < 1 {
+			d = 1
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		target[i] = d
+	}
+
+	// 2. Order by target degree descending; the top three form the core
+	// triangle (Inet connects its full-degree core first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return target[order[a]] > target[order[b]] })
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			u, v := order[i], order[j]
+			if err := g.AddEdge(u, v, delay(u, v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 3. Spanning tree: each remaining router (in decreasing target order)
+	// attaches to an already-placed router chosen with probability
+	// proportional to its target degree, biased toward nearby candidates
+	// (routers peer with close, well-connected providers).
+	placed := order[:3]
+	weightSum := float64(target[order[0]] + target[order[1]] + target[order[2]])
+	pick := func() int {
+		r := rng.Float64() * weightSum
+		for _, v := range placed {
+			r -= float64(target[v])
+			if r <= 0 {
+				return v
+			}
+		}
+		return placed[len(placed)-1]
+	}
+	for _, v := range order[3:] {
+		best, bestD := -1, math.Inf(1)
+		for try := 0; try < 4; try++ {
+			c := pick()
+			if c == v {
+				continue
+			}
+			if d := math.Hypot(x[v]-x[c], y[v]-y[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if err := g.AddEdge(v, best, delay(v, best)); err != nil {
+			return nil, err
+		}
+		placed = append(placed, v)
+		weightSum += float64(target[v])
+	}
+
+	// 4. Fill remaining degree slots by matching free stubs, high degrees
+	// first, skipping duplicates.
+	var free []int // router repeated once per free slot
+	for _, v := range order {
+		for s := g.Degree(v); s < target[v]; s++ {
+			free = append(free, v)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for len(free) >= 2 {
+		u := free[len(free)-1]
+		free = free[:len(free)-1]
+		// Find a nearby partner that is not u and not already adjacent.
+		found := -1
+		bestD := math.Inf(1)
+		for attempt := 0; attempt < 8 && attempt < len(free); attempt++ {
+			i := rng.Intn(len(free))
+			v := free[i]
+			if v != u && !g.HasEdge(u, v) {
+				if d := math.Hypot(x[u]-x[v], y[u]-y[v]); d < bestD {
+					found, bestD = i, d
+				}
+			}
+		}
+		if found == -1 {
+			continue // drop this slot; degree sequence is a target, not a law
+		}
+		v := free[found]
+		free[found] = free[len(free)-1]
+		free = free[:len(free)-1]
+		if err := g.AddEdge(u, v, delay(u, v)); err != nil {
+			return nil, err
+		}
+	}
+	// Local mesh pass: every router links to its geometrically nearest
+	// neighbor, modelling the local peering real router-level maps show;
+	// without it, nearby routers detour through distant hubs and latency
+	// loses all geographic structure.
+	for v := 0; v < n; v++ {
+		best, bestD := -1, math.Inf(1)
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			dx, dy := x[v]-x[u], y[v]-y[u]
+			if d := math.Hypot(dx, dy); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		if best >= 0 && !g.HasEdge(v, best) {
+			if err := g.AddEdge(v, best, delay(v, best)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("inet: generated graph is not connected (bug)")
+	}
+	return &topology.Underlay{
+		Graph:          g,
+		Model:          topology.NewDijkstraOracle(g),
+		HostCandidates: leafRouters(g, target),
+	}, nil
+}
+
+// leafRouters returns routers with the smallest degrees (the bottom 60%) —
+// hosts live at the edge, not on backbone hubs.
+func leafRouters(g *topology.Graph, target []int) []int {
+	idx := make([]int, g.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.Degree(idx[a]) < g.Degree(idx[b]) })
+	return idx[:(g.N()*3+4)/5]
+}

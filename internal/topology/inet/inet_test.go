@@ -1,0 +1,92 @@
+package inet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	u, err := Generate(Config{Routers: 300}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Graph.N() != 300 {
+		t.Errorf("N = %d", u.Graph.N())
+	}
+	if !u.Graph.Connected() {
+		t.Fatal("inet graph must be connected")
+	}
+	if len(u.HostCandidates) == 0 {
+		t.Error("no host candidates")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Routers: 5}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("too-small router count accepted")
+	}
+}
+
+func TestPowerLawishDegrees(t *testing.T) {
+	u, err := Generate(Config{Routers: 1000}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, 1000)
+	low := 0
+	for v := 0; v < 1000; v++ {
+		degs[v] = u.Graph.Degree(v)
+		// The nearest-neighbor mesh pass adds ~1-2 links per router, so
+		// "leaf" here means degree <= 4.
+		if degs[v] <= 4 {
+			low++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// Heavy tail: top router much better connected than median; most
+	// routers have very low degree.
+	if degs[0] < 5*degs[500] {
+		t.Errorf("top degree %d vs median %d: not heavy-tailed", degs[0], degs[500])
+	}
+	if low < 400 {
+		t.Errorf("only %d routers with degree <= 4; power law should give many leaves", low)
+	}
+}
+
+func TestNoDegreeZero(t *testing.T) {
+	u, err := Generate(Config{Routers: 200}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 200; v++ {
+		if u.Graph.Degree(v) == 0 {
+			t.Fatalf("router %d isolated", v)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	u1, _ := Generate(Config{Routers: 250}, rand.New(rand.NewSource(4)))
+	u2, _ := Generate(Config{Routers: 250}, rand.New(rand.NewSource(4)))
+	if u1.Graph.EdgeCount() != u2.Graph.EdgeCount() {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestHostCandidatesAtEdge(t *testing.T) {
+	u, err := Generate(Config{Routers: 400}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var candSum, allSum float64
+	for _, v := range u.HostCandidates {
+		candSum += float64(u.Graph.Degree(v))
+	}
+	for v := 0; v < 400; v++ {
+		allSum += float64(u.Graph.Degree(v))
+	}
+	if candSum/float64(len(u.HostCandidates)) >= allSum/400 {
+		t.Error("host candidates should have below-average degree")
+	}
+}

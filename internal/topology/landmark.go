@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LandmarkStrategy selects how landmark routers are placed.
+type LandmarkStrategy int
+
+const (
+	// LandmarkSpread picks landmarks with a greedy k-center heuristic so
+	// they are maximally spread across the underlay — the "well-known set
+	// of machines spread across the Internet" of paper §2.3.
+	LandmarkSpread LandmarkStrategy = iota
+	// LandmarkRandom picks landmarks uniformly at random.
+	LandmarkRandom
+)
+
+func (s LandmarkStrategy) String() string {
+	switch s {
+	case LandmarkSpread:
+		return "spread"
+	case LandmarkRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("LandmarkStrategy(%d)", int(s))
+	}
+}
+
+// SelectLandmarks picks k landmark routers from the underlay of n.
+//
+// With LandmarkSpread, the first landmark is random and each subsequent one
+// maximises its minimum latency to the landmarks chosen so far (greedy
+// k-center). This mirrors deploying landmarks in distinct regions of the
+// Internet, which is what makes distributed binning informative.
+func SelectLandmarks(n *Network, k int, strategy LandmarkStrategy, rng *rand.Rand) ([]int, error) {
+	r := n.Model.Routers()
+	if k <= 0 {
+		return nil, fmt.Errorf("topology: landmark count must be positive, got %d", k)
+	}
+	if k > r {
+		return nil, fmt.Errorf("topology: %d landmarks requested but underlay has %d routers", k, r)
+	}
+	switch strategy {
+	case LandmarkRandom:
+		perm := rng.Perm(r)
+		lms := make([]int, k)
+		copy(lms, perm[:k])
+		return lms, nil
+	case LandmarkSpread:
+		lms := make([]int, 0, k)
+		first := rng.Intn(r)
+		lms = append(lms, first)
+		// minDist[v] = min latency from v to any chosen landmark.
+		minDist := make([]float64, r)
+		for v := 0; v < r; v++ {
+			minDist[v] = n.Model.RouterLatency(first, v)
+		}
+		for len(lms) < k {
+			best, bestDist := -1, -1.0
+			for v := 0; v < r; v++ {
+				if minDist[v] > bestDist {
+					best, bestDist = v, minDist[v]
+				}
+			}
+			lms = append(lms, best)
+			for v := 0; v < r; v++ {
+				if d := n.Model.RouterLatency(best, v); d < minDist[v] {
+					minDist[v] = d
+				}
+			}
+		}
+		return lms, nil
+	default:
+		return nil, fmt.Errorf("topology: unknown landmark strategy %v", strategy)
+	}
+}

@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Network binds an overlay of hosts (the P2P peers) to an underlay latency
+// model. Host i sits behind router HostRouter[i] over an access link with
+// delay HostDelay. End-to-end latency between two hosts is the sum of both
+// access links and the router-to-router shortest path.
+//
+// PingNoise models the inaccuracy of the ping measurements used by the
+// distributed binning scheme (paper §2.2): Ping multiplies the true latency
+// by a factor uniform in [1-PingNoise, 1+PingNoise]. Routing itself always
+// uses true latencies.
+type Network struct {
+	Model      LatencyModel
+	Graph      *Graph // underlying router graph; may be nil for synthetic models
+	HostRouter []int
+	HostDelay  float64
+	PingNoise  float64
+}
+
+// AttachOptions configures Attach.
+type AttachOptions struct {
+	// Hosts is the number of overlay peers to create.
+	Hosts int
+	// Routers restricts attachment to these router indexes. When empty,
+	// hosts attach to any router.
+	Routers []int
+	// HostDelay is the access-link delay in milliseconds (default 1).
+	HostDelay float64
+	// Spread, when true and Hosts <= len(candidate routers), assigns at
+	// most one host per router (a permutation sample); otherwise hosts pick
+	// routers uniformly at random with replacement.
+	Spread bool
+}
+
+// Attach creates a Network with opts.Hosts hosts placed on the underlay.
+func Attach(model LatencyModel, g *Graph, opts AttachOptions, rng *rand.Rand) (*Network, error) {
+	if opts.Hosts <= 0 {
+		return nil, fmt.Errorf("topology: Attach needs at least one host, got %d", opts.Hosts)
+	}
+	candidates := opts.Routers
+	if len(candidates) == 0 {
+		candidates = make([]int, model.Routers())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("topology: no candidate routers to attach hosts to")
+	}
+	hostDelay := opts.HostDelay
+	if hostDelay == 0 {
+		hostDelay = 1
+	}
+	hr := make([]int, opts.Hosts)
+	if opts.Spread && opts.Hosts <= len(candidates) {
+		perm := rng.Perm(len(candidates))
+		for i := 0; i < opts.Hosts; i++ {
+			hr[i] = candidates[perm[i]]
+		}
+	} else {
+		for i := range hr {
+			hr[i] = candidates[rng.Intn(len(candidates))]
+		}
+	}
+	return &Network{
+		Model:      model,
+		Graph:      g,
+		HostRouter: hr,
+		HostDelay:  hostDelay,
+	}, nil
+}
+
+// Hosts returns the number of overlay peers.
+func (n *Network) Hosts() int { return len(n.HostRouter) }
+
+// Latency returns the one-way end-to-end delay in milliseconds between
+// hosts a and b. Latency(a, a) is zero.
+func (n *Network) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return 2*n.HostDelay + n.Model.RouterLatency(n.HostRouter[a], n.HostRouter[b])
+}
+
+// LatencyToRouter returns the one-way delay from host a to router r.
+func (n *Network) LatencyToRouter(a, r int) float64 {
+	return n.HostDelay + n.Model.RouterLatency(n.HostRouter[a], r)
+}
+
+// Ping returns a measured (noisy) latency from host a to router r. With
+// PingNoise == 0 it equals LatencyToRouter.
+func (n *Network) Ping(a, r int, rng *rand.Rand) float64 {
+	lat := n.LatencyToRouter(a, r)
+	if n.PingNoise <= 0 {
+		return lat
+	}
+	f := 1 + n.PingNoise*(2*rng.Float64()-1)
+	return lat * f
+}
+
+// PingVector measures host a's latency to each landmark router.
+func (n *Network) PingVector(a int, landmarks []int, rng *rand.Rand) []float64 {
+	out := make([]float64, len(landmarks))
+	for i, lm := range landmarks {
+		out[i] = n.Ping(a, lm, rng)
+	}
+	return out
+}

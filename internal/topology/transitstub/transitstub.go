@@ -1,0 +1,352 @@
+// Package transitstub generates GT-ITM style Transit-Stub internetwork
+// topologies (Zegura et al., "How to model an internetwork", INFOCOM'96),
+// the primary model in the HIERAS evaluation (§4.1).
+//
+// The generated underlay has a two-level structure: transit domains whose
+// routers interconnect with 100 ms links, and stub domains hanging off
+// individual transit routers over 20 ms links, with 5 ms links inside each
+// stub domain. Those three constants are exactly the ones used in the
+// paper and are configurable.
+//
+// Because every stub domain attaches to the core through a single gateway
+// transit router, shortest paths decompose as
+//
+//	d(a,b) = d(a, gw(a)) + d(gw(a), b)
+//
+// for hosts in different stub domains, so the Model answers latency queries
+// in O(1) after precomputing one Dijkstra row per transit router and an
+// all-pairs table per stub domain. This makes 10,000-router experiments
+// cheap, matching the paper's largest configuration.
+package transitstub
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// Config parametrises the generator.
+type Config struct {
+	// TransitDomains is the number of transit domains (>= 1).
+	TransitDomains int
+	// TransitNodesPerDomain is the router count per transit domain (>= 1).
+	TransitNodesPerDomain int
+	// StubDomainsPerTransitNode is the number of stub domains attached to
+	// each transit router (>= 1).
+	StubDomainsPerTransitNode int
+	// StubNodesPerDomain is the mean router count per stub domain (>= 1).
+	// Actual sizes are uniform in [ceil(mean/2), floor(3*mean/2)].
+	StubNodesPerDomain int
+
+	// IntraTransitDelay is the delay of transit-transit links (paper: 100).
+	IntraTransitDelay float64
+	// TransitStubDelay is the delay of stub-gateway links (paper: 20).
+	TransitStubDelay float64
+	// IntraStubDelay is the delay of links inside stub domains (paper: 5).
+	IntraStubDelay float64
+
+	// ExtraTransitEdgeProb is the probability of each extra candidate edge
+	// inside a transit domain beyond the connecting ring.
+	ExtraTransitEdgeProb float64
+	// ExtraStubEdgeProb is the probability of each extra candidate edge
+	// inside a stub domain beyond the spanning tree.
+	ExtraStubEdgeProb float64
+}
+
+// DefaultConfig returns a configuration sized so the underlay has roughly
+// wantStubRouters stub routers, using the paper's delay constants.
+//
+// Following GT-ITM practice (and what makes the paper's landmark-count
+// sweep meaningful), the transit core is kept small and fixed — 2 transit
+// domains of 4 routers each, i.e. 8 "regions" — and the stub population
+// grows with the requested size. Distributed binning with the paper's
+// {20,100} thresholds then discriminates exactly the right structure:
+// same stub domain (< 20 ms) / same region (20-100 ms) / different region
+// (> 100 ms), and 4-8 landmarks cover the regions as in Figures 6-7.
+func DefaultConfig(wantStubRouters int) Config {
+	cfg := Config{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 4,
+		StubNodesPerDomain:    12,
+		IntraTransitDelay:     100,
+		TransitStubDelay:      20,
+		IntraStubDelay:        5,
+		ExtraTransitEdgeProb:  0.5,
+		ExtraStubEdgeProb:     0.15,
+	}
+	regions := cfg.TransitDomains * cfg.TransitNodesPerDomain
+	// Overshoot ~8% so Spread attachment (one host per stub router) fits.
+	per := (wantStubRouters*108/100 + regions*cfg.StubNodesPerDomain - 1) /
+		(regions * cfg.StubNodesPerDomain)
+	if per < 1 {
+		per = 1
+	}
+	cfg.StubDomainsPerTransitNode = per
+	return cfg
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.TransitDomains < 1:
+		return fmt.Errorf("transitstub: TransitDomains must be >= 1, got %d", c.TransitDomains)
+	case c.TransitNodesPerDomain < 1:
+		return fmt.Errorf("transitstub: TransitNodesPerDomain must be >= 1, got %d", c.TransitNodesPerDomain)
+	case c.StubDomainsPerTransitNode < 1:
+		return fmt.Errorf("transitstub: StubDomainsPerTransitNode must be >= 1, got %d", c.StubDomainsPerTransitNode)
+	case c.StubNodesPerDomain < 1:
+		return fmt.Errorf("transitstub: StubNodesPerDomain must be >= 1, got %d", c.StubNodesPerDomain)
+	case c.IntraTransitDelay <= 0 || c.TransitStubDelay <= 0 || c.IntraStubDelay <= 0:
+		return fmt.Errorf("transitstub: delays must be positive")
+	}
+	return nil
+}
+
+// Model is a generated Transit-Stub underlay implementing
+// topology.LatencyModel with O(1) exact shortest-path queries.
+type Model struct {
+	G           *topology.Graph
+	TransitIdx  []int // graph indexes of transit routers
+	StubRouters []int // graph indexes of stub routers
+
+	// stubDomain[v] is the stub-domain index of router v, or -1 for
+	// transit routers.
+	stubDomain []int
+	// gateway[d] is the transit router a stub domain d attaches to.
+	gateway []int
+	// transitRow[t] is the full-graph Dijkstra row from transit router
+	// with transit index t.
+	transitRow [][]float64
+	// transitOf[v] is the transit index of transit router v, or -1.
+	transitOf []int
+	// intra[d] is the all-pairs delay table within stub domain d, indexed
+	// by in-domain position.
+	intra [][][]float64
+	// domPos[v] is v's position within its stub domain.
+	domPos []int
+	// domMembers[d] lists the graph indexes in stub domain d.
+	domMembers [][]int
+}
+
+// Generate builds a Transit-Stub underlay from cfg using rng.
+func Generate(cfg Config, rng *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := topology.NewGraph(0)
+	m := &Model{G: g}
+
+	// 1. Transit routers, grouped by domain.
+	domains := make([][]int, cfg.TransitDomains)
+	for d := range domains {
+		for i := 0; i < cfg.TransitNodesPerDomain; i++ {
+			v := g.AddNode(topology.Transit)
+			domains[d] = append(domains[d], v)
+			m.TransitIdx = append(m.TransitIdx, v)
+		}
+		// Connect the domain: ring (or single edge / nothing for tiny
+		// domains) plus random extra chords.
+		connectRing(g, domains[d], cfg.IntraTransitDelay)
+		addRandomChords(g, domains[d], cfg.ExtraTransitEdgeProb, cfg.IntraTransitDelay, rng)
+	}
+	// 2. Inter-domain transit links: a ring over domains plus random extra
+	// domain pairs, each joined by one random router pair.
+	for d := 0; d < cfg.TransitDomains; d++ {
+		next := (d + 1) % cfg.TransitDomains
+		if next == d {
+			break
+		}
+		u := domains[d][rng.Intn(len(domains[d]))]
+		v := domains[next][rng.Intn(len(domains[next]))]
+		if !g.HasEdge(u, v) {
+			if err := g.AddEdge(u, v, cfg.IntraTransitDelay); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.TransitDomains == 2 {
+			break // ring over 2 domains would duplicate the edge
+		}
+	}
+	for d := 0; d < cfg.TransitDomains; d++ {
+		for e := d + 2; e < cfg.TransitDomains; e++ {
+			if rng.Float64() < 0.2 {
+				u := domains[d][rng.Intn(len(domains[d]))]
+				v := domains[e][rng.Intn(len(domains[e]))]
+				if !g.HasEdge(u, v) {
+					if err := g.AddEdge(u, v, cfg.IntraTransitDelay); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Stub domains: one gateway edge from a random member to the parent
+	// transit router; internal spanning tree plus random chords.
+	for _, tr := range m.TransitIdx {
+		for s := 0; s < cfg.StubDomainsPerTransitNode; s++ {
+			size := stubSize(cfg.StubNodesPerDomain, rng)
+			members := make([]int, size)
+			for i := range members {
+				members[i] = g.AddNode(topology.Stub)
+			}
+			connectTree(g, members, cfg.IntraStubDelay, rng)
+			addRandomChords(g, members, cfg.ExtraStubEdgeProb, cfg.IntraStubDelay, rng)
+			attach := members[rng.Intn(size)]
+			if err := g.AddEdge(attach, tr, cfg.TransitStubDelay); err != nil {
+				return nil, err
+			}
+			dom := len(m.gateway)
+			m.gateway = append(m.gateway, tr)
+			m.domMembers = append(m.domMembers, members)
+			m.StubRouters = append(m.StubRouters, members...)
+			_ = dom
+		}
+	}
+
+	// 4. Indexes and precomputation.
+	n := g.N()
+	m.stubDomain = make([]int, n)
+	m.domPos = make([]int, n)
+	m.transitOf = make([]int, n)
+	for v := range m.stubDomain {
+		m.stubDomain[v] = -1
+		m.transitOf[v] = -1
+	}
+	for d, members := range m.domMembers {
+		for pos, v := range members {
+			m.stubDomain[v] = d
+			m.domPos[v] = pos
+		}
+	}
+	for t, v := range m.TransitIdx {
+		m.transitOf[v] = t
+	}
+	m.transitRow = make([][]float64, len(m.TransitIdx))
+	for t, v := range m.TransitIdx {
+		m.transitRow[t] = g.Dijkstra(v)
+	}
+	m.intra = make([][][]float64, len(m.domMembers))
+	for d, members := range m.domMembers {
+		m.intra[d] = intraDomainAllPairs(g, members)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("transitstub: generated graph is not connected (bug)")
+	}
+	return m, nil
+}
+
+// stubSize draws a stub-domain size uniform in [ceil(mean/2), 3*mean/2].
+func stubSize(mean int, rng *rand.Rand) int {
+	lo := (mean + 1) / 2
+	hi := mean + mean/2
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+func connectRing(g *topology.Graph, members []int, delay float64) {
+	if len(members) < 2 {
+		return
+	}
+	if len(members) == 2 {
+		_ = g.AddEdge(members[0], members[1], delay)
+		return
+	}
+	for i := range members {
+		_ = g.AddEdge(members[i], members[(i+1)%len(members)], delay)
+	}
+}
+
+// connectTree links members into a random spanning tree (uniform attachment
+// order).
+func connectTree(g *topology.Graph, members []int, delay float64, rng *rand.Rand) {
+	for i := 1; i < len(members); i++ {
+		parent := members[rng.Intn(i)]
+		_ = g.AddEdge(members[i], parent, delay)
+	}
+}
+
+func addRandomChords(g *topology.Graph, members []int, prob, delay float64, rng *rand.Rand) {
+	if prob <= 0 {
+		return
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if rng.Float64() < prob && !g.HasEdge(members[i], members[j]) {
+				_ = g.AddEdge(members[i], members[j], delay)
+			}
+		}
+	}
+}
+
+func intraDomainAllPairs(g *topology.Graph, members []int) [][]float64 {
+	pos := make(map[int]int, len(members))
+	for p, v := range members {
+		pos[v] = p
+	}
+	out := make([][]float64, len(members))
+	for p, src := range members {
+		// Dijkstra restricted to the domain subgraph. Shortest intra-domain
+		// paths never leave the domain (leaving requires re-entering over
+		// the same gateway edge, which is strictly longer).
+		dist := make([]float64, len(members))
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[p] = 0
+		// Simple O(k^2) scan; domains are small.
+		done := make([]bool, len(members))
+		for iter := 0; iter < len(members); iter++ {
+			best, bestD := -1, math.Inf(1)
+			for i, dd := range dist {
+				if !done[i] && dd < bestD {
+					best, bestD = i, dd
+				}
+			}
+			if best == -1 {
+				break
+			}
+			done[best] = true
+			for _, e := range g.Neighbors(members[best]) {
+				if q, ok := pos[e.To]; ok {
+					if nd := bestD + e.Delay; nd < dist[q] {
+						dist[q] = nd
+					}
+				}
+			}
+		}
+		out[p] = dist
+		_ = src
+	}
+	return out
+}
+
+// Routers implements topology.LatencyModel.
+func (m *Model) Routers() int { return m.G.N() }
+
+// RouterLatency implements topology.LatencyModel with exact O(1) queries.
+func (m *Model) RouterLatency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	da, db := m.stubDomain[a], m.stubDomain[b]
+	switch {
+	case da >= 0 && da == db:
+		return m.intra[da][m.domPos[a]][m.domPos[b]]
+	case da >= 0:
+		gw := m.transitOf[m.gateway[da]]
+		return m.transitRow[gw][a] + m.transitRow[gw][b]
+	case db >= 0:
+		gw := m.transitOf[m.gateway[db]]
+		return m.transitRow[gw][b] + m.transitRow[gw][a]
+	default: // both transit
+		return m.transitRow[m.transitOf[a]][b]
+	}
+}
+
+// StubDomains returns the number of stub domains.
+func (m *Model) StubDomains() int { return len(m.domMembers) }

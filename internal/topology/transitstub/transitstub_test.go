@@ -1,0 +1,230 @@
+package transitstub
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func genSmall(t *testing.T, seed int64) *Model {
+	t.Helper()
+	cfg := Config{
+		TransitDomains:            3,
+		TransitNodesPerDomain:     3,
+		StubDomainsPerTransitNode: 2,
+		StubNodesPerDomain:        5,
+		IntraTransitDelay:         100,
+		TransitStubDelay:          20,
+		IntraStubDelay:            5,
+		ExtraTransitEdgeProb:      0.3,
+		ExtraStubEdgeProb:         0.2,
+	}
+	m, err := Generate(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{TransitDomains: 1},
+		{TransitDomains: 1, TransitNodesPerDomain: 1},
+		{TransitDomains: 1, TransitNodesPerDomain: 1, StubDomainsPerTransitNode: 1},
+		{TransitDomains: 1, TransitNodesPerDomain: 1, StubDomainsPerTransitNode: 1, StubNodesPerDomain: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := DefaultConfig(100)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	m := genSmall(t, 1)
+	g := m.G
+	if !g.Connected() {
+		t.Fatal("graph not connected")
+	}
+	if len(m.TransitIdx) != 9 {
+		t.Errorf("transit routers = %d, want 9", len(m.TransitIdx))
+	}
+	if m.StubDomains() != 18 {
+		t.Errorf("stub domains = %d, want 18", m.StubDomains())
+	}
+	for _, v := range m.TransitIdx {
+		if g.Kind(v) != topology.Transit {
+			t.Errorf("node %d should be transit", v)
+		}
+	}
+	for _, v := range m.StubRouters {
+		if g.Kind(v) != topology.Stub {
+			t.Errorf("node %d should be stub", v)
+		}
+	}
+	if len(m.StubRouters)+len(m.TransitIdx) != g.N() {
+		t.Error("router partition incomplete")
+	}
+}
+
+func TestStubDomainSizesInRange(t *testing.T) {
+	m := genSmall(t, 2)
+	for d, members := range m.domMembers {
+		// mean 5 -> sizes in [3, 7]
+		if len(members) < 3 || len(members) > 7 {
+			t.Errorf("domain %d size %d outside [3,7]", d, len(members))
+		}
+	}
+}
+
+func TestLatencyMatchesDijkstra(t *testing.T) {
+	m := genSmall(t, 3)
+	rng := rand.New(rand.NewSource(33))
+	n := m.G.N()
+	// Compare the decomposed O(1) oracle against brute-force Dijkstra on
+	// random sources.
+	for trial := 0; trial < 8; trial++ {
+		src := rng.Intn(n)
+		want := m.G.Dijkstra(src)
+		for v := 0; v < n; v++ {
+			got := m.RouterLatency(src, v)
+			if math.Abs(got-want[v]) > 1e-9 {
+				t.Fatalf("RouterLatency(%d,%d) = %v, Dijkstra says %v", src, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestQuickLatencySymmetric(t *testing.T) {
+	m := genSmall(t, 4)
+	n := m.G.N()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%n, int(b)%n
+		return m.RouterLatency(x, y) == m.RouterLatency(y, x)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameDomainCheaperThanCrossDomain(t *testing.T) {
+	m := genSmall(t, 6)
+	// Mean intra-domain latency must be far below mean cross-domain
+	// latency — this is the property HIERAS exploits.
+	var intraSum, crossSum float64
+	var intraN, crossN int
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4000; trial++ {
+		a := m.StubRouters[rng.Intn(len(m.StubRouters))]
+		b := m.StubRouters[rng.Intn(len(m.StubRouters))]
+		if a == b {
+			continue
+		}
+		l := m.RouterLatency(a, b)
+		if m.stubDomain[a] == m.stubDomain[b] {
+			intraSum += l
+			intraN++
+		} else {
+			crossSum += l
+			crossN++
+		}
+	}
+	if intraN == 0 || crossN == 0 {
+		t.Skip("sampling did not hit both cases")
+	}
+	intra, cross := intraSum/float64(intraN), crossSum/float64(crossN)
+	if intra*3 > cross {
+		t.Errorf("intra %.1f ms not clearly below cross %.1f ms", intra, cross)
+	}
+}
+
+func TestDefaultConfigScales(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		cfg := DefaultConfig(n)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("DefaultConfig(%d) invalid: %v", n, err)
+		}
+		approx := cfg.TransitDomains * cfg.TransitNodesPerDomain *
+			cfg.StubDomainsPerTransitNode * cfg.StubNodesPerDomain
+		if approx < n/2 {
+			t.Errorf("DefaultConfig(%d) yields only ~%d stub routers", n, approx)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(200)
+	m1, err := Generate(cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Generate(cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.G.N() != m2.G.N() || m1.G.EdgeCount() != m2.G.EdgeCount() {
+		t.Error("same seed produced different graphs")
+	}
+	// Spot-check some latencies.
+	for i := 0; i < 20; i++ {
+		a, b := (i*37)%m1.G.N(), (i*53)%m1.G.N()
+		if m1.RouterLatency(a, b) != m2.RouterLatency(a, b) {
+			t.Fatal("same seed produced different latencies")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	if _, err := Generate(Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSingleTransitDomain(t *testing.T) {
+	cfg := Config{
+		TransitDomains:            1,
+		TransitNodesPerDomain:     2,
+		StubDomainsPerTransitNode: 2,
+		StubNodesPerDomain:        3,
+		IntraTransitDelay:         100,
+		TransitStubDelay:          20,
+		IntraStubDelay:            5,
+	}
+	m, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.G.Connected() {
+		t.Error("single-domain graph must be connected")
+	}
+}
+
+func TestTwoTransitDomainsNoDuplicateRingEdge(t *testing.T) {
+	cfg := Config{
+		TransitDomains:            2,
+		TransitNodesPerDomain:     1,
+		StubDomainsPerTransitNode: 1,
+		StubNodesPerDomain:        2,
+		IntraTransitDelay:         100,
+		TransitStubDelay:          20,
+		IntraStubDelay:            5,
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := Generate(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.G.Connected() {
+			t.Fatal("2-domain graph must be connected")
+		}
+	}
+}

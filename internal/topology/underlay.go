@@ -1,0 +1,13 @@
+package topology
+
+// Underlay bundles a generated router graph with its latency model and the
+// set of routers overlay hosts should attach to (stub/edge routers). All
+// topology generators in subpackages return one of these.
+type Underlay struct {
+	Graph *Graph
+	Model LatencyModel
+	// HostCandidates are the routers suitable for host attachment (stub
+	// routers in the TS model, low-degree edge routers otherwise). Empty
+	// means "any router".
+	HostCandidates []int
+}

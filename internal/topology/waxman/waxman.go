@@ -1,0 +1,162 @@
+// Package waxman generates Waxman random graphs (Waxman, JSAC 1988), the
+// classic internetwork model GT-ITM itself uses for its intra-domain
+// topologies. Routers scatter on a plane and each pair links with
+// probability alpha * exp(-d / (beta * L)), where d is their distance and
+// L the plane diagonal; a spanning tree guarantees connectivity. It serves
+// as a fourth underlay model ("We also use other distributions but our
+// conclusion does not change", paper §4.1).
+package waxman
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parametrises the generator.
+type Config struct {
+	// Routers is the number of routers (>= 3).
+	Routers int
+	// Alpha scales overall edge density (default 0.15).
+	Alpha float64
+	// Beta controls the long-edge ratio: larger beta, more long links
+	// (default 0.18).
+	Beta float64
+	// PlaneKm, KmPerMs, MinDelay control delays as in package brite
+	// (defaults 5000 km, 200 km/ms, 0.5 ms).
+	PlaneKm  float64
+	KmPerMs  float64
+	MinDelay float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Alpha <= 0 {
+		c.Alpha = 0.15
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.18
+	}
+	if c.PlaneKm <= 0 {
+		c.PlaneKm = 5000
+	}
+	if c.KmPerMs <= 0 {
+		c.KmPerMs = 200
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 0.5
+	}
+}
+
+// Generate builds a Waxman underlay.
+func Generate(cfg Config, rng *rand.Rand) (*topology.Underlay, error) {
+	cfg.setDefaults()
+	n := cfg.Routers
+	if n < 3 {
+		return nil, fmt.Errorf("waxman: need at least 3 routers, got %d", n)
+	}
+	g := topology.NewGraph(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64() * cfg.PlaneKm
+		y[i] = rng.Float64() * cfg.PlaneKm
+	}
+	dist := func(u, v int) float64 { return math.Hypot(x[u]-x[v], y[u]-y[v]) }
+	delay := func(u, v int) float64 { return cfg.MinDelay + dist(u, v)/cfg.KmPerMs }
+	diag := cfg.PlaneKm * math.Sqrt2
+
+	// Waxman edges.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := cfg.Alpha * math.Exp(-dist(u, v)/(cfg.Beta*diag))
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v, delay(u, v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Connectivity repair: link each stranded component to its nearest
+	// already-connected router (shortest geometric edge).
+	comp := components(g)
+	for comp[0] != -2 { // sentinel never set; loop breaks inside
+		// Find any node not in component of node 0.
+		root := comp[0]
+		stranded := -1
+		for v, c := range comp {
+			if c != root {
+				stranded = v
+				break
+			}
+		}
+		if stranded == -1 {
+			break
+		}
+		// Nearest cross-component pair involving stranded's component.
+		bestU, bestV, bestD := -1, -1, math.Inf(1)
+		for u := 0; u < n; u++ {
+			if comp[u] != comp[stranded] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if comp[v] == comp[stranded] {
+					continue
+				}
+				if d := dist(u, v); d < bestD {
+					bestU, bestV, bestD = u, v, d
+				}
+			}
+		}
+		if err := g.AddEdge(bestU, bestV, delay(bestU, bestV)); err != nil {
+			return nil, err
+		}
+		comp = components(g)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("waxman: connectivity repair failed (bug)")
+	}
+	return &topology.Underlay{
+		Graph:          g,
+		Model:          topology.NewDijkstraOracle(g),
+		HostCandidates: lowDegreeHalf(g),
+	}, nil
+}
+
+// components labels each node with its component representative.
+func components(g *topology.Graph) []int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = s
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Neighbors(u) {
+				if comp[e.To] == -1 {
+					comp[e.To] = s
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+	return comp
+}
+
+func lowDegreeHalf(g *topology.Graph) []int {
+	idx := make([]int, g.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.Degree(idx[a]) < g.Degree(idx[b]) })
+	return idx[:(g.N()+1)/2]
+}

@@ -1,0 +1,78 @@
+package waxman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateBasic(t *testing.T) {
+	u, err := Generate(Config{Routers: 300}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Graph.N() != 300 {
+		t.Errorf("N = %d", u.Graph.N())
+	}
+	if !u.Graph.Connected() {
+		t.Fatal("waxman graph must be connected")
+	}
+	if len(u.HostCandidates) == 0 {
+		t.Error("no host candidates")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Routers: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("too-small router count accepted")
+	}
+}
+
+func TestShortEdgesDominate(t *testing.T) {
+	u, err := Generate(Config{Routers: 400}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waxman's defining property: edge probability decays with distance,
+	// so the median link delay must be well below the median pairwise
+	// distance (~half the diagonal/speed).
+	var delays []float64
+	for v := 0; v < u.Graph.N(); v++ {
+		for _, e := range u.Graph.Neighbors(v) {
+			if e.To > v {
+				delays = append(delays, e.Delay)
+			}
+		}
+	}
+	if len(delays) == 0 {
+		t.Fatal("no edges")
+	}
+	var sum float64
+	for _, d := range delays {
+		sum += d
+	}
+	mean := sum / float64(len(delays))
+	maxPossible := 0.5 + 5000*math.Sqrt2/200
+	if mean > maxPossible/2.5 {
+		t.Errorf("mean edge delay %.1f ms too long for a Waxman graph (max %.1f)", mean, maxPossible)
+	}
+}
+
+func TestSparseAlphaStillConnected(t *testing.T) {
+	// Tiny alpha produces many components; repair must stitch them.
+	u, err := Generate(Config{Routers: 150, Alpha: 0.01}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Graph.Connected() {
+		t.Fatal("repair failed to connect sparse graph")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	u1, _ := Generate(Config{Routers: 200}, rand.New(rand.NewSource(4)))
+	u2, _ := Generate(Config{Routers: 200}, rand.New(rand.NewSource(4)))
+	if u1.Graph.EdgeCount() != u2.Graph.EdgeCount() {
+		t.Error("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Analysis is an offline summary of a routing trace — the same quantities
+// the paper's §4.3 reports, recomputed from a recorded request stream.
+type Analysis struct {
+	Requests int
+
+	Hops    stats.Summary
+	Latency stats.Summary
+
+	// LowerHopShare / LowerLatencyShare are the fractions of hops and
+	// latency spent in lower-layer rings across the whole trace.
+	LowerHopShare     float64
+	LowerLatencyShare float64
+
+	// HopsPDF has one probability per hop count; LatencyCDF uses 20 ms
+	// buckets, matching the figures in the paper.
+	HopsPDF    []stats.Point
+	LatencyCDF []stats.Point
+}
+
+// Analyze computes the full analysis of a recorded trace.
+func Analyze(records []Record) (Analysis, error) {
+	if len(records) == 0 {
+		return Analysis{}, fmt.Errorf("trace: empty trace")
+	}
+	hops := make([]float64, len(records))
+	lats := make([]float64, len(records))
+	var totalHops, lowerHops int
+	var totalLat, lowerLat float64
+	hopsHist, err := stats.NewHistogram(1)
+	if err != nil {
+		return Analysis{}, err
+	}
+	latHist, err := stats.NewHistogram(20)
+	if err != nil {
+		return Analysis{}, err
+	}
+	for i, r := range records {
+		if r.Hops < 0 || r.Lower < 0 || r.Lower > r.Hops {
+			return Analysis{}, fmt.Errorf("trace: record %d has inconsistent hop counts", i)
+		}
+		if r.Latency < 0 || r.LowerMs < 0 || r.LowerMs > r.Latency+1e-9 {
+			return Analysis{}, fmt.Errorf("trace: record %d has inconsistent latencies", i)
+		}
+		hops[i] = float64(r.Hops)
+		lats[i] = r.Latency
+		totalHops += r.Hops
+		lowerHops += r.Lower
+		totalLat += r.Latency
+		lowerLat += r.LowerMs
+		if err := hopsHist.Add(float64(r.Hops)); err != nil {
+			return Analysis{}, err
+		}
+		if err := latHist.Add(r.Latency); err != nil {
+			return Analysis{}, err
+		}
+	}
+	a := Analysis{
+		Requests:   len(records),
+		Hops:       stats.Summarize(hops),
+		Latency:    stats.Summarize(lats),
+		HopsPDF:    hopsHist.PDF(),
+		LatencyCDF: latHist.CDF(),
+	}
+	if totalHops > 0 {
+		a.LowerHopShare = float64(lowerHops) / float64(totalHops)
+	}
+	if totalLat > 0 {
+		a.LowerLatencyShare = lowerLat / totalLat
+	}
+	return a, nil
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	records := []Record{
+		{Hops: 4, Lower: 3, Latency: 100, LowerMs: 30},
+		{Hops: 6, Lower: 3, Latency: 300, LowerMs: 90},
+		{Hops: 0, Lower: 0, Latency: 0, LowerMs: 0},
+	}
+	a, err := Analyze(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != 3 {
+		t.Errorf("Requests = %d", a.Requests)
+	}
+	if math.Abs(a.Hops.Mean-10.0/3) > 1e-9 {
+		t.Errorf("mean hops = %v", a.Hops.Mean)
+	}
+	if math.Abs(a.LowerHopShare-0.6) > 1e-9 {
+		t.Errorf("lower hop share = %v, want 0.6", a.LowerHopShare)
+	}
+	if math.Abs(a.LowerLatencyShare-0.3) > 1e-9 {
+		t.Errorf("lower latency share = %v, want 0.3", a.LowerLatencyShare)
+	}
+	// PDF over hop counts 0..6.
+	if len(a.HopsPDF) != 7 {
+		t.Fatalf("pdf buckets = %d", len(a.HopsPDF))
+	}
+	if math.Abs(a.HopsPDF[4].Y-1.0/3) > 1e-9 {
+		t.Errorf("pdf[4] = %v", a.HopsPDF[4].Y)
+	}
+	// CDF ends at 1.
+	if last := a.LatencyCDF[len(a.LatencyCDF)-1].Y; math.Abs(last-1) > 1e-9 {
+		t.Errorf("cdf end = %v", last)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestAnalyzeRejectsInconsistent(t *testing.T) {
+	bad := [][]Record{
+		{{Hops: 2, Lower: 3, Latency: 10, LowerMs: 5}},  // lower > hops
+		{{Hops: 3, Lower: 1, Latency: 10, LowerMs: 50}}, // lower latency > total
+		{{Hops: -1, Lower: 0, Latency: 10}},             // negative hops
+		{{Hops: 1, Lower: 0, Latency: -5}},              // negative latency
+	}
+	for i, records := range bad {
+		if _, err := Analyze(records); err == nil {
+			t.Errorf("case %d: inconsistent record accepted", i)
+		}
+	}
+}

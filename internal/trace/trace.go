@@ -1,0 +1,112 @@
+// Package trace records completed routing procedures as flat records and
+// serialises them to CSV, enabling the "trace-driven" analysis style of
+// the paper: run the simulator once, keep the trace, recompute any
+// distribution offline (or feed it to external plotting tools).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Record is one completed routing request.
+type Record struct {
+	Seq     int     // request sequence number
+	Origin  int     // overlay node index
+	Dest    int     // overlay node index
+	Hops    int     // total routing hops
+	Lower   int     // hops taken in layers >= 2
+	Latency float64 // total latency, ms
+	LowerMs float64 // latency accumulated in layers >= 2, ms
+}
+
+// FromRoute converts a core.RouteResult into a Record.
+func FromRoute(seq int, r core.RouteResult) Record {
+	return Record{
+		Seq:     seq,
+		Origin:  r.Origin,
+		Dest:    r.Dest,
+		Hops:    r.NumHops(),
+		Lower:   r.LowerHops,
+		Latency: r.Latency,
+		LowerMs: r.LowerLatency,
+	}
+}
+
+var header = []string{"seq", "origin", "dest", "hops", "lower_hops", "latency_ms", "lower_latency_ms"}
+
+// Writer streams records as CSV.
+type Writer struct {
+	w     *csv.Writer
+	wrote bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: csv.NewWriter(w)} }
+
+// Write appends one record (writing the header first).
+func (t *Writer) Write(r Record) error {
+	if !t.wrote {
+		if err := t.w.Write(header); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	row := []string{
+		strconv.Itoa(r.Seq),
+		strconv.Itoa(r.Origin),
+		strconv.Itoa(r.Dest),
+		strconv.Itoa(r.Hops),
+		strconv.Itoa(r.Lower),
+		strconv.FormatFloat(r.Latency, 'g', -1, 64),
+		strconv.FormatFloat(r.LowerMs, 'g', -1, 64),
+	}
+	return t.w.Write(row)
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (t *Writer) Flush() error {
+	t.w.Flush()
+	return t.w.Error()
+}
+
+// Read parses a CSV trace produced by Writer.
+func Read(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != header[0] {
+		return nil, fmt.Errorf("trace: unrecognised header %v", rows[0])
+	}
+	out := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+1, len(row))
+		}
+		var rec Record
+		var errs [7]error
+		rec.Seq, errs[0] = strconv.Atoi(row[0])
+		rec.Origin, errs[1] = strconv.Atoi(row[1])
+		rec.Dest, errs[2] = strconv.Atoi(row[2])
+		rec.Hops, errs[3] = strconv.Atoi(row[3])
+		rec.Lower, errs[4] = strconv.Atoi(row[4])
+		rec.Latency, errs[5] = strconv.ParseFloat(row[5], 64)
+		rec.LowerMs, errs[6] = strconv.ParseFloat(row[6], 64)
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("trace: row %d: %v", i+1, e)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/id"
+)
+
+func sample() []Record {
+	return []Record{
+		{Seq: 0, Origin: 3, Dest: 9, Hops: 6, Lower: 4, Latency: 310.5, LowerMs: 120.25},
+		{Seq: 1, Origin: 1, Dest: 1, Hops: 0, Lower: 0, Latency: 0, LowerMs: 0},
+		{Seq: 2, Origin: 7, Dest: 2, Hops: 8, Lower: 5, Latency: 512.125, LowerMs: 300},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sample() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty read: %v %v", got, err)
+	}
+}
+
+func TestReadBadHeader(t *testing.T) {
+	if _, err := Read(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestReadBadField(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{})
+	_ = w.Flush()
+	s := strings.Replace(buf.String(), "0,0,0,0,0,0,0", "x,0,0,0,0,0,0", 1)
+	if _, err := Read(strings.NewReader(s)); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func TestFromRoute(t *testing.T) {
+	r := core.RouteResult{
+		Origin: 2, Dest: 5, Key: id.HashString("k"),
+		Hops: []core.Hop{
+			{Layer: 2, From: 2, To: 3, Latency: 10},
+			{Layer: 1, From: 3, To: 5, Latency: 100},
+		},
+		Latency: 110, LowerHops: 1, LowerLatency: 10,
+	}
+	rec := FromRoute(7, r)
+	want := Record{Seq: 7, Origin: 2, Dest: 5, Hops: 2, Lower: 1, Latency: 110, LowerMs: 10}
+	if rec != want {
+		t.Errorf("FromRoute = %+v, want %+v", rec, want)
+	}
+}
+
+func TestHeaderWrittenOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{})
+	_ = w.Write(Record{Seq: 1})
+	_ = w.Flush()
+	if strings.Count(buf.String(), "seq,origin") != 1 {
+		t.Error("header should appear exactly once")
+	}
+}

@@ -1,0 +1,636 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/binning"
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// maxWalk bounds any iterative walk; lookups are O(log N) in a healthy
+// overlay, so hitting this indicates inconsistent state.
+const maxWalk = 4 * id.Bits
+
+// CreateNetwork makes this node the first member of a new overlay: it is
+// its own successor and predecessor in every layer and stores its own ring
+// tables.
+func (n *Node) CreateNetwork() error {
+	names, err := n.computeRingNames()
+	if err != nil {
+		return err
+	}
+	self := n.Self()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ringNames = names
+	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
+	for _, ls := range n.layers {
+		ls.succ = []wire.Peer{self}
+		ls.pred = self
+	}
+	for l, name := range names {
+		t := wire.RingTable{
+			Layer: l + 2, Name: name,
+			Smallest: self, SecondSm: self, Largest: self, SecondLg: self,
+		}
+		n.tables[ringKey(t.Layer, t.Name)] = t
+	}
+	return nil
+}
+
+// computeRingNames probes the landmarks and bins the node.
+func (n *Node) computeRingNames() ([]string, error) {
+	if n.cfg.Depth == 1 {
+		return nil, nil
+	}
+	if len(n.cfg.Landmarks) == 0 {
+		return nil, fmt.Errorf("transport: depth %d needs landmark addresses", n.cfg.Depth)
+	}
+	lats := make([]float64, len(n.cfg.Landmarks))
+	for i, lm := range n.cfg.Landmarks {
+		lat, err := n.cfg.Prober.Latency(lm)
+		if err != nil {
+			return nil, fmt.Errorf("transport: probing landmark %s: %w", lm, err)
+		}
+		lats[i] = lat
+	}
+	return binning.RingNames(lats, n.cfg.Ladder)
+}
+
+// Join integrates the node into an existing overlay through bootstrap
+// (paper §3.3).
+func (n *Node) Join(bootstrap string) error {
+	// Learn the landmark table from the nearby node when we have none.
+	info, err := wire.Call(bootstrap, wire.Request{Type: wire.TGetInfo}, n.cfg.CallTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: bootstrap unreachable: %w", err)
+	}
+	if len(n.cfg.Landmarks) == 0 {
+		n.cfg.Landmarks = info.Landmarks
+	}
+	names, err := n.computeRingNames()
+	if err != nil {
+		return err
+	}
+	self := n.Self()
+
+	// Highest layer first: find our global successor through bootstrap.
+	gsucc, _, err := n.walkOwner(bootstrap, 1, n.id)
+	if err != nil {
+		return fmt.Errorf("transport: global join lookup: %w", err)
+	}
+	n.mu.Lock()
+	n.ringNames = names
+	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
+	n.layers[0].succ = []wire.Peer{gsucc}
+	n.mu.Unlock()
+	if _, err := wire.Call(gsucc.Addr, wire.Request{
+		Type: wire.TNotify, Layer: 1, Peer: self,
+	}, n.cfg.CallTimeout); err != nil {
+		return fmt.Errorf("transport: notify global successor: %w", err)
+	}
+
+	// Lower layers: ring table lookup, then join inside the ring.
+	for l, name := range names {
+		layer := l + 2
+		if err := n.joinRing(bootstrap, layer, name, self); err != nil {
+			return fmt.Errorf("transport: joining ring %d:%q: %w", layer, name, err)
+		}
+	}
+	return nil
+}
+
+// joinRing implements one lower-layer join: route to the ring table's
+// storing node, learn a member, integrate via that member, and update the
+// ring table if we became a boundary node.
+func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer) error {
+	rid := ringID(layer, name)
+	storing, _, err := n.walkOwner(bootstrap, 1, rid)
+	if err != nil {
+		return err
+	}
+	resp, err := wire.Call(storing.Addr, wire.Request{
+		Type:  wire.TGetRingTable,
+		Table: wire.RingTable{Layer: layer, Name: name},
+	}, n.cfg.CallTimeout)
+	if err != nil {
+		return err
+	}
+	if !resp.Found {
+		// First member of a brand-new ring.
+		n.mu.Lock()
+		n.layers[layer-1].succ = []wire.Peer{self}
+		n.layers[layer-1].pred = self
+		n.mu.Unlock()
+		t := wire.RingTable{
+			Layer: layer, Name: name,
+			Smallest: self, SecondSm: self, Largest: self, SecondLg: self,
+		}
+		_, err := wire.Call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout)
+		return err
+	}
+	member, err := n.liveTableMember(resp.Table)
+	if err != nil {
+		return err
+	}
+	rsucc, _, err := n.walkOwner(member.Addr, layer, n.id)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.layers[layer-1].succ = []wire.Peer{rsucc}
+	n.mu.Unlock()
+	if _, err := wire.Call(rsucc.Addr, wire.Request{
+		Type: wire.TNotify, Layer: layer, Peer: self,
+	}, n.cfg.CallTimeout); err != nil {
+		return err
+	}
+	// Boundary update (paper: "if it should replace one of them, it sends
+	// a ring table modification message back").
+	if t, changed := updateBoundaries(resp.Table, self); changed {
+		if _, err := wire.Call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// liveTableMember returns the first reachable peer named by a ring table.
+func (n *Node) liveTableMember(t wire.RingTable) (wire.Peer, error) {
+	for _, p := range []wire.Peer{t.Smallest, t.Largest, t.SecondSm, t.SecondLg} {
+		if p.Addr == "" {
+			continue
+		}
+		if _, err := wire.Call(p.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+			return p, nil
+		}
+	}
+	return wire.Peer{}, fmt.Errorf("ring table %d:%q names no live member", t.Layer, t.Name)
+}
+
+// updateBoundaries merges a candidate into the table's four boundary
+// slots, reporting whether anything changed.
+func updateBoundaries(t wire.RingTable, cand wire.Peer) (wire.RingTable, bool) {
+	peers := []wire.Peer{t.Smallest, t.SecondSm, t.Largest, t.SecondLg, cand}
+	// Dedupe and sort by ID.
+	uniq := peers[:0]
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p.Addr != "" && !seen[p.Addr] {
+			seen[p.Addr] = true
+			uniq = append(uniq, p)
+		}
+	}
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && peerID(uniq[j]).Less(peerID(uniq[j-1])); j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	out := t
+	k := len(uniq)
+	out.Smallest = uniq[0]
+	out.Largest = uniq[k-1]
+	if k >= 2 {
+		out.SecondSm = uniq[1]
+		out.SecondLg = uniq[k-2]
+	} else {
+		out.SecondSm = uniq[0]
+		out.SecondLg = uniq[0]
+	}
+	changed := out != t
+	return out, changed
+}
+
+// evictAt tells `at` that `dead` no longer answers, so it purges the
+// reference from the layer's routing state (Chord's timeout handling).
+func (n *Node) evictAt(at string, layer int, dead string) {
+	_, _ = wire.Call(at, wire.Request{
+		Type:  wire.TEvict,
+		Layer: layer,
+		Peer:  wire.Peer{Addr: dead, ID: [20]byte(NodeID(dead))},
+	}, n.cfg.CallTimeout)
+}
+
+// walkOwner iteratively routes within one layer starting from `via`,
+// returning the key's owner in that layer and the number of hops. When a
+// hop turns out to be dead, the node that supplied it is told to evict the
+// reference and the step is retried from there.
+func (n *Node) walkOwner(via string, layer int, key id.ID) (wire.Peer, int, error) {
+	cur := via
+	prev := ""
+	hops := 0
+	for i := 0; i < maxWalk; i++ {
+		resp, err := wire.Call(cur, wire.Request{
+			Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
+		}, n.cfg.CallTimeout)
+		if err != nil {
+			if prev == "" || prev == cur {
+				return wire.Peer{}, hops, err
+			}
+			n.evictAt(prev, layer, cur)
+			cur, prev = prev, ""
+			continue
+		}
+		if resp.Done {
+			return resp.Next, hops + boolHop(resp), nil
+		}
+		prev = cur
+		cur = resp.Next.Addr
+		hops++
+	}
+	return wire.Peer{}, hops, fmt.Errorf("walk for %s did not converge", key.Short())
+}
+
+func boolHop(resp wire.Response) int {
+	if resp.Owner {
+		return 0 // the queried node itself owns the key
+	}
+	return 1 // final forward to the successor
+}
+
+// LookupResult describes a completed hierarchical lookup.
+type LookupResult struct {
+	Owner wire.Peer
+	Hops  int
+	// LayerHops[0] counts global-ring hops; LayerHops[l] layer-(l+1) hops.
+	LayerHops []int
+}
+
+// Lookup routes hierarchically from this node to the owner of key.
+func (n *Node) Lookup(key id.ID) (LookupResult, error) {
+	res := LookupResult{LayerHops: make([]int, n.cfg.Depth)}
+	cur := n.addr
+	prev := ""
+	// Lower layers, most local first.
+	for layer := n.cfg.Depth; layer >= 2; layer-- {
+		prev = ""
+		for i := 0; ; i++ {
+			if i >= maxWalk {
+				return res, fmt.Errorf("transport: layer %d walk did not converge", layer)
+			}
+			resp, err := wire.Call(cur, wire.Request{
+				Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
+				Hierarchical: true,
+			}, n.cfg.CallTimeout)
+			if err != nil {
+				if prev == "" || prev == cur {
+					return res, err
+				}
+				n.evictAt(prev, layer, cur)
+				cur, prev = prev, ""
+				continue
+			}
+			if resp.Owner {
+				res.Owner = resp.Next
+				return res, nil
+			}
+			if resp.Done {
+				cur = resp.Self.Addr // continue upward from the ring predecessor
+				break
+			}
+			prev = cur
+			cur = resp.Next.Addr
+			res.Hops++
+			res.LayerHops[layer-1]++
+		}
+	}
+	// Global ring.
+	prev = ""
+	for i := 0; ; i++ {
+		if i >= maxWalk {
+			return res, fmt.Errorf("transport: global walk did not converge")
+		}
+		resp, err := wire.Call(cur, wire.Request{
+			Type: wire.TFindClosest, Layer: 1, Key: [20]byte(key),
+			Hierarchical: true,
+		}, n.cfg.CallTimeout)
+		if err != nil {
+			if prev == "" || prev == cur {
+				return res, err
+			}
+			n.evictAt(prev, 1, cur)
+			cur, prev = prev, ""
+			continue
+		}
+		if resp.Owner {
+			res.Owner = resp.Next
+			return res, nil
+		}
+		if resp.Done {
+			res.Owner = resp.Next
+			res.Hops++
+			res.LayerHops[0]++
+			return res, nil
+		}
+		prev = cur
+		cur = resp.Next.Addr
+		res.Hops++
+		res.LayerHops[0]++
+	}
+}
+
+// Put stores a value at the owner of key and replicates it on the owner's
+// successor list, so reads survive the owner's failure until stabilization
+// rebalances responsibility.
+func (n *Node) Put(key string, value []byte) error {
+	res, err := n.Lookup(LiveKeyID(key))
+	if err != nil {
+		return err
+	}
+	if _, err := wire.Call(res.Owner.Addr, wire.Request{
+		Type: wire.TPut, Name: key, Value: value,
+	}, n.cfg.CallTimeout); err != nil {
+		return err
+	}
+	// Best-effort replication: failure to reach a replica is not an error.
+	nb, err := wire.Call(res.Owner.Addr, wire.Request{
+		Type: wire.TGetNeighbors, Layer: 1,
+	}, n.cfg.CallTimeout)
+	if err == nil {
+		for _, rep := range nb.Succ {
+			if rep.Addr == "" || rep.Addr == res.Owner.Addr {
+				continue
+			}
+			_, _ = wire.Call(rep.Addr, wire.Request{
+				Type: wire.TPut, Name: key, Value: value,
+			}, n.cfg.CallTimeout)
+		}
+	}
+	return nil
+}
+
+// Get fetches a value from the owner of key, falling back along the
+// owner's replicas when the owner is unreachable or lost the key.
+func (n *Node) Get(key string) ([]byte, error) {
+	res, err := n.Lookup(LiveKeyID(key))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.Call(res.Owner.Addr, wire.Request{
+		Type: wire.TGet, Name: key,
+	}, n.cfg.CallTimeout)
+	if err == nil {
+		return resp.Value, nil
+	}
+	firstErr := err
+	// The owner failed or misses the key; its ring successors hold
+	// replicas. Locate them through the owner's predecessor region: ask
+	// our own view of the ring via a fresh walk from ourselves.
+	nb, nerr := wire.Call(res.Owner.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: 1}, n.cfg.CallTimeout)
+	var candidates []wire.Peer
+	if nerr == nil {
+		candidates = nb.Succ
+	} else {
+		// Owner is down: re-walk to the key's live owner (the routing
+		// state may still point at the dead node, so also try our own
+		// successor list region).
+		if again, lerr := n.Lookup(LiveKeyID(key)); lerr == nil && again.Owner.Addr != res.Owner.Addr {
+			candidates = append(candidates, again.Owner)
+		}
+		succ, _, _ := n.Neighbors(1)
+		candidates = append(candidates, succ...)
+	}
+	for _, rep := range candidates {
+		if rep.Addr == "" || rep.Addr == res.Owner.Addr {
+			continue
+		}
+		if resp, err := wire.Call(rep.Addr, wire.Request{
+			Type: wire.TGet, Name: key,
+		}, n.cfg.CallTimeout); err == nil {
+			return resp.Value, nil
+		}
+	}
+	return nil, firstErr
+}
+
+// StabilizeOnce runs one stabilization round on every layer: verify the
+// successor, adopt a closer one, refresh the successor list, notify, and
+// migrate ring tables whose ownership moved.
+func (n *Node) StabilizeOnce() error {
+	self := n.Self()
+	for layer := 1; layer <= n.cfg.Depth; layer++ {
+		n.mu.Lock()
+		ls := n.layers[layer-1]
+		succ := append([]wire.Peer(nil), ls.succ...)
+		pred := ls.pred
+		n.mu.Unlock()
+		// Drop a dead predecessor so a live one can be adopted (Chord's
+		// check_predecessor).
+		if pred.Addr != "" && pred.Addr != n.addr {
+			if _, err := wire.Call(pred.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err != nil {
+				n.mu.Lock()
+				if n.layers[layer-1].pred == pred {
+					n.layers[layer-1].pred = wire.Peer{}
+				}
+				n.mu.Unlock()
+			}
+		}
+		// Find the first live successor and fetch its neighbor state
+		// (locally when the successor is ourselves).
+		var s0 wire.Peer
+		var nb wire.Response
+		found := false
+		for _, cand := range succ {
+			if cand.Addr == n.addr {
+				n.mu.Lock()
+				nb = wire.Response{Pred: ls.pred, Succ: append([]wire.Peer(nil), ls.succ...)}
+				n.mu.Unlock()
+				s0, found = cand, true
+				break
+			}
+			resp, err := wire.Call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer}, n.cfg.CallTimeout)
+			if err == nil {
+				s0, nb, found = cand, resp, true
+				break
+			}
+		}
+		if !found {
+			continue // isolated in this layer; joins/repairs must fix it
+		}
+		// Adopt the successor's predecessor when it sits between us; when
+		// we are our own successor this adopts the first joiner that
+		// notified us (Between(x, a, a) holds for every x != a).
+		if nb.Pred.Addr != "" && nb.Pred.Addr != n.addr &&
+			id.Between(peerID(nb.Pred), n.id, peerID(s0)) {
+			if _, err := wire.Call(nb.Pred.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+				s0 = nb.Pred
+				resp, err := wire.Call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer}, n.cfg.CallTimeout)
+				if err != nil {
+					continue
+				}
+				nb = resp
+			}
+		}
+		if s0.Addr == n.addr {
+			// Still a singleton ring: own the whole identifier space.
+			n.mu.Lock()
+			if n.layers[layer-1].pred.Addr == "" {
+				n.layers[layer-1].pred = self
+			}
+			n.mu.Unlock()
+			continue
+		}
+		// Rebuild the successor list from s0's list and notify it.
+		list := []wire.Peer{s0}
+		for _, p := range nb.Succ {
+			if len(list) >= n.cfg.SuccListLen {
+				break
+			}
+			if p.Addr != "" && p.Addr != n.addr {
+				list = append(list, p)
+			}
+		}
+		n.mu.Lock()
+		n.layers[layer-1].succ = list
+		n.mu.Unlock()
+		_, _ = wire.Call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self}, n.cfg.CallTimeout)
+	}
+	return n.migrateRingTables()
+}
+
+// migrateRingTables re-homes stored ring tables whose responsible node
+// changed as the global ring grew.
+func (n *Node) migrateRingTables() error {
+	n.mu.Lock()
+	tables := make([]wire.RingTable, 0, len(n.tables))
+	for _, t := range n.tables {
+		tables = append(tables, t)
+	}
+	n.mu.Unlock()
+	for _, t := range tables {
+		owner, _, err := n.walkOwner(n.addr, 1, ringID(t.Layer, t.Name))
+		if err != nil {
+			continue
+		}
+		if owner.Addr != n.addr {
+			if _, err := wire.Call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout); err == nil {
+				n.mu.Lock()
+				delete(n.tables, ringKey(t.Layer, t.Name))
+				n.mu.Unlock()
+			}
+		}
+	}
+	return nil
+}
+
+// FixFingersOnce refreshes `count` fingers per layer (rotating), keeping
+// lookup cost logarithmic. Consecutive fingers that fall inside the
+// previous finger's range are filled without extra lookups.
+func (n *Node) FixFingersOnce(count int) error {
+	for layer := 1; layer <= n.cfg.Depth; layer++ {
+		for c := 0; c < count; c++ {
+			n.mu.Lock()
+			ls := n.layers[layer-1]
+			k := ls.nextFix
+			ls.nextFix = (ls.nextFix + 1) % id.Bits
+			prev := wire.Peer{}
+			if k > 0 {
+				prev = ls.fingers[k-1]
+			}
+			n.mu.Unlock()
+			target := id.AddPow2(n.id, uint(k))
+			var owner wire.Peer
+			if prev.Addr != "" && id.InOpenClosed(target, n.id, peerID(prev)) {
+				owner = prev // reuse: successor(target) == previous finger
+			} else {
+				var err error
+				owner, _, err = n.walkOwner(n.addr, layer, target)
+				if err != nil {
+					// A stale finger or successor pointed the walk at a
+					// departed peer. Skip this slot — stabilization drops
+					// the dead reference and the next refresh succeeds —
+					// rather than aborting the whole maintenance round.
+					continue
+				}
+			}
+			n.mu.Lock()
+			n.layers[layer-1].fingers[k] = owner
+			n.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// BuildAllFingers fills every finger of every layer (join-time bulk build;
+// the range-reuse shortcut keeps this to O(log N) lookups per layer).
+func (n *Node) BuildAllFingers() error {
+	n.mu.Lock()
+	for _, ls := range n.layers {
+		ls.nextFix = 0
+	}
+	n.mu.Unlock()
+	return n.FixFingersOnce(id.Bits)
+}
+
+// Leave departs the overlay gracefully (paper §3.3: "a node may leave the
+// system"): in every layer the predecessor and successor are handed to
+// each other, stored key/value pairs and ring tables migrate to the global
+// successor, and the node stops serving. The node cannot be reused after
+// Leave.
+func (n *Node) Leave() error {
+	// Hand over per-layer neighbors, most local layer first.
+	for layer := n.cfg.Depth; layer >= 1; layer-- {
+		n.mu.Lock()
+		ls := n.layers[layer-1]
+		succ := append([]wire.Peer(nil), ls.succ...)
+		pred := ls.pred
+		n.mu.Unlock()
+		var s0 wire.Peer
+		for _, c := range succ {
+			if c.Addr != "" && c.Addr != n.addr {
+				if _, err := wire.Call(c.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+					s0 = c
+					break
+				}
+			}
+		}
+		if s0.Addr == "" {
+			continue // singleton layer
+		}
+		_, _ = wire.Call(s0.Addr, wire.Request{Type: wire.TLeaveSucc, Layer: layer, Peer: pred}, n.cfg.CallTimeout)
+		if pred.Addr != "" && pred.Addr != n.addr {
+			handoff := append([]wire.Peer{s0}, succ...)
+			_, _ = wire.Call(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff}, n.cfg.CallTimeout)
+		}
+	}
+	// Migrate stored state to the global successor.
+	n.mu.Lock()
+	gsucc := wire.Peer{}
+	for _, c := range n.layers[0].succ {
+		if c.Addr != "" && c.Addr != n.addr {
+			gsucc = c
+			break
+		}
+	}
+	data := make(map[string][]byte, len(n.data))
+	for k, v := range n.data {
+		data[k] = v
+	}
+	tables := make([]wire.RingTable, 0, len(n.tables))
+	for _, t := range n.tables {
+		tables = append(tables, t)
+	}
+	n.mu.Unlock()
+	if gsucc.Addr != "" {
+		for k, v := range data {
+			_, _ = wire.Call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: v}, n.cfg.CallTimeout)
+		}
+		for _, t := range tables {
+			_, _ = wire.Call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout)
+		}
+	}
+	return n.Close()
+}
+
+// Neighbors returns a copy of a layer's successor list and predecessor
+// for inspection.
+func (n *Node) Neighbors(layer int) (succ []wire.Peer, pred wire.Peer, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls, err := n.layerFor(layer)
+	if err != nil {
+		return nil, wire.Peer{}, err
+	}
+	return append([]wire.Peer(nil), ls.succ...), ls.pred, nil
+}

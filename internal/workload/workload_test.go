@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/id"
+)
+
+func TestUniformBasics(t *testing.T) {
+	g, err := NewUniform(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenOrigins := map[int]bool{}
+	seenKeys := map[id.ID]bool{}
+	for i := 0; i < 1000; i++ {
+		r := g.Next()
+		if r.Origin < 0 || r.Origin >= 100 {
+			t.Fatalf("origin %d out of range", r.Origin)
+		}
+		seenOrigins[r.Origin] = true
+		seenKeys[r.Key] = true
+	}
+	if len(seenOrigins) < 80 {
+		t.Errorf("only %d distinct origins in 1000 draws", len(seenOrigins))
+	}
+	if len(seenKeys) != 1000 {
+		t.Errorf("uniform keys should almost surely be distinct, got %d", len(seenKeys))
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	g1, _ := NewUniform(42, 10)
+	g2, _ := NewUniform(42, 10)
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatal("same seed produced different requests")
+		}
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := NewUniform(1, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewZipf(2, 50, 1000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[id.ID]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest key must dominate a uniform share by a wide margin.
+	if max < 5*n/1000 {
+		t.Errorf("hottest key only %d of %d draws; not zipfian", max, n)
+	}
+	if len(counts) < 50 {
+		t.Errorf("only %d distinct keys; universe should be sampled broadly", len(counts))
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(1, 0, 10, 1.2); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewZipf(1, 5, 0, 1.2); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if _, err := NewZipf(1, 5, 10, 1.0); err == nil {
+		t.Error("s <= 1 accepted")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g, _ := NewUniform(3, 20)
+	b := g.Batch(64)
+	if len(b) != 64 {
+		t.Fatalf("batch len %d", len(b))
+	}
+	g2, _ := NewUniform(3, 20)
+	for i := range b {
+		if b[i] != g2.Next() {
+			t.Fatal("Batch must equal sequential Next calls")
+		}
+	}
+}
