@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -33,8 +34,9 @@ func main() {
 	var (
 		scale = flag.Float64("scale", 0.1, "scale factor on the paper's node counts")
 		paper = flag.Bool("paper", false, "run at full paper scale (overrides -scale)")
-		seed  = flag.Int64("seed", 2003, "base random seed")
-		only  = flag.String("only", "", "comma-separated subset: t1,t2,t3,fig2..fig9,overhead,algos,can,resilience,cache")
+		seed    = flag.Int64("seed", 2003, "base random seed")
+		only    = flag.String("only", "", "comma-separated subset: t1,t2,t3,fig2..fig9,overhead,algos,can,resilience,cache")
+		dumpMet = flag.Bool("metrics", false, "dump the cache study's Prometheus-text metrics after the run")
 	)
 	flag.Parse()
 
@@ -155,11 +157,21 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if run("cache") {
-		res, err := experiments.CacheStudy(experiments.Scenario{
+		sc := experiments.Scenario{
 			Nodes: scaleInt(2000), Requests: requests, Seed: *seed,
-		}, []int{16, 64, 256, 1024}, cache.CacheAlongPath)
+		}
+		if *dumpMet {
+			sc.Metrics = metrics.NewRegistry()
+		}
+		res, err := experiments.CacheStudy(sc, []int{16, 64, 256, 1024}, cache.CacheAlongPath)
 		fatalIf(err)
 		res.Table().Render(out)
+		if *dumpMet {
+			fmt.Fprintln(out, "\n# metrics")
+			if _, err := sc.Metrics.WriteTo(out); err != nil {
+				fatalIf(err)
+			}
+		}
 	}
 }
 

@@ -15,7 +15,11 @@
 //	            -join 127.0.0.1:7001
 //
 // Then type commands on stdin: put <key> <value> | get <key> |
-// lookup <key> | neighbors | info | quit.
+// lookup <key> | neighbors | info | stats | quit.
+//
+// Pass -metrics <addr> to serve the node's Prometheus-text metrics on
+// http://<addr>/metrics (plus a /healthz endpoint); `stats` prints the
+// same snapshot on stdout.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -44,6 +49,8 @@ func main() {
 		depth     = flag.Int("depth", 2, "hierarchy depth")
 		rtt       = flag.Bool("rtt", false, "bin with real RTT probes instead of virtual coordinates")
 		stabMs    = flag.Int("stabilize", 500, "stabilization period in milliseconds")
+		metrics   = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
+		cacheCap  = flag.Int("cache", 256, "location-cache capacity (0 disables caching)")
 	)
 	flag.Parse()
 
@@ -52,8 +59,9 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := transport.Config{
-		Depth: *depth,
-		Coord: coord,
+		Depth:       *depth,
+		Coord:       coord,
+		LookupCache: *cacheCap,
 	}
 	if *landmarks != "" {
 		cfg.Landmarks = strings.Split(*landmarks, ",")
@@ -67,6 +75,20 @@ func main() {
 	}
 	defer node.Close()
 	fmt.Printf("node %s listening on %s\n", node.ID().Short(), node.Addr())
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", node.Metrics().Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metrics)
+	}
 
 	switch {
 	case *create:
@@ -137,6 +159,10 @@ func repl(node *transport.Node) {
 		case "info":
 			fmt.Printf("addr %s id %s rings %v handled %d\n",
 				node.Addr(), node.ID().Short(), node.RingNames(), node.Handled())
+		case "stats":
+			if _, err := node.Metrics().WriteTo(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
 		case "neighbors":
 			for layer := 1; ; layer++ {
 				succ, pred, err := node.Neighbors(layer)
@@ -182,7 +208,7 @@ func repl(node *transport.Node) {
 				fmt.Printf("%s\n", v)
 			}
 		default:
-			fmt.Println("commands: info | neighbors | lookup <key> | put <k> <v> | get <k> | quit")
+			fmt.Println("commands: info | neighbors | lookup <key> | put <k> <v> | get <k> | stats | quit")
 		}
 		fmt.Print("> ")
 	}

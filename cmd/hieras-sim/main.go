@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -32,6 +33,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		routers   = flag.Int("routers", 0, "router count for inet/brite (0 = auto)")
 		traceOut  = flag.String("trace", "", "write a per-request CSV trace to this file")
+		dumpMet   = flag.Bool("metrics", false, "dump the overlay's Prometheus-text metrics after the run")
 	)
 	flag.Parse()
 
@@ -43,6 +45,9 @@ func main() {
 		Requests:  *requests,
 		Seed:      *seed,
 		Routers:   *routers,
+	}
+	if *dumpMet {
+		s.Metrics = metrics.NewRegistry()
 	}
 	fmt.Printf("building %s underlay with %d peers (depth %d, %d landmarks, seed %d)...\n",
 		s.Model, s.Nodes, s.Depth, s.Landmarks, s.Seed)
@@ -72,6 +77,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ntrace written to %s\n", *traceOut)
+	}
+	if *dumpMet {
+		fmt.Println("\n# metrics")
+		if _, err := s.Metrics.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

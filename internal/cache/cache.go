@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/id"
+	"repro/internal/metrics"
 )
 
 // Policy selects which peers learn a binding after a successful lookup.
@@ -141,6 +142,20 @@ func (v *Overlay) Lookup(from int, key id.ID) Result {
 	}
 	v.mu.Unlock()
 	return Result{Dest: route.Dest, Hops: route.NumHops(), Latency: route.Latency}
+}
+
+// Instrument exposes the overlay's hit/miss counts on reg as
+// cache_hits_total / cache_misses_total, tagged with the given labels.
+// The labels let several cached overlays (e.g. a capacity sweep) share
+// one registry: pass a distinguishing label such as
+// metrics.Label{Name: "capacity", Value: "64"} per overlay.
+func (v *Overlay) Instrument(reg *metrics.Registry, labels ...metrics.Label) {
+	reg.NewCounterFunc("cache_hits_total",
+		"Location-cache lookups answered from the requester's cache.",
+		func() float64 { h, _ := v.Stats(); return float64(h) }, labels...)
+	reg.NewCounterFunc("cache_misses_total",
+		"Location-cache lookups that ran the full routing procedure.",
+		func() float64 { _, m := v.Stats(); return float64(m) }, labels...)
 }
 
 // Stats returns cumulative hit/miss counts.

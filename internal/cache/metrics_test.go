@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestInstrument checks that the registered callback counters track
+// Stats exactly, including multiple labelled overlays on one registry —
+// the shape CacheStudy uses for capacity sweeps.
+func TestInstrument(t *testing.T) {
+	o := testOverlay(t, 30, 5)
+	reg := metrics.NewRegistry()
+
+	small, err := New(o, 4, CacheAtOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(o, 64, CacheAtOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Instrument(reg, metrics.Label{Name: "capacity", Value: "4"})
+	big.Instrument(reg, metrics.Label{Name: "capacity", Value: "64"})
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		key := core.KeyID(fmt.Sprintf("k%d", i%8))
+		small.Lookup(rng.Intn(o.N()), key)
+		big.Lookup(0, key)
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	sh, sm := small.Stats()
+	bh, bm := big.Stats()
+	for _, want := range []string{
+		fmt.Sprintf(`cache_hits_total{capacity="4"} %d`, sh),
+		fmt.Sprintf(`cache_misses_total{capacity="4"} %d`, sm),
+		fmt.Sprintf(`cache_hits_total{capacity="64"} %d`, bh),
+		fmt.Sprintf(`cache_misses_total{capacity="64"} %d`, bm),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if bh == 0 {
+		t.Error("repeated keys on one requester produced no hits")
+	}
+}

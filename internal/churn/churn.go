@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventsim"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -35,6 +36,12 @@ type Config struct {
 	Landmarks int
 	// SuccessorListLen is each ring's successor-list length.
 	SuccessorListLen int
+
+	// Metrics, when non-nil, receives live churn counters
+	// (churn_joins_total, churn_lookup_errors_total, ...) as the run
+	// progresses, so a long simulation can be watched from a scrape
+	// endpoint rather than only summarised afterwards.
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -110,6 +117,7 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
+	ctr := newCounters(cfg.Metrics)
 	var sim eventsim.Sim
 	exp := func(mean float64) float64 { return rng.ExpFloat64() * mean }
 	removeLive := func(i int) *core.ProtoNode {
@@ -136,10 +144,12 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 			n, _, err := po.Join(h, boot, rng)
 			if err != nil {
 				free = append(free, h) // bootstrap raced a failure; retry later
+				ctr.joinRetries.Inc()
 				return
 			}
 			live = append(live, n)
 			res.Joins++
+			ctr.joins.Inc()
 		})
 	}
 	scheduleLeave = func() {
@@ -153,6 +163,7 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 			}
 			po.Leave(removeLive(rng.Intn(len(live))))
 			res.Leaves++
+			ctr.leaves.Inc()
 		})
 	}
 	scheduleFail = func() {
@@ -166,6 +177,7 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 			}
 			po.Fail(removeLive(rng.Intn(len(live))))
 			res.Fails++
+			ctr.fails.Inc()
 		})
 	}
 	scheduleLookup = func() {
@@ -175,15 +187,19 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 				return
 			}
 			res.Lookups++
+			ctr.lookups.Inc()
 			from := live[rng.Intn(len(live))]
 			key := id.Rand(rng)
 			dest, _, err := po.Route(from, key)
 			if err != nil {
+				ctr.lookupErrors.Inc()
 				return
 			}
 			res.Completed++
 			if dest.ID == trueOwner(live, key) {
 				res.Correct++
+			} else {
+				ctr.wrongOwner.Inc()
 			}
 		})
 	}

@@ -1,0 +1,56 @@
+package churn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMetricsMatchResult runs a churn simulation with a registry attached
+// and checks the exported counters agree with the returned Result.
+func TestMetricsMatchResult(t *testing.T) {
+	net := testNet(t, 60, 2)
+	cfg := baseConfig()
+	cfg.JoinEvery = 4
+	cfg.LeaveEvery = 6
+	cfg.FailEvery = 8
+	cfg.Metrics = metrics.NewRegistry()
+
+	res, err := Run(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if _, err := cfg.Metrics.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf("churn_joins_total %d", res.Joins),
+		fmt.Sprintf("churn_leaves_total %d", res.Leaves),
+		fmt.Sprintf("churn_fails_total %d", res.Fails),
+		fmt.Sprintf("churn_lookups_total %d", res.Lookups),
+		fmt.Sprintf("churn_lookup_errors_total %d", res.Lookups-res.Completed),
+		fmt.Sprintf("churn_wrong_owner_total %d", res.Completed-res.Correct),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if res.Lookups == 0 || res.Fails == 0 {
+		t.Fatalf("run exercised nothing: %+v", res)
+	}
+}
+
+// TestNilRegistryIsFine makes sure an uninstrumented run works and the
+// throwaway counters still count.
+func TestNilRegistryIsFine(t *testing.T) {
+	c := newCounters(nil)
+	c.joins.Inc()
+	if c.joins.Value() != 1 {
+		t.Error("throwaway counter did not count")
+	}
+}

@@ -17,6 +17,7 @@ type FaultyView struct {
 	o    *Overlay
 	dead []bool
 	r    int
+	rm   *routeMetrics // overlay instrumentation at view creation; may be nil
 }
 
 // WithFailures returns a view of the overlay in which dead[i] peers have
@@ -36,7 +37,7 @@ func (o *Overlay) WithFailures(dead []bool) (*FaultyView, error) {
 	if alive == 0 {
 		return nil, fmt.Errorf("core: all peers failed")
 	}
-	return &FaultyView{o: o, dead: cp, r: o.cfg.SuccessorListLen}, nil
+	return &FaultyView{o: o, dead: cp, r: o.cfg.SuccessorListLen, rm: o.instr.Load()}, nil
 }
 
 // Alive reports whether peer i is alive in this view.
@@ -63,6 +64,9 @@ func (v *FaultyView) liveSuccessor(t *chord.Table, m int, toGlobal func(int) int
 	for _, s := range t.SuccessorList(m, v.r) {
 		if !v.dead[toGlobal(s)] {
 			return s, true
+		}
+		if v.rm != nil {
+			v.rm.deadSkips.Inc()
 		}
 	}
 	return 0, false
@@ -117,6 +121,7 @@ func (v *FaultyView) Route(from int, key id.ID) (RouteResult, error) {
 				res.LowerHops++
 				res.LowerLatency += lat
 			}
+			v.rm.hop(layer)
 		}
 	}
 	cur := from
@@ -133,7 +138,9 @@ func (v *FaultyView) Route(from int, key id.ID) (RouteResult, error) {
 		// this layer from wherever the partial walk reached and climb, as
 		// a real peer would after timeouts.
 		cur = int(ring.Global[p])
-		_ = err
+		if err != nil && v.rm != nil {
+			v.rm.layerAborts.Inc()
+		}
 	}
 	if cur == owner {
 		return res, nil

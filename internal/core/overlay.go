@@ -21,10 +21,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/binning"
 	"repro/internal/chord"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/topology"
 )
 
@@ -73,6 +75,11 @@ type Config struct {
 	// is already within the current peer's successor list, hop straight
 	// to it. Off by default so hop counts match the paper's main results.
 	AccelerateWithSuccessorList bool
+	// Metrics, when non-nil, instruments the overlay on this registry at
+	// build time (equivalent to calling Instrument after Build). The
+	// registry must not be shared with another instrumented overlay or
+	// node: metric names would collide.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +152,10 @@ type Overlay struct {
 	rings []map[string]*Ring
 
 	ringTables map[RingKey]*RingTable
+
+	// instr is nil until Instrument is called; routing loads it once per
+	// procedure.
+	instr atomic.Pointer[routeMetrics]
 }
 
 // NodeID derives the overlay identifier for a host, SHA-1 as in the paper.
@@ -326,6 +337,9 @@ func Build(net *topology.Network, cfg Config, rng *rand.Rand) (*Overlay, error) 
 
 	// 6. Ring tables (paper §3.1).
 	o.buildRingTables()
+	if cfg.Metrics != nil {
+		o.Instrument(cfg.Metrics)
+	}
 	return o, nil
 }
 

@@ -42,6 +42,10 @@ func (o *Overlay) Route(from int, key id.ID) RouteResult {
 	owner := o.global.SuccessorIndex(key)
 	res.Dest = owner
 	cur := from
+	rm := o.instr.Load()
+	if rm != nil {
+		rm.routes.Inc()
+	}
 
 	record := func(layer, f, t int) {
 		lat := o.net.Latency(o.nodes[f].Host, o.nodes[t].Host)
@@ -51,6 +55,7 @@ func (o *Overlay) Route(from int, key id.ID) RouteResult {
 			res.LowerHops++
 			res.LowerLatency += lat
 		}
+		rm.hop(layer)
 	}
 
 	// Lower layers, most local first.
@@ -58,7 +63,10 @@ func (o *Overlay) Route(from int, key id.ID) RouteResult {
 		if cur == owner {
 			return res // destination check between loops (paper §3.2)
 		}
-		if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, layer, cur, owner) {
+		if rm != nil && layer < o.cfg.Depth {
+			rm.ringClimbs.Inc() // previous (more local) layer did not finish
+		}
+		if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, rm, layer, cur, owner) {
 			return res
 		}
 		ring, member := o.RingOf(cur, layer)
@@ -71,7 +79,10 @@ func (o *Overlay) Route(from int, key id.ID) RouteResult {
 	if cur == owner {
 		return res
 	}
-	if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, 1, cur, owner) {
+	if rm != nil && o.cfg.Depth >= 2 {
+		rm.ringClimbs.Inc() // climb from the lowest layer onto the global ring
+	}
+	if o.cfg.AccelerateWithSuccessorList && o.trySuccessorShortcut(&res, rm, 1, cur, owner) {
 		return res
 	}
 	// Global ring: finish at the key's owner.
@@ -82,13 +93,17 @@ func (o *Overlay) Route(from int, key id.ID) RouteResult {
 // trySuccessorShortcut implements the paper's successor-list acceleration:
 // if the destination is within the current peer's successor list in the
 // global ring, forward straight to it.
-func (o *Overlay) trySuccessorShortcut(res *RouteResult, layer, cur, owner int) bool {
+func (o *Overlay) trySuccessorShortcut(res *RouteResult, rm *routeMetrics, layer, cur, owner int) bool {
 	for _, s := range o.global.SuccessorList(cur, o.cfg.SuccessorListLen) {
 		if s == owner {
 			lat := o.net.Latency(o.nodes[cur].Host, o.nodes[owner].Host)
 			res.Hops = append(res.Hops, Hop{Layer: 1, From: cur, To: owner, Latency: lat})
 			res.Latency += lat
 			res.Accelerated = true
+			rm.hop(1)
+			if rm != nil {
+				rm.accelerated.Inc()
+			}
 			return true
 		}
 	}

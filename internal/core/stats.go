@@ -17,22 +17,21 @@ type LayerStats struct {
 func (o *Overlay) LayerStats() []LayerStats {
 	out := make([]LayerStats, 0, len(o.rings))
 	for l, byName := range o.rings {
-		s := LayerStats{Layer: l + 2, Rings: len(byName), MinSize: 1 << 30}
-		total := 0
-		for _, r := range byName {
-			sz := r.Size()
-			total += sz
-			if sz < s.MinSize {
-				s.MinSize = sz
-			}
-			if sz > s.MaxSize {
-				s.MaxSize = sz
-			}
-		}
+		s := LayerStats{Layer: l + 2, Rings: len(byName)}
 		if s.Rings > 0 {
+			s.MinSize = 1 << 30
+			total := 0
+			for _, r := range byName {
+				sz := r.Size()
+				total += sz
+				if sz < s.MinSize {
+					s.MinSize = sz
+				}
+				if sz > s.MaxSize {
+					s.MaxSize = sz
+				}
+			}
 			s.MeanSize = float64(total) / float64(s.Rings)
-		} else {
-			s.MinSize = 0
 		}
 		out = append(out, s)
 	}

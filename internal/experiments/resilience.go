@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -137,6 +138,9 @@ func CacheStudy(s Scenario, capacities []int, policy cache.Policy) (*CacheResult
 		v, err := cache.New(o, capa, policy)
 		if err != nil {
 			return nil, err
+		}
+		if s.Metrics != nil {
+			v.Instrument(s.Metrics, metrics.Label{Name: "capacity", Value: fmt.Sprint(capa)})
 		}
 		gen, err := workload.NewZipf(s.Seed+5, o.N(), 2000, 1.2)
 		if err != nil {

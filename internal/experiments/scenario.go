@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/topology/brite"
@@ -45,6 +46,10 @@ type Scenario struct {
 	// ProximityFingers enables PNS finger selection in every ring (see
 	// core.Config.ProximityFingers).
 	ProximityFingers bool
+	// Metrics, when non-nil, instruments the built overlay (and, in
+	// CacheStudy, each swept cache) on this registry. Use one registry
+	// per scenario run: overlay metric names collide otherwise.
+	Metrics *metrics.Registry
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -126,6 +131,7 @@ func BuildOverlay(s Scenario) (*core.Overlay, error) {
 		Landmarks:        s.Landmarks,
 		Workers:          s.Workers,
 		ProximityFingers: s.ProximityFingers,
+		Metrics:          s.Metrics,
 	}, rng)
 }
 

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.NewGauge("temperature", "Current temperature.")
+	g.Set(1.5)
+	g.Add(2)
+	g.Dec()
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestVecCurrying(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("rpc_requests_total", "RPCs by type.", "type")
+	ping := v.With("ping")
+	ping.Inc()
+	ping.Inc()
+	v.With("get").Inc()
+	if v.With("ping") != ping {
+		t.Error("With returned a different child for the same labels")
+	}
+	if got := v.With("ping").Value(); got != 2 {
+		t.Errorf("ping = %d, want 2", got)
+	}
+	if got := v.With("get").Value(); got != 1 {
+		t.Errorf("get = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "Latency.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1} // (..1], (1..2], (2..4], overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 106 {
+		t.Errorf("sum = %v, want 106", s.Sum)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("rpc_requests_total", "RPCs by type.", "type").With("find_closest").Add(7)
+	r.NewGauge("up", "Liveness.").Set(1)
+	r.NewHistogram("rpc_latency_seconds", "Call latency.", []float64{0.1, 1}).Observe(0.05)
+	r.NewCounterFunc("cache_hits_total", "Cache hits.", func() float64 { return 3 })
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rpc_requests_total counter",
+		`rpc_requests_total{type="find_closest"} 7`,
+		"# TYPE up gauge",
+		"up 1",
+		`rpc_latency_seconds_bucket{le="0.1"} 1`,
+		`rpc_latency_seconds_bucket{le="+Inf"} 1`,
+		"rpc_latency_seconds_sum 0.05",
+		"rpc_latency_seconds_count 1",
+		"cache_hits_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(out, "cache_hits_total") > strings.Index(out, "up ") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVec("odd", "", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `odd{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("hits_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<12)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Errorf("handler output:\n%s", buf[:n])
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("x_total", "")
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("linear: %v", lin)
+	}
+	exp := ExponentialBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("exponential: %v", exp)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge and one histogram
+// from 16 goroutines and asserts exact totals — run under -race this is
+// the concurrency-safety regression test for the atomic fast paths.
+func TestConcurrentUpdates(t *testing.T) {
+	const goroutines = 16
+	const perG = 4998 // divisible by 3 so the bucket math below is exact
+	r := NewRegistry()
+	c := r.NewCounterVec("c_total", "", "who")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{0.5, 1.5, 2.5})
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := c.With("worker") // all goroutines share one child
+			for i := 0; i < perG; i++ {
+				mine.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 3)) // 0, 1, 2 round-robin
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.With("worker").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != float64(total) {
+		t.Errorf("gauge = %v, want %d", got, total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Errorf("histogram count = %d, want %d", s.Count, total)
+	}
+	third := uint64(total / 3)
+	for i, w := range []uint64{third, third, third, 0} {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	// Values 0,1,2 in equal proportion have mean 1, so sum == count.
+	if want := float64(total); math.Abs(s.Sum-want) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", s.Sum, want)
+	}
+}

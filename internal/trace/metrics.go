@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// HistogramPDF converts a metrics histogram snapshot into the per-bucket
+// probability curve the stats/trace renderers draw: X is each bucket's
+// lower edge (0 for the first), Y the fraction of observations that fell
+// in it. The overflow bucket appears last with X equal to the largest
+// upper bound.
+func HistogramPDF(s metrics.HistogramSnapshot) []stats.Point {
+	out := make([]stats.Point, 0, len(s.Counts))
+	lower := 0.0
+	for i, c := range s.Counts {
+		x := lower
+		if i < len(s.Uppers) {
+			lower = s.Uppers[i]
+		}
+		out = append(out, stats.Point{X: x, Y: frac(c, s.Count)})
+	}
+	return out
+}
+
+// HistogramCDF converts a metrics histogram snapshot into a cumulative
+// distribution curve: X is each bucket's upper bound (+Inf for the
+// overflow bucket), Y the fraction of observations at or below it.
+func HistogramCDF(s metrics.HistogramSnapshot) []stats.Point {
+	out := make([]stats.Point, 0, len(s.Counts))
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		x := math.Inf(1)
+		if i < len(s.Uppers) {
+			x = s.Uppers[i]
+		}
+		out = append(out, stats.Point{X: x, Y: frac(cum, s.Count)})
+	}
+	return out
+}
+
+func frac(c, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}

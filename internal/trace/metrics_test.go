@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func testSnapshot() metrics.HistogramSnapshot {
+	h := metrics.NewRegistry().NewHistogram("x_seconds", "test", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.6, 3, 10} {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+func TestHistogramPDF(t *testing.T) {
+	pdf := HistogramPDF(testSnapshot())
+	if len(pdf) != 4 {
+		t.Fatalf("got %d points, want 4 (3 buckets + overflow)", len(pdf))
+	}
+	wantX := []float64{0, 1, 2, 4}
+	wantY := []float64{0.2, 0.4, 0.2, 0.2}
+	for i, p := range pdf {
+		if p.X != wantX[i] || math.Abs(p.Y-wantY[i]) > 1e-12 {
+			t.Errorf("pdf[%d] = %+v, want {%g %g}", i, p, wantX[i], wantY[i])
+		}
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	cdf := HistogramCDF(testSnapshot())
+	wantX := []float64{1, 2, 4}
+	wantY := []float64{0.2, 0.6, 0.8, 1}
+	for i, p := range cdf {
+		if i < len(wantX) && p.X != wantX[i] {
+			t.Errorf("cdf[%d].X = %g, want %g", i, p.X, wantX[i])
+		}
+		if math.Abs(p.Y-wantY[i]) > 1e-12 {
+			t.Errorf("cdf[%d].Y = %g, want %g", i, p.Y, wantY[i])
+		}
+	}
+	if !math.IsInf(cdf[len(cdf)-1].X, 1) {
+		t.Errorf("overflow bucket X = %g, want +Inf", cdf[len(cdf)-1].X)
+	}
+	if cdf[len(cdf)-1].Y != 1 {
+		t.Errorf("CDF does not reach 1: %g", cdf[len(cdf)-1].Y)
+	}
+}
+
+func TestHistogramCurvesEmpty(t *testing.T) {
+	h := metrics.NewRegistry().NewHistogram("y_seconds", "test", []float64{1})
+	for _, p := range append(HistogramPDF(h.Snapshot()), HistogramCDF(h.Snapshot())...) {
+		if p.Y != 0 {
+			t.Errorf("empty histogram produced nonzero Y: %+v", p)
+		}
+	}
+}

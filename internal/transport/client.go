@@ -12,6 +12,11 @@ import (
 // overlay, so hitting this indicates inconsistent state.
 const maxWalk = 4 * id.Bits
 
+// call performs one instrumented RPC with the node's configured timeout.
+func (n *Node) call(addr string, req wire.Request) (wire.Response, error) {
+	return n.nm.wm.Call(addr, req, n.cfg.CallTimeout)
+}
+
 // CreateNetwork makes this node the first member of a new overlay: it is
 // its own successor and predecessor in every layer and stores its own ring
 // tables.
@@ -62,7 +67,7 @@ func (n *Node) computeRingNames() ([]string, error) {
 // (paper §3.3).
 func (n *Node) Join(bootstrap string) error {
 	// Learn the landmark table from the nearby node when we have none.
-	info, err := wire.Call(bootstrap, wire.Request{Type: wire.TGetInfo}, n.cfg.CallTimeout)
+	info, err := n.call(bootstrap, wire.Request{Type: wire.TGetInfo})
 	if err != nil {
 		return fmt.Errorf("transport: bootstrap unreachable: %w", err)
 	}
@@ -85,9 +90,9 @@ func (n *Node) Join(bootstrap string) error {
 	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
 	n.layers[0].succ = []wire.Peer{gsucc}
 	n.mu.Unlock()
-	if _, err := wire.Call(gsucc.Addr, wire.Request{
+	if _, err := n.call(gsucc.Addr, wire.Request{
 		Type: wire.TNotify, Layer: 1, Peer: self,
-	}, n.cfg.CallTimeout); err != nil {
+	}); err != nil {
 		return fmt.Errorf("transport: notify global successor: %w", err)
 	}
 
@@ -110,10 +115,10 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 	if err != nil {
 		return err
 	}
-	resp, err := wire.Call(storing.Addr, wire.Request{
+	resp, err := n.call(storing.Addr, wire.Request{
 		Type:  wire.TGetRingTable,
 		Table: wire.RingTable{Layer: layer, Name: name},
-	}, n.cfg.CallTimeout)
+	})
 	if err != nil {
 		return err
 	}
@@ -127,7 +132,7 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 			Layer: layer, Name: name,
 			Smallest: self, SecondSm: self, Largest: self, SecondLg: self,
 		}
-		_, err := wire.Call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout)
+		_, err := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
 		return err
 	}
 	member, err := n.liveTableMember(resp.Table)
@@ -141,15 +146,15 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 	n.mu.Lock()
 	n.layers[layer-1].succ = []wire.Peer{rsucc}
 	n.mu.Unlock()
-	if _, err := wire.Call(rsucc.Addr, wire.Request{
+	if _, err := n.call(rsucc.Addr, wire.Request{
 		Type: wire.TNotify, Layer: layer, Peer: self,
-	}, n.cfg.CallTimeout); err != nil {
+	}); err != nil {
 		return err
 	}
 	// Boundary update (paper: "if it should replace one of them, it sends
 	// a ring table modification message back").
 	if t, changed := updateBoundaries(resp.Table, self); changed {
-		if _, err := wire.Call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout); err != nil {
+		if _, err := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err != nil {
 			return err
 		}
 	}
@@ -162,7 +167,7 @@ func (n *Node) liveTableMember(t wire.RingTable) (wire.Peer, error) {
 		if p.Addr == "" {
 			continue
 		}
-		if _, err := wire.Call(p.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+		if _, err := n.call(p.Addr, wire.Request{Type: wire.TPing}); err == nil {
 			return p, nil
 		}
 	}
@@ -205,11 +210,12 @@ func updateBoundaries(t wire.RingTable, cand wire.Peer) (wire.RingTable, bool) {
 // evictAt tells `at` that `dead` no longer answers, so it purges the
 // reference from the layer's routing state (Chord's timeout handling).
 func (n *Node) evictAt(at string, layer int, dead string) {
-	_, _ = wire.Call(at, wire.Request{
+	n.nm.evictions.Inc()
+	_, _ = n.call(at, wire.Request{
 		Type:  wire.TEvict,
 		Layer: layer,
 		Peer:  wire.Peer{Addr: dead, ID: [20]byte(NodeID(dead))},
-	}, n.cfg.CallTimeout)
+	})
 }
 
 // walkOwner iteratively routes within one layer starting from `via`,
@@ -221,13 +227,14 @@ func (n *Node) walkOwner(via string, layer int, key id.ID) (wire.Peer, int, erro
 	prev := ""
 	hops := 0
 	for i := 0; i < maxWalk; i++ {
-		resp, err := wire.Call(cur, wire.Request{
+		resp, err := n.call(cur, wire.Request{
 			Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
-		}, n.cfg.CallTimeout)
+		})
 		if err != nil {
 			if prev == "" || prev == cur {
 				return wire.Peer{}, hops, err
 			}
+			n.nm.walkRetries.Inc()
 			n.evictAt(prev, layer, cur)
 			cur, prev = prev, ""
 			continue
@@ -257,8 +264,48 @@ type LookupResult struct {
 	LayerHops []int
 }
 
-// Lookup routes hierarchically from this node to the owner of key.
+// Lookup routes hierarchically from this node to the owner of key,
+// consulting the location cache first when one is configured.
 func (n *Node) Lookup(key id.ID) (LookupResult, error) {
+	n.nm.lookups.Inc()
+	if n.cache != nil {
+		if owner, ok := n.cache.get(key); ok {
+			if res, ok := n.verifyCachedOwner(owner, key); ok {
+				n.nm.cacheHits.Inc()
+				return res, nil
+			}
+			n.cache.remove(key)
+		}
+		n.nm.cacheMisses.Inc()
+	}
+	res, err := n.lookupFull(key)
+	if err != nil {
+		n.nm.lookupErrors.Inc()
+	} else if n.cache != nil {
+		n.cache.put(key, res.Owner)
+	}
+	return res, err
+}
+
+// verifyCachedOwner checks a cached binding with a single RPC: the
+// hierarchical destination check at the cached peer. Only a confirmed
+// owner is used, so cache staleness can waste one call but never
+// misroute.
+func (n *Node) verifyCachedOwner(owner wire.Peer, key id.ID) (LookupResult, bool) {
+	resp, err := n.call(owner.Addr, wire.Request{
+		Type: wire.TFindClosest, Layer: 1, Key: [20]byte(key), Hierarchical: true,
+	})
+	if err != nil || !resp.Owner {
+		return LookupResult{}, false
+	}
+	res := LookupResult{Owner: resp.Next, Hops: 1, LayerHops: make([]int, n.cfg.Depth)}
+	res.LayerHops[0] = 1
+	n.nm.hops[0].Inc()
+	return res, true
+}
+
+// lookupFull is the uncached hierarchical routing procedure.
+func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 	res := LookupResult{LayerHops: make([]int, n.cfg.Depth)}
 	cur := n.addr
 	prev := ""
@@ -269,14 +316,15 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 			if i >= maxWalk {
 				return res, fmt.Errorf("transport: layer %d walk did not converge", layer)
 			}
-			resp, err := wire.Call(cur, wire.Request{
+			resp, err := n.call(cur, wire.Request{
 				Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
 				Hierarchical: true,
-			}, n.cfg.CallTimeout)
+			})
 			if err != nil {
 				if prev == "" || prev == cur {
 					return res, err
 				}
+				n.nm.walkRetries.Inc()
 				n.evictAt(prev, layer, cur)
 				cur, prev = prev, ""
 				continue
@@ -286,6 +334,7 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 				return res, nil
 			}
 			if resp.Done {
+				n.nm.ringClimbs.Inc()
 				cur = resp.Self.Addr // continue upward from the ring predecessor
 				break
 			}
@@ -293,6 +342,7 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 			cur = resp.Next.Addr
 			res.Hops++
 			res.LayerHops[layer-1]++
+			n.nm.hops[layer-1].Inc()
 		}
 	}
 	// Global ring.
@@ -301,14 +351,15 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 		if i >= maxWalk {
 			return res, fmt.Errorf("transport: global walk did not converge")
 		}
-		resp, err := wire.Call(cur, wire.Request{
+		resp, err := n.call(cur, wire.Request{
 			Type: wire.TFindClosest, Layer: 1, Key: [20]byte(key),
 			Hierarchical: true,
-		}, n.cfg.CallTimeout)
+		})
 		if err != nil {
 			if prev == "" || prev == cur {
 				return res, err
 			}
+			n.nm.walkRetries.Inc()
 			n.evictAt(prev, 1, cur)
 			cur, prev = prev, ""
 			continue
@@ -321,12 +372,14 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 			res.Owner = resp.Next
 			res.Hops++
 			res.LayerHops[0]++
+			n.nm.hops[0].Inc()
 			return res, nil
 		}
 		prev = cur
 		cur = resp.Next.Addr
 		res.Hops++
 		res.LayerHops[0]++
+		n.nm.hops[0].Inc()
 	}
 }
 
@@ -338,23 +391,23 @@ func (n *Node) Put(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := wire.Call(res.Owner.Addr, wire.Request{
+	if _, err := n.call(res.Owner.Addr, wire.Request{
 		Type: wire.TPut, Name: key, Value: value,
-	}, n.cfg.CallTimeout); err != nil {
+	}); err != nil {
 		return err
 	}
 	// Best-effort replication: failure to reach a replica is not an error.
-	nb, err := wire.Call(res.Owner.Addr, wire.Request{
+	nb, err := n.call(res.Owner.Addr, wire.Request{
 		Type: wire.TGetNeighbors, Layer: 1,
-	}, n.cfg.CallTimeout)
+	})
 	if err == nil {
 		for _, rep := range nb.Succ {
 			if rep.Addr == "" || rep.Addr == res.Owner.Addr {
 				continue
 			}
-			_, _ = wire.Call(rep.Addr, wire.Request{
+			_, _ = n.call(rep.Addr, wire.Request{
 				Type: wire.TPut, Name: key, Value: value,
-			}, n.cfg.CallTimeout)
+			})
 		}
 	}
 	return nil
@@ -367,9 +420,9 @@ func (n *Node) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := wire.Call(res.Owner.Addr, wire.Request{
+	resp, err := n.call(res.Owner.Addr, wire.Request{
 		Type: wire.TGet, Name: key,
-	}, n.cfg.CallTimeout)
+	})
 	if err == nil {
 		return resp.Value, nil
 	}
@@ -377,7 +430,7 @@ func (n *Node) Get(key string) ([]byte, error) {
 	// The owner failed or misses the key; its ring successors hold
 	// replicas. Locate them through the owner's predecessor region: ask
 	// our own view of the ring via a fresh walk from ourselves.
-	nb, nerr := wire.Call(res.Owner.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: 1}, n.cfg.CallTimeout)
+	nb, nerr := n.call(res.Owner.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: 1})
 	var candidates []wire.Peer
 	if nerr == nil {
 		candidates = nb.Succ
@@ -395,9 +448,9 @@ func (n *Node) Get(key string) ([]byte, error) {
 		if rep.Addr == "" || rep.Addr == res.Owner.Addr {
 			continue
 		}
-		if resp, err := wire.Call(rep.Addr, wire.Request{
+		if resp, err := n.call(rep.Addr, wire.Request{
 			Type: wire.TGet, Name: key,
-		}, n.cfg.CallTimeout); err == nil {
+		}); err == nil {
 			return resp.Value, nil
 		}
 	}
@@ -418,7 +471,7 @@ func (n *Node) StabilizeOnce() error {
 		// Drop a dead predecessor so a live one can be adopted (Chord's
 		// check_predecessor).
 		if pred.Addr != "" && pred.Addr != n.addr {
-			if _, err := wire.Call(pred.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err != nil {
+			if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err != nil {
 				n.mu.Lock()
 				if n.layers[layer-1].pred == pred {
 					n.layers[layer-1].pred = wire.Peer{}
@@ -439,7 +492,7 @@ func (n *Node) StabilizeOnce() error {
 				s0, found = cand, true
 				break
 			}
-			resp, err := wire.Call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer}, n.cfg.CallTimeout)
+			resp, err := n.call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
 			if err == nil {
 				s0, nb, found = cand, resp, true
 				break
@@ -453,9 +506,9 @@ func (n *Node) StabilizeOnce() error {
 		// notified us (Between(x, a, a) holds for every x != a).
 		if nb.Pred.Addr != "" && nb.Pred.Addr != n.addr &&
 			id.Between(peerID(nb.Pred), n.id, peerID(s0)) {
-			if _, err := wire.Call(nb.Pred.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+			if _, err := n.call(nb.Pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
 				s0 = nb.Pred
-				resp, err := wire.Call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer}, n.cfg.CallTimeout)
+				resp, err := n.call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
 				if err != nil {
 					continue
 				}
@@ -484,7 +537,7 @@ func (n *Node) StabilizeOnce() error {
 		n.mu.Lock()
 		n.layers[layer-1].succ = list
 		n.mu.Unlock()
-		_, _ = wire.Call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self}, n.cfg.CallTimeout)
+		_, _ = n.call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
 	}
 	return n.migrateRingTables()
 }
@@ -504,7 +557,7 @@ func (n *Node) migrateRingTables() error {
 			continue
 		}
 		if owner.Addr != n.addr {
-			if _, err := wire.Call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout); err == nil {
+			if _, err := n.call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err == nil {
 				n.mu.Lock()
 				delete(n.tables, ringKey(t.Layer, t.Name))
 				n.mu.Unlock()
@@ -579,7 +632,7 @@ func (n *Node) Leave() error {
 		var s0 wire.Peer
 		for _, c := range succ {
 			if c.Addr != "" && c.Addr != n.addr {
-				if _, err := wire.Call(c.Addr, wire.Request{Type: wire.TPing}, n.cfg.CallTimeout); err == nil {
+				if _, err := n.call(c.Addr, wire.Request{Type: wire.TPing}); err == nil {
 					s0 = c
 					break
 				}
@@ -588,10 +641,10 @@ func (n *Node) Leave() error {
 		if s0.Addr == "" {
 			continue // singleton layer
 		}
-		_, _ = wire.Call(s0.Addr, wire.Request{Type: wire.TLeaveSucc, Layer: layer, Peer: pred}, n.cfg.CallTimeout)
+		_, _ = n.call(s0.Addr, wire.Request{Type: wire.TLeaveSucc, Layer: layer, Peer: pred})
 		if pred.Addr != "" && pred.Addr != n.addr {
 			handoff := append([]wire.Peer{s0}, succ...)
-			_, _ = wire.Call(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff}, n.cfg.CallTimeout)
+			_, _ = n.call(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff})
 		}
 	}
 	// Migrate stored state to the global successor.
@@ -614,10 +667,10 @@ func (n *Node) Leave() error {
 	n.mu.Unlock()
 	if gsucc.Addr != "" {
 		for k, v := range data {
-			_, _ = wire.Call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: v}, n.cfg.CallTimeout)
+			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: v})
 		}
 		for _, t := range tables {
-			_, _ = wire.Call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}, n.cfg.CallTimeout)
+			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
 		}
 	}
 	return n.Close()

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// nodeMetrics bundles one node's registry and pre-curried children. Every
+// node owns a private registry (or the one injected via Config.Metrics),
+// so counters never mix across nodes sharing a process.
+type nodeMetrics struct {
+	reg *metrics.Registry
+	wm  *wire.Metrics
+
+	// hops[l-1] counts lookup hops taken in ring layer l (1 = global).
+	hops         []*metrics.Counter
+	ringClimbs   *metrics.Counter
+	lookups      *metrics.Counter
+	lookupErrors *metrics.Counter
+	evictions    *metrics.Counter
+	walkRetries  *metrics.Counter
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+}
+
+func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
+	nm := &nodeMetrics{reg: reg, wm: wire.NewMetrics(reg)}
+	hopsVec := reg.NewCounterVec("hops_total",
+		"Hierarchical lookup hops by ring layer (1 = global ring).", "layer")
+	nm.hops = make([]*metrics.Counter, depth)
+	for l := 1; l <= depth; l++ {
+		nm.hops[l-1] = hopsVec.With(strconv.Itoa(l))
+	}
+	nm.ringClimbs = reg.NewCounter("ring_climbs_total",
+		"Lookup transitions from a lower ring to the next layer up.")
+	nm.lookups = reg.NewCounter("lookups_total",
+		"Hierarchical lookups started on this node.")
+	nm.lookupErrors = reg.NewCounter("lookup_errors_total",
+		"Hierarchical lookups that failed.")
+	nm.evictions = reg.NewCounter("evictions_total",
+		"Dead-peer evictions this node reported to other nodes.")
+	nm.walkRetries = reg.NewCounter("walk_retries_total",
+		"Iterative walk steps retried after an unreachable hop.")
+	nm.cacheHits = reg.NewCounter("cache_hits_total",
+		"Location cache hits whose owner verification succeeded.")
+	nm.cacheMisses = reg.NewCounter("cache_misses_total",
+		"Location cache misses, including failed verifications.")
+	return nm
+}
+
+// Metrics returns the node's metrics registry (serve it with
+// Registry.Handler, or dump it with Registry.WriteTo).
+func (n *Node) Metrics() *metrics.Registry { return n.nm.reg }
+
+// lookupCache is a fixed-capacity LRU of key→owner bindings learned from
+// completed lookups (the DHash-style location caching of internal/cache,
+// applied to the live node). Entries are only trusted after a one-RPC
+// ownership verification, so staleness costs a miss, never a wrong owner.
+type lookupCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are cacheEntry
+	items map[id.ID]*list.Element
+}
+
+type cacheEntry struct {
+	key   id.ID
+	owner wire.Peer
+}
+
+func newLookupCache(capacity int) *lookupCache {
+	return &lookupCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[id.ID]*list.Element, capacity),
+	}
+}
+
+func (c *lookupCache) get(key id.ID) (wire.Peer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return wire.Peer{}, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(cacheEntry).owner, true
+}
+
+func (c *lookupCache) put(key id.ID, owner wire.Peer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.Value = cacheEntry{key, owner}
+		c.order.MoveToFront(e)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(cacheEntry{key, owner})
+}
+
+func (c *lookupCache) remove(key id.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.order.Remove(e)
+		delete(c.items, key)
+	}
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// TestHopCountersMatchLookups is the live-node counterpart of the paper's
+// hop accounting: across a three-node overlay, the per-layer hop counters
+// a node exports must sum exactly to the hop counts its lookups reported.
+func TestHopCountersMatchLookups(t *testing.T) {
+	nodes := cluster(t, 3)
+	src := nodes[1]
+
+	var wantTotal uint64
+	perLayer := make([]uint64, 2)
+	for trial := 0; trial < 30; trial++ {
+		key := id.HashString(fmt.Sprintf("metric-key-%d", trial))
+		res, err := src.Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", trial, err)
+		}
+		layerSum := 0
+		for l, h := range res.LayerHops {
+			layerSum += h
+			perLayer[l] += uint64(h)
+		}
+		if layerSum != res.Hops {
+			t.Fatalf("trial %d: LayerHops %v sum to %d, Hops = %d",
+				trial, res.LayerHops, layerSum, res.Hops)
+		}
+		wantTotal += uint64(res.Hops)
+	}
+
+	var gotTotal uint64
+	for l, c := range src.nm.hops {
+		if c.Value() != perLayer[l] {
+			t.Errorf("hops_total{layer=%d} = %d, want %d", l+1, c.Value(), perLayer[l])
+		}
+		gotTotal += c.Value()
+	}
+	if gotTotal != wantTotal {
+		t.Errorf("sum of per-layer hop counters = %d, lookups reported %d", gotTotal, wantTotal)
+	}
+	if src.nm.lookups.Value() != 30 {
+		t.Errorf("lookups_total = %d, want 30", src.nm.lookups.Value())
+	}
+}
+
+// TestMetricsExposition asserts the wire-format names the README and the
+// acceptance criteria promise, served over HTTP exactly as hieras-node
+// -metrics does.
+func TestMetricsExposition(t *testing.T) {
+	nodes := cluster(t, 3)
+	src := nodes[0]
+	if _, err := src.Lookup(id.HashString("expo-key")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(src.Metrics().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(buf)
+	out := string(buf[:n])
+
+	for _, want := range []string{
+		`rpc_requests_total{type="find_closest"}`,
+		`rpc_requests_total{type="ping"}`,
+		"rpc_latency_seconds_bucket{le=",
+		"rpc_latency_seconds_count",
+		"rpc_bytes_in_total",
+		"rpc_bytes_out_total",
+		`rpc_server_requests_total{type=`,
+		`hops_total{layer="1"}`,
+		`hops_total{layer="2"}`,
+		"ring_climbs_total",
+		"lookups_total",
+		"cache_hits_total",
+		"cache_misses_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestRPCCountersMove(t *testing.T) {
+	nd, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.CreateNetwork(); err != nil {
+		t.Fatal(err)
+	}
+	// A served ping increments the server-side counter and byte totals.
+	if _, err := wire.Call(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := nd.Metrics().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `rpc_server_requests_total{type="ping"} 1`) {
+		t.Errorf("server ping counter not recorded:\n%s", out)
+	}
+	if strings.Contains(out, "rpc_bytes_in_total 0\n") {
+		t.Error("rpc_bytes_in_total still zero after a served request")
+	}
+}
+
+// TestLookupCacheHit exercises the location cache: the second lookup of a
+// key is answered via one verified RPC and counted as a hit.
+func TestLookupCacheHit(t *testing.T) {
+	nodes := cluster(t, 4)
+	// Start a fifth node with caching enabled and join it.
+	landmarks := []string{nodes[0].Addr(), nodes[1].Addr()}
+	nd, err := Start("127.0.0.1:0", Config{
+		Depth: 2, Coord: [2]float64{3, 4}, Landmarks: landmarks,
+		CallTimeout: 5 * time.Second, LookupCache: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	stabilizeAll(t, append(append([]*Node{}, nodes...), nd), 3)
+	if err := nd.BuildAllFingers(); err != nil {
+		t.Fatal(err)
+	}
+
+	key := id.HashString("cached-key")
+	first, err := nd.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.nm.cacheMisses.Value() != 1 || nd.nm.cacheHits.Value() != 0 {
+		t.Fatalf("after first lookup: hits=%d misses=%d",
+			nd.nm.cacheHits.Value(), nd.nm.cacheMisses.Value())
+	}
+	second, err := nd.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.nm.cacheHits.Value() != 1 {
+		t.Errorf("second lookup was not a cache hit (hits=%d misses=%d)",
+			nd.nm.cacheHits.Value(), nd.nm.cacheMisses.Value())
+	}
+	if second.Owner.Addr != first.Owner.Addr {
+		t.Errorf("cached owner %s != routed owner %s", second.Owner.Addr, first.Owner.Addr)
+	}
+	if second.Hops != 1 {
+		t.Errorf("cache-hit lookup reported %d hops, want 1", second.Hops)
+	}
+}

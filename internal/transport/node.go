@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/binning"
 	"repro/internal/id"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -41,6 +42,15 @@ type Config struct {
 	Prober Prober
 	// CallTimeout bounds each RPC (default 3s).
 	CallTimeout time.Duration
+	// Metrics is the registry the node instruments itself against. Nil
+	// creates a fresh per-node registry (reachable via Node.Metrics); a
+	// registry must not be shared between nodes.
+	Metrics *metrics.Registry
+	// LookupCache is the capacity of the client-side key→owner location
+	// cache consulted by Lookup (0 disables caching). Cached owners are
+	// verified with a single RPC before use, so a stale entry costs one
+	// wasted call, never a wrong answer.
+	LookupCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,8 +90,11 @@ type Node struct {
 	tables    map[string]wire.RingTable // key = ringKey(layer, name)
 
 	closed  chan struct{}
-	handled int64 // requests served (metrics)
+	handled int64 // requests served (also exported via the registry)
 	wg      sync.WaitGroup
+
+	nm    *nodeMetrics
+	cache *lookupCache // nil when Config.LookupCache == 0
 }
 
 // NodeID derives a live node's identifier from its address.
@@ -129,6 +142,14 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	n.id = NodeID(n.addr)
 	if cfg.Prober == nil {
 		n.cfg.Prober = &VirtualProber{Self: cfg.Coord, Timeout: cfg.CallTimeout}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n.nm = newNodeMetrics(reg, cfg.Depth)
+	if cfg.LookupCache > 0 {
+		n.cache = newLookupCache(cfg.LookupCache)
 	}
 	n.layers = make([]*layerState, cfg.Depth)
 	for i := range n.layers {
@@ -204,11 +225,14 @@ func (n *Node) acceptLoop() {
 		go func() {
 			defer n.wg.Done()
 			defer conn.Close()
-			req, err := wire.ReadRequest(conn, n.cfg.CallTimeout)
+			cc := &wire.CountingConn{Conn: conn}
+			req, err := wire.ReadRequest(cc, n.cfg.CallTimeout)
 			if err != nil {
 				return
 			}
-			_ = wire.WriteResponse(conn, n.handle(req))
+			resp := n.handle(req)
+			_ = wire.WriteResponse(cc, resp)
+			n.nm.wm.ObserveServed(req.Type, resp.OK, cc.ReadBytes, cc.WrittenBytes)
 		}()
 	}
 }

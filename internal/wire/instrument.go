@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// AllMsgTypes lists every protocol operation, so instrumentation can
+// pre-curry per-type child metrics once instead of formatting label
+// values on the hot path.
+var AllMsgTypes = []MsgType{
+	TPing, TGetInfo, TFindClosest, TGetNeighbors, TNotify, TGetRingTable,
+	TPutRingTable, TPut, TGet, TLeaveSucc, TLeavePred, TEvict,
+}
+
+// CountingConn wraps a net.Conn and tallies bytes read and written. The
+// counters are plain ints: a wire exchange is handled by one goroutine.
+type CountingConn struct {
+	net.Conn
+	ReadBytes    int64
+	WrittenBytes int64
+}
+
+func (c *CountingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.ReadBytes += int64(n)
+	return n, err
+}
+
+func (c *CountingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.WrittenBytes += int64(n)
+	return n, err
+}
+
+// Metrics instruments the wire protocol against a metrics registry:
+// per-MsgType request and error counts for both the client and server
+// roles, total bytes in/out, and a call-latency histogram. One Metrics
+// belongs to one registry (and, in practice, one node).
+type Metrics struct {
+	latency  *metrics.Histogram
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+
+	reqVec, errVec       *metrics.CounterVec
+	srvReqVec, srvErrVec *metrics.CounterVec
+	// Pre-curried children indexed by MsgType (index 0 unused).
+	reqs, errs, srvReqs, srvErrs [TEvict + 1]*metrics.Counter
+}
+
+// NewMetrics registers the wire metric families on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	m := &Metrics{
+		latency: reg.NewHistogram("rpc_latency_seconds",
+			"Outgoing RPC latency, dial through response decode.", metrics.DefLatencyBuckets),
+		bytesIn: reg.NewCounter("rpc_bytes_in_total",
+			"Bytes read from wire connections, both roles."),
+		bytesOut: reg.NewCounter("rpc_bytes_out_total",
+			"Bytes written to wire connections, both roles."),
+		reqVec: reg.NewCounterVec("rpc_requests_total",
+			"Outgoing RPCs by message type.", "type"),
+		errVec: reg.NewCounterVec("rpc_errors_total",
+			"Outgoing RPCs that failed, by message type.", "type"),
+		srvReqVec: reg.NewCounterVec("rpc_server_requests_total",
+			"Requests served, by message type.", "type"),
+		srvErrVec: reg.NewCounterVec("rpc_server_errors_total",
+			"Requests answered with an error, by message type.", "type"),
+	}
+	for _, t := range AllMsgTypes {
+		m.reqs[t] = m.reqVec.With(t.String())
+		m.errs[t] = m.errVec.With(t.String())
+		m.srvReqs[t] = m.srvReqVec.With(t.String())
+		m.srvErrs[t] = m.srvErrVec.With(t.String())
+	}
+	return m
+}
+
+func pick(curried *[TEvict + 1]*metrics.Counter, vec *metrics.CounterVec, t MsgType) *metrics.Counter {
+	if int(t) < len(curried) && curried[t] != nil {
+		return curried[t]
+	}
+	return vec.With(t.String())
+}
+
+// Call performs one instrumented RPC (see Call) and records its type,
+// outcome, byte counts and latency.
+func (m *Metrics) Call(addr string, req Request, timeout time.Duration) (Response, error) {
+	start := time.Now()
+	resp, in, out, err := exchange(addr, req, timeout)
+	m.latency.Observe(time.Since(start).Seconds())
+	m.bytesIn.Add(uint64(in))
+	m.bytesOut.Add(uint64(out))
+	pick(&m.reqs, m.reqVec, req.Type).Inc()
+	if err != nil {
+		pick(&m.errs, m.errVec, req.Type).Inc()
+	}
+	return resp, err
+}
+
+// ObserveServed records one server-side exchange: the request type, how
+// it was answered, and the connection's byte counts.
+func (m *Metrics) ObserveServed(t MsgType, ok bool, bytesIn, bytesOut int64) {
+	pick(&m.srvReqs, m.srvReqVec, t).Inc()
+	if !ok {
+		pick(&m.srvErrs, m.srvErrVec, t).Inc()
+	}
+	m.bytesIn.Add(uint64(bytesIn))
+	m.bytesOut.Add(uint64(bytesOut))
+}

@@ -139,25 +139,32 @@ type Response struct {
 
 // Call performs one RPC: dial, send, receive, close.
 func Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	var resp Response
+	resp, _, _, err := exchange(addr, req, timeout)
+	return resp, err
+}
+
+// exchange is the shared RPC body; it reports bytes read and written so
+// the instrumented Metrics.Call can account traffic.
+func exchange(addr string, req Request, timeout time.Duration) (resp Response, in, out int64, err error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return resp, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return resp, 0, 0, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
+	cc := &CountingConn{Conn: conn}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return resp, err
+		return resp, 0, 0, err
 	}
-	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
-		return resp, fmt.Errorf("wire: encode to %s: %w", addr, err)
+	if err := gob.NewEncoder(cc).Encode(&req); err != nil {
+		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: encode to %s: %w", addr, err)
 	}
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return resp, fmt.Errorf("wire: decode from %s: %w", addr, err)
+	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
+		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: decode from %s: %w", addr, err)
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("wire: %s: remote error: %s", req.Type, resp.Err)
+		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: %s: remote error: %s", req.Type, resp.Err)
 	}
-	return resp, nil
+	return resp, cc.ReadBytes, cc.WrittenBytes, nil
 }
 
 // ReadRequest decodes one request from a server-side connection.
