@@ -35,6 +35,7 @@ func main() {
 		scale = flag.Float64("scale", 0.1, "scale factor on the paper's node counts")
 		paper = flag.Bool("paper", false, "run at full paper scale (overrides -scale)")
 		seed    = flag.Int64("seed", 2003, "base random seed")
+		workers = flag.Int("workers", 0, "batch-engine workers per comparison (0 = all CPUs)")
 		only    = flag.String("only", "", "comma-separated subset: t1,t2,t3,fig2..fig9,overhead,algos,can,resilience,cache")
 		dumpMet = flag.Bool("metrics", false, "dump the cache study's Prometheus-text metrics after the run")
 	)
@@ -66,6 +67,7 @@ func main() {
 		Nodes:    scaleInt(10000),
 		Requests: requests,
 		Seed:     *seed,
+		Workers:  *workers,
 	}
 
 	if run("t1") {
@@ -75,13 +77,13 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if run("t2") {
-		tbl, err := experiments.Table2(experiments.Scenario{Nodes: scaleInt(1000), Seed: *seed})
+		tbl, err := experiments.Table2(experiments.Scenario{Nodes: scaleInt(1000), Seed: *seed, Workers: *workers})
 		fatalIf(err)
 		tbl.Render(out)
 		fmt.Fprintln(out)
 	}
 	if run("t3") {
-		tbl, err := experiments.Table3(experiments.Scenario{Nodes: scaleInt(800), Seed: *seed})
+		tbl, err := experiments.Table3(experiments.Scenario{Nodes: scaleInt(800), Seed: *seed, Workers: *workers})
 		fatalIf(err)
 		tbl.Render(out)
 		fmt.Fprintln(out)
@@ -126,7 +128,7 @@ func main() {
 	}
 	if run("overhead") {
 		res, err := experiments.Overhead(experiments.Scenario{
-			Nodes: scaleInt(1000), Seed: *seed, Requests: 100,
+			Nodes: scaleInt(1000), Seed: *seed, Requests: 100, Workers: *workers,
 		}, []int{1, 2, 3, 4})
 		fatalIf(err)
 		res.Table().Render(out)
@@ -134,7 +136,7 @@ func main() {
 	}
 	if run("algos") {
 		res, err := experiments.CompareAlgorithms(experiments.Scenario{
-			Nodes: scaleInt(3000), Requests: requests, Seed: *seed,
+			Nodes: scaleInt(3000), Requests: requests, Seed: *seed, Workers: *workers,
 		})
 		fatalIf(err)
 		res.Table().Render(out)
@@ -142,7 +144,7 @@ func main() {
 	}
 	if run("can") {
 		res, err := experiments.CompareCAN(experiments.Scenario{
-			Nodes: scaleInt(4000), Requests: requests, Seed: *seed,
+			Nodes: scaleInt(4000), Requests: requests, Seed: *seed, Workers: *workers,
 		})
 		fatalIf(err)
 		res.Table().Render(out)
@@ -150,7 +152,7 @@ func main() {
 	}
 	if run("resilience") {
 		res, err := experiments.FailureResilience(experiments.Scenario{
-			Nodes: scaleInt(3000), Requests: requests / 5, Seed: *seed,
+			Nodes: scaleInt(3000), Requests: requests / 5, Seed: *seed, Workers: *workers,
 		}, []float64{0, 0.1, 0.2, 0.3, 0.4})
 		fatalIf(err)
 		res.Table().Render(out)
@@ -158,7 +160,7 @@ func main() {
 	}
 	if run("cache") {
 		sc := experiments.Scenario{
-			Nodes: scaleInt(2000), Requests: requests, Seed: *seed,
+			Nodes: scaleInt(2000), Requests: requests, Seed: *seed, Workers: *workers,
 		}
 		if *dumpMet {
 			sc.Metrics = metrics.NewRegistry()

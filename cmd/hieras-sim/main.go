@@ -1,13 +1,21 @@
 // Command hieras-sim runs a single HIERAS-vs-Chord simulation and prints
 // the comparison, optionally writing a per-request CSV trace.
 //
+// The comparison runs on the parallel batch query engine: -workers bounds
+// the fan-out (summaries are byte-identical for a fixed seed at any
+// worker count), -progress streams partial summaries while long runs are
+// in flight, and -metrics dumps the pool's queue/throughput gauges along
+// with the overlay's counters.
+//
 // Usage:
 //
 //	hieras-sim -model ts -nodes 1000 -landmarks 4 -depth 2 -requests 10000
 //	hieras-sim -nodes 400 -trace out.csv
+//	hieras-sim -requests 200000 -workers 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,8 +40,10 @@ func main() {
 		requests  = flag.Int("requests", 10000, "routing requests")
 		seed      = flag.Int64("seed", 1, "random seed")
 		routers   = flag.Int("routers", 0, "router count for inet/brite (0 = auto)")
+		workers   = flag.Int("workers", 0, "batch-engine workers (0 = all CPUs)")
+		progress  = flag.Bool("progress", false, "stream progressive summaries every ~10% of the run")
 		traceOut  = flag.String("trace", "", "write a per-request CSV trace to this file")
-		dumpMet   = flag.Bool("metrics", false, "dump the overlay's Prometheus-text metrics after the run")
+		dumpMet   = flag.Bool("metrics", false, "dump the overlay's and pool's Prometheus-text metrics after the run")
 	)
 	flag.Parse()
 
@@ -45,9 +55,12 @@ func main() {
 		Requests:  *requests,
 		Seed:      *seed,
 		Routers:   *routers,
+		Workers:   *workers,
 	}
+	s.Pool = experiments.NewPool(*workers)
 	if *dumpMet {
 		s.Metrics = metrics.NewRegistry()
+		s.Pool.Instrument(s.Metrics)
 	}
 	fmt.Printf("building %s underlay with %d peers (depth %d, %d landmarks, seed %d)...\n",
 		s.Model, s.Nodes, s.Depth, s.Landmarks, s.Seed)
@@ -60,13 +73,28 @@ func main() {
 			ls.Layer, ls.Rings, ls.MinSize, ls.MaxSize, ls.MeanSize)
 	}
 
-	cmp, err := experiments.CompareOn(o, s)
+	var onProgress func(experiments.Progress)
+	if *progress {
+		lastDecile := 0
+		onProgress = func(p experiments.Progress) {
+			if decile := 10 * p.Requests / p.Total; decile > lastDecile {
+				lastDecile = decile
+				fmt.Printf("  %3d%% (%d/%d): hieras %.2f ms vs chord %.2f ms (ratio %.3f)\n",
+					100*p.Requests/p.Total, p.Requests, p.Total,
+					p.HierasLatencyMs, p.ChordLatencyMs, p.LatencyRatio)
+			}
+		}
+		fmt.Printf("\nrouting %d requests on %d workers...\n", s.Requests, s.Pool.Workers())
+	}
+	cmp, err := experiments.CompareStream(context.Background(), o, s, onProgress)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n%-28s %10s %10s\n", "metric", "chord", "hieras")
 	fmt.Printf("%-28s %10.4f %10.4f\n", "avg hops", cmp.Chord.Hops.Mean(), cmp.Hieras.Hops.Mean())
 	fmt.Printf("%-28s %10.2f %10.2f\n", "avg latency (ms)", cmp.Chord.Latency.Mean(), cmp.Hieras.Latency.Mean())
+	fmt.Printf("%-28s %10.2f %10.2f\n", "p50 latency (ms)", cmp.ChordLatQ.Quantile(0.5), cmp.HierasLatQ.Quantile(0.5))
+	fmt.Printf("%-28s %10.2f %10.2f\n", "p99 latency (ms)", cmp.ChordLatQ.Quantile(0.99), cmp.HierasLatQ.Quantile(0.99))
 	fmt.Printf("%-28s %10s %9.2f%%\n", "latency ratio", "", 100*cmp.LatencyRatio())
 	fmt.Printf("%-28s %10s %9.2f%%\n", "hop overhead", "", 100*(cmp.HopRatio()-1))
 	fmt.Printf("%-28s %10s %9.2f%%\n", "lower-layer hop share", "", 100*cmp.LowerHopShare())

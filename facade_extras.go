@@ -13,6 +13,9 @@ import (
 // direct hop. alongPath seeds the caches of every peer a lookup traverses
 // (DHash-style) instead of only the requester's.
 func (s *System) Cached(capacity int, alongPath bool) (*CachedSystem, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: cache capacity %d must be >= 1", ErrBadOptions, capacity)
+	}
 	policy := cache.CacheAtOrigin
 	if alongPath {
 		policy = cache.CacheAlongPath
@@ -24,19 +27,31 @@ func (s *System) Cached(capacity int, alongPath bool) (*CachedSystem, error) {
 	return &CachedSystem{sys: s, c: c}, nil
 }
 
-// CachedSystem is a System with location caching enabled.
+// CachedSystem is a System with location caching enabled. It implements
+// Lookuper; hits are reported via Route.CacheHit.
 type CachedSystem struct {
 	sys *System
 	c   *cache.Overlay
 }
 
 // Lookup routes to the owner of key, consulting the requester's cache.
-func (cs *CachedSystem) Lookup(origin int, key string) (Route, bool, error) {
-	if origin < 0 || origin >= cs.sys.N() {
-		return Route{}, false, fmt.Errorf("hieras: origin %d out of range", origin)
+// On a hit the route is the single direct hop and Route.CacheHit is set;
+// on a miss the full hierarchical route — lower-layer hop and latency
+// accounting included — is returned.
+func (cs *CachedSystem) Lookup(origin int, key string) (Route, error) {
+	if err := cs.sys.checkOrigin(origin); err != nil {
+		return Route{}, err
 	}
 	res := cs.c.Lookup(origin, core.KeyID(key))
-	return Route{Dest: res.Dest, Hops: res.Hops, Latency: res.Latency}, res.Hit, nil
+	r := fromResult(res.RouteResult)
+	r.CacheHit = res.Hit
+	return r, nil
+}
+
+// ChordLookup routes over the flat global ring, bypassing the cache — the
+// same uncached baseline the underlying System reports.
+func (cs *CachedSystem) ChordLookup(origin int, key string) (Route, error) {
+	return cs.sys.ChordLookup(origin, key)
 }
 
 // HitRate returns the cumulative cache hit rate.
@@ -47,7 +62,7 @@ func (cs *CachedSystem) HitRate() float64 { return cs.c.HitRate() }
 // around them using the per-layer successor lists.
 func (s *System) FailPeers(fraction float64, seed int64) (*DegradedSystem, error) {
 	if fraction < 0 || fraction >= 1 {
-		return nil, fmt.Errorf("hieras: failure fraction %v out of [0,1)", fraction)
+		return nil, fmt.Errorf("%w: %v not in [0,1)", ErrBadFraction, fraction)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	dead := make([]bool, s.N())
@@ -65,7 +80,8 @@ func (s *System) FailPeers(fraction float64, seed int64) (*DegradedSystem, error
 	return &DegradedSystem{sys: s, view: v, dead: dead}, nil
 }
 
-// DegradedSystem is a System view with failed peers.
+// DegradedSystem is a System view with failed peers. It implements
+// Lookuper.
 type DegradedSystem struct {
 	sys  *System
 	view *core.FaultyView
@@ -79,6 +95,9 @@ func (d *DegradedSystem) Alive(peer int) bool {
 
 // Lookup routes around the failures to the key's live owner.
 func (d *DegradedSystem) Lookup(origin int, key string) (Route, error) {
+	if err := d.sys.checkOrigin(origin); err != nil {
+		return Route{}, err
+	}
 	res, err := d.view.Route(origin, core.KeyID(key))
 	if err != nil {
 		return Route{}, err
@@ -88,6 +107,9 @@ func (d *DegradedSystem) Lookup(origin int, key string) (Route, error) {
 
 // ChordLookup is the flat baseline under the same failures.
 func (d *DegradedSystem) ChordLookup(origin int, key string) (Route, error) {
+	if err := d.sys.checkOrigin(origin); err != nil {
+		return Route{}, err
+	}
 	res, err := d.view.ChordRoute(origin, core.KeyID(key))
 	if err != nil {
 		return Route{}, err

@@ -1,6 +1,7 @@
 package hieras
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -14,32 +15,64 @@ func TestCachedSystem(t *testing.T) {
 	if _, err := sys.Cached(0, false); err == nil {
 		t.Error("zero capacity accepted")
 	}
-	r1, hit1, err := cs.Lookup(3, "popular")
+	r1, err := cs.Lookup(3, "popular")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hit1 {
+	if r1.CacheHit {
 		t.Error("first lookup cannot hit")
 	}
-	r2, hit2, err := cs.Lookup(3, "popular")
+	r2, err := cs.Lookup(3, "popular")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit2 || r2.Dest != r1.Dest || r2.Hops > 1 {
-		t.Errorf("second lookup should be a 1-hop hit: %+v hit=%v", r2, hit2)
+	if !r2.CacheHit || r2.Dest != r1.Dest || r2.Hops > 1 {
+		t.Errorf("second lookup should be a 1-hop hit: %+v", r2)
 	}
 	if cs.HitRate() != 0.5 {
 		t.Errorf("hit rate %v", cs.HitRate())
 	}
-	if _, _, err := cs.Lookup(-1, "x"); err == nil {
-		t.Error("bad origin accepted")
+	if _, err := cs.Lookup(-1, "x"); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("bad origin: err = %v, want ErrOriginOutOfRange", err)
+	}
+	if c, err := cs.ChordLookup(3, "popular"); err != nil || c.CacheHit {
+		t.Errorf("chord baseline must bypass the cache: %+v err=%v", c, err)
+	}
+}
+
+// TestCachedMissKeepsLowerLayerAccounting guards the facade against the
+// old 3-value Lookup signature silently dropping LowerHops/LowerLatency.
+func TestCachedMissKeepsLowerLayerAccounting(t *testing.T) {
+	sys := newSmall(t)
+	cs, err := sys.Cached(32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowerHops, lowerLat := 0, 0.0
+	for i := 0; i < 80; i++ {
+		r, err := cs.Lookup(i%sys.N(), fmt.Sprintf("cold-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CacheHit {
+			continue
+		}
+		lowerHops += r.LowerHops
+		lowerLat += r.LowerLatency
+	}
+	if lowerHops == 0 || lowerLat == 0 {
+		t.Errorf("cached misses on a depth-%d system must report lower-layer work: %d hops, %.1f ms",
+			sys.Depth(), lowerHops, lowerLat)
 	}
 }
 
 func TestDegradedSystem(t *testing.T) {
 	sys := newSmall(t)
-	if _, err := sys.FailPeers(1.5, 1); err == nil {
-		t.Error("fraction > 1 accepted")
+	if _, err := sys.FailPeers(1.5, 1); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("fraction > 1: err = %v, want ErrBadFraction", err)
+	}
+	if _, err := sys.FailPeers(-0.1, 1); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("negative fraction: err = %v, want ErrBadFraction", err)
 	}
 	deg, err := sys.FailPeers(0.15, 7)
 	if err != nil {

@@ -1,6 +1,10 @@
 package hieras
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -30,8 +34,17 @@ func TestNewDefaults(t *testing.T) {
 }
 
 func TestNewErrors(t *testing.T) {
-	if _, err := New(Options{Model: "bogus", Nodes: 50}); err == nil {
-		t.Error("bogus model accepted")
+	bad := []Options{
+		{Model: "bogus", Nodes: 50},
+		{Nodes: -1},
+		{Nodes: 50, Depth: -2},
+		{Nodes: 50, Landmarks: -4},
+		{Nodes: 50, Routers: -8},
+	}
+	for _, opts := range bad {
+		if _, err := New(opts); !errors.Is(err, ErrBadOptions) {
+			t.Errorf("New(%+v): err = %v, want ErrBadOptions", opts, err)
+		}
 	}
 }
 
@@ -61,11 +74,102 @@ func TestLookupAgreesWithChord(t *testing.T) {
 
 func TestLookupRangeChecks(t *testing.T) {
 	sys := newSmall(t)
-	if _, err := sys.Lookup(-1, "k"); err == nil {
-		t.Error("negative origin accepted")
+	if _, err := sys.Lookup(-1, "k"); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("negative origin: err = %v, want ErrOriginOutOfRange", err)
 	}
-	if _, err := sys.ChordLookup(sys.N(), "k"); err == nil {
-		t.Error("out-of-range origin accepted")
+	if _, err := sys.ChordLookup(sys.N(), "k"); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("out-of-range origin: err = %v, want ErrOriginOutOfRange", err)
+	}
+}
+
+func TestBatchLookup(t *testing.T) {
+	sys := newSmall(t)
+	n := 300
+	origins := make([]int, n)
+	keys := make([]string, n)
+	for i := range keys {
+		origins[i] = i % sys.N()
+		keys[i] = fmt.Sprintf("batch-%d", i)
+	}
+	routes, err := sys.BatchLookup(origins, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != n {
+		t.Fatalf("got %d routes, want %d", len(routes), n)
+	}
+	for i := 0; i < n; i += 37 {
+		want, err := sys.Lookup(origins[i], keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if routes[i] != want {
+			t.Fatalf("route %d: batch %+v != sequential %+v", i, routes[i], want)
+		}
+	}
+	if _, err := sys.BatchLookup([]int{0, 1}, []string{"one"}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("mismatched lengths: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := sys.BatchLookup([]int{-5}, []string{"x"}); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("bad origin: err = %v, want ErrOriginOutOfRange", err)
+	}
+}
+
+// TestBatchLookupConcurrent exercises concurrent BatchLookup calls over
+// one shared system; run with -race it doubles as the read-path audit of
+// Overlay.Route.
+func TestBatchLookupConcurrent(t *testing.T) {
+	sys := newSmall(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			origins := make([]int, 200)
+			keys := make([]string, 200)
+			for i := range keys {
+				origins[i] = (g*31 + i) % sys.N()
+				keys[i] = fmt.Sprintf("g%d-%d", g, i)
+			}
+			_, errs[g] = sys.BatchLookup(origins, keys)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestCompareDeterministicAcrossWorkers asserts the batch engine's
+// headline guarantee end to end: one seed, two systems built and measured
+// with 1 and 8 workers, byte-identical summaries.
+func TestCompareDeterministicAcrossWorkers(t *testing.T) {
+	var got []ComparisonSummary
+	for _, workers := range []int{1, 8} {
+		sys, err := New(Options{Nodes: 120, Seed: 77, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := sys.Compare(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, cmp)
+	}
+	if got[0] != got[1] {
+		t.Errorf("summaries diverge across worker counts:\n 1 worker: %+v\n 8 workers: %+v", got[0], got[1])
+	}
+}
+
+func TestCompareContextCancelled(t *testing.T) {
+	sys := newSmall(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.CompareContext(ctx, 5000); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -86,6 +190,14 @@ func TestCompare(t *testing.T) {
 	}
 	if cmp.LowerHopShare <= 0 {
 		t.Error("no lower-layer hops recorded")
+	}
+	if cmp.HierasLatencyP50 <= 0 || cmp.HierasLatencyP99 < cmp.HierasLatencyP50 {
+		t.Errorf("implausible latency percentiles: p50=%v p99=%v",
+			cmp.HierasLatencyP50, cmp.HierasLatencyP99)
+	}
+	if cmp.ChordLatencyP99 < cmp.ChordLatencyP50 {
+		t.Errorf("chord percentiles inverted: p50=%v p99=%v",
+			cmp.ChordLatencyP50, cmp.ChordLatencyP99)
 	}
 }
 

@@ -105,12 +105,12 @@ func New(o *core.Overlay, capacity int, policy Policy) (*Overlay, error) {
 	return &Overlay{o: o, policy: policy, caches: caches}, nil
 }
 
-// Result describes one cached lookup.
+// Result describes one cached lookup: the full routing outcome (on a hit
+// the synthesized single direct hop; on a miss the complete HIERAS route,
+// lower-layer accounting included) plus the hit flag.
 type Result struct {
-	Dest    int
-	Hops    int
-	Latency float64
-	Hit     bool
+	core.RouteResult
+	Hit bool
 }
 
 // Lookup routes from `from` to the owner of key, consulting the
@@ -124,10 +124,11 @@ func (v *Overlay) Lookup(from int, key id.ID) Result {
 		v.mu.Lock()
 		v.hits++
 		v.mu.Unlock()
-		res := Result{Dest: owner, Hit: true}
+		res := Result{RouteResult: core.RouteResult{Origin: from, Dest: owner, Key: key}, Hit: true}
 		if owner != from {
-			res.Hops = 1
-			res.Latency = v.o.Network().Latency(v.o.Node(from).Host, v.o.Node(owner).Host)
+			lat := v.o.Network().Latency(v.o.Node(from).Host, v.o.Node(owner).Host)
+			res.Hops = []core.Hop{{Layer: 1, From: from, To: owner, Latency: lat}}
+			res.Latency = lat
 		}
 		return res
 	}
@@ -141,7 +142,7 @@ func (v *Overlay) Lookup(from int, key id.ID) Result {
 		}
 	}
 	v.mu.Unlock()
-	return Result{Dest: route.Dest, Hops: route.NumHops(), Latency: route.Latency}
+	return Result{RouteResult: route}
 }
 
 // Instrument exposes the overlay's hit/miss counts on reg as

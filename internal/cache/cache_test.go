@@ -82,8 +82,8 @@ func TestLookupCorrectWithAndWithoutCache(t *testing.T) {
 		if second.Dest != want || !second.Hit {
 			t.Fatalf("second lookup should hit cache: dest %d hit=%v", second.Dest, second.Hit)
 		}
-		if second.Hops > 1 {
-			t.Fatalf("cache hit took %d hops", second.Hops)
+		if second.NumHops() > 1 {
+			t.Fatalf("cache hit took %d hops", second.NumHops())
 		}
 	}
 	hits, misses := v.Stats()
@@ -95,6 +95,25 @@ func TestLookupCorrectWithAndWithoutCache(t *testing.T) {
 	}
 }
 
+func TestMissCarriesLowerLayerAccounting(t *testing.T) {
+	o := testOverlay(t, 120, 3)
+	v, _ := New(o, 16, CacheAtOrigin)
+	rng := rand.New(rand.NewSource(13))
+	lowerHops, lowerLat := 0, 0.0
+	for trial := 0; trial < 100; trial++ {
+		res := v.Lookup(rng.Intn(o.N()), id.Rand(rng))
+		if res.Hit {
+			continue
+		}
+		lowerHops += res.LowerHops
+		lowerLat += res.LowerLatency
+	}
+	if lowerHops == 0 || lowerLat == 0 {
+		t.Errorf("misses on a depth-2 overlay must surface lower-layer hops: %d hops, %.1f ms",
+			lowerHops, lowerLat)
+	}
+}
+
 func TestSelfOwnedHitZeroCost(t *testing.T) {
 	o := testOverlay(t, 50, 4)
 	v, _ := New(o, 8, CacheAtOrigin)
@@ -102,7 +121,7 @@ func TestSelfOwnedHitZeroCost(t *testing.T) {
 	key := o.Node(7).ID
 	_ = v.Lookup(7, key)
 	res := v.Lookup(7, key)
-	if !res.Hit || res.Hops != 0 || res.Latency != 0 {
+	if !res.Hit || res.NumHops() != 0 || res.Latency != 0 {
 		t.Errorf("self-owned hit should be free: %+v", res)
 	}
 }

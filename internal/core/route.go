@@ -37,6 +37,14 @@ func (r *RouteResult) NumHops() int { return len(r.Hops) }
 // once per layer from the originator's most local ring up to the global
 // ring, checking after every layer whether the current peer is already the
 // destination.
+//
+// Route is safe for unbounded concurrent use — the batch query engine
+// fans thousands of Route/ChordRoute calls across goroutines over one
+// shared overlay. The read path touches only state that is immutable
+// after Build (chord tables, node/ring membership), the latency oracle
+// (internally synchronized, see topology.DijkstraOracle), and atomic
+// metric counters loaded through o.instr. route_race_test.go exercises
+// this contract under -race.
 func (o *Overlay) Route(from int, key id.ID) RouteResult {
 	res := RouteResult{Origin: from, Key: key}
 	owner := o.global.SuccessorIndex(key)

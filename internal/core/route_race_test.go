@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/topology/transitstub"
+)
+
+// TestRouteConcurrentReadPath audits the routing read path under -race:
+// many goroutines route over one shared overlay — including one whose
+// latency oracle rows are still being computed lazily — while another
+// goroutine instruments the overlay mid-flight (the atomic instr pointer
+// must make that safe too).
+func TestRouteConcurrentReadPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, err := transitstub.Generate(transitstub.DefaultConfig(150), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Attach(m, m.G, topology.AttachOptions{
+		Hosts: 150, Routers: m.StubRouters, Spread: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(net, Config{Depth: 3, Landmarks: 4, SuccessorListLen: 4,
+		AccelerateWithSuccessorList: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				key := id.Rand(r)
+				from := r.Intn(o.N())
+				h := o.Route(from, key)
+				c := o.ChordRoute(from, key)
+				if h.Dest != c.Dest {
+					errs <- "HIERAS and Chord disagree on the owner under concurrency"
+					return
+				}
+				if h.LowerLatency > h.Latency {
+					errs <- "latency accounting corrupted under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	// Instrument concurrently with in-flight routes: the atomic pointer
+	// hand-off must not race with readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		o.Instrument(metrics.NewRegistry())
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

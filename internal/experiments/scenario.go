@@ -6,10 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -50,6 +50,14 @@ type Scenario struct {
 	// CacheStudy, each swept cache) on this registry. Use one registry
 	// per scenario run: overlay metric names collide otherwise.
 	Metrics *metrics.Registry
+	// BlockSize is the batch engine's deterministic work unit: requests
+	// per block (default 512). Summaries are byte-identical across worker
+	// counts for a fixed (Seed, BlockSize) pair; changing BlockSize
+	// repartitions the per-block RNG streams and changes the stream.
+	BlockSize int
+	// Pool, when non-nil, runs the comparison workload on this (possibly
+	// Instrument-ed) pool instead of an ephemeral one built from Workers.
+	Pool *Pool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -81,8 +89,14 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Workers <= 0 {
 		s.Workers = runtime.GOMAXPROCS(0)
 	}
+	if s.BlockSize <= 0 {
+		s.BlockSize = DefaultBlockSize
+	}
 	return s
 }
+
+// DefaultBlockSize is the default Scenario.BlockSize.
+const DefaultBlockSize = 512
 
 // BuildOverlay generates the underlay for the scenario's topology model,
 // attaches the overlay hosts and builds the HIERAS overlay.
@@ -165,6 +179,80 @@ type Comparison struct {
 	HopsHistTop    *stats.Histogram // HIERAS hops taken in the top layer
 	LatHistHieras  *stats.Histogram // width 20 ms
 	LatHistChord   *stats.Histogram
+
+	// Latency quantile sketches (mergeable, 1% relative accuracy) for the
+	// distribution tails the fixed-width histograms are too coarse for.
+	HierasLatQ *stats.Sketch
+	ChordLatQ  *stats.Sketch
+}
+
+// observe accumulates one request's HIERAS and Chord routes.
+func (c *Comparison) observe(h, ch *core.RouteResult) error {
+	c.Hieras.Hops.Add(float64(h.NumHops()))
+	c.Hieras.Latency.Add(h.Latency)
+	c.Chord.Hops.Add(float64(ch.NumHops()))
+	c.Chord.Latency.Add(ch.Latency)
+	c.LowerHops.Add(float64(h.LowerHops))
+	c.LowerLatency.Add(h.LowerLatency)
+	for _, hop := range h.Hops {
+		if hop.Layer == 1 {
+			c.TopLink.Add(hop.Latency)
+		} else {
+			c.LowerLink.Add(hop.Latency)
+		}
+	}
+	if err := c.HopsHistHieras.Add(float64(h.NumHops())); err != nil {
+		return err
+	}
+	if err := c.HopsHistChord.Add(float64(ch.NumHops())); err != nil {
+		return err
+	}
+	if err := c.HopsHistTop.Add(float64(h.NumHops() - h.LowerHops)); err != nil {
+		return err
+	}
+	if err := c.LatHistHieras.Add(h.Latency); err != nil {
+		return err
+	}
+	if err := c.LatHistChord.Add(ch.Latency); err != nil {
+		return err
+	}
+	if err := c.HierasLatQ.Add(h.Latency); err != nil {
+		return err
+	}
+	return c.ChordLatQ.Add(ch.Latency)
+}
+
+// merge folds another (initialised) comparison into c. The batch engine
+// calls it in ascending block order, which keeps merged floating-point
+// summaries identical across worker counts.
+func (c *Comparison) merge(b *Comparison) error {
+	c.Hieras.Hops.Merge(&b.Hieras.Hops)
+	c.Hieras.Latency.Merge(&b.Hieras.Latency)
+	c.Chord.Hops.Merge(&b.Chord.Hops)
+	c.Chord.Latency.Merge(&b.Chord.Latency)
+	c.LowerHops.Merge(&b.LowerHops)
+	c.LowerLatency.Merge(&b.LowerLatency)
+	c.TopLink.Merge(&b.TopLink)
+	c.LowerLink.Merge(&b.LowerLink)
+	if err := c.HopsHistHieras.Merge(b.HopsHistHieras); err != nil {
+		return err
+	}
+	if err := c.HopsHistChord.Merge(b.HopsHistChord); err != nil {
+		return err
+	}
+	if err := c.HopsHistTop.Merge(b.HopsHistTop); err != nil {
+		return err
+	}
+	if err := c.LatHistHieras.Merge(b.LatHistHieras); err != nil {
+		return err
+	}
+	if err := c.LatHistChord.Merge(b.LatHistChord); err != nil {
+		return err
+	}
+	if err := c.HierasLatQ.Merge(b.HierasLatQ); err != nil {
+		return err
+	}
+	return c.ChordLatQ.Merge(b.ChordLatQ)
 }
 
 // HopRatio returns mean HIERAS hops / mean Chord hops.
@@ -208,100 +296,95 @@ func RunComparison(s Scenario) (*Comparison, error) {
 // CompareOn runs the comparison workload over an existing overlay (so
 // several experiments can share one expensive build).
 func CompareOn(o *core.Overlay, s Scenario) (*Comparison, error) {
-	s = s.withDefaults()
-	gen, err := workload.NewUniform(s.Seed+1, o.N())
-	if err != nil {
-		return nil, err
-	}
-	reqs := gen.Batch(s.Requests)
+	return CompareStream(context.Background(), o, s, nil)
+}
 
-	type acc struct {
-		cmp Comparison
-		err error
-	}
-	workers := s.Workers
-	if workers > len(reqs) {
-		workers = 1
-	}
-	accs := make([]acc, workers)
-	var wg sync.WaitGroup
-	chunk := (len(reqs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(reqs) {
-			hi = len(reqs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			a := &accs[w]
-			if a.err = initHists(&a.cmp); a.err != nil {
-				return
-			}
-			for _, r := range reqs[lo:hi] {
-				h := o.Route(r.Origin, r.Key)
-				c := o.ChordRoute(r.Origin, r.Key)
-				a.cmp.Hieras.Hops.Add(float64(h.NumHops()))
-				a.cmp.Hieras.Latency.Add(h.Latency)
-				a.cmp.Chord.Hops.Add(float64(c.NumHops()))
-				a.cmp.Chord.Latency.Add(c.Latency)
-				a.cmp.LowerHops.Add(float64(h.LowerHops))
-				a.cmp.LowerLatency.Add(h.LowerLatency)
-				for _, hop := range h.Hops {
-					if hop.Layer == 1 {
-						a.cmp.TopLink.Add(hop.Latency)
-					} else {
-						a.cmp.LowerLink.Add(hop.Latency)
-					}
-				}
-				_ = a.cmp.HopsHistHieras.Add(float64(h.NumHops()))
-				_ = a.cmp.HopsHistChord.Add(float64(c.NumHops()))
-				_ = a.cmp.HopsHistTop.Add(float64(h.NumHops() - h.LowerHops))
-				_ = a.cmp.LatHistHieras.Add(h.Latency)
-				_ = a.cmp.LatHistChord.Add(c.Latency)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+// CompareContext is CompareOn with cancellation: it returns early with
+// ctx.Err() when ctx is cancelled mid-run.
+func CompareContext(ctx context.Context, o *core.Overlay, s Scenario) (*Comparison, error) {
+	return CompareStream(ctx, o, s, nil)
+}
+
+// Progress is one progressive summary of a streaming comparison: the
+// statistics over the first Requests of Total requests. Because blocks
+// commit in order, every Progress is an exact prefix of the final result.
+type Progress struct {
+	Requests, Total int
+	HierasHops      float64
+	ChordHops       float64
+	HierasLatencyMs float64
+	ChordLatencyMs  float64
+	LatencyRatio    float64
+}
+
+// CompareStream runs the comparison workload through the parallel batch
+// query engine. Requests are generated in deterministic blocks of
+// s.BlockSize (each block draws from its own RNG stream split off s.Seed)
+// and merged in block order, so the result is byte-identical for any
+// worker count. progress, when non-nil, is invoked after every committed
+// block, serialized and in order — long runs can report partial summaries
+// without waiting for the tail.
+func CompareStream(ctx context.Context, o *core.Overlay, s Scenario, progress func(Progress)) (*Comparison, error) {
+	s = s.withDefaults()
+	blocks := (s.Requests + s.BlockSize - 1) / s.BlockSize
+	parts := make([]*Comparison, blocks)
 
 	out := &Comparison{Scenario: s}
 	if err := initHists(out); err != nil {
 		return nil, err
 	}
-	for i := range accs {
-		a := &accs[i]
-		if a.err != nil {
-			return nil, a.err
-		}
-		if a.cmp.HopsHistHieras == nil {
-			continue // unstarted slot
-		}
-		out.Hieras.Hops.Merge(&a.cmp.Hieras.Hops)
-		out.Hieras.Latency.Merge(&a.cmp.Hieras.Latency)
-		out.Chord.Hops.Merge(&a.cmp.Chord.Hops)
-		out.Chord.Latency.Merge(&a.cmp.Chord.Latency)
-		out.LowerHops.Merge(&a.cmp.LowerHops)
-		out.LowerLatency.Merge(&a.cmp.LowerLatency)
-		out.TopLink.Merge(&a.cmp.TopLink)
-		out.LowerLink.Merge(&a.cmp.LowerLink)
-		if err := out.HopsHistHieras.Merge(a.cmp.HopsHistHieras); err != nil {
-			return nil, err
-		}
-		if err := out.HopsHistChord.Merge(a.cmp.HopsHistChord); err != nil {
-			return nil, err
-		}
-		if err := out.HopsHistTop.Merge(a.cmp.HopsHistTop); err != nil {
-			return nil, err
-		}
-		if err := out.LatHistHieras.Merge(a.cmp.LatHistHieras); err != nil {
-			return nil, err
-		}
-		if err := out.LatHistChord.Merge(a.cmp.LatHistChord); err != nil {
-			return nil, err
-		}
+	pool := s.Pool
+	if pool == nil {
+		pool = NewPool(s.Workers)
+	}
+	merged := 0
+	err := pool.Run(ctx, blocks,
+		func(_, b int) error {
+			gen, err := workload.NewUniform(blockSeed(s.Seed, b), o.N())
+			if err != nil {
+				return err
+			}
+			count := s.BlockSize
+			if last := s.Requests - b*s.BlockSize; count > last {
+				count = last
+			}
+			part := &Comparison{}
+			if err := initHists(part); err != nil {
+				return err
+			}
+			for i := 0; i < count; i++ {
+				r := gen.Next()
+				h := o.Route(r.Origin, r.Key)
+				c := o.ChordRoute(r.Origin, r.Key)
+				if err := part.observe(&h, &c); err != nil {
+					return err
+				}
+			}
+			parts[b] = part
+			return nil
+		},
+		func(b int) error {
+			part := parts[b]
+			parts[b] = nil
+			if err := out.merge(part); err != nil {
+				return err
+			}
+			if progress != nil {
+				merged += int(part.Hieras.Hops.N())
+				progress(Progress{
+					Requests:        merged,
+					Total:           s.Requests,
+					HierasHops:      out.Hieras.Hops.Mean(),
+					ChordHops:       out.Chord.Hops.Mean(),
+					HierasLatencyMs: out.Hieras.Latency.Mean(),
+					ChordLatencyMs:  out.Chord.Latency.Mean(),
+					LatencyRatio:    out.LatencyRatio(),
+				})
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -320,6 +403,12 @@ func initHists(c *Comparison) error {
 	if c.LatHistHieras, err = stats.NewHistogram(20); err != nil {
 		return err
 	}
-	c.LatHistChord, err = stats.NewHistogram(20)
+	if c.LatHistChord, err = stats.NewHistogram(20); err != nil {
+		return err
+	}
+	if c.HierasLatQ, err = stats.NewSketch(0.01); err != nil {
+		return err
+	}
+	c.ChordLatQ, err = stats.NewSketch(0.01)
 	return err
 }

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a mergeable quantile sketch over non-negative observations,
+// in the style of DDSketch: values land in logarithmically spaced buckets
+// chosen so every reported quantile carries a bounded *relative* error
+// alpha. Counts are integers, so Add and Merge are exact and
+// order-independent — merging per-worker sketches yields byte-identical
+// quantiles no matter how the observations were partitioned, which is
+// what the batch query engine needs for worker-count-invariant summaries.
+//
+// The zero value is not usable; construct with NewSketch.
+type Sketch struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+	counts  map[int]int64 // bucket index -> count, x in bucket ceil(ln(x)/ln(gamma))
+	zero    int64         // observations equal to zero
+	n       int64
+}
+
+// NewSketch returns a sketch with relative accuracy alpha in (0, 1):
+// Quantile(q) is within a factor (1±alpha) of the exact q-quantile.
+func NewSketch(alpha float64) (*Sketch, error) {
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("stats: sketch accuracy must be in (0,1), got %v", alpha)
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		counts:  make(map[int]int64),
+	}, nil
+}
+
+// Add records one observation (>= 0).
+func (s *Sketch) Add(x float64) error {
+	if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("stats: sketch observation %v out of domain", x)
+	}
+	if x == 0 {
+		s.zero++
+	} else {
+		s.counts[int(math.Ceil(math.Log(x)/s.lnGamma))]++
+	}
+	s.n++
+	return nil
+}
+
+// N returns the number of observations.
+func (s *Sketch) N() int64 { return s.n }
+
+// Merge folds another sketch with the same accuracy into s.
+func (s *Sketch) Merge(b *Sketch) error {
+	if s.alpha != b.alpha {
+		return fmt.Errorf("stats: merging sketches with accuracies %v and %v", s.alpha, b.alpha)
+	}
+	for i, c := range b.counts {
+		s.counts[i] += c
+	}
+	s.zero += b.zero
+	s.n += b.n
+	return nil
+}
+
+// Quantile returns the q-quantile (0..1) estimate, or 0 with no data.
+// The estimate is within relative error alpha of an exact q-quantile.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.n-1)) // 0-based rank, as in nearest-rank
+	if rank < s.zero {
+		return 0
+	}
+	cum := s.zero
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		cum += s.counts[i]
+		if cum > rank {
+			// Bucket i covers (gamma^(i-1), gamma^i]; report the point that
+			// bounds relative error by alpha on both sides.
+			return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+		}
+	}
+	// Unreachable when counts are consistent with n.
+	return 0
+}

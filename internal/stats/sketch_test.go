@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewSketchErrors(t *testing.T) {
+	for _, a := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewSketch(a); err == nil {
+			t.Errorf("accuracy %v accepted", a)
+		}
+	}
+}
+
+func TestSketchDomain(t *testing.T) {
+	s, err := NewSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := s.Add(x); err == nil {
+			t.Errorf("observation %v accepted", x)
+		}
+	}
+	if s.N() != 0 {
+		t.Errorf("rejected observations counted: n=%d", s.N())
+	}
+}
+
+func TestSketchRelativeAccuracy(t *testing.T) {
+	const alpha = 0.01
+	s, _ := NewSketch(alpha)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+		if err := s.Add(xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		exact := sorted[int(q*float64(len(sorted)-1))]
+		if rel := math.Abs(got-exact) / exact; rel > 2*alpha {
+			t.Errorf("q=%v: got %v, exact %v, rel err %v", q, got, exact, rel)
+		}
+	}
+}
+
+func TestSketchZeroHandling(t *testing.T) {
+	s, _ := NewSketch(0.05)
+	for i := 0; i < 10; i++ {
+		_ = s.Add(0)
+	}
+	_ = s.Add(5)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("median of mostly-zero data = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got == 0 {
+		t.Error("max quantile should reach the non-zero bucket")
+	}
+	if s.Quantile(-1) != 0 || s.N() != 11 {
+		t.Error("clamping or count broken")
+	}
+}
+
+func TestSketchMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	whole, _ := NewSketch(0.01)
+	for _, x := range xs {
+		_ = whole.Add(x)
+	}
+	// Partition into 7 parts, merge in order.
+	parts := make([]*Sketch, 7)
+	for i := range parts {
+		parts[i], _ = NewSketch(0.01)
+	}
+	for i, x := range xs {
+		_ = parts[i%7].Add(x)
+	}
+	merged, _ := NewSketch(0.01)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() {
+		t.Fatalf("merged n=%d, whole n=%d", merged.N(), whole.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Errorf("q=%v: merged %v != whole %v", q, m, w)
+		}
+	}
+}
+
+func TestSketchMergeAccuracyMismatch(t *testing.T) {
+	a, _ := NewSketch(0.01)
+	b, _ := NewSketch(0.02)
+	if err := a.Merge(b); err == nil {
+		t.Error("mismatched accuracies merged")
+	}
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s, _ := NewSketch(0.01)
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sketch quantile should be 0")
+	}
+}
