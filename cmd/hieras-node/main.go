@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -51,6 +52,12 @@ func main() {
 		stabMs    = flag.Int("stabilize", 500, "stabilization period in milliseconds")
 		metrics   = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
 		cacheCap  = flag.Int("cache", 256, "location-cache capacity (0 disables caching)")
+
+		retries      = flag.Int("retries", 3, "RPC attempts per call, first try included (1 disables retrying)")
+		retryBackoff = flag.Duration("retry-backoff", 20*time.Millisecond, "backoff before the first retry (doubles per retry, jittered)")
+		retryMax     = flag.Duration("retry-max-backoff", 500*time.Millisecond, "cap on the per-retry backoff")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that open a peer's circuit breaker (0 disables it)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker rejects calls before probing")
 	)
 	flag.Parse()
 
@@ -58,10 +65,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	breaker := *brkThreshold
+	if breaker <= 0 {
+		breaker = -1 // flag 0 = off; the wire zero value means "default"
+	}
 	cfg := transport.Config{
 		Depth:       *depth,
 		Coord:       coord,
 		LookupCache: *cacheCap,
+		Retry: wire.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBackoff,
+			MaxBackoff:  *retryMax,
+		},
+		Breaker: wire.BreakerPolicy{Threshold: breaker, Cooldown: *brkCooldown},
 	}
 	if *landmarks != "" {
 		cfg.Landmarks = strings.Split(*landmarks, ",")

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// chaosSeed fixes the injected-fault sequence; the harness asserts that
+// replaying the recorded call log against the same seed reproduces it
+// exactly.
+const chaosSeed = 1012
+
+// chaosRules is the steady-state chaos: every RPC 12% flaky, every link
+// slightly slow, and replies from n5 occasionally lost after the peer
+// applied the request (exercising the idempotency-aware retry path).
+// ErrReply is deliberately absent: injected remote errors are
+// application-level answers from a live peer, which walks treat as fatal
+// by design.
+func chaosRules() []faultnet.Rule {
+	return []faultnet.Rule{
+		{Drop: 0.12},
+		{Delay: time.Millisecond, DelayJitter: time.Millisecond},
+		{Dst: "n5", DropReply: 0.08},
+	}
+}
+
+// chaosCluster builds an n-node depth-2 overlay (same two-coordinate-
+// cluster layout as cluster) whose outgoing calls all pass through wrap,
+// with a fast retry policy and the given breaker. Nodes get the logical
+// names n0..n{n-1}.
+func chaosCluster(t *testing.T, n int, wrap func(string, wire.Caller) wire.Caller, breaker wire.BreakerPolicy) []*Node {
+	t.Helper()
+	coord := func(i int) [2]float64 {
+		if i%2 == 0 {
+			return [2]float64{float64(i), float64(i % 7)}
+		}
+		return [2]float64{500 + float64(i), 500 + float64(i%7)}
+	}
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := Start("127.0.0.1:0", Config{
+			Depth:       2,
+			Coord:       coord(i),
+			CallTimeout: 5 * time.Second,
+			Retry: wire.RetryPolicy{
+				MaxAttempts: 4,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  20 * time.Millisecond,
+			},
+			Breaker:    breaker,
+			WrapCaller: wrap,
+		})
+		if err != nil {
+			t.Fatalf("Start node %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	})
+	landmarks := []string{nodes[0].Addr(), nodes[1].Addr()}
+	for _, nd := range nodes {
+		nd.SetLandmarks(landmarks)
+	}
+	if err := nodes[0].CreateNetwork(); err != nil {
+		t.Fatalf("CreateNetwork: %v", err)
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(nodes[0].Addr()); err != nil {
+			t.Fatalf("Join node %d: %v", i, err)
+		}
+		stabilizeAll(t, nodes[:i+1], 3)
+	}
+	stabilizeAll(t, nodes, 3)
+	for _, nd := range nodes {
+		if err := nd.BuildAllFingers(); err != nil {
+			t.Fatalf("BuildAllFingers: %v", err)
+		}
+	}
+	return nodes
+}
+
+// bindAll gives the nodes their logical names on the fault network.
+func bindAll(nw *faultnet.Network, nodes []*Node) {
+	for i, nd := range nodes {
+		nw.Bind(nd.Addr(), fmt.Sprintf("n%d", i))
+	}
+}
+
+// TestChaosLookupsConvergeUnderFaults is the chaos harness: an 8-node
+// in-process cluster stores 20 keys, then serves lookups and reads under
+// seeded drops, slow links and lost replies; a minority partition is cut
+// off and healed. Every stored key must stay reachable throughout, and
+// the injected-fault sequence must replay bit-identically from the seed.
+func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
+	nw := faultnet.New(chaosSeed)
+	freg := metrics.NewRegistry()
+	nw.Instrument(freg)
+	nodes := chaosCluster(t, 8, nw.Caller,
+		wire.BreakerPolicy{Threshold: 8, Cooldown: 100 * time.Millisecond})
+	bindAll(nw, nodes)
+
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("chaos-key-%d", i)
+		if err := nodes[i%len(nodes)].Put(keys[i], []byte("v-"+keys[i])); err != nil {
+			t.Fatalf("put %s: %v", keys[i], err)
+		}
+	}
+
+	// Phase 1: steady-state chaos. Lookups must still converge to the
+	// true owner and every key must read back, because the retry layer
+	// absorbs the injected faults.
+	nw.SetRules(chaosRules()...)
+	for i, key := range keys {
+		kid := LiveKeyID(key)
+		want := trueOwner(nodes, kid)
+		for _, from := range []*Node{nodes[0], nodes[3], nodes[6]} {
+			res, err := from.Lookup(kid)
+			if err != nil {
+				t.Fatalf("lookup %s from %s under chaos: %v", key, from.Addr(), err)
+			}
+			if res.Owner.Addr != want.Addr() {
+				t.Fatalf("key %d: owner %s, want %s", i, res.Owner.Addr, want.Addr())
+			}
+		}
+		v, err := nodes[(i+5)%len(nodes)].Get(key)
+		if err != nil {
+			t.Fatalf("get %s under chaos: %v", key, err)
+		}
+		if string(v) != "v-"+key {
+			t.Fatalf("get %s = %q", key, v)
+		}
+	}
+
+	// Phase 2: cut off n7 from the rest. The majority evicts it (via
+	// suspicion-confirmed TEvict), heals its rings, and every key stays
+	// readable — n7's keys come from the replicas Put installed.
+	nw.SetRules() // partition only; keep the noise out of the repair
+	names := make([]string, 0, 7)
+	for i := 0; i < 7; i++ {
+		names = append(names, fmt.Sprintf("n%d", i))
+	}
+	nw.Partition(names, []string{"n7"})
+	majority := nodes[:7]
+	stabilizeAll(t, majority, 6)
+	for _, nd := range majority {
+		if err := nd.BuildAllFingers(); err != nil {
+			t.Fatalf("rebuild fingers under partition: %v", err)
+		}
+	}
+	for _, key := range keys {
+		if _, err := nodes[2].Get(key); err != nil {
+			t.Fatalf("get %s during partition: %v", key, err)
+		}
+	}
+
+	// Phase 3: heal. After the breaker cooldown and a few stabilization
+	// rounds the full ring reassembles and every node serves every key.
+	nw.Heal()
+	time.Sleep(150 * time.Millisecond) // let open breakers reach half-open
+	stabilizeAll(t, nodes, 6)
+	for _, nd := range nodes {
+		if err := nd.BuildAllFingers(); err != nil {
+			t.Fatalf("rebuild fingers after heal: %v", err)
+		}
+	}
+	for i, key := range keys {
+		v, err := nodes[(i+1)%len(nodes)].Get(key)
+		if err != nil {
+			t.Fatalf("get %s after heal: %v", key, err)
+		}
+		if string(v) != "v-"+key {
+			t.Fatalf("get %s after heal = %q", key, v)
+		}
+	}
+
+	// Determinism: the recorded logical call log replayed against the
+	// same seed must reproduce the exact injected-fault sequence.
+	events := nw.Events()
+	if len(events) == 0 {
+		t.Fatal("chaos run injected no faults")
+	}
+	replayed := faultnet.Replay(chaosSeed, nw.Log())
+	if len(replayed) != len(events) {
+		t.Fatalf("replay produced %d events, live run %d", len(replayed), len(events))
+	}
+	for i := range events {
+		if events[i].String() != replayed[i].String() {
+			t.Fatalf("fault %d diverged: live %q, replay %q", i, events[i], replayed[i])
+		}
+	}
+	counts := nw.Counts()
+	if counts[faultnet.KindDrop] == 0 || counts[faultnet.KindDelay] == 0 || counts[faultnet.KindPartition] == 0 {
+		t.Errorf("expected drops, delays and partition blocks, got %v", counts)
+	}
+
+	// Resilience must be visible in the metrics expositions: retries and
+	// breaker state on the nodes, injections on the fault network.
+	totalRetries := uint64(0)
+	for _, nd := range nodes {
+		var b strings.Builder
+		if _, err := nd.Metrics().WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		s := b.String()
+		for _, name := range []string{
+			"wire_retries_total",
+			"wire_breaker_opens_total",
+			"wire_breaker_closes_total",
+			"wire_breaker_open",
+		} {
+			if !strings.Contains(s, name) {
+				t.Errorf("node exposition missing %s", name)
+			}
+		}
+		totalRetries += nd.retrier.Retries()
+	}
+	if totalRetries == 0 {
+		t.Error("no node recorded a retry despite injected faults")
+	}
+	var fb strings.Builder
+	if _, err := freg.WriteTo(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fb.String(), `faultnet_injected_total{kind="drop"}`) {
+		t.Errorf("faultnet exposition missing injection counters:\n%s", fb.String())
+	}
+}
+
+// TestChaosLowerRingClimbOnFailure pins the graceful-degradation path
+// directly: when a node's lower ring stops answering routing steps
+// entirely, a lookup climbs to the global ring instead of aborting.
+func TestChaosLowerRingClimbOnFailure(t *testing.T) {
+	var blackout atomic.Bool
+	wrap := func(self string, inner wire.Caller) wire.Caller {
+		return wire.CallerFunc(func(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
+			if blackout.Load() && req.Type == wire.TFindClosest && req.Layer >= 2 {
+				return wire.Response{}, &wire.NetError{
+					Addr: addr, Op: "test:blackout", Sent: false,
+					Err: errors.New("lower ring unroutable"),
+				}
+			}
+			return inner.Call(addr, req, timeout)
+		})
+	}
+	// The breaker stays disabled: it tracks peers, not (peer, layer)
+	// pairs, and the blackout only concerns lower-layer routing steps.
+	nodes := chaosCluster(t, 8, wrap, wire.BreakerPolicy{Threshold: -1})
+	blackout.Store(true)
+	before := nodes[0].nm.failoverClimbs.Value()
+	for trial := 0; trial < 12; trial++ {
+		key := id.HashString(fmt.Sprintf("climb-%d", trial))
+		want := trueOwner(nodes, key)
+		res, err := nodes[0].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup %d under lower-ring blackout: %v", trial, err)
+		}
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("trial %d: owner %s, want %s", trial, res.Owner.Addr, want.Addr())
+		}
+	}
+	if nodes[0].nm.failoverClimbs.Value() == before {
+		t.Error("no failover climb recorded despite a blacked-out lower ring")
+	}
+}

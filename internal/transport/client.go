@@ -12,9 +12,25 @@ import (
 // overlay, so hitting this indicates inconsistent state.
 const maxWalk = 4 * id.Bits
 
-// call performs one instrumented RPC with the node's configured timeout.
+// maxWalkRestarts bounds how often a degraded walk may restart from this
+// node after an unrecoverable dead hop before giving up on the layer.
+const maxWalkRestarts = 2
+
+// call performs one RPC through the node's full outgoing chain — retry
+// policy and circuit breaker over the (possibly fault-injected)
+// instrumented transport — with the node's configured per-attempt
+// timeout.
 func (n *Node) call(addr string, req wire.Request) (wire.Response, error) {
-	return n.nm.wm.Call(addr, req, n.cfg.CallTimeout)
+	return n.caller.Call(addr, req, n.cfg.CallTimeout)
+}
+
+// suspectDead reports whether addr has accumulated enough consecutive
+// transport failures (or an open breaker) to be treated as dead. Walks
+// consult this before firing TEvict, so a single dropped packet no
+// longer evicts a live peer — the retry layer has to exhaust its
+// attempts first.
+func (n *Node) suspectDead(addr string) bool {
+	return n.retrier.ConsecutiveFailures(addr) >= n.suspect || n.retrier.BreakerOpen(addr)
 }
 
 // CreateNetwork makes this node the first member of a new overlay: it is
@@ -219,25 +235,45 @@ func (n *Node) evictAt(at string, layer int, dead string) {
 }
 
 // walkOwner iteratively routes within one layer starting from `via`,
-// returning the key's owner in that layer and the number of hops. When a
-// hop turns out to be dead, the node that supplied it is told to evict the
-// reference and the step is retried from there.
+// returning the key's owner in that layer and the number of hops. A dead
+// hop is handled in stages: the step is retried from the node that
+// supplied the hop (which is told to evict the reference once the
+// suspicion tracker confirms the peer dead), and when no supplier is
+// left, the walk restarts from `via` (bounded by maxWalkRestarts) rather
+// than aborting. Application-level errors mean the hop is alive and are
+// fatal immediately — never grounds for eviction.
 func (n *Node) walkOwner(via string, layer int, key id.ID) (wire.Peer, int, error) {
 	cur := via
 	prev := ""
 	hops := 0
+	restarts := 0
 	for i := 0; i < maxWalk; i++ {
 		resp, err := n.call(cur, wire.Request{
 			Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
 		})
 		if err != nil {
-			if prev == "" || prev == cur {
+			if wire.IsRemote(err) {
 				return wire.Peer{}, hops, err
 			}
-			n.nm.walkRetries.Inc()
-			n.evictAt(prev, layer, cur)
-			cur, prev = prev, ""
-			continue
+			suspect := n.suspectDead(cur)
+			if suspect {
+				n.evictLocal(layer, cur)
+			}
+			if prev != "" && prev != cur {
+				n.nm.walkRetries.Inc()
+				if suspect {
+					n.evictAt(prev, layer, cur)
+				}
+				cur, prev = prev, ""
+				continue
+			}
+			if restarts < maxWalkRestarts && cur != via {
+				restarts++
+				n.nm.walkRestarts.Inc()
+				cur, prev = via, ""
+				continue
+			}
+			return wire.Peer{}, hops, err
 		}
 		if resp.Done {
 			return resp.Next, hops + boolHop(resp), nil
@@ -304,7 +340,13 @@ func (n *Node) verifyCachedOwner(owner wire.Peer, key id.ID) (LookupResult, bool
 	return res, true
 }
 
-// lookupFull is the uncached hierarchical routing procedure.
+// lookupFull is the uncached hierarchical routing procedure. It degrades
+// gracefully under failures: a dead hop is first retried from the node
+// that supplied it (with eviction once suspicion is confirmed), then the
+// layer walk restarts from this node, and when a lower layer stays
+// unroutable the lookup climbs to the next layer up instead of aborting
+// — the global ring is the final authority on ownership, so skipping a
+// broken lower ring costs hops, never correctness.
 func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 	res := LookupResult{LayerHops: make([]int, n.cfg.Depth)}
 	cur := n.addr
@@ -312,6 +354,7 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 	// Lower layers, most local first.
 	for layer := n.cfg.Depth; layer >= 2; layer-- {
 		prev = ""
+		restarts := 0
 		for i := 0; ; i++ {
 			if i >= maxWalk {
 				return res, fmt.Errorf("transport: layer %d walk did not converge", layer)
@@ -321,13 +364,32 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 				Hierarchical: true,
 			})
 			if err != nil {
-				if prev == "" || prev == cur {
+				if wire.IsRemote(err) {
 					return res, err
 				}
-				n.nm.walkRetries.Inc()
-				n.evictAt(prev, layer, cur)
-				cur, prev = prev, ""
-				continue
+				suspect := n.suspectDead(cur)
+				if suspect {
+					n.evictLocal(layer, cur)
+				}
+				if prev != "" && prev != cur {
+					n.nm.walkRetries.Inc()
+					if suspect {
+						n.evictAt(prev, layer, cur)
+					}
+					cur, prev = prev, ""
+					continue
+				}
+				if restarts < maxWalkRestarts && cur != n.addr {
+					restarts++
+					n.nm.walkRestarts.Inc()
+					cur, prev = n.addr, ""
+					continue
+				}
+				// This ring is unroutable right now; climb a layer and
+				// keep going rather than failing the lookup.
+				n.nm.failoverClimbs.Inc()
+				cur, prev = n.addr, ""
+				break
 			}
 			if resp.Owner {
 				res.Owner = resp.Next
@@ -347,6 +409,7 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 	}
 	// Global ring.
 	prev = ""
+	restarts := 0
 	for i := 0; ; i++ {
 		if i >= maxWalk {
 			return res, fmt.Errorf("transport: global walk did not converge")
@@ -356,13 +419,28 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 			Hierarchical: true,
 		})
 		if err != nil {
-			if prev == "" || prev == cur {
+			if wire.IsRemote(err) {
 				return res, err
 			}
-			n.nm.walkRetries.Inc()
-			n.evictAt(prev, 1, cur)
-			cur, prev = prev, ""
-			continue
+			suspect := n.suspectDead(cur)
+			if suspect {
+				n.evictLocal(1, cur)
+			}
+			if prev != "" && prev != cur {
+				n.nm.walkRetries.Inc()
+				if suspect {
+					n.evictAt(prev, 1, cur)
+				}
+				cur, prev = prev, ""
+				continue
+			}
+			if restarts < maxWalkRestarts && cur != n.addr {
+				restarts++
+				n.nm.walkRestarts.Inc()
+				cur, prev = n.addr, ""
+				continue
+			}
+			return res, err
 		}
 		if resp.Owner {
 			res.Owner = resp.Next

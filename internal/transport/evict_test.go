@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func peerFor(addr string) wire.Peer {
+	return wire.Peer{Addr: addr, ID: [20]byte(NodeID(addr))}
+}
+
+// plantPeer installs a peer in every slot of one layer's routing state:
+// successor list, predecessor and two finger slots.
+func plantPeer(n *Node, layer int, p wire.Peer, fingerSlots ...int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls := n.layers[layer-1]
+	ls.succ = append(ls.succ, p)
+	ls.pred = p
+	for _, k := range fingerSlots {
+		ls.fingers[k] = p
+	}
+}
+
+func layerSnapshot(n *Node, layer int) (succ []wire.Peer, pred wire.Peer, fingers []wire.Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls := n.layers[layer-1]
+	return append([]wire.Peer(nil), ls.succ...), ls.pred, append([]wire.Peer(nil), ls.fingers...)
+}
+
+// TestEvictPurgesEveryLayer plants a dead peer in the successor list,
+// predecessor slot and fingers of both layers of a depth-2 node, then
+// sends TEvict per layer and verifies only the dead references vanish.
+func TestEvictPurgesEveryLayer(t *testing.T) {
+	n, err := Start("127.0.0.1:0", Config{Depth: 2, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	dead := peerFor("10.9.9.9:1")
+	live := peerFor("10.8.8.8:1")
+	for layer := 1; layer <= 2; layer++ {
+		plantPeer(n, layer, live, 7)
+		plantPeer(n, layer, dead, 3, 11)
+	}
+	for layer := 1; layer <= 2; layer++ {
+		resp, err := wire.Call(n.Addr(), wire.Request{
+			Type: wire.TEvict, Layer: layer, Peer: dead,
+		}, 2*time.Second)
+		if err != nil || !resp.OK {
+			t.Fatalf("evict layer %d: %v (%+v)", layer, err, resp)
+		}
+	}
+	for layer := 1; layer <= 2; layer++ {
+		succ, pred, fingers := layerSnapshot(n, layer)
+		for _, s := range succ {
+			if s.Addr == dead.Addr {
+				t.Errorf("layer %d: dead peer still in successor list", layer)
+			}
+		}
+		if len(succ) != 1 || succ[0].Addr != live.Addr {
+			t.Errorf("layer %d: successor list = %v, want only the live peer", layer, succ)
+		}
+		if pred.Addr == dead.Addr {
+			t.Errorf("layer %d: dead peer still predecessor", layer)
+		}
+		if fingers[3].Addr != "" || fingers[11].Addr != "" {
+			t.Errorf("layer %d: dead peer still in fingers", layer)
+		}
+		if fingers[7].Addr != live.Addr {
+			t.Errorf("layer %d: live finger was purged too", layer)
+		}
+	}
+}
+
+// TestEvictRejectsInvalidTargets pins the handler's refusal to purge
+// nothing, itself, or an out-of-range layer.
+func TestEvictRejectsInvalidTargets(t *testing.T) {
+	n, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	cases := []wire.Request{
+		{Type: wire.TEvict, Layer: 1},                              // no target
+		{Type: wire.TEvict, Layer: 1, Peer: peerFor(n.Addr())},     // self
+		{Type: wire.TEvict, Layer: 5, Peer: peerFor("10.1.1.1:1")}, // bad layer
+	}
+	for i, req := range cases {
+		_, err := wire.Call(n.Addr(), req, 2*time.Second)
+		if !wire.IsRemote(err) {
+			t.Errorf("case %d: want remote rejection, got %v", i, err)
+		}
+	}
+}
+
+// TestEvictAtPurgesRemotePeerAndCounts exercises the client side: evictAt
+// must purge the dead reference from the remote node's layer state and
+// count the report in evictions_total.
+func TestEvictAtPurgesRemotePeerAndCounts(t *testing.T) {
+	a, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	dead := peerFor("10.7.7.7:1")
+	plantPeer(b, 1, dead, 0)
+	a.evictAt(b.Addr(), 1, dead.Addr)
+	succ, pred, fingers := layerSnapshot(b, 1)
+	if len(succ) != 0 || pred.Addr != "" || fingers[0].Addr != "" {
+		t.Errorf("dead peer survived evictAt: succ=%v pred=%v finger=%v", succ, pred, fingers[0])
+	}
+	var sb strings.Builder
+	if _, err := a.Metrics().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "evictions_total 1") {
+		t.Errorf("exposition missing evictions_total 1:\n%s", sb.String())
+	}
+}
+
+// TestLocalEvictionSkipsSelf guards the local purge against suspicion of
+// the node's own address (which would corrupt singleton state).
+func TestLocalEvictionSkipsSelf(t *testing.T) {
+	n, err := Start("127.0.0.1:0", Config{Depth: 1, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	self := n.Self()
+	plantPeer(n, 1, self, 0)
+	n.evictLocal(1, n.Addr())
+	succ, pred, fingers := layerSnapshot(n, 1)
+	if len(succ) != 1 || pred.Addr != self.Addr || fingers[0].Addr != self.Addr {
+		t.Error("evictLocal purged the node's own references")
+	}
+}

@@ -18,14 +18,16 @@ type nodeMetrics struct {
 	wm  *wire.Metrics
 
 	// hops[l-1] counts lookup hops taken in ring layer l (1 = global).
-	hops         []*metrics.Counter
-	ringClimbs   *metrics.Counter
-	lookups      *metrics.Counter
-	lookupErrors *metrics.Counter
-	evictions    *metrics.Counter
-	walkRetries  *metrics.Counter
-	cacheHits    *metrics.Counter
-	cacheMisses  *metrics.Counter
+	hops           []*metrics.Counter
+	ringClimbs     *metrics.Counter
+	lookups        *metrics.Counter
+	lookupErrors   *metrics.Counter
+	evictions      *metrics.Counter
+	walkRetries    *metrics.Counter
+	walkRestarts   *metrics.Counter
+	failoverClimbs *metrics.Counter
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
 }
 
 func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
@@ -46,6 +48,10 @@ func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
 		"Dead-peer evictions this node reported to other nodes.")
 	nm.walkRetries = reg.NewCounter("walk_retries_total",
 		"Iterative walk steps retried after an unreachable hop.")
+	nm.walkRestarts = reg.NewCounter("walk_restarts_total",
+		"Degraded walks restarted from this node after an unrecoverable dead hop.")
+	nm.failoverClimbs = reg.NewCounter("failover_climbs_total",
+		"Lookups that climbed out of an unroutable lower ring instead of aborting.")
 	nm.cacheHits = reg.NewCounter("cache_hits_total",
 		"Location cache hits whose owner verification succeeded.")
 	nm.cacheMisses = reg.NewCounter("cache_misses_total",

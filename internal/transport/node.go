@@ -40,8 +40,28 @@ type Config struct {
 	// Prober estimates latency to landmarks (default: VirtualProber over
 	// Coord).
 	Prober Prober
-	// CallTimeout bounds each RPC (default 3s).
+	// CallTimeout bounds each RPC attempt (default 3s).
 	CallTimeout time.Duration
+	// Retry configures the retry policy applied to every outgoing RPC:
+	// exponential backoff with jitter, idempotency-aware (state-installing
+	// writes are only retried when the request provably never reached the
+	// peer). The zero value uses wire defaults; MaxAttempts 1 disables
+	// retrying.
+	Retry wire.RetryPolicy
+	// Breaker configures the per-peer circuit breaker that doubles as the
+	// failure-suspicion tracker feeding the TEvict path. The zero value
+	// uses wire defaults; Threshold -1 disables it.
+	Breaker wire.BreakerPolicy
+	// EvictSuspicion is the consecutive transport-failure count at which a
+	// hop is reported dead via TEvict and purged locally. Default: the
+	// effective Retry.MaxAttempts, i.e. one fully retried failed call.
+	EvictSuspicion int
+	// WrapCaller, when non-nil, wraps the node's instrumented base caller
+	// before the retry layer is stacked on top; fault-injection harnesses
+	// (internal/faultnet) interpose here, so retries and breakers are
+	// exercised against the injected faults. self is the node's own
+	// listen address.
+	WrapCaller func(self string, inner wire.Caller) wire.Caller
 	// Metrics is the registry the node instruments itself against. Nil
 	// creates a fresh per-node registry (reachable via Node.Metrics); a
 	// registry must not be shared between nodes.
@@ -93,8 +113,11 @@ type Node struct {
 	handled int64 // requests served (also exported via the registry)
 	wg      sync.WaitGroup
 
-	nm    *nodeMetrics
-	cache *lookupCache // nil when Config.LookupCache == 0
+	nm      *nodeMetrics
+	cache   *lookupCache // nil when Config.LookupCache == 0
+	caller  wire.Caller  // full outgoing chain: retrier → (injector) → instrumented transport
+	retrier *wire.Retrier
+	suspect int // consecutive-failure count that triggers eviction
 }
 
 // NodeID derives a live node's identifier from its address.
@@ -148,6 +171,16 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		reg = metrics.NewRegistry()
 	}
 	n.nm = newNodeMetrics(reg, cfg.Depth)
+	var base wire.Caller = n.nm.wm
+	if cfg.WrapCaller != nil {
+		base = cfg.WrapCaller(n.addr, base)
+	}
+	n.retrier = wire.NewRetrier(base, cfg.Retry, cfg.Breaker, reg)
+	n.caller = n.retrier
+	n.suspect = cfg.EvictSuspicion
+	if n.suspect <= 0 {
+		n.suspect = cfg.Retry.EffectiveAttempts()
+	}
 	if cfg.LookupCache > 0 {
 		n.cache = newLookupCache(cfg.LookupCache)
 	}
@@ -231,7 +264,7 @@ func (n *Node) acceptLoop() {
 				return
 			}
 			resp := n.handle(req)
-			_ = wire.WriteResponse(cc, resp)
+			_ = wire.WriteResponse(cc, resp, n.cfg.CallTimeout)
 			n.nm.wm.ObserveServed(req.Type, resp.OK, cc.ReadBytes, cc.WrittenBytes)
 		}()
 	}
@@ -341,21 +374,7 @@ func (n *Node) handle(req wire.Request) wire.Response {
 		if dead == "" || dead == n.addr {
 			return wire.Errorf("invalid eviction target %q", dead)
 		}
-		for k := range ls.fingers {
-			if ls.fingers[k].Addr == dead {
-				ls.fingers[k] = wire.Peer{}
-			}
-		}
-		kept := ls.succ[:0]
-		for _, s := range ls.succ {
-			if s.Addr != dead {
-				kept = append(kept, s)
-			}
-		}
-		ls.succ = kept
-		if ls.pred.Addr == dead {
-			ls.pred = wire.Peer{}
-		}
+		purgePeerLocked(ls, dead)
 		return wire.Response{OK: true}
 
 	case wire.TLeavePred:
@@ -381,6 +400,41 @@ func (n *Node) handle(req wire.Request) wire.Response {
 }
 
 func (n *Node) selfLocked() wire.Peer { return wire.Peer{Addr: n.addr, ID: [20]byte(n.id)} }
+
+// purgePeerLocked removes every reference to a dead address from one
+// layer's fingers, successor list and predecessor (Chord's timeout
+// handling; shared by the TEvict handler and local eviction).
+func purgePeerLocked(ls *layerState, dead string) {
+	for k := range ls.fingers {
+		if ls.fingers[k].Addr == dead {
+			ls.fingers[k] = wire.Peer{}
+		}
+	}
+	kept := ls.succ[:0]
+	for _, s := range ls.succ {
+		if s.Addr != dead {
+			kept = append(kept, s)
+		}
+	}
+	ls.succ = kept
+	if ls.pred.Addr == dead {
+		ls.pred = wire.Peer{}
+	}
+}
+
+// evictLocal purges a suspected-dead peer from this node's own routing
+// state in one layer, so a degraded lookup restarting from self does not
+// immediately walk back into the dead hop.
+func (n *Node) evictLocal(layer int, dead string) {
+	if dead == "" || dead == n.addr {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ls, err := n.layerFor(layer); err == nil {
+		purgePeerLocked(ls, dead)
+	}
+}
 
 // findClosestLocked is one iterative routing step in a layer (paper §3.2):
 // report ownership, ring-predecessor termination, or the closest preceding

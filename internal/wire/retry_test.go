@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// scriptCaller replays a scripted sequence of outcomes and records the
+// calls it received.
+type scriptCaller struct {
+	mu    sync.Mutex
+	outs  []error
+	calls int
+}
+
+func (s *scriptCaller) Call(addr string, req Request, timeout time.Duration) (Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.calls < len(s.outs) {
+		err = s.outs[s.calls]
+	}
+	s.calls++
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{OK: true}, nil
+}
+
+func (s *scriptCaller) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+}
+
+func dialErr(addr string) error {
+	return &NetError{Addr: addr, Op: "dial", Sent: false, Err: errors.New("refused")}
+}
+
+func recvErr(addr string) error {
+	return &NetError{Addr: addr, Op: "recv", Sent: true, Err: errors.New("timeout")}
+}
+
+func TestTypedErrors(t *testing.T) {
+	addr := echoServer(t, func(req Request) Response { return Errorf("nope") })
+	_, err := Call(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Type != TGet || !strings.Contains(re.Msg, "nope") {
+		t.Fatalf("want RemoteError, got %#v", err)
+	}
+	if !IsRemote(err) {
+		t.Error("IsRemote(RemoteError) = false")
+	}
+	_, err = Call("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond)
+	var ne *NetError
+	if !errors.As(err, &ne) || ne.Op != "dial" || ne.Sent {
+		t.Fatalf("want unsent dial NetError, got %#v", err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		t    MsgType
+		err  error
+		want bool
+	}{
+		{TGet, &RemoteError{Type: TGet, Msg: "missing"}, false}, // app error: never
+		{TPut, dialErr("a"), true},                              // never sent: always
+		{TPut, recvErr("a"), false},                             // maybe applied: unsafe
+		{TNotify, recvErr("a"), false},                          // maybe applied: unsafe
+		{TFindClosest, recvErr("a"), true},                      // idempotent read
+		{TEvict, recvErr("a"), true},                            // purging twice is a no-op
+		{TPing, &CircuitOpenError{Addr: "a"}, false},            // breaker decides, not retry
+		{TPing, nil, false},
+	}
+	for i, c := range cases {
+		if got := Retryable(c.t, c.err); got != c.want {
+			t.Errorf("case %d: Retryable(%v, %v) = %v, want %v", i, c.t, c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetrierRecoversTransientFailure(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sc := &scriptCaller{outs: []error{dialErr("p"), dialErr("p"), nil}}
+	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, reg)
+	resp, err := r.Call("p", Request{Type: TPing}, time.Second)
+	if err != nil || !resp.OK {
+		t.Fatalf("call failed: %v", err)
+	}
+	if sc.count() != 3 {
+		t.Errorf("attempts = %d, want 3", sc.count())
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wire_retries_total 2") {
+		t.Errorf("exposition missing retry count:\n%s", b.String())
+	}
+}
+
+func TestRetrierNeverRetriesRemoteErrors(t *testing.T) {
+	sc := &scriptCaller{outs: []error{&RemoteError{Type: TGet, Msg: "missing"}}}
+	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, nil)
+	_, err := r.Call("p", Request{Type: TGet}, time.Second)
+	if !IsRemote(err) {
+		t.Fatalf("want RemoteError through, got %v", err)
+	}
+	if sc.count() != 1 {
+		t.Errorf("remote error retried: %d attempts", sc.count())
+	}
+	if r.ConsecutiveFailures("p") != 0 {
+		t.Error("remote error counted as peer failure")
+	}
+}
+
+func TestRetrierIdempotencyAware(t *testing.T) {
+	// A non-idempotent put whose request may have been applied: one shot.
+	sc := &scriptCaller{outs: []error{recvErr("p")}}
+	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, nil)
+	if _, err := r.Call("p", Request{Type: TPut, Name: "k"}, time.Second); err == nil {
+		t.Fatal("want failure")
+	}
+	if sc.count() != 1 {
+		t.Errorf("unsafe put retried: %d attempts", sc.count())
+	}
+	// The same put failing at dial never reached the peer: retried.
+	sc2 := &scriptCaller{outs: []error{dialErr("p"), nil}}
+	r2 := NewRetrier(sc2, fastRetry(), BreakerPolicy{}, nil)
+	if _, err := r2.Call("p", Request{Type: TPut, Name: "k"}, time.Second); err != nil {
+		t.Fatalf("unsent put not retried: %v", err)
+	}
+	if sc2.count() != 2 {
+		t.Errorf("attempts = %d, want 2", sc2.count())
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sc := &scriptCaller{outs: []error{
+		dialErr("p"), dialErr("p"), dialErr("p"), // opens at threshold 3
+	}}
+	r := NewRetrier(sc, fastRetry(), BreakerPolicy{Threshold: 3, Cooldown: 30 * time.Millisecond}, reg)
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+		t.Fatal("want failure")
+	}
+	if !r.BreakerOpen("p") {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if r.ConsecutiveFailures("p") != 3 {
+		t.Errorf("failures = %d", r.ConsecutiveFailures("p"))
+	}
+	// While open: fail fast without touching the peer.
+	before := sc.count()
+	_, err := r.Call("p", Request{Type: TPing}, time.Second)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if sc.count() != before {
+		t.Error("open breaker still dialed the peer")
+	}
+	// After the cooldown a probe goes through; success closes the breaker.
+	time.Sleep(40 * time.Millisecond)
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if r.BreakerOpen("p") || r.ConsecutiveFailures("p") != 0 {
+		t.Error("breaker did not close after successful probe")
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"wire_breaker_opens_total 1",
+		"wire_breaker_closes_total 1",
+		"wire_breaker_fail_fast_total 1",
+		"wire_breaker_open 0",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	sc := &scriptCaller{} // no script: every call fails below
+	fail := CallerFunc(func(addr string, req Request, timeout time.Duration) (Response, error) {
+		sc.Call(addr, req, timeout)
+		return Response{}, dialErr(addr)
+	})
+	r := NewRetrier(fail, RetryPolicy{MaxAttempts: 1}, BreakerPolicy{Threshold: 1, Cooldown: 10 * time.Millisecond}, nil)
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+		t.Fatal("want failure")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+		t.Fatal("want probe failure")
+	}
+	if !r.BreakerOpen("p") {
+		t.Error("failed probe did not reopen the breaker")
+	}
+	// The reopened breaker rejects again without dialing.
+	before := sc.count()
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if sc.count() != before {
+		t.Error("reopened breaker dialed the peer")
+	}
+}
+
+func TestRetrierOverallBudget(t *testing.T) {
+	sc := &scriptCaller{outs: []error{dialErr("p"), dialErr("p"), dialErr("p"), dialErr("p")}}
+	r := NewRetrier(sc, RetryPolicy{
+		MaxAttempts: 4, BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond, Overall: 60 * time.Millisecond,
+	}, BreakerPolicy{Threshold: -1}, nil)
+	start := time.Now()
+	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+		t.Fatal("want failure")
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("overall budget not honored: %v", elapsed)
+	}
+	if sc.count() >= 4 {
+		t.Errorf("attempts = %d, want < 4 under the overall budget", sc.count())
+	}
+}
+
+func TestWriteResponseDeadline(t *testing.T) {
+	// A client that sends a request and then never reads: the server-side
+	// write must error out once the kernel buffers fill instead of
+	// pinning the handler goroutine forever. A large response defeats
+	// socket buffering.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		if _, err := ReadRequest(conn, 2*time.Second); err != nil {
+			done <- err
+			return
+		}
+		done <- WriteResponse(conn, Response{OK: true, Value: make([]byte, 16<<20)}, 300*time.Millisecond)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(&Request{Type: TGet, Name: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	// Never read; the server must give up on its own.
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("stalled-reader write reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteResponse blocked past its deadline on a stalled reader")
+	}
+}
+
+func TestMsgTypeIdempotencyTable(t *testing.T) {
+	if Idempotent(TPut) || Idempotent(TNotify) || Idempotent(TPutRingTable) ||
+		Idempotent(TLeaveSucc) || Idempotent(TLeavePred) {
+		t.Error("state-installing writes must not be idempotent")
+	}
+	for _, typ := range []MsgType{TPing, TGetInfo, TFindClosest, TGetNeighbors, TGetRingTable, TGet, TEvict} {
+		if !Idempotent(typ) {
+			t.Errorf("%v should be idempotent", typ)
+		}
+	}
+}

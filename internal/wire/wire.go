@@ -137,7 +137,26 @@ type Response struct {
 	Value []byte
 }
 
-// Call performs one RPC: dial, send, receive, close.
+// Caller abstracts one RPC exchange with a peer. The plain transport
+// (CallerFunc(Call)), the instrumented Metrics, the fault-injecting
+// callers of internal/faultnet and the Retrier all implement it, so the
+// node stack composes its call chain — injectors below retries, retries
+// below application logic — without knowing the concrete layers.
+type Caller interface {
+	Call(addr string, req Request, timeout time.Duration) (Response, error)
+}
+
+// CallerFunc adapts a function to the Caller interface.
+type CallerFunc func(addr string, req Request, timeout time.Duration) (Response, error)
+
+// Call implements Caller.
+func (f CallerFunc) Call(addr string, req Request, timeout time.Duration) (Response, error) {
+	return f(addr, req, timeout)
+}
+
+// Call performs one RPC: dial, send, receive, close. Failures are typed:
+// a *RemoteError when the peer answered with Response.OK == false, a
+// *NetError for dial/send/receive breakage.
 func Call(addr string, req Request, timeout time.Duration) (Response, error) {
 	resp, _, _, err := exchange(addr, req, timeout)
 	return resp, err
@@ -148,7 +167,7 @@ func Call(addr string, req Request, timeout time.Duration) (Response, error) {
 func exchange(addr string, req Request, timeout time.Duration) (resp Response, in, out int64, err error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return resp, 0, 0, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return resp, 0, 0, &NetError{Addr: addr, Op: "dial", Sent: false, Err: err}
 	}
 	cc := &CountingConn{Conn: conn}
 	defer conn.Close()
@@ -156,13 +175,17 @@ func exchange(addr string, req Request, timeout time.Duration) (resp Response, i
 		return resp, 0, 0, err
 	}
 	if err := gob.NewEncoder(cc).Encode(&req); err != nil {
-		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: encode to %s: %w", addr, err)
+		// Sent is conservative: any bytes on the wire may have formed a
+		// decodable request on the peer.
+		return resp, cc.ReadBytes, cc.WrittenBytes,
+			&NetError{Addr: addr, Op: "send", Sent: cc.WrittenBytes > 0, Err: err}
 	}
 	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
-		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: decode from %s: %w", addr, err)
+		return resp, cc.ReadBytes, cc.WrittenBytes,
+			&NetError{Addr: addr, Op: "recv", Sent: true, Err: err}
 	}
 	if !resp.OK {
-		return resp, cc.ReadBytes, cc.WrittenBytes, fmt.Errorf("wire: %s: remote error: %s", req.Type, resp.Err)
+		return resp, cc.ReadBytes, cc.WrittenBytes, &RemoteError{Type: req.Type, Msg: resp.Err}
 	}
 	return resp, cc.ReadBytes, cc.WrittenBytes, nil
 }
@@ -177,8 +200,13 @@ func ReadRequest(conn net.Conn, timeout time.Duration) (Request, error) {
 	return req, err
 }
 
-// WriteResponse encodes one response to a server-side connection.
-func WriteResponse(conn net.Conn, resp Response) error {
+// WriteResponse encodes one response to a server-side connection. The
+// write deadline bounds the encode: without it a peer that stops reading
+// after sending its request would pin the handler goroutine forever.
+func WriteResponse(conn net.Conn, resp Response, timeout time.Duration) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
 	return gob.NewEncoder(conn).Encode(&resp)
 }
 

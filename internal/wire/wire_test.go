@@ -27,7 +27,7 @@ func echoServer(t *testing.T, handler func(Request) Response) string {
 				if err != nil {
 					return
 				}
-				_ = WriteResponse(conn, handler(req))
+				_ = WriteResponse(conn, handler(req), 2*time.Second)
 			}()
 		}
 	}()
