@@ -7,11 +7,18 @@
 // in flight, and -metrics dumps the pool's queue/throughput gauges along
 // with the overlay's counters.
 //
+// With -check the binary instead runs the property-based invariant
+// harness (internal/simcheck): -check-runs seeded random operation
+// programs against in-process multi-layer clusters, starting at -seed.
+// On a violation it prints the shrunk, replayable counterexample and
+// exits nonzero.
+//
 // Usage:
 //
 //	hieras-sim -model ts -nodes 1000 -landmarks 4 -depth 2 -requests 10000
 //	hieras-sim -nodes 400 -trace out.csv
 //	hieras-sim -requests 200000 -workers 8 -progress
+//	hieras-sim -check -check-runs 20 -seed 1
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/simcheck"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,8 +52,16 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream progressive summaries every ~10% of the run")
 		traceOut  = flag.String("trace", "", "write a per-request CSV trace to this file")
 		dumpMet   = flag.Bool("metrics", false, "dump the overlay's and pool's Prometheus-text metrics after the run")
+		check     = flag.Bool("check", false, "run the property-based invariant harness instead of a simulation")
+		checkRuns = flag.Int("check-runs", 5, "number of seeded programs to check with -check (seeds -seed..)")
+		checkOps  = flag.Int("check-ops", 0, "operations per checked program (0 = simcheck default)")
+		checkSlot = flag.Int("check-slots", 0, "cluster slots per checked program (0 = simcheck default)")
 	)
 	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(*seed, *checkRuns, *checkOps, *checkSlot, *depth))
+	}
 
 	s := experiments.Scenario{
 		Model:     *model,
@@ -112,6 +128,27 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runCheck drives the simcheck harness over a batch of consecutive
+// seeds and reports the first violation's shrunk counterexample.
+func runCheck(seed int64, runs, ops, slots, depth int) int {
+	fmt.Printf("checking %d seeded programs (seeds %d..%d, depth %d)...\n",
+		runs, seed, seed+int64(runs)-1, depth)
+	status := 0
+	for i := 0; i < runs; i++ {
+		cfg := simcheck.Config{Seed: seed + int64(i), Ops: ops, Slots: slots, Depth: depth}
+		if f := simcheck.Run(cfg); f != nil {
+			fmt.Printf("seed %d: FAIL\n%v\n", cfg.Seed, f)
+			status = 1
+		} else {
+			fmt.Printf("seed %d: ok\n", cfg.Seed)
+		}
+	}
+	if status == 0 {
+		fmt.Println("all programs passed")
+	}
+	return status
 }
 
 // writeTrace replays the scenario's request stream and records each HIERAS

@@ -1,0 +1,144 @@
+package binning
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOrderEdgeCases pins down the landmark-order contract at its corner
+// inputs: ties exactly on a threshold, a single landmark, duplicate
+// latency vectors, and invalid measurements.
+func TestOrderEdgeCases(t *testing.T) {
+	paper := DefaultThresholds // {20, 100}
+	cases := []struct {
+		name    string
+		lats    []float64
+		th      Thresholds
+		want    string
+		wantErr bool
+	}{
+		{name: "paper example", lats: []float64{25, 5, 31, 51}, th: paper, want: "1011"},
+		// A latency exactly on a boundary belongs to the level ABOVE it:
+		// level i covers [t[i-1], t[i]).
+		{name: "tie on first threshold", lats: []float64{20}, th: paper, want: "1"},
+		{name: "tie on last threshold", lats: []float64{100}, th: paper, want: "2"},
+		{name: "just under first threshold", lats: []float64{19.999999}, th: paper, want: "0"},
+		{name: "all ties", lats: []float64{20, 100, 20, 100}, th: paper, want: "1212"},
+		{name: "single landmark low", lats: []float64{0}, th: paper, want: "0"},
+		{name: "single landmark high", lats: []float64{1e9}, th: paper, want: "2"},
+		{name: "zero latency", lats: []float64{0, 0, 0}, th: paper, want: "000"},
+		{name: "many levels use base36 digits", lats: []float64{1500}, th: Thresholds{
+			1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+		}, want: "f"},
+		{name: "no landmarks", lats: nil, th: paper, wantErr: true},
+		{name: "negative latency", lats: []float64{-1}, th: paper, wantErr: true},
+		{name: "empty thresholds", lats: []float64{5}, th: Thresholds{}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Order(tc.lats, tc.th)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Order(%v) = %q, want error", tc.lats, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Order(%v): %v", tc.lats, err)
+			}
+			if got != tc.want {
+				t.Fatalf("Order(%v) = %q, want %q", tc.lats, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDuplicateLatencyVectorsShareRings: nodes with identical measured
+// coordinates must land in the same ring at every layer — binning may
+// never split topological duplicates.
+func TestDuplicateLatencyVectorsShareRings(t *testing.T) {
+	ladder, err := DefaultLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := []float64{33.3, 7, 150, 99.9999}
+	a, err := RingNames(lats, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RingNames(append([]float64(nil), lats...), ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a, "/") != strings.Join(b, "/") {
+		t.Fatalf("duplicate latency vectors got different rings: %v vs %v", a, b)
+	}
+}
+
+// TestEmptyBinFallback: when most of the sample mass sits on a single
+// value, naive quantiles collide and most bins would be empty; the
+// fallback must still return a valid (strictly ascending) threshold set
+// under which every node bins somewhere, never nowhere.
+func TestEmptyBinFallback(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = 42 // every node equidistant: all quantiles tie
+	}
+	th, err := AdaptiveThresholds(samples, 4)
+	if err != nil {
+		t.Fatalf("degenerate mass rejected: %v", err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatalf("fallback thresholds invalid: %v", err)
+	}
+	// All nodes still bin somewhere (the same level), never nowhere.
+	if _, err := Order([]float64{42}, th); err != nil {
+		t.Fatalf("node does not bin under fallback thresholds: %v", err)
+	}
+}
+
+func TestCheckRefinement(t *testing.T) {
+	ok := [][]string{
+		{"a", "ax"}, {"a", "ay"}, {"b", "bz"}, {"a", "ax"},
+	}
+	if err := CheckRefinement(ok); err != nil {
+		t.Fatalf("valid refinement rejected: %v", err)
+	}
+	bad := [][]string{
+		{"a", "shared"}, {"b", "shared"}, // one deep ring across two shallow rings
+	}
+	if err := CheckRefinement(bad); err == nil {
+		t.Fatal("split refinement not detected")
+	}
+	ragged := [][]string{{"a", "ax"}, {"a"}}
+	if err := CheckRefinement(ragged); err == nil {
+		t.Fatal("ragged name lists not detected")
+	}
+	if err := CheckRefinement(nil); err != nil {
+		t.Fatalf("empty population rejected: %v", err)
+	}
+}
+
+// TestRingNamesRefineUnderDefaultLadder: the property CheckRefinement
+// asserts, exercised through the real ladder on a latency sweep.
+func TestRingNamesRefineUnderDefaultLadder(t *testing.T) {
+	for depth := 2; depth <= 5; depth++ {
+		ladder, err := DefaultLadder(depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names [][]string
+		for lat1 := 0.0; lat1 < 500; lat1 += 7.3 {
+			for _, lat2 := range []float64{0, 5, 10, 20, 35, 50, 100, 200, 400, 800} {
+				ns, err := RingNames([]float64{lat1, lat2}, ladder)
+				if err != nil {
+					t.Fatal(err)
+				}
+				names = append(names, ns)
+			}
+		}
+		if err := CheckRefinement(names); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+}

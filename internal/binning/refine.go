@@ -1,0 +1,38 @@
+package binning
+
+import "fmt"
+
+// CheckRefinement verifies the ring-refinement invariant over a node
+// population: names[i][l] is node i's layer-(l+2) ring name (as returned
+// by RingNames), and any two nodes sharing a ring at a deeper layer must
+// share their ring at every shallower layer. This is the structural
+// guarantee the nested threshold ladder exists to provide — without it a
+// lookup climbing out of a local ring could land in a ring that does not
+// contain the nodes it just left behind.
+func CheckRefinement(names [][]string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	layers := len(names[0])
+	for i, ns := range names {
+		if len(ns) != layers {
+			return fmt.Errorf("binning: node %d has %d ring names, node 0 has %d", i, len(ns), layers)
+		}
+	}
+	for l := 1; l < layers; l++ {
+		parent := make(map[string]string) // deeper ring name -> shallower ring name
+		first := make(map[string]int)     // deeper ring name -> first node seen
+		for i, ns := range names {
+			deep, shallow := ns[l], ns[l-1]
+			if prev, ok := parent[deep]; !ok {
+				parent[deep] = shallow
+				first[deep] = i
+			} else if prev != shallow {
+				return fmt.Errorf(
+					"binning: layer-%d ring %q spans layer-%d rings %q (node %d) and %q (node %d)",
+					l+2, deep, l+1, prev, first[deep], shallow, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/binning"
+	"repro/internal/chord"
+)
+
+// CheckInvariants verifies the structural invariants HIERAS promises of
+// every overlay (paper §3.1): the global ring covers all nodes with a
+// correct Chord structure, each node is a member of exactly one ring per
+// lower layer and that ring's name matches the node's landmark order,
+// deeper rings refine shallower ones, every ring's own Chord structure is
+// correct, and every ring has a ring table naming its true boundary
+// members, stored at the ring id's global successor. The invariant
+// harness runs this against oracle overlays built from random topologies.
+func (o *Overlay) CheckInvariants() error {
+	verify := (*chord.Table).Verify
+	if o.cfg.ProximityFingers {
+		verify = (*chord.Table).VerifyPNS
+	}
+	if o.global.Len() != len(o.nodes) {
+		return fmt.Errorf("core: global ring has %d members, overlay has %d nodes",
+			o.global.Len(), len(o.nodes))
+	}
+	if err := verify(o.global); err != nil {
+		return fmt.Errorf("core: global ring: %w", err)
+	}
+	for i := range o.nodes {
+		if o.global.ID(i) != o.nodes[i].ID {
+			return fmt.Errorf("core: node %d id mismatch with global member %d", i, i)
+		}
+		if got := len(o.nodes[i].RingNames); got != o.cfg.Depth-1 {
+			return fmt.Errorf("core: node %d belongs to %d lower rings, depth %d requires %d",
+				i, got, o.cfg.Depth, o.cfg.Depth-1)
+		}
+	}
+
+	for l := range o.rings {
+		layer := l + 2
+		covered := 0
+		for name, r := range o.rings[l] {
+			if r.Layer != layer || r.Name != name {
+				return fmt.Errorf("core: ring %d:%q mislabelled as %d:%q", layer, name, r.Layer, r.Name)
+			}
+			if err := verify(r.Table); err != nil {
+				return fmt.Errorf("core: ring %d:%q: %w", layer, name, err)
+			}
+			if len(r.Global) != r.Size() {
+				return fmt.Errorf("core: ring %d:%q maps %d members to %d global indexes",
+					layer, name, r.Size(), len(r.Global))
+			}
+			for m, gi := range r.Global {
+				nd := &o.nodes[gi]
+				if nd.RingNames[l] != name {
+					return fmt.Errorf("core: node %d sits in ring %d:%q but is binned into %q",
+						gi, layer, name, nd.RingNames[l])
+				}
+				if r.Table.ID(m) != nd.ID {
+					return fmt.Errorf("core: ring %d:%q member %d id mismatch with node %d",
+						layer, name, m, gi)
+				}
+				if ref := nd.rings[l]; ref.ring != r || ref.member != m {
+					return fmt.Errorf("core: node %d ring reference for layer %d inconsistent", gi, layer)
+				}
+			}
+			covered += r.Size()
+
+			rt := o.ringTables[RingKey{Layer: layer, Name: name}]
+			if rt == nil {
+				return fmt.Errorf("core: ring %d:%q has no ring table", layer, name)
+			}
+			last := r.Size() - 1
+			if rt.Smallest != r.Table.ID(0) || rt.Largest != r.Table.ID(last) {
+				return fmt.Errorf("core: ring table %d:%q boundaries do not match the ring", layer, name)
+			}
+			if rt.StoredAt != o.global.SuccessorIndex(rt.RingID) {
+				return fmt.Errorf("core: ring table %d:%q stored at %d, want successor(%s) = %d",
+					layer, name, rt.StoredAt, rt.RingID.Short(), o.global.SuccessorIndex(rt.RingID))
+			}
+		}
+		// Exactly-one-ring-per-layer: every node counted once.
+		if covered != len(o.nodes) {
+			return fmt.Errorf("core: layer %d rings cover %d of %d nodes", layer, covered, len(o.nodes))
+		}
+	}
+
+	if o.cfg.Depth > 1 {
+		names := make([][]string, len(o.nodes))
+		for i := range o.nodes {
+			names[i] = o.nodes[i].RingNames
+		}
+		if err := binning.CheckRefinement(names); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,7 +1,17 @@
 // Package eventsim is a small deterministic discrete-event simulation
-// kernel: events fire in timestamp order, ties break in scheduling order,
-// and no wall-clock time is involved anywhere. The churn experiments run
-// protocol maintenance and lookups on top of it.
+// kernel: events fire in timestamp order, and no wall-clock time is
+// involved anywhere. The churn experiments run protocol maintenance and
+// lookups on top of it.
+//
+// # Determinism contract
+//
+// Events with equal timestamps fire in FIFO order: the order their
+// At/After calls executed, regardless of how the heap rebalances. This is
+// a contract, not an implementation accident — simulations schedule
+// co-timed maintenance for many nodes and replay/debugging depends on two
+// runs of the same schedule firing identically. The property test
+// TestTieFIFOProperty asserts it over randomized schedules; changing the
+// tie-break is a breaking change.
 package eventsim
 
 import (
@@ -52,7 +62,9 @@ func (s *Sim) Fired() uint64 { return s.fired }
 // Pending returns how many events are scheduled but not yet fired.
 func (s *Sim) Pending() int { return s.pq.Len() }
 
-// At schedules fn at absolute time t (>= Now).
+// At schedules fn at absolute time t (>= Now). Events scheduled for the
+// same timestamp fire in the order their At/After calls executed (the
+// package's FIFO tie-break contract).
 func (s *Sim) At(t float64, fn func()) error {
 	if t < s.now || math.IsNaN(t) {
 		return fmt.Errorf("eventsim: cannot schedule at %v (now %v)", t, s.now)

@@ -1,0 +1,75 @@
+package eventsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTieFIFOProperty asserts the package's tie-break contract as a
+// property over randomized schedules: whatever mix of up-front and
+// fire-time scheduling produced the queue, events execute in
+// lexicographic (timestamp, scheduling order) — FIFO at equal
+// timestamps. Timestamps are drawn from a tiny set so collisions are the
+// common case, and a third of fired events schedule children at the
+// current timestamp, which must run after everything already queued for
+// that instant.
+func TestTieFIFOProperty(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var s Sim
+
+		type stamp struct {
+			at  float64
+			seq int // order the At/After call executed
+		}
+		var fired []stamp
+		nextSeq := 0
+		var schedule func(at float64)
+		schedule = func(at float64) {
+			seq := nextSeq
+			nextSeq++
+			err := s.At(at, func() {
+				fired = append(fired, stamp{at, seq})
+				// Fire-time scheduling: children at the same instant or
+				// slightly later, keeping collisions likely.
+				if rng.Intn(3) == 0 && nextSeq < 300 {
+					if rng.Intn(2) == 0 {
+						schedule(s.Now())
+					} else {
+						schedule(s.Now() + float64(rng.Intn(2)))
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		initial := 30 + rng.Intn(50)
+		for i := 0; i < initial; i++ {
+			schedule(float64(rng.Intn(4)))
+		}
+		if !s.Run(0) {
+			t.Fatal("queue did not drain")
+		}
+		if len(fired) != nextSeq {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(fired), nextSeq)
+		}
+		ties := 0
+		for i := 1; i < len(fired); i++ {
+			prev, cur := fired[i-1], fired[i]
+			if cur.at < prev.at {
+				t.Fatalf("trial %d: time went backwards at position %d: %v after %v", trial, i, cur, prev)
+			}
+			if cur.at == prev.at {
+				ties++
+				if cur.seq < prev.seq {
+					t.Fatalf("trial %d: FIFO violated at t=%v: seq %d fired after seq %d",
+						trial, cur.at, prev.seq, cur.seq)
+				}
+			}
+		}
+		if ties == 0 {
+			t.Fatalf("trial %d: no timestamp collisions generated — property not exercised", trial)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package faultnet
+
+import "testing"
+
+func TestBlocked(t *testing.T) {
+	nw := New(1)
+	nw.Bind("127.0.0.1:1001", "n1")
+	nw.Bind("127.0.0.1:1002", "n2")
+
+	if nw.Blocked("n1", "n2") {
+		t.Fatal("blocked with no partition installed")
+	}
+	nw.Partition([]string{"n1", "n3"}, []string{"n2"})
+	if !nw.Blocked("n1", "n2") {
+		t.Fatal("cross-group pair not blocked")
+	}
+	if nw.Blocked("n1", "n3") {
+		t.Fatal("same-group pair blocked")
+	}
+	if nw.Blocked("n1", "n1") {
+		t.Fatal("loopback blocked")
+	}
+	// Bound addresses resolve to their logical names.
+	if !nw.Blocked("127.0.0.1:1001", "127.0.0.1:1002") {
+		t.Fatal("bound addresses not resolved")
+	}
+	// Peers outside every group are unaffected, matching decide().
+	if nw.Blocked("n1", "stranger") || nw.Blocked("stranger", "n2") {
+		t.Fatal("ungrouped peer blocked")
+	}
+	nw.Heal()
+	if nw.Blocked("n1", "n2") {
+		t.Fatal("still blocked after heal")
+	}
+	// Blocked is a pure query: it must not disturb the operation log, or
+	// replaying a checked run would diverge from the original.
+	if got := len(nw.Log()); got != 2 {
+		t.Fatalf("log has %d ops, want 2 (partition + heal)", got)
+	}
+}

@@ -183,6 +183,23 @@ func (nw *Network) Heal() {
 	nw.log = append(nw.log, Op{heal: true})
 }
 
+// Blocked reports whether a call from src to dst (logical names or bound
+// addresses) would currently be cut by the partition. Invariant checkers
+// use it to decide which consistency properties may be asserted: a pair
+// of live nodes that Blocked separates is entitled to disagree.
+func (nw *Network) Blocked(src, dst string) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	s := nw.nameLocked(src)
+	d := nw.nameLocked(dst)
+	if s == d || nw.groups == nil {
+		return false
+	}
+	gs, oks := nw.groups[s]
+	gd, okd := nw.groups[d]
+	return oks && okd && gs != gd
+}
+
 // Events returns a copy of the injected-fault sequence so far.
 func (nw *Network) Events() []Event {
 	nw.mu.Lock()

@@ -1,0 +1,194 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// exec applies one op to the cluster and checks what can be checked at
+// that moment. Ops that no longer make sense (occupied slot, landmark
+// fail, join during a partition) are no-ops rather than errors, so every
+// subsequence a shrinker proposes is still a well-formed program.
+func (h *harness) exec(op Op) *Failure {
+	fail := func(invariant, format string, args ...interface{}) *Failure {
+		return &Failure{Invariant: invariant, Err: fmt.Errorf(format, args...)}
+	}
+	switch op.Kind {
+	case OpJoin:
+		if h.partitioned || op.Slot < 2 || op.Slot >= h.cfg.Slots || h.nodes[op.Slot] != nil {
+			return nil
+		}
+		boot := -1
+		for _, s := range h.liveSlots() {
+			if s != op.Slot {
+				boot = s
+				break
+			}
+		}
+		if err := h.startNode(op.Slot); err != nil {
+			return fail("join-availability", "start n%d: %v", op.Slot, err)
+		}
+		if err := h.nodes[op.Slot].Join(slotAddr(boot)); err != nil {
+			h.nodes[op.Slot].Close()
+			h.nodes[op.Slot] = nil
+			// A join against a maintained, partition-free cluster must
+			// succeed; a refusal means the ring tables or landmark walk
+			// are advertising unusable state.
+			return fail("join-availability", "join n%d via n%d: %v", op.Slot, boot, err)
+		}
+		h.maintain()
+
+	case OpLeave:
+		if h.partitioned || op.Slot < 2 || op.Slot >= h.cfg.Slots || h.nodes[op.Slot] == nil {
+			return nil
+		}
+		n := h.nodes[op.Slot]
+		err := n.Leave()
+		n.Close()
+		h.nodes[op.Slot] = nil
+		if err != nil {
+			// The departing node could not finish its handoff; its keys
+			// may only exist on replicas now.
+			for k := range h.model.vals {
+				h.model.atRisk[k] = true
+			}
+		}
+		h.maintain()
+
+	case OpFail:
+		if op.Slot < 2 || op.Slot >= h.cfg.Slots || h.nodes[op.Slot] == nil {
+			return nil
+		}
+		h.nodes[op.Slot].Close()
+		h.nodes[op.Slot] = nil
+		// Crash, no handoff: any key whose primary or replicas sat on
+		// this node may be gone until a quiescent read proves otherwise.
+		for k := range h.model.vals {
+			h.model.atRisk[k] = true
+		}
+		h.maintain()
+
+	case OpPut:
+		n := h.origin(op.Slot)
+		err := n.Put(op.Key, []byte(op.Value))
+		// Record the value even when the put reports failure: the owner
+		// write may have landed before a replica write failed, so the
+		// value can legitimately be read back later.
+		h.model.put(op.Key, op.Value)
+		if err != nil {
+			if !h.partitioned {
+				return fail("put-availability", "put %q from n%d: %v", op.Key, op.Slot, err)
+			}
+			h.model.atRisk[op.Key] = true
+		} else if h.partitioned {
+			// Stored on this side's owner; the healed ring may hand the
+			// key range to a node that never saw the write.
+			h.model.atRisk[op.Key] = true
+		}
+
+	case OpGet:
+		n := h.origin(op.Slot)
+		v, err := n.Get(op.Key)
+		acc := h.model.vals[op.Key]
+		if err != nil {
+			if len(acc) > 0 && !h.partitioned && !h.model.atRisk[op.Key] {
+				return fail("get-availability", "get %q from n%d: %v", op.Key, op.Slot, err)
+			}
+			return nil
+		}
+		if !acc[string(v)] {
+			return fail("get-safety", "get %q from n%d returned %q, not a value ever written (%d known)",
+				op.Key, op.Slot, v, len(acc))
+		}
+
+	case OpLookup:
+		n := h.origin(op.Slot)
+		res, err := n.Lookup(transport.LiveKeyID(op.Key))
+		if err != nil {
+			if !h.partitioned {
+				return fail("lookup-availability", "lookup %q from n%d: %v", op.Key, op.Slot, err)
+			}
+			return nil
+		}
+		if !h.partitioned {
+			if bound := hopBound(len(h.liveSlots()), h.cfg.Depth); res.Hops > bound {
+				return fail("hop-bound", "lookup %q from n%d took %d hops (bound %d for %d nodes)",
+					op.Key, op.Slot, res.Hops, bound, len(h.liveSlots()))
+			}
+		}
+
+	case OpPartition:
+		if h.partitioned {
+			return nil
+		}
+		even, odd := h.parityGroups()
+		h.fnet.Partition(even, odd)
+		h.partitioned = true
+		// Let each side adapt: suspicion confirms the other side dead,
+		// evictions shrink the rings, exactly like a real netsplit.
+		h.maintain()
+
+	case OpHeal:
+		if !h.partitioned {
+			return nil
+		}
+		h.fnet.Heal()
+		h.partitioned = false
+		h.maintain()
+
+	case OpCheck:
+		return h.checkpoint()
+
+	default:
+		return fail("harness", "unknown op kind %q", op.Kind)
+	}
+	return h.runInvariants(false)
+}
+
+// hopBound is a deliberately generous sanity ceiling on routing length:
+// a hierarchical lookup can in the worst case traverse each ring it
+// climbs, but never revisit a node inside one. Catching runaway walks is
+// its job; tight performance bands live in the paper-claim tests where
+// populations are big enough for ratios to be stable.
+func hopBound(liveNodes, depth int) int {
+	return 2*liveNodes + 2*depth + 2
+}
+
+// checkpoint runs the invariant registry. With a partition active only
+// the always-on invariants apply — the cluster cannot converge while it
+// is split. Otherwise the harness first quiesces to a maintenance
+// fixpoint, then checks everything, then clears risk flags for keys the
+// data sweep proved readable.
+func (h *harness) checkpoint() *Failure {
+	if h.partitioned {
+		return h.runInvariants(false)
+	}
+	if err := h.quiesce(); err != nil {
+		return &Failure{Invariant: "quiescence", Err: err}
+	}
+	if f := h.runInvariants(true); f != nil {
+		return f
+	}
+	return nil
+}
+
+// runInvariants evaluates the registry against a freshly built world.
+// Quiescent invariants only run when quiescent is true.
+func (h *harness) runInvariants(quiescent bool) *Failure {
+	w := h.world(quiescent)
+	for _, inv := range registry() {
+		if inv.Quiescent && !quiescent {
+			continue
+		}
+		if err := inv.Check(w); err != nil {
+			return &Failure{Invariant: inv.Name, Err: err}
+		}
+	}
+	if quiescent {
+		for k := range w.readOK {
+			delete(h.model.atRisk, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package simcheck
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// keyPool is the closed key universe programs draw from. A small pool
+// makes overwrites, replica divergence and lost-update scenarios common
+// instead of one-in-2^160 coincidences.
+var keyPool = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+
+// generate derives a program of cfg.Ops operations from cfg.Seed. The
+// generator mirrors the executor's legality rules (no joins inside a
+// partition, landmarks never leave) so generated programs are dense with
+// effective operations rather than no-ops; the executor still tolerates
+// illegal ops, because shrinking can strip the context that made an op
+// legal.
+func generate(cfg Config) []Op {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	occupied := make([]bool, cfg.Slots)
+	occupied[0], occupied[1] = true, true
+	partitioned := false
+	valSeq := 0
+	var written []string
+	var ops []Op
+
+	free := func() []int {
+		var out []int
+		for s := 2; s < cfg.Slots; s++ {
+			if !occupied[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	taken := func() []int {
+		var out []int
+		for s := 2; s < cfg.Slots; s++ {
+			if occupied[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	anySlot := func() int { return rng.Intn(cfg.Slots) }
+	someKey := func() string {
+		if len(written) > 0 && rng.Intn(4) > 0 {
+			return written[rng.Intn(len(written))]
+		}
+		return keyPool[rng.Intn(len(keyPool))]
+	}
+
+	for len(ops) < cfg.Ops {
+		var op Op
+		if partitioned {
+			switch r := rng.Intn(100); {
+			case r < 25:
+				op = Op{Kind: OpHeal}
+				partitioned = false
+			case r < 45:
+				op = Op{Kind: OpGet, Slot: anySlot(), Key: someKey()}
+			case r < 65:
+				op = Op{Kind: OpLookup, Slot: anySlot(), Key: someKey()}
+			case r < 85:
+				op = Op{Kind: OpPut, Slot: anySlot(), Key: someKey(), Value: fmt.Sprintf("v%d", valSeq)}
+				written = append(written, op.Key)
+				valSeq++
+			default:
+				op = Op{Kind: OpCheck}
+			}
+		} else {
+			switch r := rng.Intn(100); {
+			case r < 20:
+				if f := free(); len(f) > 0 {
+					op = Op{Kind: OpJoin, Slot: f[rng.Intn(len(f))]}
+					occupied[op.Slot] = true
+				} else {
+					continue
+				}
+			case r < 28:
+				if o := taken(); len(o) > 0 {
+					op = Op{Kind: OpLeave, Slot: o[rng.Intn(len(o))]}
+					occupied[op.Slot] = false
+				} else {
+					continue
+				}
+			case r < 40:
+				if o := taken(); len(o) > 0 {
+					op = Op{Kind: OpFail, Slot: o[rng.Intn(len(o))]}
+					occupied[op.Slot] = false
+				} else {
+					continue
+				}
+			case r < 58:
+				op = Op{Kind: OpPut, Slot: anySlot(), Key: someKey(), Value: fmt.Sprintf("v%d", valSeq)}
+				written = append(written, op.Key)
+				valSeq++
+			case r < 70:
+				op = Op{Kind: OpGet, Slot: anySlot(), Key: someKey()}
+			case r < 82:
+				op = Op{Kind: OpLookup, Slot: anySlot(), Key: someKey()}
+			case r < 90:
+				op = Op{Kind: OpPartition}
+				partitioned = true
+			default:
+				op = Op{Kind: OpCheck}
+			}
+		}
+		ops = append(ops, op)
+	}
+	if partitioned {
+		ops = append(ops, Op{Kind: OpHeal})
+	}
+	return ops
+}

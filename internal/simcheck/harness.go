@@ -1,0 +1,249 @@
+package simcheck
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"time"
+
+	"repro/internal/binning"
+	"repro/internal/faultnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// model is the harness's ground truth about stored data. Values are
+// grow-only per key: replicas and partition-era writes mean an old value
+// can legitimately resurface, so correctness is "some value we wrote",
+// never "the latest value". atRisk marks keys whose only copies may have
+// died with a crashed node; for those, a not-found answer is acceptable
+// until a quiescent read proves the key is alive again.
+type model struct {
+	vals   map[string]map[string]bool
+	atRisk map[string]bool
+}
+
+func (m *model) put(key, value string) {
+	if m.vals[key] == nil {
+		m.vals[key] = map[string]bool{}
+	}
+	m.vals[key][value] = true
+}
+
+func (m *model) keys() []string {
+	ks := make([]string, 0, len(m.vals))
+	for k := range m.vals {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// harness owns one in-process cluster: a wire.MemNet for transport (so
+// node addresses — and therefore node IDs — are identical on every run),
+// a faultnet.Network for partitions, and the data model. Slots 0 and 1
+// are the two landmarks; they are started before any generated op runs
+// and never leave or fail.
+type harness struct {
+	cfg         Config
+	mem         *wire.MemNet
+	fnet        *faultnet.Network
+	nodes       []*transport.Node
+	coords      [][2]float64
+	expectNames [][]string // per slot, from an independent binning run
+	partitioned bool
+	model       *model
+}
+
+func slotAddr(slot int) string { return fmt.Sprintf("n%d", slot) }
+
+// slotCoord places even slots near landmark n0 and odd slots near
+// landmark n1, far enough apart that the default ladder bins the two
+// parities into distinct rings on every lower layer. Partitions split by
+// parity too, so a partition never cuts a lower-layer ring in half.
+func slotCoord(slot int) [2]float64 {
+	if slot%2 == 0 {
+		return [2]float64{float64(slot), float64(slot % 7)}
+	}
+	return [2]float64{500 + float64(slot), float64(slot % 7)}
+}
+
+func newHarness(cfg Config) (*harness, error) {
+	h := &harness{
+		cfg:    cfg,
+		mem:    wire.NewMemNet(),
+		fnet:   faultnet.New(cfg.Seed),
+		nodes:       make([]*transport.Node, cfg.Slots),
+		coords:      make([][2]float64, cfg.Slots),
+		expectNames: make([][]string, cfg.Slots),
+		model:  &model{vals: map[string]map[string]bool{}, atRisk: map[string]bool{}},
+	}
+	ladder, err := binning.DefaultLadder(cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < cfg.Slots; s++ {
+		h.coords[s] = slotCoord(s)
+		lats := make([]float64, 2)
+		for l := 0; l < 2; l++ {
+			lats[l] = dist(h.coords[s], slotCoord(l))
+		}
+		names, err := binning.RingNames(lats, ladder)
+		if err != nil {
+			return nil, err
+		}
+		h.expectNames[s] = names
+	}
+	// Bootstrap the two landmarks outside the op stream. Both listen
+	// before the network is created: creating it probes every landmark.
+	if err := h.startNode(0); err != nil {
+		return nil, err
+	}
+	if err := h.startNode(1); err != nil {
+		return nil, err
+	}
+	if err := h.nodes[0].CreateNetwork(); err != nil {
+		return nil, err
+	}
+	if err := h.nodes[1].Join(slotAddr(0)); err != nil {
+		return nil, err
+	}
+	h.maintain()
+	return h, nil
+}
+
+func dist(a, b [2]float64) float64 {
+	return math.Hypot(a[0]-b[0], a[1]-b[1])
+}
+
+func (h *harness) startNode(slot int) error {
+	ln, err := h.mem.Listen(slotAddr(slot))
+	if err != nil {
+		return err
+	}
+	n, err := transport.Start("", transport.Config{
+		Depth:       h.cfg.Depth,
+		Landmarks:   []string{slotAddr(0), slotAddr(1)},
+		Coord:       h.coords[slot],
+		CallTimeout: 2 * time.Second,
+		// Two attempts with near-zero backoff: MemNet refuses dials to
+		// dead peers immediately, so retries cost microseconds, and two
+		// failed attempts reach the default eviction suspicion.
+		Retry: wire.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond},
+		// The breaker's cooldown is wall-clock time — nondeterministic
+		// under load — so it stays off; eviction runs on the consecutive
+		// failure count, which is schedule-determined.
+		Breaker:    wire.BreakerPolicy{Threshold: -1},
+		WrapCaller: h.fnet.Caller,
+		Listener:   ln,
+		Dial:       h.mem.Dial,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	h.fnet.Bind(slotAddr(slot), slotAddr(slot))
+	h.nodes[slot] = n
+	return nil
+}
+
+func (h *harness) close() {
+	for s, n := range h.nodes {
+		if n != nil {
+			n.Close()
+			h.nodes[s] = nil
+		}
+	}
+}
+
+// liveSlots returns occupied slots in ascending order.
+func (h *harness) liveSlots() []int {
+	var out []int
+	for s, n := range h.nodes {
+		if n != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// origin resolves an op's origin node: the op's slot when live, else the
+// lowest live slot. Shrinking can delete the join that made a generated
+// origin live, so the fallback keeps every subsequence executable.
+func (h *harness) origin(slot int) *transport.Node {
+	if slot >= 0 && slot < len(h.nodes) && h.nodes[slot] != nil {
+		return h.nodes[slot]
+	}
+	return h.nodes[h.liveSlots()[0]]
+}
+
+// maintain runs the steady-state maintenance a deployment's background
+// timers would: two full stabilization sweeps over all live nodes in slot
+// order, plus a finger-refresh batch. Two sweeps, because repairing a
+// crashed node's predecessor link can take one sweep to clear the dead
+// pointer and a second for the notify that fills it. cfg.SkipRepairLayer
+// suppresses one layer's sweep — the hook the seeded-bug acceptance test
+// uses to prove the invariants catch a maintenance regression.
+func (h *harness) maintain() {
+	for round := 0; round < 2; round++ {
+		h.maintainRound(false)
+	}
+}
+
+func (h *harness) maintainRound(full bool) {
+	for _, s := range h.liveSlots() {
+		n := h.nodes[s]
+		for layer := 1; layer <= h.cfg.Depth; layer++ {
+			if layer == h.cfg.SkipRepairLayer {
+				continue
+			}
+			_ = n.StabilizeLayer(layer)
+		}
+		_ = n.RepairRingTables()
+		if full {
+			_ = n.BuildAllFingers()
+		} else {
+			_ = n.FixFingersOnce(16)
+		}
+	}
+}
+
+// quiesce drives maintenance to a fixpoint: full rounds (exact finger
+// rebuilds included) until two consecutive rounds leave every node's
+// snapshot unchanged. Convergence is what makes the quiescent invariants
+// exact instead of probabilistic; the round cap turns a non-converging
+// protocol bug into an invariant failure rather than a hang.
+func (h *harness) quiesce() error {
+	const maxRounds = 30
+	var prev []transport.Snapshot
+	for round := 0; round < maxRounds; round++ {
+		h.maintainRound(true)
+		cur := h.snapshots()
+		if prev != nil && reflect.DeepEqual(prev, cur) {
+			return nil
+		}
+		prev = cur
+	}
+	return fmt.Errorf("maintenance did not reach a fixpoint after %d rounds", maxRounds)
+}
+
+func (h *harness) snapshots() []transport.Snapshot {
+	var out []transport.Snapshot
+	for _, s := range h.liveSlots() {
+		out = append(out, h.nodes[s].Snapshot())
+	}
+	return out
+}
+
+// parityGroups builds the even/odd slot-name groups used by OpPartition.
+func (h *harness) parityGroups() (even, odd []string) {
+	for s := 0; s < h.cfg.Slots; s++ {
+		if s%2 == 0 {
+			even = append(even, slotAddr(s))
+		} else {
+			odd = append(odd, slotAddr(s))
+		}
+	}
+	return even, odd
+}

@@ -1,0 +1,93 @@
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind names one step of a checked program.
+type OpKind string
+
+const (
+	// OpJoin starts the node at Slot and joins it through the
+	// lowest-numbered live node. No-op if the slot is occupied or a
+	// partition is active (a joiner cannot probe landmarks across one).
+	OpJoin OpKind = "join"
+	// OpLeave gracefully departs the node at Slot: data handoff,
+	// neighbor notification, then shutdown. No-op on landmarks, empty
+	// slots, or during a partition.
+	OpLeave OpKind = "leave"
+	// OpFail crashes the node at Slot without any handoff. No-op on
+	// landmarks and empty slots.
+	OpFail OpKind = "fail"
+	// OpPut writes Value under Key from the node at Slot (or the lowest
+	// live slot when that one is empty).
+	OpPut OpKind = "put"
+	// OpGet reads Key and checks the result against the model.
+	OpGet OpKind = "get"
+	// OpLookup routes to Key's owner and checks hop sanity.
+	OpLookup OpKind = "lookup"
+	// OpPartition splits the cluster into even and odd slots (which is
+	// also the landmark/binning split, so every ring lands wholly on one
+	// side). No-op if already partitioned.
+	OpPartition OpKind = "partition"
+	// OpHeal removes the partition. No-op if none is active.
+	OpHeal OpKind = "heal"
+	// OpCheck quiesces the cluster (when no partition is active) and runs
+	// the full invariant registry. Always-on invariants run even inside a
+	// partition. Every program additionally ends with heal+check.
+	OpCheck OpKind = "check"
+)
+
+// Op is one generated operation. Ops are plain data: executing a slice of
+// them through Replay is deterministic, which is what makes shrinking and
+// failure artifacts possible.
+type Op struct {
+	Kind  OpKind
+	Slot  int    // join, leave, fail; origin for put/get/lookup
+	Key   string // put, get, lookup
+	Value string // put
+}
+
+// String renders the op compactly for log lines.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpJoin, OpLeave, OpFail:
+		return fmt.Sprintf("%s(n%d)", o.Kind, o.Slot)
+	case OpPut:
+		return fmt.Sprintf("put(n%d, %q=%q)", o.Slot, o.Key, o.Value)
+	case OpGet, OpLookup:
+		return fmt.Sprintf("%s(n%d, %q)", o.Kind, o.Slot, o.Key)
+	default:
+		return string(o.Kind)
+	}
+}
+
+// GoString renders the op as a Go composite literal with only its
+// meaningful fields, so failure artifacts paste cleanly into a test.
+func (o Op) GoString() string {
+	k := string(o.Kind)
+	parts := []string{fmt.Sprintf("Kind: simcheck.Op%s", strings.ToUpper(k[:1])+k[1:])}
+	switch o.Kind {
+	case OpJoin, OpLeave, OpFail:
+		parts = append(parts, fmt.Sprintf("Slot: %d", o.Slot))
+	case OpPut:
+		parts = append(parts, fmt.Sprintf("Slot: %d, Key: %q, Value: %q", o.Slot, o.Key, o.Value))
+	case OpGet, OpLookup:
+		parts = append(parts, fmt.Sprintf("Slot: %d, Key: %q", o.Slot, o.Key))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Program renders a replayable call for a failing op sequence — the
+// artifact printed when a property fails, runnable as-is from a test in
+// this module.
+func Program(seed int64, ops []Op) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "simcheck.Replay(%d, []simcheck.Op{\n", seed)
+	for _, o := range ops {
+		fmt.Fprintf(&b, "\t%s,\n", o.GoString())
+	}
+	b.WriteString("})")
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package simcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Paper-claim regression suite: the headline comparative results from
+// HIERAS §4 are asserted as properties over a spread of seeds, not as a
+// single cherry-picked measurement. Each seed builds a fresh transit-stub
+// world and overlay, checks the overlay's structural invariants, then
+// routes a request stream through both HIERAS and flat Chord:
+//
+//   - hop ratio stays inside [0.9, 1.5] — the hierarchy pays at most a
+//     modest hop premium over Chord (paper: ~1.5% overhead, Table 5);
+//   - latency ratio stays below 1 — HIERAS wins on end-to-end routing
+//     latency on transit-stub (paper: ~54%);
+//   - a strictly positive share of hops runs inside lower rings (the
+//     mechanism the latency win comes from, paper: ~71%).
+func TestPaperClaimBandsAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{11, 23, 37, 101} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := experiments.Scenario{Nodes: 200, Requests: 500, Seed: seed}
+			o, err := experiments.BuildOverlay(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := o.CheckInvariants(); err != nil {
+				t.Fatalf("overlay invariants: %v", err)
+			}
+			cmp, err := experiments.CompareOn(o, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := cmp.HopRatio(); r < 0.9 || r > 1.5 {
+				t.Errorf("hop ratio %.3f outside [0.9, 1.5]", r)
+			}
+			if r := cmp.LatencyRatio(); r >= 1 {
+				t.Errorf("latency ratio %.3f: HIERAS should beat Chord on TS", r)
+			}
+			if sh := cmp.LowerHopShare(); sh <= 0 || sh >= 1 {
+				t.Errorf("lower-ring hop share %.3f out of (0,1)", sh)
+			}
+		})
+	}
+}
+
+// TestPaperClaimDepth3 repeats the band check at hierarchy depth 3: the
+// paper's Figures 8/9 claim the latency advantage survives (and the hop
+// overhead stays bounded) as layers are added.
+func TestPaperClaimDepth3(t *testing.T) {
+	s := experiments.Scenario{Nodes: 200, Requests: 500, Depth: 3, Seed: 19}
+	cmp, err := experiments.RunComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cmp.HopRatio(); r < 0.9 || r > 1.6 {
+		t.Errorf("depth-3 hop ratio %.3f outside [0.9, 1.6]", r)
+	}
+	if r := cmp.LatencyRatio(); r >= 1 {
+		t.Errorf("depth-3 latency ratio %.3f: HIERAS should beat Chord on TS", r)
+	}
+}

@@ -1,0 +1,118 @@
+package simcheck
+
+// shrink reduces a failing program to a local minimum: first
+// delta-debugging over the op sequence (Zeller's ddmin), then field-wise
+// value shrinking on the survivors. A candidate counts as failing only
+// when it trips the *same* invariant — shrinking must not wander off to
+// a different bug and hand back an artifact that explains nothing.
+func shrink(cfg Config, ops []Op, invariant string) []Op {
+	fails := func(sub []Op) bool {
+		f := runProgram(cfg, sub)
+		return f != nil && f.Invariant == invariant
+	}
+	ops = ddmin(ops, fails)
+	ops = shrinkValues(ops, fails)
+	return ops
+}
+
+// ddmin removes ever-smaller chunks of the program while it keeps
+// failing, then sweeps op-by-op. Every candidate is a subsequence of the
+// original, so op order — which the failure may depend on — is preserved.
+func ddmin(ops []Op, fails func([]Op) bool) []Op {
+	without := func(start, end int) []Op {
+		cand := make([]Op, 0, len(ops)-(end-start))
+		cand = append(cand, ops[:start]...)
+		return append(cand, ops[end:]...)
+	}
+	n := 2
+	for len(ops) >= 2 && n <= len(ops) {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			if cand := without(start, end); fails(cand) {
+				ops = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n == len(ops) {
+				break
+			}
+			n *= 2
+			if n > len(ops) {
+				n = len(ops)
+			}
+		}
+	}
+	// Final one-at-a-time sweep: ddmin at full granularity restarts from
+	// the chunk loop after each hit, so a cheap linear pass catches any
+	// single op it left behind.
+	for i := 0; i < len(ops) && len(ops) > 1; {
+		if cand := without(i, i+1); fails(cand) {
+			ops = cand
+		} else {
+			i++
+		}
+	}
+	return ops
+}
+
+// shrinkValues canonicalises the fields of each surviving op: lowest
+// interesting slot, shortest key and value. Purely cosmetic for
+// execution, but it makes two shrunk artifacts of the same bug look the
+// same, which is what a human debugging from artifacts wants.
+func shrinkValues(ops []Op, fails func([]Op) bool) []Op {
+	for i := 0; i < len(ops); i++ {
+		// Candidates are ordered most-aggressive-first; stop at the first
+		// accepted one so a milder fallback can't overwrite it.
+		for _, cand := range simplerOps(ops[i]) {
+			trial := append([]Op(nil), ops...)
+			trial[i] = cand
+			if fails(trial) {
+				ops = trial
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// simplerOps proposes strictly-simpler variants of one op, most
+// aggressive first.
+func simplerOps(o Op) []Op {
+	var out []Op
+	switch o.Kind {
+	case OpJoin, OpLeave, OpFail:
+		if o.Slot > 2 {
+			c := o
+			c.Slot = 2
+			out = append(out, c)
+		}
+	case OpPut:
+		if o.Key != "k" || o.Value != "v" || o.Slot != 0 {
+			c := o
+			c.Key, c.Value, c.Slot = "k", "v", 0
+			out = append(out, c)
+		}
+		if o.Key != "k" {
+			c := o
+			c.Key = "k"
+			out = append(out, c)
+		}
+	case OpGet, OpLookup:
+		if o.Key != "k" || o.Slot != 0 {
+			c := o
+			c.Key, c.Slot = "k", 0
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package simcheck
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHealthyProperty: the honest protocol survives randomized
+// join/leave/fail/put/get/lookup/partition/heal programs with every
+// invariant intact, including the implicit final quiescent checkpoint.
+func TestHealthyProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if f := Run(Config{Seed: seed}); f != nil {
+				t.Fatalf("property failed:\n%v", f)
+			}
+		})
+	}
+}
+
+// TestHealthyPropertyDepth3 runs a three-layer cluster through the same
+// property — rings of rings, with ring tables on two lower layers.
+func TestHealthyPropertyDepth3(t *testing.T) {
+	if f := Run(Config{Seed: 5, Depth: 3}); f != nil {
+		t.Fatalf("property failed:\n%v", f)
+	}
+}
+
+// TestSeededBugCaughtAndShrunk is the harness's acceptance test: a
+// deliberately seeded maintenance bug — one layer's ring repair withheld
+// — must be caught by the invariant suite, shrunk to a program of at
+// most 10 operations, and replayable from the printed artifact.
+func TestSeededBugCaughtAndShrunk(t *testing.T) {
+	buggy := Config{Seed: 42, SkipRepairLayer: 2}
+	f := Run(buggy)
+	if f == nil {
+		t.Fatal("invariant suite did not catch the seeded repair-skip bug")
+	}
+	t.Logf("caught %q in %d ops (%v):\n%s", f.Invariant, len(f.Ops), f.Elapsed, f.Artifact)
+	if len(f.Ops) > 10 {
+		t.Errorf("shrunk program has %d ops, want <= 10:\n%s", len(f.Ops), f.Artifact)
+	}
+	if !strings.Contains(f.Artifact, "simcheck.Replay(42, []simcheck.Op{") {
+		t.Errorf("artifact is not a Replay call:\n%s", f.Artifact)
+	}
+	// The artifact reproduces the same violation under the buggy config.
+	g := buggy.Replay(f.Ops)
+	if g == nil {
+		t.Fatal("shrunk program does not reproduce the failure on replay")
+	}
+	if g.Invariant != f.Invariant {
+		t.Errorf("replay tripped %q, original run tripped %q", g.Invariant, f.Invariant)
+	}
+	// The honest protocol passes the very same program: the bug is the
+	// withheld maintenance, not the operation sequence.
+	if h := (Config{Seed: 42}).Replay(f.Ops); h != nil {
+		t.Errorf("honest protocol fails the shrunk program too — bug not isolated: %v", h)
+	}
+}
+
+// TestSeededBugDeterministic: two full runs against the seeded bug find
+// the same invariant and shrink to the identical program — the property
+// the whole replay/artifact story rests on.
+func TestSeededBugDeterministic(t *testing.T) {
+	buggy := Config{Seed: 42, SkipRepairLayer: 2}
+	a, b := Run(buggy), Run(buggy)
+	if a == nil || b == nil {
+		t.Fatal("seeded bug not caught on both runs")
+	}
+	if a.Invariant != b.Invariant || !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Fatalf("runs diverged:\n  first  %q %v\n  second %q %v", a.Invariant, a.Ops, b.Invariant, b.Ops)
+	}
+}
+
+// TestReplayEmptyProgram: the bootstrapped two-landmark cluster itself
+// satisfies every invariant (a program of zero ops still ends with a
+// full quiescent checkpoint).
+func TestReplayEmptyProgram(t *testing.T) {
+	if f := Replay(0, nil); f != nil {
+		t.Fatalf("empty program failed: %v", f)
+	}
+}
+
+// TestGenerateWellFormed: programs are a pure function of the seed and
+// respect the executor's legality rules, so generated runs are dense
+// with effective operations.
+func TestGenerateWellFormed(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := Config{Seed: seed}.withDefaults()
+		ops := generate(cfg)
+		if !reflect.DeepEqual(ops, generate(cfg)) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		partitioned := false
+		for i, op := range ops {
+			switch op.Kind {
+			case OpPartition:
+				partitioned = true
+			case OpHeal:
+				partitioned = false
+			case OpJoin, OpLeave:
+				if partitioned {
+					t.Fatalf("seed %d: op %d %s during a partition", seed, i, op)
+				}
+				if op.Slot < 2 {
+					t.Fatalf("seed %d: op %d %s targets a landmark", seed, i, op)
+				}
+			case OpFail:
+				if op.Slot < 2 {
+					t.Fatalf("seed %d: op %d %s targets a landmark", seed, i, op)
+				}
+			}
+		}
+		if partitioned {
+			t.Fatalf("seed %d: program ends partitioned", seed)
+		}
+	}
+}
+
+// TestDdmin exercises the shrinker against a synthetic predicate with a
+// known minimum, no cluster involved: the program fails iff it joins
+// slot 3 and later fails slot 3.
+func TestDdmin(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPut, Slot: 1, Key: "alpha", Value: "v0"},
+		{Kind: OpJoin, Slot: 4},
+		{Kind: OpJoin, Slot: 3},
+		{Kind: OpLookup, Slot: 0, Key: "beta"},
+		{Kind: OpPartition},
+		{Kind: OpHeal},
+		{Kind: OpGet, Slot: 2, Key: "alpha"},
+		{Kind: OpFail, Slot: 3},
+		{Kind: OpCheck},
+		{Kind: OpLeave, Slot: 4},
+	}
+	fails := func(sub []Op) bool {
+		joined := false
+		for _, op := range sub {
+			if op.Kind == OpJoin && op.Slot == 3 {
+				joined = true
+			}
+			if op.Kind == OpFail && op.Slot == 3 && joined {
+				return true
+			}
+		}
+		return false
+	}
+	got := ddmin(ops, fails)
+	want := []Op{{Kind: OpJoin, Slot: 3}, {Kind: OpFail, Slot: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ddmin returned %v, want %v", got, want)
+	}
+}
+
+// TestShrinkValues: field-wise shrinking canonicalises keys, values and
+// slots when the predicate does not depend on them.
+func TestShrinkValues(t *testing.T) {
+	ops := []Op{{Kind: OpPut, Slot: 5, Key: "epsilon", Value: "v17"}}
+	fails := func(sub []Op) bool {
+		return len(sub) == 1 && sub[0].Kind == OpPut
+	}
+	got := shrinkValues(ops, fails)
+	want := []Op{{Kind: OpPut, Slot: 0, Key: "k", Value: "v"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shrinkValues returned %v, want %v", got, want)
+	}
+}
+
+// TestArtifactRendering pins the replay artifact format — the thing a
+// developer copies out of a CI log into a test file.
+func TestArtifactRendering(t *testing.T) {
+	got := Program(7, []Op{
+		{Kind: OpJoin, Slot: 2},
+		{Kind: OpPut, Slot: 0, Key: "k", Value: "v"},
+		{Kind: OpPartition},
+	})
+	want := "simcheck.Replay(7, []simcheck.Op{\n" +
+		"\t{Kind: simcheck.OpJoin, Slot: 2},\n" +
+		"\t{Kind: simcheck.OpPut, Slot: 0, Key: \"k\", Value: \"v\"},\n" +
+		"\t{Kind: simcheck.OpPartition},\n" +
+		"})"
+	if got != want {
+		t.Fatalf("artifact rendering drifted:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/binning"
 	"repro/internal/id"
@@ -46,6 +47,7 @@ func (n *Node) CreateNetwork() error {
 	defer n.mu.Unlock()
 	n.ringNames = names
 	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
+	n.joined = true
 	for _, ls := range n.layers {
 		ls.succ = []wire.Peer{self}
 		ls.pred = self
@@ -119,6 +121,9 @@ func (n *Node) Join(bootstrap string) error {
 			return fmt.Errorf("transport: joining ring %d:%q: %w", layer, name, err)
 		}
 	}
+	n.mu.Lock()
+	n.joined = true
+	n.mu.Unlock()
 	return nil
 }
 
@@ -221,6 +226,31 @@ func updateBoundaries(t wire.RingTable, cand wire.Peer) (wire.RingTable, bool) {
 	}
 	changed := out != t
 	return out, changed
+}
+
+// pruneDeadBoundaries drops ring-table boundary entries that no longer
+// answer a ping. Boundary sets are otherwise grow-only (updateBoundaries
+// keeps whatever extremes it has seen), so a ring whose smallest/largest
+// members crashed would advertise only dead contact points forever and
+// become unjoinable; pruning during the periodic re-announce lets the
+// surviving members reclaim the boundary slots.
+func (n *Node) pruneDeadBoundaries(t wire.RingTable) wire.RingTable {
+	verdict := map[string]bool{n.addr: true, "": false}
+	alive := func(addr string) bool {
+		v, ok := verdict[addr]
+		if !ok {
+			_, err := n.call(addr, wire.Request{Type: wire.TPing})
+			v = err == nil
+			verdict[addr] = v
+		}
+		return v
+	}
+	for _, p := range []*wire.Peer{&t.Smallest, &t.SecondSm, &t.Largest, &t.SecondLg} {
+		if !alive(p.Addr) {
+			*p = wire.Peer{}
+		}
+	}
+	return t
 }
 
 // evictAt tells `at` that `dead` no longer answers, so it purges the
@@ -537,98 +567,322 @@ func (n *Node) Get(key string) ([]byte, error) {
 
 // StabilizeOnce runs one stabilization round on every layer: verify the
 // successor, adopt a closer one, refresh the successor list, notify, and
-// migrate ring tables whose ownership moved.
+// repair ring tables whose ownership moved or whose storing node died.
 func (n *Node) StabilizeOnce() error {
-	self := n.Self()
 	for layer := 1; layer <= n.cfg.Depth; layer++ {
-		n.mu.Lock()
-		ls := n.layers[layer-1]
-		succ := append([]wire.Peer(nil), ls.succ...)
-		pred := ls.pred
-		n.mu.Unlock()
-		// Drop a dead predecessor so a live one can be adopted (Chord's
-		// check_predecessor).
-		if pred.Addr != "" && pred.Addr != n.addr {
-			if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err != nil {
-				n.mu.Lock()
-				if n.layers[layer-1].pred == pred {
-					n.layers[layer-1].pred = wire.Peer{}
-				}
-				n.mu.Unlock()
-			}
+		if err := n.StabilizeLayer(layer); err != nil {
+			return err
 		}
-		// Find the first live successor and fetch its neighbor state
-		// (locally when the successor is ourselves).
-		var s0 wire.Peer
-		var nb wire.Response
-		found := false
-		for _, cand := range succ {
-			if cand.Addr == n.addr {
-				n.mu.Lock()
-				nb = wire.Response{Pred: ls.pred, Succ: append([]wire.Peer(nil), ls.succ...)}
-				n.mu.Unlock()
-				s0, found = cand, true
-				break
-			}
-			resp, err := n.call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
-			if err == nil {
-				s0, nb, found = cand, resp, true
-				break
-			}
-		}
-		if !found {
-			continue // isolated in this layer; joins/repairs must fix it
-		}
-		// Adopt the successor's predecessor when it sits between us; when
-		// we are our own successor this adopts the first joiner that
-		// notified us (Between(x, a, a) holds for every x != a).
-		if nb.Pred.Addr != "" && nb.Pred.Addr != n.addr &&
-			id.Between(peerID(nb.Pred), n.id, peerID(s0)) {
-			if _, err := n.call(nb.Pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
-				s0 = nb.Pred
-				resp, err := n.call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
-				if err != nil {
-					continue
-				}
-				nb = resp
-			}
-		}
-		if s0.Addr == n.addr {
-			// Still a singleton ring: own the whole identifier space.
-			n.mu.Lock()
-			if n.layers[layer-1].pred.Addr == "" {
-				n.layers[layer-1].pred = self
-			}
-			n.mu.Unlock()
-			continue
-		}
-		// Rebuild the successor list from s0's list and notify it.
-		list := []wire.Peer{s0}
-		for _, p := range nb.Succ {
-			if len(list) >= n.cfg.SuccListLen {
-				break
-			}
-			if p.Addr != "" && p.Addr != n.addr {
-				list = append(list, p)
-			}
-		}
-		n.mu.Lock()
-		n.layers[layer-1].succ = list
-		n.mu.Unlock()
-		_, _ = n.call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
 	}
-	return n.migrateRingTables()
+	return n.RepairRingTables()
 }
 
-// migrateRingTables re-homes stored ring tables whose responsible node
-// changed as the global ring grew.
-func (n *Node) migrateRingTables() error {
+// StabilizeLayer runs one stabilization round on a single layer (1 =
+// global ring). Exposed separately so harnesses can drive — or, to seed a
+// bug, selectively withhold — maintenance per layer.
+func (n *Node) StabilizeLayer(layer int) error {
+	if layer < 1 || layer > n.cfg.Depth {
+		return fmt.Errorf("transport: layer %d out of range (depth %d)", layer, n.cfg.Depth)
+	}
+	self := n.Self()
 	n.mu.Lock()
+	ls := n.layers[layer-1]
+	succ := append([]wire.Peer(nil), ls.succ...)
+	pred := ls.pred
+	n.mu.Unlock()
+	// Drop a dead predecessor so a live one can be adopted (Chord's
+	// check_predecessor).
+	if pred.Addr != "" && pred.Addr != n.addr {
+		if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err != nil {
+			n.mu.Lock()
+			if n.layers[layer-1].pred == pred {
+				n.layers[layer-1].pred = wire.Peer{}
+			}
+			n.mu.Unlock()
+		}
+	}
+	// Find the first live successor and fetch its neighbor state
+	// (locally when the successor is ourselves).
+	var s0 wire.Peer
+	var nb wire.Response
+	found := false
+	for _, cand := range succ {
+		if cand.Addr == n.addr {
+			n.mu.Lock()
+			nb = wire.Response{Pred: ls.pred, Succ: append([]wire.Peer(nil), ls.succ...)}
+			n.mu.Unlock()
+			s0, found = cand, true
+			break
+		}
+		resp, err := n.call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
+		if err == nil {
+			s0, nb, found = cand, resp, true
+			break
+		}
+	}
+	if !found {
+		// Every listed successor just failed a call, so each one's
+		// suspicion counter grew; drop the entries the failure detector
+		// now confirms dead. Without this a node whose whole list died
+		// keeps the stale entries forever — nothing on the happy path
+		// ever contacts them again — and can never collapse to the
+		// singleton state repairLayer knows how to rebuild from.
+		n.mu.Lock()
+		ls := n.layers[layer-1]
+		kept := ls.succ[:0]
+		for _, p := range ls.succ {
+			if p.Addr == n.addr || !n.suspectDead(p.Addr) {
+				kept = append(kept, p)
+			}
+		}
+		ls.succ = kept
+		n.mu.Unlock()
+		n.repairLayer(layer)
+		return nil
+	}
+	// Adopt the successor's predecessor when it sits between us; when
+	// we are our own successor this adopts the first joiner that
+	// notified us (Between(x, a, a) holds for every x != a).
+	if nb.Pred.Addr != "" && nb.Pred.Addr != n.addr &&
+		id.Between(peerID(nb.Pred), n.id, peerID(s0)) {
+		if _, err := n.call(nb.Pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
+			s0 = nb.Pred
+			resp, err := n.call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
+			if err != nil {
+				return nil
+			}
+			nb = resp
+		}
+	}
+	if s0.Addr == n.addr {
+		// Still a singleton ring: own the whole identifier space, but keep
+		// probing for the rest of the network — after a healed partition
+		// this is how an isolated node finds its way back in.
+		n.mu.Lock()
+		if n.layers[layer-1].pred.Addr == "" {
+			n.layers[layer-1].pred = self
+		}
+		n.mu.Unlock()
+		n.mergeProbe(layer)
+		return nil
+	}
+	// Rebuild the successor list from s0's list and notify it. Tail
+	// entries are pinged before adoption: a departed node otherwise
+	// survives forever in the tails, because each node rebuilds its list
+	// from its successor's equally stale copy and nothing on the happy
+	// path ever contacts a tail entry again.
+	list := []wire.Peer{s0}
+	seen := map[string]bool{s0.Addr: true}
+	for _, p := range nb.Succ {
+		if len(list) >= n.cfg.SuccListLen {
+			break
+		}
+		if p.Addr == "" || p.Addr == n.addr || seen[p.Addr] {
+			continue
+		}
+		seen[p.Addr] = true
+		if _, err := n.call(p.Addr, wire.Request{Type: wire.TPing}); err != nil {
+			continue
+		}
+		list = append(list, p)
+	}
+	n.mu.Lock()
+	n.layers[layer-1].succ = list
+	n.mu.Unlock()
+	_, _ = n.call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
+	// Even with a healthy successor, the ring as a whole may be one of
+	// two components left by a healed partition; scan the entry points
+	// for a closer successor from the other component.
+	n.mergeScan(layer)
+	return nil
+}
+
+// repairLayer rebuilds a layer's successor state when no listed successor
+// answers. Escalation order: re-anchor through the overlay's entry points
+// (landmarks for the global ring, the ring table for a lower ring), fall
+// back to a live predecessor, and only when the successor list has been
+// fully purged by confirmed suspicion collapse to a singleton ring.
+// Stale-but-unpurged entries are deliberately kept otherwise: when a
+// partition heals they are exactly what re-merges the ring.
+func (n *Node) repairLayer(layer int) {
+	n.mu.Lock()
+	joined := n.joined
+	succLen := len(n.layers[layer-1].succ)
+	pred := n.layers[layer-1].pred
+	n.mu.Unlock()
+	if !joined {
+		return // not part of an overlay yet; nothing to re-anchor to
+	}
+	if n.reanchor(layer) {
+		n.nm.repairs.Inc()
+		return
+	}
+	self := n.Self()
+	if pred.Addr != "" && pred.Addr != n.addr {
+		if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
+			n.mu.Lock()
+			n.layers[layer-1].succ = []wire.Peer{pred}
+			n.mu.Unlock()
+			_, _ = n.call(pred.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
+			n.nm.repairs.Inc()
+			return
+		}
+	}
+	if succLen == 0 {
+		n.mu.Lock()
+		n.layers[layer-1].succ = []wire.Peer{self}
+		if n.layers[layer-1].pred.Addr == "" {
+			n.layers[layer-1].pred = self
+		}
+		n.mu.Unlock()
+		n.nm.repairs.Inc()
+	}
+}
+
+// mergeProbe checks whether a ring this node believes it has to itself
+// actually has other members — the state an isolated node is left in once
+// a partition ends — and rejoins them when it does.
+func (n *Node) mergeProbe(layer int) {
+	n.mu.Lock()
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return
+	}
+	if n.reanchor(layer) {
+		n.nm.repairs.Inc()
+	}
+}
+
+// reanchor finds this layer's ring through the overlay's entry points and
+// adopts the key-space successor it names: via a live landmark on the
+// global ring, via the ring table (routed on the global ring) for a lower
+// ring. Reports whether a successor was adopted.
+func (n *Node) reanchor(layer int) bool {
+	cand, ok := n.findAnchor(layer)
+	if !ok {
+		return false
+	}
+	n.mu.Lock()
+	n.layers[layer-1].succ = []wire.Peer{cand}
+	n.mu.Unlock()
+	_, _ = n.call(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
+	return true
+}
+
+// mergeScan looks for this node's key-space successor through the
+// layer's entry points and adopts it when it is strictly closer than the
+// current successor. On a healthy ring the entry points name this node
+// itself and the scan is a no-op; after a healed partition they name a
+// member of the other component, and adopting it is what splices the two
+// rings back into one. repairLayer/mergeProbe cannot do this: they only
+// fire when the successor list is dead or collapsed to a singleton, and
+// a symmetric split leaves both components internally healthy.
+func (n *Node) mergeScan(layer int) {
+	cand, ok := n.findAnchor(layer)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	ls := n.layers[layer-1]
+	var cur wire.Peer
+	if len(ls.succ) > 0 {
+		cur = ls.succ[0]
+	}
+	adopt := cur.Addr == "" || cur.Addr == n.addr ||
+		(cand.Addr != cur.Addr && id.Between(peerID(cand), n.id, peerID(cur)))
+	if adopt {
+		// Prepend: the old successors are still clockwise-after the new
+		// one, so they keep their value as fallbacks.
+		list := append([]wire.Peer{cand}, ls.succ...)
+		if len(list) > n.cfg.SuccListLen {
+			list = list[:n.cfg.SuccListLen]
+		}
+		ls.succ = list
+	}
+	n.mu.Unlock()
+	if adopt {
+		_, _ = n.call(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
+		n.nm.repairs.Inc()
+	}
+}
+
+// findAnchor discovers this node's key-space successor in a layer from
+// the overlay's entry points, without touching local routing state: via
+// a live landmark for the global ring, via the ring table for a lower
+// ring. ok is false when no entry point answers or they all name this
+// node itself (the healthy steady state).
+func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
+	if layer == 1 {
+		n.mu.Lock()
+		landmarks := append([]string(nil), n.landmarks...)
+		n.mu.Unlock()
+		for _, lm := range landmarks {
+			if lm == n.addr {
+				continue
+			}
+			owner, _, err := n.walkOwner(lm, 1, n.id)
+			if err != nil || owner.Addr == "" || owner.Addr == n.addr {
+				continue
+			}
+			return owner, true
+		}
+		return wire.Peer{}, false
+	}
+	n.mu.Lock()
+	var name string
+	if layer-2 < len(n.ringNames) {
+		name = n.ringNames[layer-2]
+	}
+	n.mu.Unlock()
+	if name == "" {
+		return wire.Peer{}, false
+	}
+	rid := ringID(layer, name)
+	storing, _, err := n.walkOwner(n.addr, 1, rid)
+	if err != nil {
+		return wire.Peer{}, false
+	}
+	resp, err := n.call(storing.Addr, wire.Request{
+		Type:  wire.TGetRingTable,
+		Table: wire.RingTable{Layer: layer, Name: name},
+	})
+	if err != nil || !resp.Found {
+		return wire.Peer{}, false
+	}
+	member, err := n.liveTableMember(resp.Table)
+	if err != nil || member.Addr == n.addr {
+		return wire.Peer{}, false
+	}
+	rsucc, _, err := n.walkOwner(member.Addr, layer, n.id)
+	if err != nil || rsucc.Addr == "" || rsucc.Addr == n.addr {
+		return wire.Peer{}, false
+	}
+	return rsucc, true
+}
+
+// RepairRingTables re-homes stored ring tables whose responsible node
+// changed as the global ring grew, then re-announces this node's own
+// rings' tables. The re-announce closes a split window: if the node that
+// stored a ring table crashed before stabilization re-homed it, the next
+// joiner binned into that ring would find no table and create a second,
+// disjoint ring under the same name.
+func (n *Node) RepairRingTables() error {
+	n.mu.Lock()
+	joined := n.joined
 	tables := make([]wire.RingTable, 0, len(n.tables))
 	for _, t := range n.tables {
 		tables = append(tables, t)
 	}
+	names := append([]string(nil), n.ringNames...)
 	n.mu.Unlock()
+	// Deterministic order: n.tables is a map.
+	sort.Slice(tables, func(i, j int) bool {
+		if tables[i].Layer != tables[j].Layer {
+			return tables[i].Layer < tables[j].Layer
+		}
+		return tables[i].Name < tables[j].Name
+	})
 	for _, t := range tables {
 		owner, _, err := n.walkOwner(n.addr, 1, ringID(t.Layer, t.Name))
 		if err != nil {
@@ -639,6 +893,48 @@ func (n *Node) migrateRingTables() error {
 				n.mu.Lock()
 				delete(n.tables, ringKey(t.Layer, t.Name))
 				n.mu.Unlock()
+			}
+		}
+	}
+	if !joined {
+		return nil
+	}
+	self := n.Self()
+	for l, name := range names {
+		layer := l + 2
+		owner, _, err := n.walkOwner(n.addr, 1, ringID(layer, name))
+		if err != nil || owner.Addr == "" {
+			continue
+		}
+		var resp wire.Response
+		if owner.Addr == n.addr {
+			n.mu.Lock()
+			t, ok := n.tables[ringKey(layer, name)]
+			n.mu.Unlock()
+			resp = wire.Response{OK: true, Table: t, Found: ok}
+		} else {
+			resp, err = n.call(owner.Addr, wire.Request{
+				Type:  wire.TGetRingTable,
+				Table: wire.RingTable{Layer: layer, Name: name},
+			})
+			if err != nil {
+				continue
+			}
+		}
+		orig := resp.Table
+		t := orig
+		if !resp.Found {
+			t = wire.RingTable{Layer: layer, Name: name}
+		}
+		t = n.pruneDeadBoundaries(t)
+		t2, _ := updateBoundaries(t, self)
+		if changed := t2 != orig; !resp.Found || changed {
+			if owner.Addr == n.addr {
+				n.mu.Lock()
+				n.tables[ringKey(layer, name)] = t2
+				n.mu.Unlock()
+			} else {
+				_, _ = n.call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t2})
 			}
 		}
 	}
@@ -734,6 +1030,11 @@ func (n *Node) Leave() error {
 			break
 		}
 	}
+	// Deterministic handoff order: both stores are maps.
+	keys := make([]string, 0, len(n.data))
+	for k := range n.data {
+		keys = append(keys, k)
+	}
 	data := make(map[string][]byte, len(n.data))
 	for k, v := range n.data {
 		data[k] = v
@@ -743,9 +1044,16 @@ func (n *Node) Leave() error {
 		tables = append(tables, t)
 	}
 	n.mu.Unlock()
+	sort.Strings(keys)
+	sort.Slice(tables, func(i, j int) bool {
+		if tables[i].Layer != tables[j].Layer {
+			return tables[i].Layer < tables[j].Layer
+		}
+		return tables[i].Name < tables[j].Name
+	})
 	if gsucc.Addr != "" {
-		for k, v := range data {
-			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: v})
+		for _, k := range keys {
+			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: data[k]})
 		}
 		for _, t := range tables {
 			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})

@@ -26,6 +26,7 @@ type nodeMetrics struct {
 	walkRetries    *metrics.Counter
 	walkRestarts   *metrics.Counter
 	failoverClimbs *metrics.Counter
+	repairs        *metrics.Counter
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
 }
@@ -52,6 +53,8 @@ func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
 		"Degraded walks restarted from this node after an unrecoverable dead hop.")
 	nm.failoverClimbs = reg.NewCounter("failover_climbs_total",
 		"Lookups that climbed out of an unroutable lower ring instead of aborting.")
+	nm.repairs = reg.NewCounter("ring_repairs_total",
+		"Isolated-layer repairs: successor state rebuilt from a landmark, ring table or predecessor.")
 	nm.cacheHits = reg.NewCounter("cache_hits_total",
 		"Location cache hits whose owner verification succeeded.")
 	nm.cacheMisses = reg.NewCounter("cache_misses_total",

@@ -71,6 +71,14 @@ type Config struct {
 	// verified with a single RPC before use, so a stale entry costs one
 	// wasted call, never a wrong answer.
 	LookupCache int
+	// Listener, when non-nil, is served instead of a fresh TCP listener;
+	// its Addr().String() becomes the node's address. In-process harnesses
+	// pass a wire.MemNet listener so node identifiers (derived from the
+	// address) are identical on every run.
+	Listener net.Listener
+	// Dial, when non-nil, replaces TCP for every outgoing call and latency
+	// probe. Pair it with Listener (wire.MemNet provides both ends).
+	Dial wire.DialFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +114,7 @@ type Node struct {
 	layers    []*layerState // layers[0] = global ring, layers[l] = layer l+1
 	ringNames []string      // per lower layer
 	landmarks []string
+	joined    bool // member of an overlay (CreateNetwork/Join succeeded); gates repair
 	data      map[string][]byte
 	tables    map[string]wire.RingTable // key = ringKey(layer, name)
 
@@ -150,9 +159,13 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		}
 		cfg.Ladder = l
 	}
-	ln, err := net.Listen("tcp", listenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", listenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+		}
 	}
 	n := &Node{
 		cfg:    cfg,
@@ -164,13 +177,14 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	}
 	n.id = NodeID(n.addr)
 	if cfg.Prober == nil {
-		n.cfg.Prober = &VirtualProber{Self: cfg.Coord, Timeout: cfg.CallTimeout}
+		n.cfg.Prober = &VirtualProber{Self: cfg.Coord, Timeout: cfg.CallTimeout, Dial: cfg.Dial}
 	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
 	n.nm = newNodeMetrics(reg, cfg.Depth)
+	n.nm.wm.Dial = cfg.Dial
 	var base wire.Caller = n.nm.wm
 	if cfg.WrapCaller != nil {
 		base = cfg.WrapCaller(n.addr, base)

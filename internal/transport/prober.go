@@ -20,6 +20,8 @@ type Prober interface {
 type RTTProber struct {
 	Samples int
 	Timeout time.Duration
+	// Dial overrides TCP for the probe calls (nil = TCP).
+	Dial wire.DialFunc
 }
 
 // Latency implements Prober.
@@ -35,7 +37,7 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 	best := math.Inf(1)
 	for i := 0; i < samples; i++ {
 		start := time.Now()
-		if _, err := wire.Call(addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
+		if _, err := wire.CallVia(p.Dial, addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
 			return 0, fmt.Errorf("transport: ping %s: %w", addr, err)
 		}
 		if rtt := time.Since(start); rtt.Seconds()*1000 < best {
@@ -53,6 +55,8 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 type VirtualProber struct {
 	Self    [2]float64
 	Timeout time.Duration
+	// Dial overrides TCP for the get_info call (nil = TCP).
+	Dial wire.DialFunc
 }
 
 // Latency implements Prober.
@@ -61,7 +65,7 @@ func (p *VirtualProber) Latency(addr string) (float64, error) {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	resp, err := wire.Call(addr, wire.Request{Type: wire.TGetInfo}, timeout)
+	resp, err := wire.CallVia(p.Dial, addr, wire.Request{Type: wire.TGetInfo}, timeout)
 	if err != nil {
 		return 0, fmt.Errorf("transport: get_info %s: %w", addr, err)
 	}

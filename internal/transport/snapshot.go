@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// LayerSnapshot is one ring's routing state at a point in time.
+type LayerSnapshot struct {
+	Layer   int    // 1 = global ring
+	Name    string // ring name; "" for the global ring
+	Succ    []wire.Peer
+	Pred    wire.Peer
+	Fingers []wire.Peer // index k ~ successor(self + 2^k); zero Addr = unset
+}
+
+// Snapshot is a consistent copy of a node's checkable state, taken under
+// the node mutex. Invariant checkers (internal/simcheck) work exclusively
+// on snapshots so they never race with request handling; slices and maps
+// are deep-copied and map-derived fields are sorted, so two runs of the
+// same deterministic schedule produce identical snapshots.
+type Snapshot struct {
+	Addr      string
+	ID        id.ID
+	RingNames []string
+	Joined    bool
+	Layers    []LayerSnapshot
+	Keys      []string // stored kv keys, sorted
+	Tables    []wire.RingTable
+}
+
+// RingID returns the identifier a (layer, name) ring's table is stored
+// under on the global ring. Exported so invariant checkers can compute
+// which node is responsible for a table without re-deriving the format.
+func RingID(layer int, name string) id.ID { return ringID(layer, name) }
+
+// Snapshot captures the node's current state.
+func (n *Node) Snapshot() Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := Snapshot{
+		Addr:      n.addr,
+		ID:        n.id,
+		RingNames: append([]string(nil), n.ringNames...),
+		Joined:    n.joined,
+		Layers:    make([]LayerSnapshot, len(n.layers)),
+		Keys:      make([]string, 0, len(n.data)),
+		Tables:    make([]wire.RingTable, 0, len(n.tables)),
+	}
+	for i, ls := range n.layers {
+		layer := LayerSnapshot{
+			Layer:   i + 1,
+			Succ:    append([]wire.Peer(nil), ls.succ...),
+			Pred:    ls.pred,
+			Fingers: append([]wire.Peer(nil), ls.fingers...),
+		}
+		if i > 0 && i-1 < len(n.ringNames) {
+			layer.Name = n.ringNames[i-1]
+		}
+		s.Layers[i] = layer
+	}
+	for k := range n.data {
+		s.Keys = append(s.Keys, k)
+	}
+	sort.Strings(s.Keys)
+	for _, t := range n.tables {
+		s.Tables = append(s.Tables, t)
+	}
+	sort.Slice(s.Tables, func(i, j int) bool {
+		if s.Tables[i].Layer != s.Tables[j].Layer {
+			return s.Tables[i].Layer < s.Tables[j].Layer
+		}
+		return s.Tables[i].Name < s.Tables[j].Name
+	})
+	return s
+}
+
+// GetLocal reads a key from this node's local store without routing,
+// reporting whether it was present. Checkers use it to verify replica
+// placement.
+func (n *Node) GetLocal(key string) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}

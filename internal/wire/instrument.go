@@ -40,6 +40,10 @@ func (c *CountingConn) Write(p []byte) (int, error) {
 // roles, total bytes in/out, and a call-latency histogram. One Metrics
 // belongs to one registry (and, in practice, one node).
 type Metrics struct {
+	// Dial, when non-nil, replaces TCP as the transport for outgoing
+	// calls (see DialFunc). Set it before the first Call.
+	Dial DialFunc
+
 	latency  *metrics.Histogram
 	bytesIn  *metrics.Counter
 	bytesOut *metrics.Counter
@@ -88,7 +92,7 @@ func pick(curried *[TEvict + 1]*metrics.Counter, vec *metrics.CounterVec, t MsgT
 // outcome, byte counts and latency.
 func (m *Metrics) Call(addr string, req Request, timeout time.Duration) (Response, error) {
 	start := time.Now()
-	resp, in, out, err := exchange(addr, req, timeout)
+	resp, in, out, err := exchange(m.Dial, addr, req, timeout)
 	m.latency.Observe(time.Since(start).Seconds())
 	m.bytesIn.Add(uint64(in))
 	m.bytesOut.Add(uint64(out))

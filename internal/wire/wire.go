@@ -8,6 +8,7 @@ package wire
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"time"
 )
@@ -154,18 +155,37 @@ func (f CallerFunc) Call(addr string, req Request, timeout time.Duration) (Respo
 	return f(addr, req, timeout)
 }
 
+// DialFunc opens a transport connection to a peer address. The default
+// is TCP (net.DialTimeout); in-process harnesses substitute MemNet.Dial
+// so clusters get deterministic addresses and zero kernel round trips.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// tcpDial is the default DialFunc.
+func tcpDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // Call performs one RPC: dial, send, receive, close. Failures are typed:
 // a *RemoteError when the peer answered with Response.OK == false, a
 // *NetError for dial/send/receive breakage.
 func Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	resp, _, _, err := exchange(addr, req, timeout)
+	resp, _, _, err := exchange(nil, addr, req, timeout)
+	return resp, err
+}
+
+// CallVia is Call over an explicit dialer (nil = TCP).
+func CallVia(dial DialFunc, addr string, req Request, timeout time.Duration) (Response, error) {
+	resp, _, _, err := exchange(dial, addr, req, timeout)
 	return resp, err
 }
 
 // exchange is the shared RPC body; it reports bytes read and written so
-// the instrumented Metrics.Call can account traffic.
-func exchange(addr string, req Request, timeout time.Duration) (resp Response, in, out int64, err error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// the instrumented Metrics.Call can account traffic. dial == nil uses TCP.
+func exchange(dial DialFunc, addr string, req Request, timeout time.Duration) (resp Response, in, out int64, err error) {
+	if dial == nil {
+		dial = tcpDial
+	}
+	conn, err := dial(addr, timeout)
 	if err != nil {
 		return resp, 0, 0, &NetError{Addr: addr, Op: "dial", Sent: false, Err: err}
 	}
@@ -174,13 +194,13 @@ func exchange(addr string, req Request, timeout time.Duration) (resp Response, i
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return resp, 0, 0, err
 	}
-	if err := gob.NewEncoder(cc).Encode(&req); err != nil {
+	if err := EncodeRequest(cc, &req); err != nil {
 		// Sent is conservative: any bytes on the wire may have formed a
 		// decodable request on the peer.
 		return resp, cc.ReadBytes, cc.WrittenBytes,
 			&NetError{Addr: addr, Op: "send", Sent: cc.WrittenBytes > 0, Err: err}
 	}
-	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
+	if resp, err = DecodeResponse(cc); err != nil {
 		return resp, cc.ReadBytes, cc.WrittenBytes,
 			&NetError{Addr: addr, Op: "recv", Sent: true, Err: err}
 	}
@@ -190,14 +210,40 @@ func exchange(addr string, req Request, timeout time.Duration) (resp Response, i
 	return resp, cc.ReadBytes, cc.WrittenBytes, nil
 }
 
+// EncodeRequest gob-encodes one request envelope to w. It is the exact
+// client-side serialisation of the protocol; the fuzz targets exercise it
+// directly.
+func EncodeRequest(w io.Writer, req *Request) error {
+	return gob.NewEncoder(w).Encode(req)
+}
+
+// DecodeRequest gob-decodes one request envelope from r. Arbitrary input
+// must yield either a Request or an error — never a panic; the
+// FuzzDecodeMessage target enforces this.
+func DecodeRequest(r io.Reader) (Request, error) {
+	var req Request
+	err := gob.NewDecoder(r).Decode(&req)
+	return req, err
+}
+
+// EncodeResponse gob-encodes one response envelope to w.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	return gob.NewEncoder(w).Encode(resp)
+}
+
+// DecodeResponse gob-decodes one response envelope from r.
+func DecodeResponse(r io.Reader) (Response, error) {
+	var resp Response
+	err := gob.NewDecoder(r).Decode(&resp)
+	return resp, err
+}
+
 // ReadRequest decodes one request from a server-side connection.
 func ReadRequest(conn net.Conn, timeout time.Duration) (Request, error) {
-	var req Request
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return req, err
+		return Request{}, err
 	}
-	err := gob.NewDecoder(conn).Decode(&req)
-	return req, err
+	return DecodeRequest(conn)
 }
 
 // WriteResponse encodes one response to a server-side connection. The
@@ -207,7 +253,7 @@ func WriteResponse(conn net.Conn, resp Response, timeout time.Duration) error {
 	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
-	return gob.NewEncoder(conn).Encode(&resp)
+	return EncodeResponse(conn, &resp)
 }
 
 // Errorf builds a failed response.
