@@ -1,0 +1,31 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race lint vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# lint is the blocking contract gate: stock vet plus the repo's own
+# analyzer suite (determinism, lock-across-RPC, retry idempotency,
+# metric hygiene, structural error matching). Suppressions require
+# //lint:allow <analyzer> <reason>; a missing reason is itself a finding.
+lint: vet
+	$(GO) run ./cmd/hieras-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build lint test
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,76 @@
+// Command hieras-lint runs the repo's analyzer suite (internal/lint)
+// over the module and exits non-zero if any contract is violated. It
+// is the blocking lint step in CI and the `make lint` entry point:
+//
+//	go run ./cmd/hieras-lint ./...
+//
+// Flags:
+//
+//	-list    print the analyzer roster and exit
+//
+// Output is one line per finding, sorted by position:
+//
+//	internal/foo/bar.go:12:3: [nodeterm] time.Now reads the wall clock; ...
+//
+// Violations that are intentional carry an inline escape hatch with a
+// mandatory reason, checked by the same run:
+//
+//	start := time.Now() //lint:allow nodeterm elapsed is report-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer roster and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := loader.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := loader.Load(root, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(prog, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		// Positions come back absolute; print them module-relative so
+		// the output is stable across checkouts.
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hieras-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hieras-lint:", err)
+	os.Exit(2)
+}

@@ -38,8 +38,8 @@ func main() {
 			publisher: p,
 		}
 		files = append(files, f)
-		if _, err := store.Put(f.publisher, f.name, []byte(f.location)); err != nil {
-			log.Fatal(err)
+		if _, putErr := store.Put(f.publisher, f.name, []byte(f.location)); putErr != nil {
+			log.Fatal(putErr)
 		}
 	}
 	fmt.Printf("published %d file locations from %d peers\n\n", len(files), len(files))
@@ -49,9 +49,9 @@ func main() {
 	var totalHops int
 	for i, f := range files[:8] {
 		reader := (f.publisher + 137) % sys.N()
-		loc, cost, err := store.Get(reader, f.name)
-		if err != nil {
-			log.Fatal(err)
+		loc, cost, getErr := store.Get(reader, f.name)
+		if getErr != nil {
+			log.Fatal(getErr)
 		}
 		totalMs += cost.Latency
 		totalHops += cost.Hops

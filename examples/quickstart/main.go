@@ -32,13 +32,13 @@ func main() {
 
 	// Route one lookup both ways.
 	for _, key := range []string{"alice/movie.mkv", "bob/thesis.pdf", "carol/dataset.tar"} {
-		h, err := sys.Lookup(0, key)
-		if err != nil {
-			log.Fatal(err)
+		h, lookupErr := sys.Lookup(0, key)
+		if lookupErr != nil {
+			log.Fatal(lookupErr)
 		}
-		c, err := sys.ChordLookup(0, key)
-		if err != nil {
-			log.Fatal(err)
+		c, lookupErr := sys.ChordLookup(0, key)
+		if lookupErr != nil {
+			log.Fatal(lookupErr)
 		}
 		fmt.Printf("%-18s -> peer %4d | hieras: %d hops (%d local) %6.1f ms | chord: %d hops %6.1f ms\n",
 			key, h.Dest, h.Hops, h.LowerHops, h.Latency, c.Hops, c.Latency)

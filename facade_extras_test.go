@@ -12,7 +12,7 @@ func TestCachedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Cached(0, false); err == nil {
+	if _, zeroErr := sys.Cached(0, false); zeroErr == nil {
 		t.Error("zero capacity accepted")
 	}
 	r1, err := cs.Lookup(3, "popular")

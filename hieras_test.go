@@ -207,8 +207,8 @@ func TestStoreIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Put(0, "shared-file", []byte("host 42, path /x")); err != nil {
-		t.Fatal(err)
+	if _, putErr := st.Put(0, "shared-file", []byte("host 42, path /x")); putErr != nil {
+		t.Fatal(putErr)
 	}
 	v, _, err := st.Get(99, "shared-file")
 	if err != nil || string(v) != "host 42, path /x" {

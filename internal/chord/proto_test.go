@@ -46,7 +46,7 @@ func TestBootstrapSingle(t *testing.T) {
 	if n.Successor() != n || n.Predecessor() != n {
 		t.Error("bootstrap node should point at itself")
 	}
-	if _, err := p.Bootstrap(Member{ID: id.HashString("n1")}); err == nil {
+	if _, rebootErr := p.Bootstrap(Member{ID: id.HashString("n1")}); rebootErr == nil {
 		t.Error("double bootstrap accepted")
 	}
 	owner, hops, err := p.FindSuccessorFrom(n, id.HashString("key"))

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/binning"
 	"repro/internal/id"
@@ -111,7 +112,7 @@ func Table3(s Scenario) (*Table, error) {
 		for name := range o.Rings(layer) {
 			names = append(names, name)
 		}
-		sortStrings(names)
+		sort.Strings(names)
 		for _, name := range names {
 			rt := o.RingTable(layer, name)
 			t.AddRow(rt.RingID.Short(), fmt.Sprintf("%d:%s", layer, name),
@@ -121,14 +122,6 @@ func Table3(s Scenario) (*Table, error) {
 		}
 	}
 	return t, nil
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
 }
 
 // ---------------------------------------------------------------------------

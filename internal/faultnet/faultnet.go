@@ -111,6 +111,8 @@ type Network struct {
 
 	injected *metrics.CounterVec
 	kids     map[Kind]*metrics.Counter
+
+	sleep func(time.Duration) // how KindDelay stalls a call; wall clock by default
 }
 
 // New creates a fault network with the given decision seed.
@@ -120,7 +122,19 @@ func New(seed int64) *Network {
 		names:   make(map[string]string),
 		edgeSeq: make(map[string]uint64),
 		counts:  make(map[Kind]int),
+		sleep:   time.Sleep,
 	}
+}
+
+// SetSleeper replaces the function used to realise injected delays.
+// Deterministic harnesses install an instant or virtual-clock sleeper
+// so delay faults shape interleavings without stalling the test run;
+// the decision of WHICH calls are delayed stays with the seeded rule
+// engine either way. A nil sleeper disables delay stalls entirely.
+func (nw *Network) SetSleeper(sleep func(time.Duration)) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.sleep = sleep
 }
 
 // Instrument registers faultnet_injected_total{kind} on reg so injected
@@ -379,7 +393,12 @@ var errInjected = fmt.Errorf("faultnet: injected fault")
 func (c *caller) Call(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
 	d := c.nw.decide(c.src, addr, req.Type)
 	if d.delay > 0 {
-		time.Sleep(d.delay)
+		c.nw.mu.Lock()
+		sleep := c.nw.sleep
+		c.nw.mu.Unlock()
+		if sleep != nil {
+			sleep(d.delay)
+		}
 	}
 	switch d.kind {
 	case KindDrop:

@@ -110,13 +110,13 @@ func TestReplicaFallbackAfterFailure(t *testing.T) {
 	for _, n := range rep.Nodes {
 		s.MarkDown(n)
 	}
-	if _, _, err := s.Get(10, "resilient"); err == nil {
+	if _, _, downErr := s.Get(10, "resilient"); downErr == nil {
 		t.Error("read with all replicas down should fail")
 	}
 	// Revive and re-put.
 	s.MarkUp(owner)
-	if _, err := s.Put(0, "resilient", []byte("v2")); err != nil {
-		t.Fatal(err)
+	if _, putErr := s.Put(0, "resilient", []byte("v2")); putErr != nil {
+		t.Fatal(putErr)
 	}
 	v, _, err = s.Get(10, "resilient")
 	if err != nil || string(v) != "v2" {

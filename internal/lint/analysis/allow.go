@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the escape-hatch directive. The full form is
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory: an allow without one is itself a diagnostic (reported
+// under the "allow" pseudo-analyzer), so CI fails on reasonless
+// suppressions.
+const AllowPrefix = "//lint:allow"
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Pos      token.Pos
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// ParseAllows extracts every //lint:allow directive from a file.
+func ParseAllows(fset *token.FileSet, f *ast.File) []Allow {
+	var out []Allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, AllowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:allowed — not this directive
+			}
+			// A second // inside the comment (fixture want annotations)
+			// ends the directive.
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			a := Allow{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+			if len(fields) > 0 {
+				a.Analyzer = fields[0]
+				a.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Suppressor filters diagnostics against a package's allow directives
+// and reports malformed directives as diagnostics of their own.
+type Suppressor struct {
+	// keyed by "<analyzer>\x00<line>" of the directive's own line; a
+	// directive suppresses findings on its line and the line below.
+	allowed map[string]bool
+	bad     []Diagnostic
+}
+
+// NewSuppressor parses the allow directives of all files. known names
+// the valid analyzers; a directive naming anything else is reported.
+func NewSuppressor(fset *token.FileSet, files []*ast.File, known map[string]bool) *Suppressor {
+	s := &Suppressor{allowed: make(map[string]bool)}
+	for _, f := range files {
+		for _, a := range ParseAllows(fset, f) {
+			switch {
+			case a.Analyzer == "":
+				s.bad = append(s.bad, Diagnostic{Pos: a.Pos, Analyzer: "allow",
+					Message: "lint:allow needs an analyzer name and a reason"})
+			case !known[a.Analyzer]:
+				s.bad = append(s.bad, Diagnostic{Pos: a.Pos, Analyzer: "allow",
+					Message: "lint:allow names unknown analyzer " + a.Analyzer})
+			case a.Reason == "":
+				s.bad = append(s.bad, Diagnostic{Pos: a.Pos, Analyzer: "allow",
+					Message: "lint:allow " + a.Analyzer + " needs a reason"})
+			default:
+				s.allowed[key(a.Analyzer, a.Line)] = true
+				s.allowed[key(a.Analyzer, a.Line+1)] = true
+			}
+		}
+	}
+	return s
+}
+
+func key(analyzer string, line int) string {
+	return analyzer + "\x00" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Suppressed reports whether d is covered by an allow directive.
+func (s *Suppressor) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	line := fset.Position(d.Pos).Line
+	return s.allowed[key(d.Analyzer, line)]
+}
+
+// Malformed returns the diagnostics for reasonless or unknown-analyzer
+// directives.
+func (s *Suppressor) Malformed() []Diagnostic { return s.bad }

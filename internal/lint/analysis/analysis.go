@@ -1,0 +1,51 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface the hieras-lint suite
+// needs. The container this repo builds in has no module proxy access,
+// so the real x/tools package cannot be fetched; the types here keep
+// the analyzers source-compatible with it (an Analyzer has Name, Doc
+// and Run(*Pass); a Pass carries the package's syntax, type info and a
+// Report sink), so a future PR can swap the import path and delete this
+// package without touching analyzer logic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// diagnostics and //lint:allow suppressions.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's worth of input to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives diagnostics. The driver installs a sink that
+	// applies //lint:allow suppression before anything is printed.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos, stamped with the pass's
+// analyzer name so the suppression layer can match //lint:allow
+// directives against it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions and calls through plain function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := CalleeFunc(info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath &&
+		f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// NamedFromPkg reports whether t (pointers dereferenced) is a named or
+// alias type called typeName declared in a package whose NAME is
+// pkgName. Matching on package name rather than full import path lets
+// fixtures declare fake "wire"/"metrics" packages.
+func NamedFromPkg(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// ObjectOf returns the object an identifier defines or uses.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

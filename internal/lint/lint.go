@@ -1,0 +1,108 @@
+// Package lint assembles the repo's analyzer suite and drives it over
+// loaded packages. The individual contracts live in their own
+// subpackages (nodeterm, lockrpc, retrysafe, metrichygiene, wraperr,
+// stock); this package owns the roster, the //lint:allow suppression
+// layer, and deterministic diagnostic ordering. cmd/hieras-lint is a
+// thin CLI over Run.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/lockrpc"
+	"repro/internal/lint/metrichygiene"
+	"repro/internal/lint/nodeterm"
+	"repro/internal/lint/retrysafe"
+	"repro/internal/lint/stock"
+	"repro/internal/lint/wraperr"
+)
+
+// Analyzers returns the full suite in reporting order: the five
+// repo-contract passes first, then the stock-style safety passes.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterm.Analyzer,
+		lockrpc.Analyzer,
+		retrysafe.Analyzer,
+		metrichygiene.Analyzer,
+		wraperr.Analyzer,
+		stock.Nilness,
+		stock.LostCancel,
+		stock.CopyLocks,
+		stock.Shadow,
+	}
+}
+
+// Finding is one diagnostic with its position resolved.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package of prog, applies the
+// //lint:allow suppression layer (malformed allows become findings
+// themselves), and returns the surviving findings sorted by position.
+func Run(prog *loader.Program, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		sup := analysis.NewSuppressor(prog.Fset, pkg.Files, known)
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range diags {
+			if sup.Suppressed(prog.Fset, d) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      prog.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		for _, d := range sup.Malformed() {
+			findings = append(findings, Finding{
+				Pos:      prog.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

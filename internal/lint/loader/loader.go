@@ -1,0 +1,385 @@
+// Package loader type-checks Go packages for the lint suite without any
+// dependency outside the standard library. It shells out to `go list`
+// for package metadata and build-constraint resolution, then parses and
+// type-checks everything — the standard library included — from source.
+// That trade (a second or two of CPU per run) is what lets hieras-lint
+// work in the proxy-less build container where neither x/tools nor
+// pre-compiled export data is available.
+//
+// CGO_ENABLED=0 is forced so every listed package has a pure-Go file
+// set; dependency packages are checked with IgnoreFuncBodies, target
+// packages get full bodies, types.Info and their in-package test files.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one analysis unit: a package's syntax (including its
+// in-package _test.go files when it is a target) plus type information.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded set of analysis units sharing one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir           string
+	ImportPath    string
+	ForTest       string
+	Standard      bool
+	GoFiles       []string
+	CgoFiles      []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Imports       []string
+	TestImports   []string
+	XTestImports  []string
+	Module        *struct{ Path string }
+	DepsErrors    []*listErr
+	Error         *listErr
+	IgnoredGoFiles []string
+}
+
+type listErr struct{ Err string }
+
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listPkg
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// world owns the file set and the growing map of type-checked packages.
+type world struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	dir     string
+	byPath  map[string]*listPkg
+	checked map[string]*types.Package
+}
+
+func newWorld(dir string) *world {
+	return &world{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		byPath:  make(map[string]*listPkg),
+		checked: map[string]*types.Package{"unsafe": types.Unsafe},
+	}
+}
+
+// Import serves already-checked packages to go/types, mapping stdlib
+// imports of golang.org/x/... onto their GOROOT-vendored copies.
+func (w *world) Import(path string) (*types.Package, error) {
+	if p, ok := w.checked[path]; ok {
+		return p, nil
+	}
+	if p, ok := w.checked["vendor/"+path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("loader: package %q not loaded", path)
+}
+
+func (w *world) parse(lp *listPkg, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(w.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package from the given files. Dependency
+// packages skip function bodies; units wanting analysis pass info.
+func (w *world) check(path string, lp *listPkg, files []*ast.File, full bool, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:         w,
+		IgnoreFuncBodies: !full,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, w.fset, files, info)
+	if firstErr != nil && !lp.Standard {
+		// Standard-library source occasionally trips a from-source
+		// corner (e.g. GOROOT-vendored asm shims); those packages are
+		// dependencies only, so a partial result is fine. Errors in the
+		// module under analysis are not.
+		return pkg, fmt.Errorf("loader: type-checking %s: %v", path, firstErr)
+	}
+	return pkg, nil
+}
+
+// ensure loads (listing if necessary) the dependency closure of path
+// and type-checks it bottom-up, bodies ignored.
+func (w *world) ensure(path string) error {
+	if _, ok := w.checked[path]; ok {
+		return nil
+	}
+	if _, ok := w.byPath[path]; !ok {
+		deps, err := goList(w.dir, "-deps", path)
+		if err != nil {
+			return err
+		}
+		for _, d := range deps {
+			if w.byPath[d.ImportPath] == nil {
+				w.byPath[d.ImportPath] = d
+			}
+		}
+	}
+	return w.checkDeps(path, make(map[string]bool))
+}
+
+func (w *world) checkDeps(path string, visiting map[string]bool) error {
+	if _, ok := w.checked[path]; ok || path == "C" {
+		return nil
+	}
+	if visiting[path] {
+		return fmt.Errorf("loader: import cycle through %s", path)
+	}
+	visiting[path] = true
+	lp := w.byPath[path]
+	if lp == nil {
+		if alt := w.byPath["vendor/"+path]; alt != nil {
+			lp, path = alt, "vendor/"+path
+		} else {
+			return fmt.Errorf("loader: no metadata for %s", path)
+		}
+	}
+	imps := append([]string(nil), lp.Imports...)
+	sort.Strings(imps)
+	for _, imp := range imps {
+		if err := w.checkDeps(imp, visiting); err != nil {
+			return err
+		}
+	}
+	files, err := w.parse(lp, lp.GoFiles)
+	if err != nil {
+		return err
+	}
+	pkg, err := w.check(path, lp, files, false, nil)
+	if err != nil {
+		return err
+	}
+	w.checked[path] = pkg
+	return nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load lists patterns in dir and returns one analysis unit per matched
+// package (with in-package test files merged in) plus one extra unit
+// per external _test package.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	w := newWorld(dir)
+	// One listing gives targets and the full dependency closure,
+	// test imports included (-test also emits synthetic *.test and
+	// "pkg [pkg.test]" entries, which are skipped: the plain entries
+	// already carry everything the type-checker needs).
+	all, err := goList(dir, append([]string{"-deps", "-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range all {
+		if p.ForTest != "" || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if w.byPath[p.ImportPath] == nil {
+			w.byPath[p.ImportPath] = p
+		}
+	}
+	// Pass 1: bodies-ignored bottom-up check of every package, which
+	// gives later passes a complete, cycle-free import universe.
+	for _, p := range targets {
+		if err := w.checkDeps(p.ImportPath, make(map[string]bool)); err != nil {
+			return nil, err
+		}
+	}
+	prog := &Program{Fset: w.fset}
+	// Pass 2: each target re-checked in full with its in-package test
+	// files — the unit analyzers see. External test packages become
+	// their own units, importing the augmented target so export_test.go
+	// helpers resolve.
+	for _, lp := range targets {
+		sort.Strings(lp.TestImports)
+		for _, imp := range lp.TestImports {
+			if err := w.ensure(imp); err != nil {
+				return nil, err
+			}
+		}
+		files, err := w.parse(lp, append(append([]string(nil), lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		info := NewInfo()
+		pkg, err := w.check(lp.ImportPath, lp, files, true, info)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, &Package{Path: lp.ImportPath, Files: files, Pkg: pkg, Info: info})
+		if len(lp.XTestGoFiles) == 0 {
+			continue
+		}
+		saved := w.checked[lp.ImportPath]
+		w.checked[lp.ImportPath] = pkg // xtest sees the augmented package
+		sort.Strings(lp.XTestImports)
+		for _, imp := range lp.XTestImports {
+			if ensureErr := w.ensure(imp); ensureErr != nil {
+				return nil, ensureErr
+			}
+		}
+		xfiles, err := w.parse(lp, lp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		xinfo := NewInfo()
+		xpkg, err := w.check(lp.ImportPath+"_test", lp, xfiles, true, xinfo)
+		if saved != nil {
+			w.checked[lp.ImportPath] = saved
+		} else {
+			delete(w.checked, lp.ImportPath)
+		}
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, &Package{Path: lp.ImportPath + "_test", Files: xfiles, Pkg: xpkg, Info: xinfo})
+	}
+	return prog, nil
+}
+
+// ModuleRoot locates the enclosing module's directory, so callers can
+// invoke Load from any working directory inside the repo.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("loader: %s is not inside a module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// StdImporter type-checks standard-library packages on demand (closure
+// included) and caches them for the life of the process. Fixture tests
+// share one instance so each test binary pays the stdlib cost once.
+type StdImporter struct {
+	w *world
+}
+
+// NewStdImporter returns an importer rooted at dir (any directory works
+// for stdlib paths; tests pass the fixture root).
+func NewStdImporter(dir string) *StdImporter {
+	return &StdImporter{w: newWorld(dir)}
+}
+
+// Fset exposes the importer's file set so fixture files can be parsed
+// into the same set their dependencies use.
+func (s *StdImporter) Fset() *token.FileSet { return s.w.fset }
+
+// Import loads path (listing and type-checking its closure if needed).
+func (s *StdImporter) Import(path string) (*types.Package, error) {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	if err := s.w.ensure(path); err != nil {
+		return nil, err
+	}
+	return s.w.Import(path)
+}
+
+// Add registers an externally checked package (a fixture dependency) so
+// later fixture packages can import it.
+func (s *StdImporter) Add(path string, pkg *types.Package) {
+	s.w.mu.Lock()
+	defer s.w.mu.Unlock()
+	s.w.checked[path] = pkg
+}
+
+// CheckFiles type-checks an ad-hoc file set as package path, resolving
+// imports through the importer (stdlib plus anything Add-ed).
+func (s *StdImporter) CheckFiles(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return s.Import(p) }),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, s.w.fset, files, info)
+	if firstErr != nil {
+		return pkg, fmt.Errorf("loader: type-checking %s: %v", path, firstErr)
+	}
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,232 @@
+// Package lockrpc enforces the transport locking contract: a mutex is
+// never held across an RPC. The routing state guarded by node mutexes
+// (successor lists, ring tables, caches) must be copied under the lock,
+// the lock released, and only then may the network be consulted —
+// otherwise one slow peer stalls every local operation that touches the
+// same state, and in the worst case (an RPC that re-enters the node)
+// deadlocks it.
+//
+// An "RPC" is any call whose signature carries a parameter of the wire
+// Request type — wire.Caller.Call itself, and every helper that
+// forwards to it. A sync.Mutex/RWMutex is considered held from its
+// Lock/RLock statement until an Unlock/RUnlock in the same or a nested
+// statement list; `defer mu.Unlock()` holds it for the rest of the
+// function. Function literals are separate functions: a goroutine
+// spawned under the lock does not itself hold it.
+//
+// The analyzer is conservative about control flow: an Unlock inside a
+// nested block clears the lock for that block's remaining statements
+// only (the early-unlock-and-return idiom), not for the outer list.
+package lockrpc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockrpc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockrpc",
+	Doc:  "forbid holding a mutex across wire RPC calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := path.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &scanner{pass: pass}
+			s.list(fd.Body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex lock or unlock and
+// returns the receiver expression's source text as the lock key.
+func (s *scanner) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, false
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// isRPC reports whether call's signature carries a wire.Request
+// parameter — wire.Caller.Call and everything that forwards to it.
+// Methods named *Locked are exempt by the repo's naming convention:
+// the suffix declares "runs under the caller's lock, touches no
+// network" (server-side dispatch handing a Request to a local helper).
+func (s *scanner) isRPC(call *ast.CallExpr) bool {
+	var sig *types.Signature
+	if fn := analysis.CalleeFunc(s.pass.TypesInfo, call); fn != nil {
+		if strings.HasSuffix(fn.Name(), "Locked") {
+			return false
+		}
+		sig = fn.Type().(*types.Signature)
+	} else if tv, ok := s.pass.TypesInfo.Types[call.Fun]; ok {
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if analysis.NamedFromPkg(sig.Params().At(i).Type(), "wire", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+func clone(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// list walks one statement list in order, tracking which mutexes are
+// held. Nested lists get a copy of the held set so an early unlock on
+// one path does not leak into its siblings.
+func (s *scanner) list(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		s.stmt(stmt, held)
+	}
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, lock, unlock := s.mutexOp(call); lock {
+				held[key] = call.Pos()
+				return
+			} else if unlock {
+				delete(held, key)
+				return
+			}
+		}
+		s.checkTree(st, held)
+	case *ast.DeferStmt:
+		if _, _, unlock := s.mutexOp(st.Call); unlock {
+			return // held until return; the rest of the list is under it
+		}
+		s.checkTree(st, held)
+	case *ast.BlockStmt:
+		s.list(st.List, clone(held))
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		s.checkTree(st.Cond, held)
+		s.list(st.Body.List, clone(held))
+		if st.Else != nil {
+			s.stmt(st.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkTree(st.Cond, held)
+		}
+		if st.Post != nil {
+			s.checkTree(st.Post, held)
+		}
+		s.list(st.Body.List, clone(held))
+	case *ast.RangeStmt:
+		s.checkTree(st.X, held)
+		s.list(st.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkTree(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.list(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.list(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := clone(held)
+				if cc.Comm != nil {
+					s.stmt(cc.Comm, inner)
+				}
+				s.list(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		s.checkTree(st, held) // FuncLit inside gets a fresh held set
+	default:
+		s.checkTree(stmt, held)
+	}
+}
+
+// checkTree inspects a non-block subtree for RPC calls made while any
+// mutex is held. Function literals are scanned as fresh functions —
+// they execute on their own goroutine's (or caller's) schedule and do
+// not inherit the surrounding held set.
+func (s *scanner) checkTree(n ast.Node, held map[string]token.Pos) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.list(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.CallExpr:
+			if len(held) > 0 && s.isRPC(n) {
+				keys := make([]string, 0, len(held))
+				for key := range held {
+					keys = append(keys, key)
+				}
+				sort.Strings(keys)
+				for _, key := range keys {
+					s.pass.Reportf(n.Pos(),
+						"RPC %s while %q is held (locked at line %d); copy state under the lock, release it, then call",
+						types.ExprString(n.Fun), key, s.pass.Fset.Position(held[key]).Line)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package lockrpc
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestLockAcrossRPC(t *testing.T) {
+	linttest.Run(t, "testdata/src", "lockpkg", Analyzer)
+}

@@ -1,0 +1,13 @@
+// Package wire is a fixture stand-in for the repo's wire package: the
+// analyzers match on package NAME, so this minimal shape is enough.
+package wire
+
+import "time"
+
+type Request interface{ Type() int }
+
+type Response interface{}
+
+type Caller interface {
+	Call(addr string, req Request, timeout time.Duration) (Response, error)
+}

@@ -1,0 +1,11 @@
+package metrichygiene
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMetricHygiene(t *testing.T) {
+	linttest.Run(t, "testdata/src", "metpkg", Analyzer)
+}

@@ -1,0 +1,93 @@
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+}
+
+func since(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow nodeterm elapsed is report-only and never feeds execution
+}
+
+func reasonless() time.Time {
+	return time.Now() //lint:allow nodeterm // want `time\.Now reads the wall clock` `lint:allow nodeterm needs a reason`
+}
+
+func draw() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func seeded() int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Intn(10)
+}
+
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSortSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func localCollect(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k)
+		_ = tmp
+	}
+}
+
+func timerGuard(ch chan int, d time.Duration) int {
+	// time.After as a select timeout is a liveness guard, exempt by
+	// contract: it fires only when the system is already wedged.
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(d):
+		return -1
+	}
+}

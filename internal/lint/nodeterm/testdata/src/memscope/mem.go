@@ -1,0 +1,9 @@
+package memscope
+
+import "time"
+
+// This file matches the package's mem*.go scope glob, so the contract
+// applies.
+func memClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,121 @@
+// Package retrysafe enforces the retry-safety contract: every wire
+// MsgType constant must be explicitly classified by the package's
+// Idempotent function. The Retrier consults Idempotent to decide
+// whether an operation whose request bytes may have reached the peer
+// can be replayed; an operation missing from the switch silently falls
+// through to "not idempotent", which reads like a decision but is
+// actually an omission. This analyzer turns that omission into a lint
+// failure: adding a MsgType without extending Idempotent (to an
+// explicit true OR false case) does not compile out of the gate.
+//
+// The pass runs on any package named "wire" that declares a MsgType
+// type — the real repro/internal/wire and test fixtures alike.
+package retrysafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the retrysafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrysafe",
+	Doc:  "require every wire.MsgType to be explicitly classified by Idempotent",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "wire" {
+		return nil
+	}
+	msgType, _ := pass.Pkg.Scope().Lookup("MsgType").(*types.TypeName)
+	if msgType == nil {
+		return nil
+	}
+	consts := msgTypeConsts(pass.Pkg, msgType)
+	if len(consts) == 0 {
+		return nil
+	}
+	idem := findIdempotent(pass, msgType)
+	if idem == nil {
+		pass.Reportf(consts[0].Pos(),
+			"package wire declares MsgType constants but no Idempotent(t MsgType) classifier; retry safety must be decided per operation")
+		return nil
+	}
+	covered := coveredConsts(pass, idem)
+	for _, c := range consts {
+		if !covered[c] {
+			pass.Reportf(c.Pos(),
+				"wire.MsgType constant %s is not classified in Idempotent; add it to an explicit case (true or false) so retry safety is a decision, not a default",
+				c.Name())
+		}
+	}
+	return nil
+}
+
+// msgTypeConsts returns the package-level constants of type MsgType, in
+// declaration order.
+func msgTypeConsts(pkg *types.Package, msgType *types.TypeName) []*types.Const {
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Type() == msgType.Type() {
+			out = append(out, c)
+		}
+	}
+	// Scope names are sorted alphabetically; order by declaration
+	// position so the "first constant" report is stable and natural.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// findIdempotent locates func Idempotent(t MsgType) bool in the pass's
+// files and returns its body.
+func findIdempotent(pass *analysis.Pass, msgType *types.TypeName) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != "Idempotent" || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 1 && sig.Params().At(0).Type() == msgType.Type() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// coveredConsts collects every MsgType constant referenced in a case
+// clause anywhere inside fn's body.
+func coveredConsts(pass *analysis.Pass, fn *ast.FuncDecl) map[*types.Const]bool {
+	covered := map[*types.Const]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			id, ok := ast.Unparen(expr).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				covered[c] = true
+			}
+		}
+		return true
+	})
+	return covered
+}

@@ -1,0 +1,19 @@
+package retrysafe
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestUnclassifiedConstant(t *testing.T) {
+	linttest.Run(t, "testdata/src", "wirelint", Analyzer)
+}
+
+func TestMissingClassifier(t *testing.T) {
+	linttest.Run(t, "testdata/src", "noclassifier", Analyzer)
+}
+
+func TestFullyClassified(t *testing.T) {
+	linttest.Run(t, "testdata/src", "fullwire", Analyzer)
+}

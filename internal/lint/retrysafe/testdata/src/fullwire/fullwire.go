@@ -1,0 +1,21 @@
+// Fixture: every constant classified, including explicit false cases —
+// nothing to report.
+package wire
+
+type MsgType uint8
+
+const (
+	TPing MsgType = iota + 1
+	TPut
+	TNotify
+)
+
+func Idempotent(t MsgType) bool {
+	switch t {
+	case TPing:
+		return true
+	case TPut, TNotify:
+		return false
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Fixture: MsgType constants with no Idempotent classifier at all.
+package wire
+
+type MsgType uint8
+
+const TPing MsgType = 1 // want `declares MsgType constants but no Idempotent`
+
+const TPut MsgType = 2

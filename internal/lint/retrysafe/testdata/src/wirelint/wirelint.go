@@ -1,0 +1,21 @@
+// Fixture: a wire-shaped package with one constant the Idempotent
+// classifier forgot.
+package wire
+
+type MsgType uint8
+
+const (
+	TPing MsgType = iota + 1
+	TPut
+	TBackfill // want `wire\.MsgType constant TBackfill is not classified in Idempotent`
+)
+
+func Idempotent(t MsgType) bool {
+	switch t {
+	case TPing:
+		return true
+	case TPut:
+		return false
+	}
+	return false
+}

@@ -1,0 +1,43 @@
+package lint_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// TestRepoIsLintClean is the meta-test behind the CI gate: the full
+// analyzer suite, run over this module exactly as cmd/hieras-lint runs
+// it, must report zero findings. Any fixture-only regression in an
+// analyzer shows up here as a false positive against real code, and any
+// new contract violation in the repo shows up as a true positive —
+// either way the build stays red until the suite and the code agree.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := loader.ModuleRoot(cwd)
+	if err != nil {
+		t.Fatalf("locate module root: %v", err)
+	}
+	prog, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	findings, err := lint.Run(prog, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s); fix the code or add a //lint:allow <analyzer> <reason> with justification", len(findings))
+	}
+}

@@ -1,0 +1,23 @@
+package stock
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestLostCancel(t *testing.T) {
+	linttest.Run(t, "testdata/src", "lcpkg", LostCancel)
+}
+
+func TestCopyLocks(t *testing.T) {
+	linttest.Run(t, "testdata/src", "clpkg", CopyLocks)
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, "testdata/src", "shpkg", Shadow)
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, "testdata/src", "nilpkg", Nilness)
+}

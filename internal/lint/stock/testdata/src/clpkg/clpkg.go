@@ -1,0 +1,36 @@
+package clpkg
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `parameter g copies a lock: mu contains sync\.Mutex`
+	return g.n
+}
+
+func (g guarded) read() int { // want `receiver copies a lock: mu contains sync\.Mutex`
+	return g.n
+}
+
+func byPtr(g *guarded) int {
+	return g.n
+}
+
+func plain(n int, names []string) int {
+	return n + len(names)
+}
+
+func muParam(mu sync.Mutex) { // want `parameter mu copies a lock: sync\.Mutex`
+	_ = mu
+}
+
+func wgParam(wg sync.WaitGroup) { // want `parameter wg copies a lock: sync\.WaitGroup`
+	_ = wg
+}
+
+func wgPtrOK(wg *sync.WaitGroup) {
+	wg.Wait()
+}

@@ -1,0 +1,31 @@
+package lcpkg
+
+import "context"
+
+func discarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithCancel(ctx) // want `cancel function returned by context\.WithCancel is discarded`
+	return ctx
+}
+
+func blanked(ctx context.Context) context.Context {
+	ctx2, cancel := context.WithCancel(ctx) // want `cancel function returned by context\.WithCancel is never called`
+	_ = cancel
+	return ctx2
+}
+
+func deferred(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = ctx2
+}
+
+func handedOff(ctx context.Context, sink func(func())) {
+	ctx2, cancel := context.WithTimeout(ctx, 0)
+	sink(cancel)
+	_ = ctx2
+}
+
+func stored(ctx context.Context) func() {
+	_, cancel := context.WithCancel(ctx)
+	return cancel
+}

@@ -1,0 +1,56 @@
+package nilpkg
+
+type node struct {
+	next *node
+	val  int
+}
+
+func deref(n *node) int {
+	if n == nil {
+		return n.val // want `n is nil on this path; this selector dereferences it`
+	}
+	return n.val
+}
+
+func derefFlipped(n *node) int {
+	if nil == n {
+		return n.val // want `n is nil on this path; this selector dereferences it`
+	}
+	return n.val
+}
+
+func star(p *int) int {
+	if p == nil {
+		return *p // want `p is nil on this path; this dereference crashes`
+	}
+	return *p
+}
+
+func sliceIdx(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `xs is nil on this path; this index panics`
+	}
+	return xs[0]
+}
+
+func mapReadOK(m map[string]int) int {
+	if m == nil {
+		return m["k"] // reading a nil map is defined behavior
+	}
+	return m["k"]
+}
+
+func reassignedOK(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func guardedOK(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package shpkg
+
+import "errors"
+
+func check() (error, bool) { return nil, true }
+
+func shadowed() error {
+	err := errors.New("outer")
+	if true {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}
+
+func retypedOK() error {
+	err := errors.New("outer")
+	if true {
+		err := "a string, deliberately" // different type: not shadowing
+		_ = err
+	}
+	return err
+}
+
+func notUsedAfterOK() {
+	err := errors.New("outer")
+	_ = err
+	if true {
+		err := errors.New("inner") // outer is dead here: fine
+		_ = err
+	}
+}
+
+func ifScopeShadow() error {
+	err := errors.New("outer")
+	if err, ok := check(); ok { // want `declaration of "err" shadows declaration at line \d+`
+		_ = err
+	}
+	return err
+}

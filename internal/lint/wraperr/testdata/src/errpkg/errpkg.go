@@ -1,0 +1,86 @@
+package errpkg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wire"
+)
+
+func textEq(err error) bool {
+	return err.Error() == "wire: circuit breaker open" // want `error text compared with ==`
+}
+
+func textNeq(err error) bool {
+	return "boom" != err.Error() // want `error text compared with !=`
+}
+
+func textContains(err error) bool {
+	return strings.Contains(err.Error(), "refused") // want `error text fed to strings\.Contains`
+}
+
+func textPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "wire:") // want `error text fed to strings\.HasPrefix`
+}
+
+func identity(err error) bool {
+	return err == wire.ErrCircuitOpen // want `errors compared with ==`
+}
+
+func nilCheckOK(err error) bool {
+	return err != nil // nil comparisons are the one legitimate identity check
+}
+
+func isOK(err error) bool {
+	return errors.Is(err, wire.ErrCircuitOpen)
+}
+
+func assertBad(err error) bool {
+	_, ok := err.(*wire.NetError) // want `type assertion on \*wire\.NetError`
+	return ok
+}
+
+func switchBad(err error) string {
+	switch err.(type) {
+	case *wire.RemoteError: // want `type assertion on \*wire\.RemoteError`
+		return "remote"
+	case *wire.CircuitOpenError: // want `type assertion on \*wire\.CircuitOpenError`
+		return "open"
+	}
+	return "other"
+}
+
+func switchOtherTypesOK(v interface{}) string {
+	switch v.(type) {
+	case string:
+		return "s"
+	case int:
+		return "i"
+	}
+	return "?"
+}
+
+func asOK(err error) bool {
+	var ne *wire.NetError
+	return errors.As(err, &ne)
+}
+
+func wrapBad(ne *wire.NetError) error {
+	return fmt.Errorf("lookup failed: %v", ne) // want `fmt\.Errorf absorbs a typed wire error without %w`
+}
+
+func wrapOK(ne *wire.NetError) error {
+	return fmt.Errorf("lookup failed: %w", ne)
+}
+
+func wrapPlainOK(err error) error {
+	// A plain error under %v is out of this pass's scope; only the
+	// typed wire errors carry structure worth preserving.
+	return fmt.Errorf("lookup failed: %v", err)
+}
+
+func allowedAssert(err error) bool {
+	_, ok := err.(*wire.NetError) //lint:allow wraperr err comes straight off the dialer, never wrapped
+	return ok
+}

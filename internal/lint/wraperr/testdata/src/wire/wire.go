@@ -1,0 +1,24 @@
+// Package wire is a fixture stand-in exporting the repo's typed
+// errors; the analyzer matches on package NAME.
+package wire
+
+import "errors"
+
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+type NetError struct {
+	Addr string
+	Sent bool
+	Err  error
+}
+
+func (e *NetError) Error() string { return "net: " + e.Addr }
+func (e *NetError) Unwrap() error { return e.Err }
+
+type CircuitOpenError struct{ Addr string }
+
+func (e *CircuitOpenError) Error() string { return "open: " + e.Addr }
+
+var ErrCircuitOpen = errors.New("wire: circuit breaker open")

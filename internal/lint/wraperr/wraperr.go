@@ -1,0 +1,176 @@
+// Package wraperr enforces the typed-error contract around the wire
+// layer: RemoteError / NetError / CircuitOpenError are matched
+// structurally, never textually, and always survive wrapping.
+//
+//   - error text is not an API: err.Error() compared with == / != or
+//     fed to the strings.Contains family is flagged — renaming an
+//     address or reformatting a message must not change behavior.
+//   - direct == / != between two errors is flagged (nil checks exempt):
+//     wrapping breaks identity, errors.Is does not.
+//   - type assertions and type switches on the wire error types are
+//     flagged: a wrapped *NetError fails x.(*NetError) but matches
+//     errors.As.
+//   - fmt.Errorf that swallows a concrete wire error without %w is
+//     flagged: downstream errors.As/Is stop working the moment the
+//     chain is cut.
+//
+// Unlike most passes this one covers _test.go files too — string-
+// matching an error message in a test is exactly where the brittleness
+// lives.
+package wraperr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the wraperr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc:  "require structural error matching (errors.Is/As, %w) for wire errors",
+	Run:  run,
+}
+
+// wireErrorTypes are the typed errors the wire package exports.
+var wireErrorTypes = []string{"RemoteError", "NetError", "CircuitOpenError"}
+
+// stringMatchFns are the strings functions that turn error text into
+// control flow.
+var stringMatchFns = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkStringsCall(pass, n)
+				checkErrorf(pass, n)
+			case *ast.TypeAssertExpr:
+				checkAssert(pass, n.Type, n.Pos())
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func errorIface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// isErrorDotError reports whether e is a call of the Error() string
+// method on something implementing error.
+func isErrorDotError(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && types.Implements(tv.Type, errorIface())
+}
+
+func isErrorTyped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Type != nil && types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorDotError(pass, be.X) || isErrorDotError(pass, be.Y) {
+		pass.Reportf(be.Pos(),
+			"error text compared with %s; error messages are not an API — match with errors.Is or errors.As", be.Op)
+		return
+	}
+	if isErrorTyped(pass, be.X) && isErrorTyped(pass, be.Y) {
+		pass.Reportf(be.Pos(),
+			"errors compared with %s; wrapping breaks identity — use errors.Is(err, target)", be.Op)
+	}
+}
+
+func checkStringsCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchFns[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorDotError(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"error text fed to strings.%s; error messages are not an API — match with errors.Is or errors.As", fn.Name())
+			return
+		}
+	}
+}
+
+// isWireError reports whether t (pointer-deref) is one of the wire
+// package's typed errors.
+func isWireError(t types.Type) bool {
+	for _, name := range wireErrorTypes {
+		if analysis.NamedFromPkg(t, "wire", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkAssert(pass *analysis.Pass, typ ast.Expr, pos token.Pos) {
+	if typ == nil {
+		return // x.(type) inside a type switch; handled per-case
+	}
+	tv, ok := pass.TypesInfo.Types[typ]
+	if ok && isWireError(tv.Type) {
+		pass.Reportf(pos,
+			"type assertion on %s; a wrapped wire error fails the assertion — use errors.As", types.ExprString(typ))
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	for _, c := range ts.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			checkAssert(pass, expr, expr.Pos())
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that absorb a concrete wire error
+// without %w, cutting the errors.As chain.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsPkgCall(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	ftv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || ftv.Value == nil || ftv.Value.Kind() != constant.String {
+		return
+	}
+	if strings.Contains(constant.StringVal(ftv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isWireError(tv.Type) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf absorbs a typed wire error without %%w; wrap it so errors.As keeps working")
+			return
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package wraperr
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestWrapErr(t *testing.T) {
+	linttest.Run(t, "testdata/src", "errpkg", Analyzer)
+}

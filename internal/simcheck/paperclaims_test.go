@@ -29,8 +29,8 @@ func TestPaperClaimBandsAcrossSeeds(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := o.CheckInvariants(); err != nil {
-				t.Fatalf("overlay invariants: %v", err)
+			if invErr := o.CheckInvariants(); invErr != nil {
+				t.Fatalf("overlay invariants: %v", invErr)
 			}
 			cmp, err := experiments.CompareOn(o, s)
 			if err != nil {

@@ -76,7 +76,7 @@ func (f *Failure) Error() string {
 // final quiescent check.
 func Run(cfg Config) *Failure {
 	cfg = cfg.withDefaults()
-	start := time.Now()
+	start := time.Now() //lint:allow nodeterm Elapsed is report-only; generation and replay read no wall time
 	ops := generate(cfg)
 	f := runProgram(cfg, ops)
 	if f == nil {
@@ -97,7 +97,7 @@ func Replay(seed int64, ops []Op) *Failure {
 // needed when the failure depends on config (e.g. SkipRepairLayer).
 func (c Config) Replay(ops []Op) *Failure {
 	cfg := c.withDefaults()
-	start := time.Now()
+	start := time.Now() //lint:allow nodeterm Elapsed is report-only; generation and replay read no wall time
 	f := runProgram(cfg, ops)
 	if f == nil {
 		return nil
@@ -118,7 +118,7 @@ func finish(cfg Config, ops []Op, orig *Failure, start time.Time) *Failure {
 	}
 	f.Seed = cfg.Seed
 	f.Ops = ops
-	f.Elapsed = time.Since(start)
+	f.Elapsed = time.Since(start) //lint:allow nodeterm Elapsed is report-only; generation and replay read no wall time
 	f.Artifact = Program(cfg.Seed, ops)
 	return f
 }

@@ -153,8 +153,8 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 			Layer: layer, Name: name,
 			Smallest: self, SecondSm: self, Largest: self, SecondLg: self,
 		}
-		_, err := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
-		return err
+		_, putErr := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
+		return putErr
 	}
 	member, err := n.liveTableMember(resp.Table)
 	if err != nil {
@@ -499,10 +499,10 @@ func (n *Node) Put(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := n.call(res.Owner.Addr, wire.Request{
+	if _, putErr := n.call(res.Owner.Addr, wire.Request{
 		Type: wire.TPut, Name: key, Value: value,
-	}); err != nil {
-		return err
+	}); putErr != nil {
+		return putErr
 	}
 	// Best-effort replication: failure to reach a replica is not an error.
 	nb, err := n.call(res.Owner.Addr, wire.Request{

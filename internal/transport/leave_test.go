@@ -74,8 +74,8 @@ func TestLeaveImmediateNeighborConsistency(t *testing.T) {
 	if succNode == nil || predNode == nil {
 		t.Skip("neighbors not in cluster (unreachable)")
 	}
-	if err := victim.Leave(); err != nil {
-		t.Fatal(err)
+	if leaveErr := victim.Leave(); leaveErr != nil {
+		t.Fatal(leaveErr)
 	}
 	// Immediately after Leave (no stabilization): pred and succ must have
 	// been handed to each other.
@@ -189,8 +189,8 @@ func TestReplicatedGetSurvivesOwnerFailure(t *testing.T) {
 	// corpse; replicas on the old owner's successors answer the read.
 	stabilizeAll(t, alive, 4)
 	for _, nd := range alive {
-		if err := nd.BuildAllFingers(); err != nil {
-			t.Fatal(err)
+		if fingerErr := nd.BuildAllFingers(); fingerErr != nil {
+			t.Fatal(fingerErr)
 		}
 	}
 	v, err := alive[0].Get(key)

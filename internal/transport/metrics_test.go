@@ -135,12 +135,12 @@ func TestLookupCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nd.Close()
-	if err := nd.Join(nodes[0].Addr()); err != nil {
-		t.Fatal(err)
+	if joinErr := nd.Join(nodes[0].Addr()); joinErr != nil {
+		t.Fatal(joinErr)
 	}
 	stabilizeAll(t, append(append([]*Node{}, nodes...), nd), 3)
-	if err := nd.BuildAllFingers(); err != nil {
-		t.Fatal(err)
+	if fingerErr := nd.BuildAllFingers(); fingerErr != nil {
+		t.Fatal(fingerErr)
 	}
 
 	key := id.HashString("cached-key")

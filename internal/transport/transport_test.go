@@ -108,8 +108,8 @@ func TestSingleNodeNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nd.Close()
-	if err := nd.CreateNetwork(); err != nil {
-		t.Fatal(err)
+	if createErr := nd.CreateNetwork(); createErr != nil {
+		t.Fatal(createErr)
 	}
 	res, err := nd.Lookup(id.HashString("anything"))
 	if err != nil {
@@ -118,8 +118,8 @@ func TestSingleNodeNetwork(t *testing.T) {
 	if res.Owner.Addr != nd.Addr() || res.Hops != 0 {
 		t.Errorf("owner %s hops %d", res.Owner.Addr, res.Hops)
 	}
-	if err := nd.Put("greeting", []byte("hello")); err != nil {
-		t.Fatal(err)
+	if putErr := nd.Put("greeting", []byte("hello")); putErr != nil {
+		t.Fatal(putErr)
 	}
 	v, err := nd.Get("greeting")
 	if err != nil || string(v) != "hello" {

@@ -63,10 +63,19 @@ func IsRemote(err error) bool {
 // qualify; state-installing writes (TPut, TNotify, TPutRingTable, the
 // leave handoffs) are only retried when the request provably never
 // reached the peer (NetError.Sent == false).
+// The switch is exhaustive over MsgType on purpose: the retrysafe
+// analyzer requires every constant to appear in an explicit case, so
+// adding an operation without deciding its retry safety fails lint
+// rather than silently defaulting to "not idempotent".
 func Idempotent(t MsgType) bool {
 	switch t {
 	case TPing, TGetInfo, TFindClosest, TGetNeighbors, TGetRingTable, TGet, TEvict:
 		return true
+	case TNotify, TPutRingTable, TPut, TLeaveSucc, TLeavePred:
+		// State-installing writes: replaying one can resurrect state
+		// the ring has already moved past, so these are retried only
+		// when the request provably never reached the peer.
+		return false
 	}
 	return false
 }

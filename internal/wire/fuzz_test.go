@@ -102,8 +102,8 @@ func FuzzRoundTrip(f *testing.F) {
 			Table: req.Table, Found: hier, Value: value,
 		}
 		buf.Reset()
-		if err := EncodeResponse(&buf, &resp); err != nil {
-			t.Fatalf("encode response: %v", err)
+		if encErr := EncodeResponse(&buf, &resp); encErr != nil {
+			t.Fatalf("encode response: %v", encErr)
 		}
 		gotResp, err := DecodeResponse(&buf)
 		if err != nil {
@@ -123,13 +123,13 @@ func FuzzRoundTrip(f *testing.F) {
 		defer ln.Close()
 		served := make(chan Request, 1)
 		go func() {
-			conn, err := ln.Accept()
-			if err != nil {
+			conn, acceptErr := ln.Accept()
+			if acceptErr != nil {
 				return
 			}
 			defer conn.Close()
-			r, err := ReadRequest(conn, time.Second)
-			if err != nil {
+			r, readErr := ReadRequest(conn, time.Second)
+			if readErr != nil {
 				return
 			}
 			served <- r

@@ -1,11 +1,17 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
+
+// ErrConnRefused is wrapped (with %w) by Dial failures against closed
+// or never-registered addresses, so callers match the condition with
+// errors.Is instead of scraping the message text.
+var ErrConnRefused = errors.New("connection refused")
 
 // MemNet is an in-process transport: a registry of named listeners whose
 // connections are synchronous in-memory pipes. It exists for the
@@ -100,7 +106,7 @@ func (m *MemNet) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	l, ok := m.listeners[addr]
 	m.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("memnet: connect %s: connection refused", addr)
+		return nil, fmt.Errorf("memnet: connect %s: %w", addr, ErrConnRefused)
 	}
 	client, server := net.Pipe()
 	var timer <-chan time.Time
@@ -115,7 +121,7 @@ func (m *MemNet) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	case <-l.closed:
 		client.Close()
 		server.Close()
-		return nil, fmt.Errorf("memnet: connect %s: connection refused", addr)
+		return nil, fmt.Errorf("memnet: connect %s: %w", addr, ErrConnRefused)
 	case <-timer:
 		client.Close()
 		server.Close()

@@ -2,7 +2,7 @@ package wire
 
 import (
 	"net"
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -56,7 +56,7 @@ func TestMemNetCall(t *testing.T) {
 	wg.Wait()
 	if _, err := CallVia(mn.Dial, "n0", Request{Type: TPing}, time.Second); err == nil {
 		t.Fatal("dial to closed listener succeeded")
-	} else if !strings.Contains(err.Error(), "refused") {
+	} else if !errors.Is(err, ErrConnRefused) {
 		t.Fatalf("unexpected error: %v", err)
 	}
 }

@@ -252,14 +252,14 @@ func TestWriteResponseDeadline(t *testing.T) {
 	defer ln.Close()
 	done := make(chan error, 1)
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			done <- err
+		conn, acceptErr := ln.Accept()
+		if acceptErr != nil {
+			done <- acceptErr
 			return
 		}
 		defer conn.Close()
-		if _, err := ReadRequest(conn, 2*time.Second); err != nil {
-			done <- err
+		if _, readErr := ReadRequest(conn, 2*time.Second); readErr != nil {
+			done <- readErr
 			return
 		}
 		done <- WriteResponse(conn, Response{OK: true, Value: make([]byte, 16<<20)}, 300*time.Millisecond)

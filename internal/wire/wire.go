@@ -191,14 +191,14 @@ func exchange(dial DialFunc, addr string, req Request, timeout time.Duration) (r
 	}
 	cc := &CountingConn{Conn: conn}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return resp, 0, 0, err
+	if dlErr := conn.SetDeadline(time.Now().Add(timeout)); dlErr != nil {
+		return resp, 0, 0, dlErr
 	}
-	if err := EncodeRequest(cc, &req); err != nil {
+	if encErr := EncodeRequest(cc, &req); encErr != nil {
 		// Sent is conservative: any bytes on the wire may have formed a
 		// decodable request on the peer.
 		return resp, cc.ReadBytes, cc.WrittenBytes,
-			&NetError{Addr: addr, Op: "send", Sent: cc.WrittenBytes > 0, Err: err}
+			&NetError{Addr: addr, Op: "send", Sent: cc.WrittenBytes > 0, Err: encErr}
 	}
 	if resp, err = DecodeResponse(cc); err != nil {
 		return resp, cc.ReadBytes, cc.WrittenBytes,

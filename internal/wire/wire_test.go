@@ -2,7 +2,7 @@ package wire
 
 import (
 	"net"
-	"strings"
+	"errors"
 	"testing"
 	"time"
 )
@@ -55,7 +55,8 @@ func TestCallRemoteError(t *testing.T) {
 		return Errorf("boom %d", 42)
 	})
 	_, err := Call(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
-	if err == nil || !strings.Contains(err.Error(), "boom 42") {
+	var re *RemoteError
+	if err == nil || !errors.As(err, &re) || re.Msg != "boom 42" {
 		t.Errorf("want remote error, got %v", err)
 	}
 }
@@ -75,8 +76,8 @@ func TestCallTimeout(t *testing.T) {
 	defer ln.Close()
 	go func() {
 		for {
-			conn, err := ln.Accept()
-			if err != nil {
+			conn, acceptErr := ln.Accept()
+			if acceptErr != nil {
 				return
 			}
 			defer conn.Close()
