@@ -1,0 +1,189 @@
+// kvbench.go benchmarks the replicated KV on the live node stack: an
+// in-process MemNet cluster performs quorum puts and gets, latencies
+// feed quantile sketches, and the result is written as the repo's
+// benchmark-trajectory artifact (BENCH_kv.json) so CI can chart
+// throughput and quorum tail latency across commits.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// kvPhase summarises one operation type's run.
+type kvPhase struct {
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// kvBenchResult is the BENCH_kv.json schema. Fields are stable: CI
+// trajectory tooling reads them across commits.
+type kvBenchResult struct {
+	Bench       string `json:"bench"`
+	Seed        int64  `json:"seed"`
+	Nodes       int    `json:"nodes"`
+	Keys        int    `json:"keys"`
+	ValueBytes  int    `json:"value_bytes"`
+	Replication struct {
+		Factor      int `json:"factor"`
+		WriteQuorum int `json:"write_quorum"`
+		ReadQuorum  int `json:"read_quorum"`
+	} `json:"replication"`
+	Puts kvPhase `json:"puts"`
+	Gets kvPhase `json:"gets"`
+}
+
+// kvCluster starts n transport nodes on one MemNet with the given
+// replication options, bootstraps the overlay, and converges it.
+func kvCluster(n int, opts replica.Options) ([]*transport.Node, error) {
+	mem := wire.NewMemNet()
+	addr := func(i int) string { return fmt.Sprintf("n%d", i) }
+	coord := func(i int) [2]float64 {
+		if i%2 == 0 {
+			return [2]float64{float64(i), float64(i % 7)}
+		}
+		return [2]float64{500 + float64(i), float64(i % 7)}
+	}
+	nodes := make([]*transport.Node, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := mem.Listen(addr(i))
+		if err != nil {
+			return nil, err
+		}
+		nd, err := transport.Start("", transport.Config{
+			Depth:       2,
+			Landmarks:   []string{addr(0), addr(1)},
+			Coord:       coord(i),
+			CallTimeout: 2 * time.Second,
+			Retry:       wire.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond},
+			Breaker:     wire.BreakerPolicy{Threshold: -1},
+			Replication: opts,
+			Listener:    ln,
+			Dial:        mem.Dial,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+	}
+	if err := nodes[0].CreateNetwork(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(addr(0)); err != nil {
+			return nil, err
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for _, nd := range nodes {
+			if err := nd.StabilizeOnce(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, nd := range nodes {
+		if err := nd.BuildAllFingers(); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// runKVBench runs the replicated-KV benchmark and writes the JSON
+// artifact to path, echoing a summary to out.
+func runKVBench(seed int64, keys int, path string, out io.Writer) error {
+	const clusterSize = 8
+	opts := replica.Options{Factor: 3, WriteQuorum: 2, ReadQuorum: 2}
+	nodes, err := kvCluster(clusterSize, opts)
+	if err != nil {
+		return fmt.Errorf("kv bench cluster: %w", err)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+
+	res := kvBenchResult{Bench: "kv", Seed: seed, Nodes: clusterSize, Keys: keys}
+	resolved := opts.WithDefaults()
+	res.Replication.Factor = resolved.Factor
+	res.Replication.WriteQuorum = resolved.WriteQuorum
+	res.Replication.ReadQuorum = resolved.ReadQuorum
+
+	value := make([]byte, 64)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	res.ValueBytes = len(value)
+
+	putQ, err := stats.NewSketch(0.01)
+	if err != nil {
+		return err
+	}
+	getQ, err := stats.NewSketch(0.01)
+	if err != nil {
+		return err
+	}
+	key := func(i int) string { return fmt.Sprintf("bench-k-%04d", i) }
+
+	putStart := time.Now()
+	for i := 0; i < keys; i++ {
+		origin := nodes[i%clusterSize]
+		opStart := time.Now()
+		if putErr := origin.Put(key(i), value); putErr != nil {
+			return fmt.Errorf("bench put %d: %w", i, putErr)
+		}
+		if addErr := putQ.Add(time.Since(opStart).Seconds() * 1e3); addErr != nil {
+			return addErr
+		}
+	}
+	putElapsed := time.Since(putStart).Seconds()
+
+	gets := 2 * keys
+	getStart := time.Now()
+	for i := 0; i < gets; i++ {
+		origin := nodes[(i*3+1)%clusterSize]
+		opStart := time.Now()
+		if _, getErr := origin.Get(key(i % keys)); getErr != nil {
+			return fmt.Errorf("bench get %d: %w", i, getErr)
+		}
+		if addErr := getQ.Add(time.Since(opStart).Seconds() * 1e3); addErr != nil {
+			return addErr
+		}
+	}
+	getElapsed := time.Since(getStart).Seconds()
+
+	res.Puts = kvPhase{
+		Ops: keys, Seconds: putElapsed, OpsPerSec: float64(keys) / putElapsed,
+		P50Ms: putQ.Quantile(0.5), P99Ms: putQ.Quantile(0.99),
+	}
+	res.Gets = kvPhase{
+		Ops: gets, Seconds: getElapsed, OpsPerSec: float64(gets) / getElapsed,
+		P50Ms: getQ.Quantile(0.5), P99Ms: getQ.Quantile(0.99),
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kv bench (r=%d W=%d R=%d, %d nodes): %d puts @ %.0f/s (p50 %.3fms p99 %.3fms), %d gets @ %.0f/s (p50 %.3fms p99 %.3fms) -> %s\n",
+		res.Replication.Factor, res.Replication.WriteQuorum, res.Replication.ReadQuorum, res.Nodes,
+		res.Puts.Ops, res.Puts.OpsPerSec, res.Puts.P50Ms, res.Puts.P99Ms,
+		res.Gets.Ops, res.Gets.OpsPerSec, res.Gets.P50Ms, res.Gets.P99Ms, path)
+	return nil
+}

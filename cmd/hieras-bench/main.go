@@ -32,14 +32,23 @@ func main() {
 	log.SetPrefix("hieras-bench: ")
 
 	var (
-		scale = flag.Float64("scale", 0.1, "scale factor on the paper's node counts")
-		paper = flag.Bool("paper", false, "run at full paper scale (overrides -scale)")
+		scale   = flag.Float64("scale", 0.1, "scale factor on the paper's node counts")
+		paper   = flag.Bool("paper", false, "run at full paper scale (overrides -scale)")
 		seed    = flag.Int64("seed", 2003, "base random seed")
 		workers = flag.Int("workers", 0, "batch-engine workers per comparison (0 = all CPUs)")
 		only    = flag.String("only", "", "comma-separated subset: t1,t2,t3,fig2..fig9,overhead,algos,can,resilience,cache")
 		dumpMet = flag.Bool("metrics", false, "dump the cache study's Prometheus-text metrics after the run")
+		kvOut   = flag.String("kv-bench", "", "run the replicated-KV benchmark on the live stack and write its JSON artifact here (e.g. BENCH_kv.json); skips the paper suite unless -only is also given")
+		kvKeys  = flag.Int("kv-keys", 400, "distinct keys the KV benchmark writes (gets run 2x)")
 	)
 	flag.Parse()
+
+	if *kvOut != "" {
+		fatalIf(runKVBench(*seed, *kvKeys, *kvOut, os.Stdout))
+		if *only == "" {
+			return
+		}
+	}
 
 	sc := *scale
 	requests := 10000

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -52,6 +53,10 @@ func main() {
 		stabMs    = flag.Int("stabilize", 500, "stabilization period in milliseconds")
 		metrics   = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
 		cacheCap  = flag.Int("cache", 256, "location-cache capacity (0 disables caching)")
+
+		replFactor = flag.Int("r", 3, "replication factor: copies per key, the owner plus r-1 successors")
+		wQuorum    = flag.Int("w-quorum", 0, "write quorum: replica acks before a put is acknowledged (0 = majority of r)")
+		rQuorum    = flag.Int("r-quorum", 0, "read quorum: replica answers before a get trusts the freshest value (0 = first answer)")
 
 		retries      = flag.Int("retries", 3, "RPC attempts per call, first try included (1 disables retrying)")
 		retryBackoff = flag.Duration("retry-backoff", 20*time.Millisecond, "backoff before the first retry (doubles per retry, jittered)")
@@ -73,6 +78,11 @@ func main() {
 		Depth:       *depth,
 		Coord:       coord,
 		LookupCache: *cacheCap,
+		Replication: replica.Options{
+			Factor:      *replFactor,
+			WriteQuorum: *wQuorum,
+			ReadQuorum:  *rQuorum,
+		},
 		Retry: wire.RetryPolicy{
 			MaxAttempts: *retries,
 			BaseBackoff: *retryBackoff,

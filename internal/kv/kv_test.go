@@ -124,6 +124,68 @@ func TestReplicaFallbackAfterFailure(t *testing.T) {
 	}
 }
 
+// TestQuorumAndRepairAccounting: puts report acks, version stamps and
+// write-quorum state; gets repair replicas that lost their copy.
+func TestQuorumAndRepairAccounting(t *testing.T) {
+	o := testOverlay(t, 60, 9)
+	s, _ := New(o, 2) // factor 3, majority write quorum 2
+	rep, err := s.Put(0, "q", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acks != 3 || !rep.Quorum {
+		t.Errorf("healthy put: acks=%d quorum=%v, want 3 acks with quorum", rep.Acks, rep.Quorum)
+	}
+	if rep.Version != 1 {
+		t.Errorf("first put stamped version %d, want 1", rep.Version)
+	}
+	rep2, err := s.Put(1, "q", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Version <= rep.Version {
+		t.Errorf("re-put version %d did not advance past %d", rep2.Version, rep.Version)
+	}
+
+	owner, replica1 := rep.Nodes[0], rep.Nodes[1]
+	// Crash a replica (losing its copy), revive it empty, then crash the
+	// owner: the read must fall back past the empty replica, return the
+	// surviving copy, and re-install it on the revived node.
+	s.MarkDown(replica1)
+	s.MarkUp(replica1)
+	s.MarkDown(owner)
+	v, getRep, err := s.Get(10, "q")
+	if err != nil {
+		t.Fatalf("read after failures: %v", err)
+	}
+	if string(v) != "v2" {
+		t.Errorf("value %q, want freshest write", v)
+	}
+	if getRep.Version != rep2.Version {
+		t.Errorf("get returned version %d, want %d", getRep.Version, rep2.Version)
+	}
+	if getRep.Repairs != 1 {
+		t.Errorf("read repaired %d replicas, want 1 (the revived empty one)", getRep.Repairs)
+	}
+	if s.KeysAt(replica1) != 1 {
+		t.Errorf("revived replica holds %d keys after read-repair, want 1", s.KeysAt(replica1))
+	}
+
+	// With only one live member the put still lands but reports a missed
+	// write quorum.
+	for _, n := range rep.Nodes[1:] {
+		s.MarkDown(n)
+	}
+	s.MarkUp(owner)
+	solo, err := s.Put(0, "q", []byte("v3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Acks != 1 || solo.Quorum {
+		t.Errorf("degraded put: acks=%d quorum=%v, want 1 ack without quorum", solo.Acks, solo.Quorum)
+	}
+}
+
 func TestDelete(t *testing.T) {
 	o := testOverlay(t, 40, 5)
 	s, _ := New(o, 2)

@@ -30,6 +30,14 @@ pool_block_seconds
 pool_queue_depth
 pool_runs_total
 pool_worker_blocks_total
+quorum_failures_total
+quorum_read_seconds
+quorum_write_seconds
+read_repairs_total
+replica_dropped_total
+replica_handoff_items_total
+replica_lag
+rereplication_bytes_total
 ring_climbs_total
 ring_repairs_total
 routes_total

@@ -1,0 +1,338 @@
+package replica
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// CallFunc performs one wire exchange with a replica-set member. The
+// transport layer binds this to its retrier so replica traffic shares
+// the node's retry/breaker/fault-injection stack; unit tests bind it
+// to fakes.
+type CallFunc func(addr string, req wire.Request) (wire.Response, error)
+
+// ResolveFunc maps a key to its replica set: the owner first, then the
+// owner's successors in list order, deduplicated — at most Factor
+// members (fewer on small rings).
+type ResolveFunc func(key string) ([]string, error)
+
+// Metrics is the replica subsystem's instrument panel. All fields are
+// non-nil after NewMetrics; with a nil registry they are private
+// throwaways, mirroring wire.NewRetrier.
+type Metrics struct {
+	Lag          *metrics.Gauge
+	RereplBytes  *metrics.Counter
+	WriteSeconds *metrics.Histogram
+	ReadSeconds  *metrics.Histogram
+	Failures     *metrics.CounterVec
+	ReadRepairs  *metrics.Counter
+	HandoffItems *metrics.Counter
+	Dropped      *metrics.Counter
+}
+
+var quorumBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// NewMetrics registers the replica metrics on reg. A nil registry
+// yields private throwaways on an unexported registry, mirroring
+// wire.NewRetrier.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Metrics{
+		Lag: reg.NewGauge("replica_lag",
+			"Stale or missing key copies observed (and refreshed) by the last re-replication sweep."),
+		RereplBytes: reg.NewCounter("rereplication_bytes_total",
+			"Value bytes pushed to peers by re-replication sweeps."),
+		WriteSeconds: reg.NewHistogram("quorum_write_seconds",
+			"Latency of quorum writes, from replica-set resolution to quorum ack.", quorumBuckets),
+		ReadSeconds: reg.NewHistogram("quorum_read_seconds",
+			"Latency of quorum reads, from replica-set resolution to quorum answer.", quorumBuckets),
+		Failures: reg.NewCounterVec("quorum_failures_total",
+			"Operations that failed to assemble a quorum.", "op"),
+		ReadRepairs: reg.NewCounter("read_repairs_total",
+			"Stale or missing replicas refreshed by quorum reads."),
+		HandoffItems: reg.NewCounter("replica_handoff_items_total",
+			"Versioned items transferred by graceful-leave handoffs."),
+		Dropped: reg.NewCounter("replica_dropped_total",
+			"Keys dropped locally after a sweep confirmed the node left their replica set."),
+	}
+}
+
+// Coordinator drives quorum writes, quorum reads with read-repair, and
+// re-replication sweeps against an Engine. It issues replica-set RPCs
+// through Call; it never takes locks across those calls (the Engine
+// locks only around its own map operations).
+type Coordinator struct {
+	Self    string
+	Opts    Options
+	Engine  *Engine
+	Resolve ResolveFunc
+	Call    CallFunc
+	Metrics *Metrics
+
+	// Now supplies wall-clock readings for latency histograms only; it
+	// never influences control flow. Deterministic harnesses may leave
+	// it nil to skip timing altogether.
+	Now func() time.Time
+}
+
+func (c *Coordinator) metrics() *Metrics {
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil)
+	}
+	return c.Metrics
+}
+
+// observe records elapsed seconds since start into h when timing is on.
+func (c *Coordinator) observe(h *metrics.Histogram, start time.Time) {
+	if c.Now != nil {
+		h.Observe(c.Now().Sub(start).Seconds())
+	}
+}
+
+func (c *Coordinator) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Time{}
+}
+
+// Put performs one quorum write: resolve the key's replica set, read
+// the owner's current version, stamp the value past it, and install
+// the item on every member, acknowledging once WriteQuorum members
+// (clamped to the set size) accepted it. Failing members are tolerated
+// as long as the quorum holds; the sweep re-replicates to them later.
+func (c *Coordinator) Put(key string, value []byte) error {
+	m := c.metrics()
+	start := c.now()
+	opts := c.Opts.WithDefaults()
+	set, err := c.Resolve(key)
+	if err != nil {
+		m.Failures.With("put").Inc()
+		return fmt.Errorf("replica put %q: resolve: %w", key, err)
+	}
+	if len(set) == 0 {
+		m.Failures.With("put").Inc()
+		return fmt.Errorf("replica put %q: empty replica set", key)
+	}
+
+	// Freshest version visible at the owner orders this write after
+	// everything already acknowledged there. An unreachable owner is
+	// fine: the local engine's stamp still advances past anything this
+	// node has seen, and the writer nonce keeps stamps unique.
+	var seen uint64
+	if resp, getErr := c.Call(set[0], wire.Request{Type: wire.TStoreGet, Name: key}); getErr == nil && resp.Found {
+		seen = resp.Version
+	}
+	version, writer := c.Engine.Stamp(key, c.Self, seen)
+	item := wire.StoreItem{Key: key, Value: value, Version: version, Writer: writer}
+
+	targets := set
+	if opts.DropReplicaWrites {
+		targets = set[:1] // bug seam: owner copy only, no replicas
+	}
+	need := opts.WriteQuorum
+	if need > len(set) {
+		need = len(set)
+	}
+	acks := 0
+	var lastErr error
+	for _, addr := range targets {
+		req := wire.Request{Type: wire.TStorePut, Name: key, Items: []wire.StoreItem{item}}
+		if _, callErr := c.Call(addr, req); callErr != nil {
+			lastErr = callErr
+			continue
+		}
+		acks++
+	}
+	if acks < need && !(opts.DropReplicaWrites && acks >= 1) {
+		m.Failures.With("put").Inc()
+		return fmt.Errorf("replica put %q: %d/%d acks (need %d): %w", key, acks, len(targets), need, lastErr)
+	}
+	c.observe(m.WriteSeconds, start)
+	return nil
+}
+
+// Get performs one quorum read: poll replica-set members in ring
+// order, require ReadQuorum answers (clamped to the set size), and
+// return the freshest item seen. Members that answered stale or
+// missing are read-repaired with the winning item. A clean "not
+// found" needs every member to answer empty; when some members are
+// unreachable and nothing was found, Get reports an error so callers
+// cannot mistake a partition for an empty key.
+func (c *Coordinator) Get(key string) ([]byte, bool, error) {
+	m := c.metrics()
+	start := c.now()
+	opts := c.Opts.WithDefaults()
+	set, err := c.Resolve(key)
+	if err != nil {
+		m.Failures.With("get").Inc()
+		return nil, false, fmt.Errorf("replica get %q: resolve: %w", key, err)
+	}
+	if len(set) == 0 {
+		m.Failures.With("get").Inc()
+		return nil, false, fmt.Errorf("replica get %q: empty replica set", key)
+	}
+	need := opts.ReadQuorum
+	if need > len(set) {
+		need = len(set)
+	}
+
+	var best wire.StoreItem
+	found := false
+	answers := 0
+	held := map[string]wire.StoreItem{} // answered members that found the key
+	var polled []string                 // answered members in poll order
+	var lastErr error
+	for _, addr := range set {
+		resp, callErr := c.Call(addr, wire.Request{Type: wire.TStoreGet, Name: key})
+		if callErr != nil {
+			lastErr = callErr
+			continue
+		}
+		answers++
+		polled = append(polled, addr)
+		if resp.Found {
+			it := wire.StoreItem{Key: key, Value: resp.Value, Version: resp.Version, Writer: resp.Writer}
+			held[addr] = it
+			if !found || Supersedes(it, best) {
+				best = it
+				found = true
+			}
+		}
+		if found && answers >= need {
+			break
+		}
+	}
+
+	if !found {
+		if answers < len(set) {
+			m.Failures.With("get").Inc()
+			return nil, false, fmt.Errorf("replica get %q: %d/%d members answered, none held it: %w",
+				key, answers, len(set), lastErr)
+		}
+		return nil, false, nil // unanimous: the key does not exist
+	}
+	if answers < need {
+		m.Failures.With("get").Inc()
+		return nil, false, fmt.Errorf("replica get %q: %d/%d answers (need %d): %w",
+			key, answers, len(set), need, lastErr)
+	}
+	// Read-repair: refresh answered members that lack the winner. The
+	// DropReplicaWrites bug seam suppresses this too — the seeded bug is
+	// "this node never pushes copies", with no accidental self-healing.
+	if opts.DropReplicaWrites {
+		c.observe(m.ReadSeconds, start)
+		return best.Value, true, nil
+	}
+	repair := wire.Request{Type: wire.TStorePut, Name: key, Items: []wire.StoreItem{best}}
+	for _, addr := range polled {
+		if it, ok := held[addr]; ok && it.Version == best.Version && it.Writer == best.Writer {
+			continue
+		}
+		if resp, repErr := c.Call(addr, repair); repErr == nil && resp.Applied > 0 {
+			m.ReadRepairs.Inc()
+		}
+	}
+	c.observe(m.ReadSeconds, start)
+	return best.Value, true, nil
+}
+
+// SweepOnce re-homes every locally held key: resolve its current
+// replica set, push the held item to members that are behind, and
+// drop the local copy once the node is no longer a member and every
+// member confirmed the item. Pushes are batched per member and issued
+// in deterministic (sorted-key, set-order) sequence. It returns the
+// number of item-pushes applied remotely and keys dropped locally.
+func (c *Coordinator) SweepOnce() (applied, dropped int, firstErr error) {
+	m := c.metrics()
+	opts := c.Opts.WithDefaults()
+	if opts.DropReplicaWrites {
+		return 0, 0, nil // bug seam: sweeps neither replicate nor drop
+	}
+	type plan struct {
+		items []wire.StoreItem
+		keys  []string
+	}
+	batches := map[string]*plan{}
+	var order []string            // member send order (first appearance)
+	memberOK := map[string]bool{} // member → batch delivered
+	keyMembers := map[string][]string{}
+	selfMember := map[string]bool{}
+
+	for _, key := range c.Engine.Keys() {
+		item, ok := c.Engine.Get(key)
+		if !ok {
+			continue
+		}
+		set, err := c.Resolve(key)
+		if err != nil || len(set) == 0 {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue // unresolved: keep the copy, try next sweep
+		}
+		keyMembers[key] = set
+		for _, addr := range set {
+			if addr == c.Self {
+				selfMember[key] = true
+				continue
+			}
+			b := batches[addr]
+			if b == nil {
+				b = &plan{}
+				batches[addr] = b
+				order = append(order, addr)
+			}
+			b.items = append(b.items, item)
+			b.keys = append(b.keys, key)
+		}
+	}
+
+	lag := 0
+	for _, addr := range order {
+		b := batches[addr]
+		resp, err := c.Call(addr, wire.Request{Type: wire.TReplicate, Items: b.items})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		memberOK[addr] = true
+		applied += resp.Applied
+		lag += resp.Applied
+		if resp.Applied > 0 {
+			for _, it := range b.items {
+				m.RereplBytes.Add(uint64(len(it.Value)))
+			}
+		}
+	}
+	m.Lag.Set(float64(lag))
+
+	// Drop copies this node no longer owes — but only once every member
+	// of the key's current set confirmed the batch that carried it, so a
+	// copy is never destroyed before its replacement provably exists.
+	for key, set := range keyMembers {
+		if selfMember[key] {
+			continue
+		}
+		confirmed := true
+		for _, addr := range set {
+			if addr != c.Self && !memberOK[addr] {
+				confirmed = false
+				break
+			}
+		}
+		if confirmed {
+			c.Engine.Drop(key)
+			m.Dropped.Inc()
+			dropped++
+		}
+	}
+	return applied, dropped, firstErr
+}

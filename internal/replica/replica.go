@@ -1,0 +1,228 @@
+// Package replica implements the replicated, durable KV layer of the
+// HIERAS node stack: per-key replica sets of configurable factor r
+// placed on the owner's global successor list, quorum writes (W) and
+// quorum reads (R) with version stamps and read-repair, handoff of
+// versioned items on graceful leave, and periodic re-replication
+// sweeps that re-home data after churn.
+//
+// The package has two halves. Engine is the node-local store: a
+// versioned last-writer-wins map whose merges are idempotent, so the
+// TStorePut/TReplicate/THandoff wire operations retry safely. The
+// quorum coordination logic (replica-set resolution, ack counting,
+// read-repair, sweep planning) lives in the transport client, which
+// owns lookups and the successor lists; this package supplies the
+// ordering rule (Supersedes) both halves must agree on.
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Options configures replication for one node. The zero value means
+// "use defaults": factor 3, majority write quorum, single-replica
+// read quorum.
+type Options struct {
+	// Factor is the number of copies kept per key — the owner plus
+	// Factor-1 distinct successors (0 = default 3; values < 1 clamp
+	// to 1, i.e. no replication).
+	Factor int
+	// WriteQuorum is the number of replica acks a Put needs before it
+	// is acknowledged to the caller (0 = majority of Factor; clamped
+	// to [1, Factor]).
+	WriteQuorum int
+	// ReadQuorum is the number of replica answers a Get waits for
+	// before trusting the freshest one (0 = default 1; clamped to
+	// [1, Factor]).
+	ReadQuorum int
+	// DropReplicaWrites, when set, makes the node acknowledge writes
+	// after storing only the owner copy and skip pushing copies during
+	// sweeps. It exists solely as a deterministic bug seam for the
+	// simcheck harness: the durability invariant must catch it.
+	DropReplicaWrites bool
+}
+
+// WithDefaults returns o with zero fields resolved and quorums clamped
+// into [1, Factor].
+func (o Options) WithDefaults() Options {
+	if o.Factor == 0 {
+		o.Factor = 3
+	}
+	if o.Factor < 1 {
+		o.Factor = 1
+	}
+	if o.WriteQuorum == 0 {
+		o.WriteQuorum = o.Factor/2 + 1
+	}
+	if o.WriteQuorum < 1 {
+		o.WriteQuorum = 1
+	}
+	if o.WriteQuorum > o.Factor {
+		o.WriteQuorum = o.Factor
+	}
+	if o.ReadQuorum == 0 {
+		o.ReadQuorum = 1
+	}
+	if o.ReadQuorum < 1 {
+		o.ReadQuorum = 1
+	}
+	if o.ReadQuorum > o.Factor {
+		o.ReadQuorum = o.Factor
+	}
+	return o
+}
+
+// Supersedes reports whether item a should replace item b in a merge:
+// strictly higher version wins; equal versions break the tie on the
+// writer string. Two items with the same (Version, Writer) carry the
+// same value by construction (writers never reuse a stamp), so "not
+// supersedes" means "keeping b loses nothing".
+func Supersedes(a, b wire.StoreItem) bool {
+	if a.Version != b.Version {
+		return a.Version > b.Version
+	}
+	return a.Writer > b.Writer
+}
+
+// Engine is one node's versioned store. All methods are safe for
+// concurrent use. Merges are monotone: an item is replaced only by one
+// that Supersedes it, so applying any batch twice equals applying it
+// once and the wire operations feeding the engine are idempotent.
+type Engine struct {
+	mu    sync.Mutex
+	items map[string]wire.StoreItem
+	seq   uint64 // node-local write counter, feeds unique Writer stamps
+}
+
+// NewEngine returns an empty store.
+func NewEngine() *Engine {
+	return &Engine{items: make(map[string]wire.StoreItem)}
+}
+
+// Apply merges one item, returning true when it advanced the store
+// (the key was absent or the item supersedes the held one).
+func (e *Engine) Apply(item wire.StoreItem) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.items[item.Key]
+	if ok && !Supersedes(item, cur) {
+		return false
+	}
+	e.items[item.Key] = item
+	return true
+}
+
+// ApplyBatch merges a batch and returns how many items advanced the
+// store. Replaying a delivered batch returns 0.
+func (e *Engine) ApplyBatch(items []wire.StoreItem) int {
+	applied := 0
+	for _, it := range items {
+		if e.Apply(it) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// Get returns the held item for key.
+func (e *Engine) Get(key string) (wire.StoreItem, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	it, ok := e.items[key]
+	return it, ok
+}
+
+// Stamp allocates the next version stamp for a locally coordinated
+// write of key: one past the held version (or past `seen`, whichever
+// is larger — callers pass the freshest version observed from the
+// owner), with a writer string unique to this (node, write).
+func (e *Engine) Stamp(key, self string, seen uint64) (version uint64, writer string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	version = seen
+	if cur, ok := e.items[key]; ok && cur.Version > version {
+		version = cur.Version
+	}
+	version++
+	e.seq++
+	return version, fmt.Sprintf("%s#%d", self, e.seq)
+}
+
+// Bump stores a value under key with a stamp one past the held
+// version — the compatibility path for the legacy unversioned TPut.
+func (e *Engine) Bump(key, self string, value []byte) wire.StoreItem {
+	v, w := e.Stamp(key, self, 0)
+	it := wire.StoreItem{Key: key, Value: value, Version: v, Writer: w}
+	e.Apply(it)
+	return it
+}
+
+// Drop removes key from the store (used when a sweep determines the
+// node is no longer in the key's replica set).
+func (e *Engine) Drop(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.items, key)
+}
+
+// Len returns the number of keys held.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.items)
+}
+
+// Keys returns the held keys in sorted order — sweeps iterate this so
+// their wire traffic is deterministic under the simcheck harness.
+func (e *Engine) Keys() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]string, 0, len(e.items))
+	for k := range e.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Items returns a deep copy of the store sorted by key, for snapshots
+// and leave handoffs.
+func (e *Engine) Items() []wire.StoreItem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	items := make([]wire.StoreItem, 0, len(e.items))
+	for _, it := range e.items {
+		cp := it
+		cp.Value = append([]byte(nil), it.Value...)
+		items = append(items, cp)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Key < items[j].Key })
+	return items
+}
+
+// ReplicaSet returns the first want distinct members of the key's
+// replica set given the owner and the owner's successor list: the
+// owner first, then successors in list order, deduplicated by
+// address. Fewer members are returned when the ring is smaller than
+// the factor.
+func ReplicaSet(owner string, succs []string, want int) []string {
+	if want < 1 {
+		want = 1
+	}
+	set := make([]string, 0, want)
+	seen := map[string]bool{}
+	for _, addr := range append([]string{owner}, succs...) {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		set = append(set, addr)
+		if len(set) == want {
+			break
+		}
+	}
+	return set
+}

@@ -44,16 +44,13 @@ func (h *harness) exec(op Op) *Failure {
 			return nil
 		}
 		n := h.nodes[op.Slot]
-		err := n.Leave()
+		// A failed handoff is survivable by design: every acknowledged
+		// write has quorum copies on other replica-set members, and the
+		// sweeps inside maintain re-home them. The durability invariant
+		// holds the cluster to that claim immediately below.
+		_ = n.Leave()
 		n.Close()
 		h.nodes[op.Slot] = nil
-		if err != nil {
-			// The departing node could not finish its handoff; its keys
-			// may only exist on replicas now.
-			for k := range h.model.vals {
-				h.model.atRisk[k] = true
-			}
-		}
 		h.maintain()
 
 	case OpFail:
@@ -62,38 +59,42 @@ func (h *harness) exec(op Op) *Failure {
 		}
 		h.nodes[op.Slot].Close()
 		h.nodes[op.Slot] = nil
-		// Crash, no handoff: any key whose primary or replicas sat on
-		// this node may be gone until a quiescent read proves otherwise.
-		for k := range h.model.vals {
-			h.model.atRisk[k] = true
-		}
+		// Crash, no handoff. Replication makes this survivable too: a
+		// write quorum put copies on at least two nodes, a crash destroys
+		// one, and the death-triggered sweeps in maintain restore the
+		// replication factor before the next op can crash another.
 		h.maintain()
 
 	case OpPut:
 		n := h.origin(op.Slot)
 		err := n.Put(op.Key, []byte(op.Value))
-		// Record the value even when the put reports failure: the owner
-		// write may have landed before a replica write failed, so the
-		// value can legitimately be read back later.
+		// Record the value even when the put reports failure: part of the
+		// replica set may have accepted the write before the quorum
+		// fell short, so the value can legitimately be read back later.
 		h.model.put(op.Key, op.Value)
 		if err != nil {
 			if !h.partitioned {
 				return fail("put-availability", "put %q from n%d: %v", op.Key, op.Slot, err)
 			}
-			h.model.atRisk[op.Key] = true
-		} else if h.partitioned {
-			// Stored on this side's owner; the healed ring may hand the
-			// key range to a node that never saw the write.
-			h.model.atRisk[op.Key] = true
+			return nil // a minority side may legitimately lack a write quorum
 		}
+		// Acknowledged: a write quorum confirmed the item. From here on
+		// the cluster must never lose this key — even when it was written
+		// on one side of a partition, because the side that acknowledged
+		// it holds quorum copies that survive the heal and re-home.
+		h.model.acked[op.Key] = true
 
 	case OpGet:
 		n := h.origin(op.Slot)
 		v, err := n.Get(op.Key)
 		acc := h.model.vals[op.Key]
 		if err != nil {
-			if len(acc) > 0 && !h.partitioned && !h.model.atRisk[op.Key] {
-				return fail("get-availability", "get %q from n%d: %v", op.Key, op.Slot, err)
+			// Acknowledged writes must stay readable in a partition-free
+			// cluster — no churn exemptions, that is what the quorum
+			// bought. Unacknowledged writes may be absent, and a split
+			// cluster may be unable to assemble a read quorum.
+			if h.model.acked[op.Key] && !h.partitioned {
+				return fail("get-availability", "get %q from n%d: %v (write was acknowledged)", op.Key, op.Slot, err)
 			}
 			return nil
 		}
@@ -158,8 +159,8 @@ func hopBound(liveNodes, depth int) int {
 // checkpoint runs the invariant registry. With a partition active only
 // the always-on invariants apply — the cluster cannot converge while it
 // is split. Otherwise the harness first quiesces to a maintenance
-// fixpoint, then checks everything, then clears risk flags for keys the
-// data sweep proved readable.
+// fixpoint, then checks everything, exact placement and durable reads
+// included.
 func (h *harness) checkpoint() *Failure {
 	if h.partitioned {
 		return h.runInvariants(false)
@@ -167,10 +168,7 @@ func (h *harness) checkpoint() *Failure {
 	if err := h.quiesce(); err != nil {
 		return &Failure{Invariant: "quiescence", Err: err}
 	}
-	if f := h.runInvariants(true); f != nil {
-		return f
-	}
-	return nil
+	return h.runInvariants(true)
 }
 
 // runInvariants evaluates the registry against a freshly built world.
@@ -183,11 +181,6 @@ func (h *harness) runInvariants(quiescent bool) *Failure {
 		}
 		if err := inv.Check(w); err != nil {
 			return &Failure{Invariant: inv.Name, Err: err}
-		}
-	}
-	if quiescent {
-		for k := range w.readOK {
-			delete(h.model.atRisk, k)
 		}
 	}
 	return nil

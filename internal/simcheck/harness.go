@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/binning"
 	"repro/internal/faultnet"
+	"repro/internal/replica"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -16,12 +17,13 @@ import (
 // model is the harness's ground truth about stored data. Values are
 // grow-only per key: replicas and partition-era writes mean an old value
 // can legitimately resurface, so correctness is "some value we wrote",
-// never "the latest value". atRisk marks keys whose only copies may have
-// died with a crashed node; for those, a not-found answer is acceptable
-// until a quiescent read proves the key is alive again.
+// never "the latest value". acked marks keys whose put was acknowledged
+// by a write quorum; the durability invariants hold the cluster to
+// never losing those, with no churn or crash exemptions — that promise
+// is exactly what quorum replication buys.
 type model struct {
-	vals   map[string]map[string]bool
-	atRisk map[string]bool
+	vals  map[string]map[string]bool
+	acked map[string]bool
 }
 
 func (m *model) put(key, value string) {
@@ -71,13 +73,13 @@ func slotCoord(slot int) [2]float64 {
 
 func newHarness(cfg Config) (*harness, error) {
 	h := &harness{
-		cfg:    cfg,
-		mem:    wire.NewMemNet(),
-		fnet:   faultnet.New(cfg.Seed),
+		cfg:         cfg,
+		mem:         wire.NewMemNet(),
+		fnet:        faultnet.New(cfg.Seed),
 		nodes:       make([]*transport.Node, cfg.Slots),
 		coords:      make([][2]float64, cfg.Slots),
 		expectNames: make([][]string, cfg.Slots),
-		model:  &model{vals: map[string]map[string]bool{}, atRisk: map[string]bool{}},
+		model:       &model{vals: map[string]map[string]bool{}, acked: map[string]bool{}},
 	}
 	ladder, err := binning.DefaultLadder(cfg.Depth)
 	if err != nil {
@@ -117,6 +119,21 @@ func dist(a, b [2]float64) float64 {
 	return math.Hypot(a[0]-b[0], a[1]-b[1])
 }
 
+// replOptions is the replication configuration every harness node runs:
+// factor 3 with a majority write quorum, so any single crash or failed
+// handoff leaves an acknowledged write with a surviving copy, and a
+// read quorum of 2 so gets cross-check replicas (and read-repair fires).
+// cfg.ReplicationBug flips on the transport's seeded owner-copy-only
+// fault for the replication acceptance test.
+func (h *harness) replOptions() replica.Options {
+	return replica.Options{
+		Factor:            3,
+		WriteQuorum:       2,
+		ReadQuorum:        2,
+		DropReplicaWrites: h.cfg.ReplicationBug,
+	}
+}
+
 func (h *harness) startNode(slot int) error {
 	ln, err := h.mem.Listen(slotAddr(slot))
 	if err != nil {
@@ -134,10 +151,11 @@ func (h *harness) startNode(slot int) error {
 		// The breaker's cooldown is wall-clock time — nondeterministic
 		// under load — so it stays off; eviction runs on the consecutive
 		// failure count, which is schedule-determined.
-		Breaker:    wire.BreakerPolicy{Threshold: -1},
-		WrapCaller: h.fnet.Caller,
-		Listener:   ln,
-		Dial:       h.mem.Dial,
+		Breaker:     wire.BreakerPolicy{Threshold: -1},
+		Replication: h.replOptions(),
+		WrapCaller:  h.fnet.Caller,
+		Listener:    ln,
+		Dial:        h.mem.Dial,
 	})
 	if err != nil {
 		ln.Close()
@@ -206,6 +224,11 @@ func (h *harness) maintainRound(full bool) {
 		} else {
 			_ = n.FixFingersOnce(16)
 		}
+		// Re-replication sweep, last: it re-homes data over whatever ring
+		// state this round repaired, exactly as StabilizeOnce would in a
+		// deployment. Best-effort by design — a sweep that cannot reach a
+		// member keeps the local copy and retries next round.
+		_, _, _ = n.ReplicaSweepOnce()
 	}
 }
 

@@ -28,6 +28,7 @@ type nodeView struct {
 // (reachability lookups, data reads).
 type world struct {
 	Depth       int
+	Factor      int // replication factor every node runs
 	Quiescent   bool
 	Partitioned bool
 	Live        []nodeView // ascending slot order
@@ -35,16 +36,15 @@ type world struct {
 
 	lookup func(slot int, key id.ID) (transport.LookupResult, error)
 	get    func(slot int, key string) ([]byte, error)
-	readOK map[string]bool // keys the data sweep successfully read
 }
 
 func (h *harness) world(quiescent bool) *world {
 	w := &world{
 		Depth:       h.cfg.Depth,
+		Factor:      h.replOptions().Factor,
 		Quiescent:   quiescent,
 		Partitioned: h.partitioned,
 		Model:       h.model,
-		readOK:      map[string]bool{},
 		lookup: func(slot int, key id.ID) (transport.LookupResult, error) {
 			return h.nodes[slot].Lookup(key)
 		},
@@ -82,9 +82,11 @@ func registry() []Invariant {
 		{Name: "node-identity", Check: checkNodeIdentity},
 		{Name: "ring-name-stability", Check: checkRingNames},
 		{Name: "ring-refinement", Check: checkRefinement},
+		{Name: "durability", Check: checkDurability},
 		{Name: "ring-consistency", Quiescent: true, Check: checkRings},
 		{Name: "finger-exactness", Quiescent: true, Check: checkFingers},
 		{Name: "ring-table-exactness", Quiescent: true, Check: checkRingTables},
+		{Name: "replica-placement", Quiescent: true, Check: checkPlacement},
 		{Name: "reachability", Quiescent: true, Check: checkReachability},
 		{Name: "data-safety", Quiescent: true, Check: checkData},
 	}
@@ -338,24 +340,140 @@ func checkReachability(w *world) error {
 	return nil
 }
 
-// checkData: every key the model knows is readable (unless flagged
-// at-risk by an unclean departure) and reads back a value that was
-// actually written. Keys that read successfully are reported via
-// world.readOK so the harness can clear their risk flags.
+// checkDurability: no acknowledged write is ever lost — every key whose
+// put reached a write quorum is still held, with a value that was
+// actually written, by at least one live node. Snapshot-only, so it is
+// always-on: it must hold mid-partition and mid-churn, with no
+// exemptions for crashes or failed handoffs. A write quorum of 2 puts
+// copies on two nodes, each crash destroys at most one, and the
+// death-triggered sweeps between ops restore the factor — so a key with
+// zero surviving copies is always a replication bug, never bad luck.
+func checkDurability(w *world) error {
+	held := map[string]map[string]bool{} // key → values held by any live node
+	for _, v := range w.Live {
+		for _, it := range v.Snap.Items {
+			if held[it.Key] == nil {
+				held[it.Key] = map[string]bool{}
+			}
+			held[it.Key][string(it.Value)] = true
+		}
+	}
+	acked := make([]string, 0, len(w.Model.acked))
+	for k := range w.Model.acked {
+		acked = append(acked, k)
+	}
+	sort.Strings(acked)
+	for _, key := range acked {
+		vals := held[key]
+		if len(vals) == 0 {
+			return fmt.Errorf("acknowledged key %q is held by no live node — every quorum copy was lost", key)
+		}
+		written := false
+		for val := range vals {
+			if w.Model.vals[key][val] {
+				written = true
+				break
+			}
+		}
+		if !written {
+			return fmt.Errorf("acknowledged key %q survives only with values that were never written", key)
+		}
+	}
+	return nil
+}
+
+// replicaMembers is the oracle replica set of key: the global successor
+// of the key's identifier plus the next min(factor, n)−1 distinct live
+// nodes clockwise — the same rule the transport's replica-set resolution
+// follows, recomputed here from nothing but snapshots.
+func replicaMembers(byID []nodeView, ids []id.ID, key string, factor int) []string {
+	k := factor
+	if k > len(byID) {
+		k = len(byID)
+	}
+	start := successorIndex(ids, transport.LiveKeyID(key))
+	out := make([]string, 0, k)
+	for d := 0; d < k; d++ {
+		out = append(out, byID[(start+d)%len(byID)].Snap.Addr)
+	}
+	return out
+}
+
+// checkPlacement: at a maintenance fixpoint every stored key sits on
+// exactly its replica set, every member holds the identical stamped
+// item, and no other node holds a copy. Missing members would be filled
+// by the next sweep and stray copies dropped by it, so any deviation at
+// a fixpoint is a replication bug — an owner-copy-only write fails here
+// at the first quiescent checkpoint after a single put.
+func checkPlacement(w *world) error {
+	byID, ids := sortedByID(w.Live)
+	holders := map[string]map[string]wire.StoreItem{} // key → holder addr → item
+	for _, v := range w.Live {
+		for _, it := range v.Snap.Items {
+			if holders[it.Key] == nil {
+				holders[it.Key] = map[string]wire.StoreItem{}
+			}
+			holders[it.Key][v.Snap.Addr] = it
+		}
+	}
+	keys := make([]string, 0, len(holders))
+	for k := range holders {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		members := replicaMembers(byID, ids, key, w.Factor)
+		inSet := map[string]bool{}
+		var ref wire.StoreItem
+		for i, addr := range members {
+			inSet[addr] = true
+			it, ok := holders[key][addr]
+			if !ok {
+				return fmt.Errorf("key %q: replica-set member %s holds no copy (set %v, %d factor)",
+					key, addr, members, w.Factor)
+			}
+			if i == 0 {
+				ref = it
+				continue
+			}
+			if it.Version != ref.Version || it.Writer != ref.Writer || !bytes.Equal(it.Value, ref.Value) {
+				return fmt.Errorf("key %q: replicas diverge at a fixpoint: %s holds v%d/%s, %s holds v%d/%s",
+					key, members[0], ref.Version, ref.Writer, addr, it.Version, it.Writer)
+			}
+		}
+		var strays []string
+		for addr := range holders[key] {
+			if !inSet[addr] {
+				strays = append(strays, addr)
+			}
+		}
+		if len(strays) > 0 {
+			sort.Strings(strays)
+			return fmt.Errorf("key %q: held outside its replica set %v by %v", key, members, strays)
+		}
+	}
+	return nil
+}
+
+// checkData: every key the model knows reads back only values that were
+// actually written, and every acknowledged key reads back successfully —
+// at a quiescent fixpoint a quorum read of an acked write must succeed,
+// with no churn exemptions. Unacknowledged writes (quorum failures on a
+// partition minority) may be absent; if they resurface, the value must
+// still be one the harness wrote.
 func checkData(w *world) error {
 	origin := w.Live[0].Slot
 	for _, key := range w.Model.keys() {
 		v, err := w.get(origin, key)
 		if err != nil {
-			if w.Model.atRisk[key] {
-				continue
+			if w.Model.acked[key] {
+				return fmt.Errorf("get %q: %v (write was acknowledged by a quorum; it must stay readable)", key, err)
 			}
-			return fmt.Errorf("get %q: %v (key not at risk: no unclean departure since last proof of life)", key, err)
+			continue
 		}
 		if !w.Model.vals[key][string(v)] {
 			return fmt.Errorf("get %q: value %q was never written", key, bytes.ToValidUTF8(v, []byte{'?'}))
 		}
-		w.readOK[key] = true
 	}
 	return nil
 }

@@ -37,6 +37,13 @@ type Config struct {
 	// maintenance bug used to prove the invariant suite catches and
 	// shrinks real regressions. 0 checks the honest protocol.
 	SkipRepairLayer int
+	// ReplicationBug, when true, seeds a replication fault: every node
+	// acknowledges quorum writes after storing only the owner's copy and
+	// never pushes replicas (no replica writes, no re-replication
+	// sweeps, no read-repair). The durability and replica-placement
+	// invariants must catch it and shrink to a replayable artifact.
+	// False checks the honest protocol.
+	ReplicationBug bool
 }
 
 func (c Config) withDefaults() Config {

@@ -62,6 +62,45 @@ func TestSeededBugCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestSeededReplicationBugCaughtAndShrunk: the replication acceptance
+// test. A seeded fault that acknowledges quorum writes while silently
+// dropping every replica copy (no replica writes, no sweeps, no
+// read-repair) must be caught by the durability/placement invariants,
+// shrunk to a handful of operations, and replayable from the artifact —
+// while the honest protocol passes the identical program.
+func TestSeededReplicationBugCaughtAndShrunk(t *testing.T) {
+	buggy := Config{Seed: 42, ReplicationBug: true}
+	f := Run(buggy)
+	if f == nil {
+		t.Fatal("invariant suite did not catch the seeded replication bug")
+	}
+	t.Logf("caught %q in %d ops (%v):\n%s", f.Invariant, len(f.Ops), f.Elapsed, f.Artifact)
+	switch f.Invariant {
+	case "durability", "replica-placement", "get-availability", "data-safety":
+	default:
+		t.Errorf("tripped %q; a dropped-replica bug should fail a replication invariant", f.Invariant)
+	}
+	if len(f.Ops) > 10 {
+		t.Errorf("shrunk program has %d ops, want <= 10:\n%s", len(f.Ops), f.Artifact)
+	}
+	if !strings.Contains(f.Artifact, "simcheck.Replay(42, []simcheck.Op{") {
+		t.Errorf("artifact is not a Replay call:\n%s", f.Artifact)
+	}
+	// The artifact reproduces the same violation under the buggy config.
+	g := buggy.Replay(f.Ops)
+	if g == nil {
+		t.Fatal("shrunk program does not reproduce the failure on replay")
+	}
+	if g.Invariant != f.Invariant {
+		t.Errorf("replay tripped %q, original run tripped %q", g.Invariant, f.Invariant)
+	}
+	// The honest protocol passes the very same program: the bug is the
+	// dropped replication, not the operation sequence.
+	if h := (Config{Seed: 42}).Replay(f.Ops); h != nil {
+		t.Errorf("honest protocol fails the shrunk program too — bug not isolated: %v", h)
+	}
+}
+
 // TestSeededBugDeterministic: two full runs against the seeded bug find
 // the same invariant and shrink to the identical program — the property
 // the whole replay/artifact story rests on.

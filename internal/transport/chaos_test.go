@@ -36,8 +36,9 @@ func chaosRules() []faultnet.Rule {
 // chaosCluster builds an n-node depth-2 overlay (same two-coordinate-
 // cluster layout as cluster) whose outgoing calls all pass through wrap,
 // with a fast retry policy and the given breaker. Nodes get the logical
-// names n0..n{n-1}.
-func chaosCluster(t *testing.T, n int, wrap func(string, wire.Caller) wire.Caller, breaker wire.BreakerPolicy) []*Node {
+// names n0..n{n-1}. Optional tweak funcs adjust each node's Config
+// before start (e.g. explicit replication quorums).
+func chaosCluster(t *testing.T, n int, wrap func(string, wire.Caller) wire.Caller, breaker wire.BreakerPolicy, tweaks ...func(*Config)) []*Node {
 	t.Helper()
 	coord := func(i int) [2]float64 {
 		if i%2 == 0 {
@@ -47,7 +48,7 @@ func chaosCluster(t *testing.T, n int, wrap func(string, wire.Caller) wire.Calle
 	}
 	nodes := make([]*Node, 0, n)
 	for i := 0; i < n; i++ {
-		nd, err := Start("127.0.0.1:0", Config{
+		cfg := Config{
 			Depth:       2,
 			Coord:       coord(i),
 			CallTimeout: 5 * time.Second,
@@ -58,7 +59,11 @@ func chaosCluster(t *testing.T, n int, wrap func(string, wire.Caller) wire.Calle
 			},
 			Breaker:    breaker,
 			WrapCaller: wrap,
-		})
+		}
+		for _, tw := range tweaks {
+			tw(&cfg)
+		}
+		nd, err := Start("127.0.0.1:0", cfg)
 		if err != nil {
 			t.Fatalf("Start node %d: %v", i, err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/binning"
 	"repro/internal/id"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -255,8 +256,11 @@ func (n *Node) pruneDeadBoundaries(t wire.RingTable) wire.RingTable {
 
 // evictAt tells `at` that `dead` no longer answers, so it purges the
 // reference from the layer's routing state (Chord's timeout handling).
+// A confirmed death also dirties the sweep flag: keys whose replica
+// set included the dead peer need a new home.
 func (n *Node) evictAt(at string, layer int, dead string) {
 	n.nm.evictions.Inc()
+	n.markSweepNeeded()
 	_, _ = n.call(at, wire.Request{
 		Type:  wire.TEvict,
 		Layer: layer,
@@ -491,90 +495,115 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 	}
 }
 
-// Put stores a value at the owner of key and replicates it on the owner's
-// successor list, so reads survive the owner's failure until stabilization
-// rebalances responsibility.
-func (n *Node) Put(key string, value []byte) error {
-	res, err := n.Lookup(LiveKeyID(key))
-	if err != nil {
-		return err
-	}
-	if _, putErr := n.call(res.Owner.Addr, wire.Request{
-		Type: wire.TPut, Name: key, Value: value,
-	}); putErr != nil {
-		return putErr
-	}
-	// Best-effort replication: failure to reach a replica is not an error.
-	nb, err := n.call(res.Owner.Addr, wire.Request{
-		Type: wire.TGetNeighbors, Layer: 1,
-	})
-	if err == nil {
-		for _, rep := range nb.Succ {
-			if rep.Addr == "" || rep.Addr == res.Owner.Addr {
-				continue
-			}
-			_, _ = n.call(rep.Addr, wire.Request{
-				Type: wire.TPut, Name: key, Value: value,
-			})
-		}
-	}
-	return nil
-}
-
-// Get fetches a value from the owner of key, falling back along the
-// owner's replicas when the owner is unreachable or lost the key.
-func (n *Node) Get(key string) ([]byte, error) {
+// resolveReplicaSet maps a key to its current replica set: the key's
+// owner (by hierarchical lookup) followed by the owner's global
+// successors, deduplicated, at most Replication.Factor members. When
+// the owner's neighbor state is unreachable, the resolver degrades to
+// this node's own successor-list view of the same ring region, so a
+// freshly dead owner does not make the whole key unresolvable.
+func (n *Node) resolveReplicaSet(key string) ([]string, error) {
 	res, err := n.Lookup(LiveKeyID(key))
 	if err != nil {
 		return nil, err
 	}
-	resp, err := n.call(res.Owner.Addr, wire.Request{
-		Type: wire.TGet, Name: key,
-	})
-	if err == nil {
-		return resp.Value, nil
-	}
-	firstErr := err
-	// The owner failed or misses the key; its ring successors hold
-	// replicas. Locate them through the owner's predecessor region: ask
-	// our own view of the ring via a fresh walk from ourselves.
-	nb, nerr := n.call(res.Owner.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: 1})
-	var candidates []wire.Peer
-	if nerr == nil {
-		candidates = nb.Succ
+	owner := res.Owner.Addr
+	var succs []string
+	if nb, nbErr := n.call(owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); nbErr == nil {
+		for _, p := range nb.Succ {
+			succs = append(succs, p.Addr)
+		}
 	} else {
-		// Owner is down: re-walk to the key's live owner (the routing
-		// state may still point at the dead node, so also try our own
-		// successor list region).
-		if again, lerr := n.Lookup(LiveKeyID(key)); lerr == nil && again.Owner.Addr != res.Owner.Addr {
-			candidates = append(candidates, again.Owner)
+		// Owner unreachable: re-walk for a live owner and fall back to our
+		// own successor list for the trailing members.
+		if again, lerr := n.Lookup(LiveKeyID(key)); lerr == nil && again.Owner.Addr != owner {
+			owner = again.Owner.Addr
+			if nb2, err2 := n.call(owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); err2 == nil {
+				for _, p := range nb2.Succ {
+					succs = append(succs, p.Addr)
+				}
+			}
 		}
-		succ, _, _ := n.Neighbors(1)
-		candidates = append(candidates, succ...)
-	}
-	for _, rep := range candidates {
-		if rep.Addr == "" || rep.Addr == res.Owner.Addr {
-			continue
-		}
-		if resp, err := n.call(rep.Addr, wire.Request{
-			Type: wire.TGet, Name: key,
-		}); err == nil {
-			return resp.Value, nil
+		if len(succs) == 0 {
+			own, _, _ := n.Neighbors(1)
+			for _, p := range own {
+				succs = append(succs, p.Addr)
+			}
 		}
 	}
-	return nil, firstErr
+	return replica.ReplicaSet(owner, succs, n.cfg.Replication.Factor), nil
+}
+
+// Put stores a value durably: a quorum write of a version-stamped item
+// to the key's replica set (the owner plus its successors). The write
+// is acknowledged once Replication.WriteQuorum members accepted it;
+// members missed here are caught up by read-repair and the
+// re-replication sweep.
+func (n *Node) Put(key string, value []byte) error {
+	return n.co.Put(key, value)
+}
+
+// Get fetches a value with a quorum read over the key's replica set,
+// returning the freshest version seen and read-repairing stale members.
+// A missing key is an error (matching the pre-replication contract);
+// Get only trusts "not found" when every replica-set member answered.
+func (n *Node) Get(key string) ([]byte, error) {
+	v, found, err := n.co.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("transport: key %q not found", key)
+	}
+	return v, nil
+}
+
+// ReplicaSweepOnce runs one re-replication/republish sweep: every
+// locally held key is re-resolved against the current ring, members
+// that are behind receive the held item, and copies this node no
+// longer owes are dropped once every responsible member confirmed
+// theirs. Returns the number of remote item installs and local drops.
+func (n *Node) ReplicaSweepOnce() (applied, dropped int, err error) {
+	return n.co.SweepOnce()
+}
+
+// markSweepNeeded requests a re-replication sweep on the next
+// StabilizeOnce round, bypassing the SweepEvery cadence — called on
+// every eviction so data re-homes as soon as a death is confirmed.
+func (n *Node) markSweepNeeded() {
+	n.mu.Lock()
+	n.needSweep = true
+	n.mu.Unlock()
 }
 
 // StabilizeOnce runs one stabilization round on every layer: verify the
 // successor, adopt a closer one, refresh the successor list, notify, and
 // repair ring tables whose ownership moved or whose storing node died.
+// It finishes with a best-effort re-replication sweep on the SweepEvery
+// cadence (or immediately after an eviction), so data re-homes on the
+// same clock that heals the rings.
 func (n *Node) StabilizeOnce() error {
 	for layer := 1; layer <= n.cfg.Depth; layer++ {
 		if err := n.StabilizeLayer(layer); err != nil {
 			return err
 		}
 	}
-	return n.RepairRingTables()
+	if err := n.RepairRingTables(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.sweepTick++
+	due := n.needSweep || n.sweepTick >= n.cfg.SweepEvery
+	if due {
+		n.sweepTick = 0
+		n.needSweep = false
+	}
+	n.mu.Unlock()
+	if due {
+		// Best-effort: a sweep blocked by an unreachable member retries on
+		// the next round; it must not fail the stabilization round.
+		_, _, _ = n.ReplicaSweepOnce()
+	}
+	return nil
 }
 
 // StabilizeLayer runs one stabilization round on a single layer (1 =
@@ -1021,7 +1050,10 @@ func (n *Node) Leave() error {
 			_, _ = n.call(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff})
 		}
 	}
-	// Migrate stored state to the global successor.
+	// Migrate stored state to the global successor: the versioned items
+	// travel in one THandoff batch (already key-sorted by Engine.Items,
+	// so the handoff wire traffic is deterministic), the ring tables as
+	// before.
 	n.mu.Lock()
 	gsucc := wire.Peer{}
 	for _, c := range n.layers[0].succ {
@@ -1030,21 +1062,12 @@ func (n *Node) Leave() error {
 			break
 		}
 	}
-	// Deterministic handoff order: both stores are maps.
-	keys := make([]string, 0, len(n.data))
-	for k := range n.data {
-		keys = append(keys, k)
-	}
-	data := make(map[string][]byte, len(n.data))
-	for k, v := range n.data {
-		data[k] = v
-	}
 	tables := make([]wire.RingTable, 0, len(n.tables))
 	for _, t := range n.tables {
 		tables = append(tables, t)
 	}
 	n.mu.Unlock()
-	sort.Strings(keys)
+	items := n.store.Items()
 	sort.Slice(tables, func(i, j int) bool {
 		if tables[i].Layer != tables[j].Layer {
 			return tables[i].Layer < tables[j].Layer
@@ -1052,8 +1075,10 @@ func (n *Node) Leave() error {
 		return tables[i].Name < tables[j].Name
 	})
 	if gsucc.Addr != "" {
-		for _, k := range keys {
-			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPut, Name: k, Value: data[k]})
+		if len(items) > 0 {
+			if _, err := n.call(gsucc.Addr, wire.Request{Type: wire.THandoff, Items: items}); err == nil {
+				n.co.Metrics.HandoffItems.Add(uint64(len(items)))
+			}
 		}
 		for _, t := range tables {
 			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})

@@ -20,6 +20,7 @@ import (
 	"repro/internal/binning"
 	"repro/internal/id"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/wire"
 )
 
@@ -71,6 +72,16 @@ type Config struct {
 	// verified with a single RPC before use, so a stale entry costs one
 	// wasted call, never a wrong answer.
 	LookupCache int
+	// Replication configures the replicated KV layer: replica factor,
+	// write quorum and read quorum (see replica.Options). The zero value
+	// uses the replica defaults (factor 3, majority writes, single-reader
+	// reads).
+	Replication replica.Options
+	// SweepEvery runs the re-replication/republish sweep on every k-th
+	// StabilizeOnce round (default 1 = every round). Evictions force a
+	// sweep on the next round regardless, so death-triggered
+	// re-replication does not wait out the cadence.
+	SweepEvery int
 	// Listener, when non-nil, is served instead of a fresh TCP listener;
 	// its Addr().String() becomes the node's address. In-process harnesses
 	// pass a wire.MemNet listener so node identifiers (derived from the
@@ -91,6 +102,10 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 3 * time.Second
 	}
+	if c.SweepEvery < 1 {
+		c.SweepEvery = 1
+	}
+	c.Replication = c.Replication.WithDefaults()
 	return c
 }
 
@@ -114,17 +129,20 @@ type Node struct {
 	layers    []*layerState // layers[0] = global ring, layers[l] = layer l+1
 	ringNames []string      // per lower layer
 	landmarks []string
-	joined    bool // member of an overlay (CreateNetwork/Join succeeded); gates repair
-	data      map[string][]byte
+	joined    bool                      // member of an overlay (CreateNetwork/Join succeeded); gates repair
 	tables    map[string]wire.RingTable // key = ringKey(layer, name)
+	sweepTick int                       // StabilizeOnce rounds since the last sweep
+	needSweep bool                      // eviction observed; sweep on the next round
 
 	closed  chan struct{}
 	handled int64 // requests served (also exported via the registry)
 	wg      sync.WaitGroup
 
 	nm      *nodeMetrics
-	cache   *lookupCache // nil when Config.LookupCache == 0
-	caller  wire.Caller  // full outgoing chain: retrier → (injector) → instrumented transport
+	store   *replica.Engine      // versioned local KV store
+	co      *replica.Coordinator // quorum write/read/sweep driver over the store
+	cache   *lookupCache         // nil when Config.LookupCache == 0
+	caller  wire.Caller          // full outgoing chain: retrier → (injector) → instrumented transport
 	retrier *wire.Retrier
 	suspect int // consecutive-failure count that triggers eviction
 }
@@ -171,7 +189,7 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		cfg:    cfg,
 		addr:   ln.Addr().String(),
 		ln:     ln,
-		data:   make(map[string][]byte),
+		store:  replica.NewEngine(),
 		tables: make(map[string]wire.RingTable),
 		closed: make(chan struct{}),
 	}
@@ -197,6 +215,17 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	}
 	if cfg.LookupCache > 0 {
 		n.cache = newLookupCache(cfg.LookupCache)
+	}
+	n.co = &replica.Coordinator{
+		Self:    n.addr,
+		Opts:    cfg.Replication,
+		Engine:  n.store,
+		Resolve: n.resolveReplicaSet,
+		Call: func(addr string, req wire.Request) (wire.Response, error) {
+			return n.call(addr, req)
+		},
+		Metrics: replica.NewMetrics(reg),
+		Now:     time.Now,
 	}
 	n.layers = make([]*layerState, cfg.Depth)
 	for i := range n.layers {
@@ -350,22 +379,47 @@ func (n *Node) handle(req wire.Request) wire.Response {
 		return wire.Response{OK: true}
 
 	case wire.TPut:
+		// Legacy unversioned write: stamp it one past the local version so
+		// it merges into the versioned store without regressing newer data.
 		if req.Name == "" {
 			return wire.Errorf("put without key")
 		}
 		v := make([]byte, len(req.Value))
 		copy(v, req.Value)
-		n.data[req.Name] = v
+		n.store.Bump(req.Name, n.addr, v)
 		return wire.Response{OK: true}
 
 	case wire.TGet:
-		v, ok := n.data[req.Name]
+		it, ok := n.store.Get(req.Name)
 		if !ok {
 			return wire.Errorf("key %q not found", req.Name)
 		}
-		out := make([]byte, len(v))
-		copy(out, v)
+		out := make([]byte, len(it.Value))
+		copy(out, it.Value)
 		return wire.Response{OK: true, Value: out}
+
+	case wire.TStorePut:
+		if len(req.Items) != 1 || req.Items[0].Key == "" {
+			return wire.Errorf("store_put wants exactly one keyed item, got %d", len(req.Items))
+		}
+		return wire.Response{OK: true, Applied: n.store.ApplyBatch(req.Items)}
+
+	case wire.TStoreGet:
+		it, ok := n.store.Get(req.Name)
+		if !ok {
+			return wire.Response{OK: true, Found: false}
+		}
+		out := make([]byte, len(it.Value))
+		copy(out, it.Value)
+		return wire.Response{OK: true, Found: true, Value: out, Version: it.Version, Writer: it.Writer}
+
+	case wire.TReplicate, wire.THandoff:
+		for _, it := range req.Items {
+			if it.Key == "" {
+				return wire.Errorf("%s with unkeyed item", req.Type)
+			}
+		}
+		return wire.Response{OK: true, Applied: n.store.ApplyBatch(req.Items)}
 
 	case wire.TLeaveSucc:
 		ls, err := n.layerFor(req.Layer)
@@ -445,6 +499,7 @@ func (n *Node) evictLocal(layer int, dead string) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.needSweep = true // a confirmed death means replicas need a new home
 	if ls, err := n.layerFor(layer); err == nil {
 		purgePeerLocked(ls, dead)
 	}

@@ -27,7 +27,8 @@ type Snapshot struct {
 	RingNames []string
 	Joined    bool
 	Layers    []LayerSnapshot
-	Keys      []string // stored kv keys, sorted
+	Keys      []string         // stored kv keys, sorted
+	Items     []wire.StoreItem // stored versioned items, key-sorted
 	Tables    []wire.RingTable
 }
 
@@ -46,7 +47,8 @@ func (n *Node) Snapshot() Snapshot {
 		RingNames: append([]string(nil), n.ringNames...),
 		Joined:    n.joined,
 		Layers:    make([]LayerSnapshot, len(n.layers)),
-		Keys:      make([]string, 0, len(n.data)),
+		Keys:      n.store.Keys(),
+		Items:     n.store.Items(),
 		Tables:    make([]wire.RingTable, 0, len(n.tables)),
 	}
 	for i, ls := range n.layers {
@@ -61,10 +63,6 @@ func (n *Node) Snapshot() Snapshot {
 		}
 		s.Layers[i] = layer
 	}
-	for k := range n.data {
-		s.Keys = append(s.Keys, k)
-	}
-	sort.Strings(s.Keys)
 	for _, t := range n.tables {
 		s.Tables = append(s.Tables, t)
 	}
@@ -81,13 +79,11 @@ func (n *Node) Snapshot() Snapshot {
 // reporting whether it was present. Checkers use it to verify replica
 // placement.
 func (n *Node) GetLocal(key string) ([]byte, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	v, ok := n.data[key]
+	it, ok := n.store.Get(key)
 	if !ok {
 		return nil, false
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
+	out := make([]byte, len(it.Value))
+	copy(out, it.Value)
 	return out, true
 }

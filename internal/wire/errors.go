@@ -71,6 +71,13 @@ func Idempotent(t MsgType) bool {
 	switch t {
 	case TPing, TGetInfo, TFindClosest, TGetNeighbors, TGetRingTable, TGet, TEvict:
 		return true
+	case TStorePut, TReplicate, THandoff:
+		// Version-guarded merges: the receiver applies an item only when
+		// its (Version, Writer) stamp strictly exceeds what it holds, so
+		// replaying a delivered write is a no-op, not a resurrection.
+		return true
+	case TStoreGet:
+		return true // plain read
 	case TNotify, TPutRingTable, TPut, TLeaveSucc, TLeavePred:
 		// State-installing writes: replaying one can resurrect state
 		// the ring has already moved past, so these are retried only

@@ -24,6 +24,17 @@ func FuzzDecodeMessage(f *testing.F) {
 		RingNames: []string{"a", "ab"}, Succ: []Peer{{Addr: "n3:9000"}},
 	})
 	f.Add(seedResp.Bytes())
+	var seedStore bytes.Buffer
+	EncodeRequest(&seedStore, &Request{
+		Type: TReplicate, Name: "doc-1",
+		Items: []StoreItem{{Key: "doc-1", Value: []byte("v1"), Version: 7, Writer: "n1:9000#3"}},
+	})
+	f.Add(seedStore.Bytes())
+	var seedStoreResp bytes.Buffer
+	EncodeResponse(&seedStoreResp, &Response{
+		OK: true, Found: true, Value: []byte("v1"), Version: 7, Writer: "n1:9000#3", Applied: 1,
+	})
+	f.Add(seedStoreResp.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 
@@ -78,6 +89,7 @@ func FuzzRoundTrip(f *testing.F) {
 			Peers: []Peer{{Addr: addr + "'", ID: key}},
 			Table: RingTable{Layer: layer, Name: name, Smallest: Peer{Addr: addr, ID: key}},
 			Value: value,
+			Items: []StoreItem{{Key: name, Value: value, Version: uint64(typ), Writer: addr + "#1"}},
 
 			Hierarchical: hier,
 		}
@@ -100,6 +112,7 @@ func FuzzRoundTrip(f *testing.F) {
 			Landmarks: []string{addr}, Coord: [2]float64{float64(layer), 0.5},
 			Succ: []Peer{{Addr: addr}}, Pred: Peer{ID: key},
 			Table: req.Table, Found: hier, Value: value,
+			Version: uint64(layer), Writer: addr + "#2", Applied: layer,
 		}
 		buf.Reset()
 		if encErr := EncodeResponse(&buf, &resp); encErr != nil {
@@ -157,6 +170,14 @@ func normalizeReq(r Request) Request {
 	}
 	if len(r.Peers) == 0 {
 		r.Peers = nil
+	}
+	if len(r.Items) == 0 {
+		r.Items = nil
+	}
+	for i := range r.Items {
+		if len(r.Items[i].Value) == 0 {
+			r.Items[i].Value = nil
+		}
 	}
 	return r
 }

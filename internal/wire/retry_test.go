@@ -293,4 +293,12 @@ func TestMsgTypeIdempotencyTable(t *testing.T) {
 			t.Errorf("%v should be idempotent", typ)
 		}
 	}
+	// The replica store writes are version-guarded merges: replaying a
+	// delivered write merges to a no-op, so they retry safely even when
+	// the first attempt may have been applied.
+	for _, typ := range []MsgType{TStorePut, TStoreGet, TReplicate, THandoff} {
+		if !Idempotent(typ) {
+			t.Errorf("%v should be idempotent (version-guarded merge)", typ)
+		}
+	}
 }

@@ -46,6 +46,18 @@ const (
 	// layer's fingers, successor list and predecessor (Chord's timeout
 	// handling, driven by the iterative client).
 	TEvict
+	// TStorePut installs one versioned replica item (Items[0]) into the
+	// receiver's store; the write is a version-guarded merge, so replays
+	// are no-ops.
+	TStorePut
+	// TStoreGet reads a key's versioned item from the receiving node.
+	TStoreGet
+	// TReplicate merges a batch of versioned items into the receiver's
+	// store — the re-replication/republish path of the stabilize sweep.
+	TReplicate
+	// THandoff transfers a departing node's versioned items to its
+	// successor (the replicated counterpart of the TPut-per-key handoff).
+	THandoff
 )
 
 func (m MsgType) String() string {
@@ -74,6 +86,14 @@ func (m MsgType) String() string {
 		return "leave_pred"
 	case TEvict:
 		return "evict"
+	case TStorePut:
+		return "store_put"
+	case TStoreGet:
+		return "store_get"
+	case TReplicate:
+		return "replicate"
+	case THandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -83,6 +103,17 @@ func (m MsgType) String() string {
 type Peer struct {
 	Addr string
 	ID   [20]byte
+}
+
+// StoreItem is one versioned key/value replica. Version orders writes of
+// the same key (last-writer-wins); Writer breaks version ties with a
+// total order, so two replicas holding the same (Version, Writer) are
+// guaranteed to hold the same value and merges are deterministic.
+type StoreItem struct {
+	Key     string
+	Value   []byte
+	Version uint64
+	Writer  string // unique per write: "coordinatorAddr#seq"
 }
 
 // RingTable is the on-the-wire form of a lower ring's boundary table.
@@ -104,7 +135,8 @@ type Request struct {
 	Peer  Peer     // TNotify: candidate predecessor; TLeaveSucc: new predecessor; TEvict: the dead peer
 	Peers []Peer   // TLeavePred: the departing node's successor list
 	Table RingTable
-	Value []byte // TPut payload
+	Value []byte      // TPut payload
+	Items []StoreItem // TStorePut: the single item; TReplicate/THandoff: a batch
 	// Hierarchical marks a TFindClosest step of a multi-layer routing
 	// procedure: the handler applies the paper's destination check against
 	// the GLOBAL ring (is this node the key's owner?) instead of the
@@ -136,6 +168,13 @@ type Response struct {
 
 	// TGet:
 	Value []byte
+
+	// TStoreGet: the stored item's version stamp (Found reports presence).
+	// TStorePut/TReplicate/THandoff: Applied counts items that advanced
+	// the receiver's store (replayed items merge to zero).
+	Version uint64
+	Writer  string
+	Applied int
 }
 
 // Caller abstracts one RPC exchange with a peer. The plain transport
