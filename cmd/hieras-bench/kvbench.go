@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -141,7 +142,7 @@ func runKVBench(seed int64, keys int, path string, out io.Writer) error {
 	for i := 0; i < keys; i++ {
 		origin := nodes[i%clusterSize]
 		opStart := time.Now()
-		if putErr := origin.Put(key(i), value); putErr != nil {
+		if putErr := origin.Put(context.Background(), key(i), value); putErr != nil {
 			return fmt.Errorf("bench put %d: %w", i, putErr)
 		}
 		if addErr := putQ.Add(time.Since(opStart).Seconds() * 1e3); addErr != nil {
@@ -155,7 +156,7 @@ func runKVBench(seed int64, keys int, path string, out io.Writer) error {
 	for i := 0; i < gets; i++ {
 		origin := nodes[(i*3+1)%clusterSize]
 		opStart := time.Now()
-		if _, getErr := origin.Get(key(i % keys)); getErr != nil {
+		if _, getErr := origin.Get(context.Background(), key(i%keys)); getErr != nil {
 			return fmt.Errorf("bench get %d: %w", i, getErr)
 		}
 		if addErr := getQ.Add(time.Since(opStart).Seconds() * 1e3); addErr != nil {

@@ -40,14 +40,22 @@ func main() {
 		dumpMet = flag.Bool("metrics", false, "dump the cache study's Prometheus-text metrics after the run")
 		kvOut   = flag.String("kv-bench", "", "run the replicated-KV benchmark on the live stack and write its JSON artifact here (e.g. BENCH_kv.json); skips the paper suite unless -only is also given")
 		kvKeys  = flag.Int("kv-keys", 400, "distinct keys the KV benchmark writes (gets run 2x)")
+		wireOut = flag.String("wire-bench", "", "run the wire-path benchmark (gob/per-call baseline vs binary/pooled) and write its JSON artifact here (e.g. BENCH_wire.json); skips the paper suite unless -only is also given")
+		wireOps = flag.Int("wire-lookups", 4000, "lookups per wire configuration in the wire benchmark")
 	)
 	flag.Parse()
 
+	ranArtifact := false
 	if *kvOut != "" {
 		fatalIf(runKVBench(*seed, *kvKeys, *kvOut, os.Stdout))
-		if *only == "" {
-			return
-		}
+		ranArtifact = true
+	}
+	if *wireOut != "" {
+		fatalIf(runWireBench(*seed, *wireOps, *wireOut, os.Stdout))
+		ranArtifact = true
+	}
+	if ranArtifact && *only == "" {
+		return
 	}
 
 	sc := *scale

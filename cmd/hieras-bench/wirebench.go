@@ -1,0 +1,241 @@
+// wirebench.go benchmarks the wire path itself on the live node stack:
+// the same in-process MemNet cluster runs a concurrent lookup workload
+// twice — once over the pre-overhaul wire configuration (gob codec, one
+// connection per call) and once over the overhauled one (binary codec,
+// pooled multiplexed connections) — and the result is written as the
+// repo's wire benchmark-trajectory artifact (BENCH_wire.json) so CI can
+// chart the speedup and allocation ratio across commits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// wireMode summarises one wire configuration's lookup run.
+type wireMode struct {
+	Codec         string  `json:"codec"`
+	Pooled        bool    `json:"pooled"`
+	Lookups       int     `json:"lookups"`
+	Seconds       float64 `json:"seconds"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// wireBenchResult is the BENCH_wire.json schema. Fields are stable: CI
+// trajectory tooling reads them across commits.
+type wireBenchResult struct {
+	Bench      string   `json:"bench"`
+	Seed       int64    `json:"seed"`
+	Nodes      int      `json:"nodes"`
+	Depth      int      `json:"depth"`
+	Workers    int      `json:"workers"`
+	Baseline   wireMode `json:"baseline"`
+	Overhauled wireMode `json:"overhauled"`
+	// Speedup is Overhauled.LookupsPerSec / Baseline.LookupsPerSec; the
+	// acceptance floor for the overhaul is 3x.
+	Speedup float64 `json:"speedup"`
+	// AllocsRatio is Overhauled.AllocsPerOp / Baseline.AllocsPerOp; the
+	// acceptance ceiling is 0.25.
+	AllocsRatio float64 `json:"allocs_ratio"`
+}
+
+// wireCluster starts n transport nodes on one MemNet with the given wire
+// configuration, bootstraps the overlay, and converges it. The location
+// cache stays off and coalescing stays off so the benchmark measures the
+// wire path, not the caches above it.
+func wireCluster(n int, codec wire.Codec, poolSize int) ([]*transport.Node, error) {
+	mem := wire.NewMemNet()
+	addr := func(i int) string { return fmt.Sprintf("n%d", i) }
+	coord := func(i int) [2]float64 {
+		if i%2 == 0 {
+			return [2]float64{float64(i), float64(i % 7)}
+		}
+		return [2]float64{500 + float64(i), float64(i % 7)}
+	}
+	nodes := make([]*transport.Node, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := mem.Listen(addr(i))
+		if err != nil {
+			return nil, err
+		}
+		nd, err := transport.Start("", transport.Config{
+			Depth:       2,
+			Landmarks:   []string{addr(0), addr(1)},
+			Coord:       coord(i),
+			CallTimeout: 2 * time.Second,
+			Codec:       codec,
+			PoolSize:    poolSize,
+			Retry:       wire.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond},
+			Breaker:     wire.BreakerPolicy{Threshold: -1},
+			Listener:    ln,
+			Dial:        mem.Dial,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+	}
+	if err := nodes[0].CreateNetwork(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(addr(0)); err != nil {
+			return nil, err
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for _, nd := range nodes {
+			if err := nd.StabilizeOnce(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, nd := range nodes {
+		if err := nd.BuildAllFingers(); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// runWireMode runs the concurrent lookup workload against a fresh
+// cluster in one wire configuration and reports its throughput, tail
+// latency and allocations per lookup.
+func runWireMode(codec wire.Codec, poolSize int, lookups, workers int, seed int64) (wireMode, error) {
+	const clusterSize = 8
+	mode := wireMode{
+		Codec:   codec.Name(),
+		Pooled:  poolSize >= 0,
+		Lookups: lookups,
+	}
+	nodes, err := wireCluster(clusterSize, codec, poolSize)
+	if err != nil {
+		return mode, fmt.Errorf("wire bench cluster (%s): %w", codec.Name(), err)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+
+	key := func(i int) string { return fmt.Sprintf("wire-bench-%d-%d", seed, i) }
+	// Warm up: touch every key origin pair once so pools are dialed and
+	// fingers exercised before the measured window.
+	for i := 0; i < 2*clusterSize; i++ {
+		if _, werr := nodes[i%clusterSize].Lookup(context.Background(), transport.LiveKeyID(key(i))); werr != nil {
+			return mode, fmt.Errorf("wire bench warmup %d: %w", i, werr)
+		}
+	}
+
+	perWorker := lookups / workers
+	mode.Lookups = perWorker * workers
+	sketches := make([]*stats.Sketch, workers)
+	for i := range sketches {
+		if sketches[i], err = stats.NewSketch(0.01); err != nil {
+			return mode, err
+		}
+	}
+	errs := make([]error, workers)
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	allocsBefore := ms.Mallocs
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seq := w*perWorker + i
+				origin := nodes[(seq*5+w)%clusterSize]
+				target := transport.LiveKeyID(key(seq % (4 * clusterSize)))
+				opStart := time.Now()
+				if _, err := origin.Lookup(context.Background(), target); err != nil {
+					errs[w] = fmt.Errorf("lookup %d: %w", seq, err)
+					return
+				}
+				if err := sketches[w].Add(time.Since(opStart).Seconds() * 1e3); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	mode.Seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms)
+	for _, err := range errs {
+		if err != nil {
+			return mode, err
+		}
+	}
+
+	merged := sketches[0]
+	for _, s := range sketches[1:] {
+		if err := merged.Merge(s); err != nil {
+			return mode, err
+		}
+	}
+	mode.LookupsPerSec = float64(mode.Lookups) / mode.Seconds
+	mode.P50Ms = merged.Quantile(0.5)
+	mode.P99Ms = merged.Quantile(0.99)
+	mode.AllocsPerOp = float64(ms.Mallocs-allocsBefore) / float64(mode.Lookups)
+	return mode, nil
+}
+
+// runWireBench runs both wire configurations and writes the JSON
+// artifact to path, echoing a summary to out.
+func runWireBench(seed int64, lookups int, path string, out io.Writer) error {
+	const workers = 4
+	res := wireBenchResult{Bench: "wire", Seed: seed, Nodes: 8, Depth: 2, Workers: workers}
+
+	baseline, err := runWireMode(wire.Gob{}, -1, lookups, workers, seed)
+	if err != nil {
+		return err
+	}
+	res.Baseline = baseline
+
+	overhauled, err := runWireMode(wire.Binary{}, 0, lookups, workers, seed)
+	if err != nil {
+		return err
+	}
+	res.Overhauled = overhauled
+
+	if baseline.LookupsPerSec > 0 {
+		res.Speedup = overhauled.LookupsPerSec / baseline.LookupsPerSec
+	}
+	if baseline.AllocsPerOp > 0 {
+		res.AllocsRatio = overhauled.AllocsPerOp / baseline.AllocsPerOp
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wire bench (%d nodes, %d workers): baseline %s/per-call %.0f lookups/s (p50 %.3fms p99 %.3fms, %.0f allocs/op); overhauled %s/pooled %.0f lookups/s (p50 %.3fms p99 %.3fms, %.0f allocs/op); speedup %.2fx, allocs ratio %.3f -> %s\n",
+		res.Nodes, res.Workers,
+		baseline.Codec, baseline.LookupsPerSec, baseline.P50Ms, baseline.P99Ms, baseline.AllocsPerOp,
+		overhauled.Codec, overhauled.LookupsPerSec, overhauled.P50Ms, overhauled.P99Ms, overhauled.AllocsPerOp,
+		res.Speedup, res.AllocsRatio, path)
+	return nil
+}

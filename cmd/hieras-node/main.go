@@ -24,6 +24,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,63 +34,51 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/replica"
 	"repro/internal/transport"
-	"repro/internal/wire"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hieras-node: ")
 
+	def := transport.DefaultOptions()
+	var opts transport.Options
 	var (
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		create    = flag.Bool("create", false, "create a new overlay instead of joining")
 		join      = flag.String("join", "", "bootstrap node address to join through")
 		landmarks = flag.String("landmarks", "", "comma-separated landmark addresses (joiners inherit the bootstrap's)")
 		coordStr  = flag.String("coord", "0,0", "virtual plane coordinates x,y (milliseconds)")
-		depth     = flag.Int("depth", 2, "hierarchy depth")
 		rtt       = flag.Bool("rtt", false, "bin with real RTT probes instead of virtual coordinates")
 		stabMs    = flag.Int("stabilize", 500, "stabilization period in milliseconds")
 		metrics   = flag.String("metrics", "", "serve /metrics and /healthz on this address (e.g. 127.0.0.1:9090)")
-		cacheCap  = flag.Int("cache", 256, "location-cache capacity (0 disables caching)")
-
-		replFactor = flag.Int("r", 3, "replication factor: copies per key, the owner plus r-1 successors")
-		wQuorum    = flag.Int("w-quorum", 0, "write quorum: replica acks before a put is acknowledged (0 = majority of r)")
-		rQuorum    = flag.Int("r-quorum", 0, "read quorum: replica answers before a get trusts the freshest value (0 = first answer)")
-
-		retries      = flag.Int("retries", 3, "RPC attempts per call, first try included (1 disables retrying)")
-		retryBackoff = flag.Duration("retry-backoff", 20*time.Millisecond, "backoff before the first retry (doubles per retry, jittered)")
-		retryMax     = flag.Duration("retry-max-backoff", 500*time.Millisecond, "cap on the per-retry backoff")
-		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive failures that open a peer's circuit breaker (0 disables it)")
-		brkCooldown  = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker rejects calls before probing")
 	)
+	flag.IntVar(&opts.Depth, "depth", def.Depth, "hierarchy depth")
+	flag.IntVar(&opts.LookupCache, "cache", def.LookupCache, "location-cache capacity (0 disables caching)")
+	flag.StringVar(&opts.Codec, "codec", def.Codec, "wire encoding for outgoing calls: binary | gob")
+	flag.IntVar(&opts.PoolSize, "pool-size", def.PoolSize, "per-peer connection pool size (0 = default, negative = one connection per call)")
+	flag.BoolVar(&opts.Coalesce, "coalesce", def.Coalesce, "share one exchange between identical in-flight read RPCs")
+
+	flag.IntVar(&opts.Replicas, "r", def.Replicas, "replication factor: copies per key, the owner plus r-1 successors")
+	flag.IntVar(&opts.WriteQuorum, "w-quorum", def.WriteQuorum, "write quorum: replica acks before a put is acknowledged (0 = majority of r)")
+	flag.IntVar(&opts.ReadQuorum, "r-quorum", def.ReadQuorum, "read quorum: replica answers before a get trusts the freshest value (0 = first answer)")
+
+	flag.IntVar(&opts.Retries, "retries", def.Retries, "RPC attempts per call, first try included (1 disables retrying)")
+	flag.DurationVar(&opts.RetryBackoff, "retry-backoff", def.RetryBackoff, "backoff before the first retry (doubles per retry, jittered)")
+	flag.DurationVar(&opts.RetryMaxBackoff, "retry-max-backoff", def.RetryMaxBackoff, "cap on the per-retry backoff")
+	flag.IntVar(&opts.BreakerThreshold, "breaker-threshold", def.BreakerThreshold, "consecutive failures that open a peer's circuit breaker (0 disables it)")
+	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", def.BreakerCooldown, "how long an open breaker rejects calls before probing")
 	flag.Parse()
 
 	coord, err := parseCoord(*coordStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	breaker := *brkThreshold
-	if breaker <= 0 {
-		breaker = -1 // flag 0 = off; the wire zero value means "default"
+	cfg, err := opts.Config()
+	if err != nil {
+		log.Fatal(err)
 	}
-	cfg := transport.Config{
-		Depth:       *depth,
-		Coord:       coord,
-		LookupCache: *cacheCap,
-		Replication: replica.Options{
-			Factor:      *replFactor,
-			WriteQuorum: *wQuorum,
-			ReadQuorum:  *rQuorum,
-		},
-		Retry: wire.RetryPolicy{
-			MaxAttempts: *retries,
-			BaseBackoff: *retryBackoff,
-			MaxBackoff:  *retryMax,
-		},
-		Breaker: wire.BreakerPolicy{Threshold: breaker, Cooldown: *brkCooldown},
-	}
+	cfg.Coord = coord
 	if *landmarks != "" {
 		cfg.Landmarks = strings.Split(*landmarks, ",")
 	}
@@ -207,7 +196,7 @@ func repl(node *transport.Node) {
 				fmt.Println("usage: lookup <key>")
 				break
 			}
-			res, err := node.Lookup(transport.LiveKeyID(fields[1]))
+			res, err := node.Lookup(context.Background(), transport.LiveKeyID(fields[1]))
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -218,7 +207,7 @@ func repl(node *transport.Node) {
 				fmt.Println("usage: put <key> <value...>")
 				break
 			}
-			if err := node.Put(fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
+			if err := node.Put(context.Background(), fields[1], []byte(strings.Join(fields[2:], " "))); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println("ok")
@@ -228,7 +217,7 @@ func repl(node *transport.Node) {
 				fmt.Println("usage: get <key>")
 				break
 			}
-			v, err := node.Get(fields[1])
+			v, err := node.Get(context.Background(), fields[1])
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,7 +89,7 @@ func main() {
 	// Hierarchical lookups over TCP.
 	fmt.Println("\nlookups from node 0:")
 	for _, key := range []string{"song.mp3", "paper.pdf", "trace.csv"} {
-		res, err := nodes[0].Lookup(transport.LiveKeyID(key))
+		res, err := nodes[0].Lookup(context.Background(), transport.LiveKeyID(key))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -97,10 +98,10 @@ func main() {
 	}
 
 	// Put/Get across the wire.
-	if err := nodes[3].Put("greeting", []byte("hello from the east")); err != nil {
+	if err := nodes[3].Put(context.Background(), "greeting", []byte("hello from the east")); err != nil {
 		log.Fatal(err)
 	}
-	v, err := nodes[8].Get("greeting")
+	v, err := nodes[8].Get(context.Background(), "greeting")
 	if err != nil {
 		log.Fatal(err)
 	}

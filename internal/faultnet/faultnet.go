@@ -17,6 +17,7 @@
 package faultnet
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -390,7 +391,7 @@ func (nw *Network) Caller(srcAddr string, inner wire.Caller) wire.Caller {
 
 var errInjected = fmt.Errorf("faultnet: injected fault")
 
-func (c *caller) Call(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
+func (c *caller) Call(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
 	d := c.nw.decide(c.src, addr, req.Type)
 	if d.delay > 0 {
 		c.nw.mu.Lock()
@@ -408,7 +409,7 @@ func (c *caller) Call(addr string, req wire.Request, timeout time.Duration) (wir
 	case KindErrReply:
 		return wire.Response{OK: false, Err: d.msg}, &wire.RemoteError{Type: req.Type, Msg: d.msg}
 	}
-	resp, err := c.inner.Call(addr, req, timeout)
+	resp, err := c.inner.Call(ctx, addr, req)
 	if d.kind == KindDropReply && err == nil {
 		return wire.Response{}, &wire.NetError{Addr: addr, Op: "faultnet:drop_reply", Sent: true, Err: errInjected}
 	}

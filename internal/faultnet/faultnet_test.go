@@ -1,6 +1,7 @@
 package faultnet
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -17,7 +18,7 @@ type okCaller struct {
 	calls int
 }
 
-func (c *okCaller) Call(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
+func (c *okCaller) Call(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()
@@ -39,9 +40,9 @@ func script(nw *Network, inner wire.Caller) []error {
 	nw.Bind("addrC", "c")
 	var errs []error
 	for i := 0; i < 40; i++ {
-		_, err := a.Call("addrB", wire.Request{Type: wire.TFindClosest}, time.Second)
+		_, err := a.Call(context.Background(), "addrB", wire.Request{Type: wire.TFindClosest})
 		errs = append(errs, err)
-		_, err = b.Call("addrC", wire.Request{Type: wire.TPing}, time.Second)
+		_, err = b.Call(context.Background(), "addrC", wire.Request{Type: wire.TPing})
 		errs = append(errs, err)
 	}
 	return errs
@@ -85,16 +86,16 @@ func TestReplayReproducesEvents(t *testing.T) {
 	nw.Bind("addrB", "b")
 	nw.Bind("addrC", "c")
 	for i := 0; i < 15; i++ {
-		_, _ = a.Call("addrB", wire.Request{Type: wire.TGet}, time.Second)
+		_, _ = a.Call(context.Background(), "addrB", wire.Request{Type: wire.TGet})
 	}
 	nw.Partition([]string{"a"}, []string{"b"})
 	for i := 0; i < 5; i++ {
-		_, _ = a.Call("addrB", wire.Request{Type: wire.TGet}, time.Second)
-		_, _ = a.Call("addrC", wire.Request{Type: wire.TGet}, time.Second)
+		_, _ = a.Call(context.Background(), "addrB", wire.Request{Type: wire.TGet})
+		_, _ = a.Call(context.Background(), "addrC", wire.Request{Type: wire.TGet})
 	}
 	nw.Heal()
 	for i := 0; i < 5; i++ {
-		_, _ = a.Call("addrB", wire.Request{Type: wire.TGet}, time.Second)
+		_, _ = a.Call(context.Background(), "addrB", wire.Request{Type: wire.TGet})
 	}
 	got := eventStrings(Replay(42, nw.Log()))
 	want := eventStrings(nw.Events())
@@ -112,7 +113,7 @@ func TestDropNeverReachesInner(t *testing.T) {
 	nw.SetRules(Rule{Drop: 1})
 	inner := &okCaller{}
 	c := nw.Caller("x", inner)
-	_, err := c.Call("y", wire.Request{Type: wire.TPing}, time.Second)
+	_, err := c.Call(context.Background(), "y", wire.Request{Type: wire.TPing})
 	var ne *wire.NetError
 	if !errors.As(err, &ne) || ne.Sent {
 		t.Fatalf("want unsent NetError, got %v", err)
@@ -127,7 +128,7 @@ func TestDropReplyExecutesInner(t *testing.T) {
 	nw.SetRules(Rule{DropReply: 1})
 	inner := &okCaller{}
 	c := nw.Caller("x", inner)
-	_, err := c.Call("y", wire.Request{Type: wire.TPut}, time.Second)
+	_, err := c.Call(context.Background(), "y", wire.Request{Type: wire.TPut})
 	var ne *wire.NetError
 	if !errors.As(err, &ne) || !ne.Sent {
 		t.Fatalf("want sent NetError, got %v", err)
@@ -142,7 +143,7 @@ func TestErrReplyIsRemoteError(t *testing.T) {
 	nw.SetRules(Rule{ErrReply: 1})
 	inner := &okCaller{}
 	c := nw.Caller("x", inner)
-	_, err := c.Call("y", wire.Request{Type: wire.TGet}, time.Second)
+	_, err := c.Call(context.Background(), "y", wire.Request{Type: wire.TGet})
 	if !wire.IsRemote(err) {
 		t.Fatalf("want RemoteError, got %v", err)
 	}
@@ -161,7 +162,7 @@ func TestDelayRule(t *testing.T) {
 	nw.Bind("s", "slow")
 	c := nw.Caller("x", &okCaller{})
 	start := time.Now()
-	if _, err := c.Call("s", wire.Request{Type: wire.TPing}, time.Second); err != nil {
+	if _, err := c.Call(context.Background(), "s", wire.Request{Type: wire.TPing}); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 25*time.Millisecond {
@@ -179,14 +180,14 @@ func TestRuleMatchers(t *testing.T) {
 	ca := nw.Caller("addrA", inner)
 	nw.Bind("addrA", "a")
 	nw.Bind("addrB", "b")
-	if _, err := ca.Call("addrB", wire.Request{Type: wire.TGet}, time.Second); err != nil {
+	if _, err := ca.Call(context.Background(), "addrB", wire.Request{Type: wire.TGet}); err != nil {
 		t.Errorf("wrong msg type matched: %v", err)
 	}
-	if _, err := ca.Call("addrB", wire.Request{Type: wire.TPut}, time.Second); err == nil {
+	if _, err := ca.Call(context.Background(), "addrB", wire.Request{Type: wire.TPut}); err == nil {
 		t.Error("matching call not dropped")
 	}
 	cb := nw.Caller("addrB", inner)
-	if _, err := cb.Call("addrA", wire.Request{Type: wire.TPut}, time.Second); err != nil {
+	if _, err := cb.Call(context.Background(), "addrA", wire.Request{Type: wire.TPut}); err != nil {
 		t.Errorf("reverse direction matched: %v", err)
 	}
 }
@@ -195,7 +196,7 @@ func TestUnknownAddressesUseRawNames(t *testing.T) {
 	nw := New(1)
 	nw.SetRules(Rule{Dst: "10.0.0.1:99", Drop: 1})
 	c := nw.Caller("x", &okCaller{})
-	if _, err := c.Call("10.0.0.1:99", wire.Request{Type: wire.TPing}, time.Second); err == nil {
+	if _, err := c.Call(context.Background(), "10.0.0.1:99", wire.Request{Type: wire.TPing}); err == nil {
 		t.Error("unbound address did not fall back to its raw name")
 	}
 }
@@ -206,7 +207,7 @@ func TestSelfCallsExempt(t *testing.T) {
 	nw.Bind("addrX", "x")
 	inner := &okCaller{}
 	c := nw.Caller("addrX", inner)
-	if _, err := c.Call("addrX", wire.Request{Type: wire.TFindClosest}, time.Second); err != nil {
+	if _, err := c.Call(context.Background(), "addrX", wire.Request{Type: wire.TFindClosest}); err != nil {
 		t.Fatalf("loopback call faulted: %v", err)
 	}
 	if inner.count() != 1 {
@@ -224,7 +225,7 @@ func TestInstrumentExposesCounters(t *testing.T) {
 	nw.Instrument(reg)
 	nw.SetRules(Rule{Drop: 1})
 	c := nw.Caller("x", &okCaller{})
-	_, _ = c.Call("y", wire.Request{Type: wire.TPing}, time.Second)
+	_, _ = c.Call(context.Background(), "y", wire.Request{Type: wire.TPing})
 	var b strings.Builder
 	if _, err := reg.WriteTo(&b); err != nil {
 		t.Fatal(err)
@@ -245,7 +246,7 @@ func TestConcurrentCallsRaceFree(t *testing.T) {
 			defer wg.Done()
 			c := nw.Caller("x", inner)
 			for i := 0; i < 50; i++ {
-				_, _ = c.Call("y", wire.Request{Type: wire.TPing}, time.Second)
+				_, _ = c.Call(context.Background(), "y", wire.Request{Type: wire.TPing})
 			}
 		}(g)
 	}

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,13 +12,14 @@ import (
 // CallFunc performs one wire exchange with a replica-set member. The
 // transport layer binds this to its retrier so replica traffic shares
 // the node's retry/breaker/fault-injection stack; unit tests bind it
-// to fakes.
-type CallFunc func(addr string, req wire.Request) (wire.Response, error)
+// to fakes. The context is the quorum operation's: cancelling it
+// abandons the remaining member calls.
+type CallFunc func(ctx context.Context, addr string, req wire.Request) (wire.Response, error)
 
 // ResolveFunc maps a key to its replica set: the owner first, then the
 // owner's successors in list order, deduplicated — at most Factor
 // members (fewer on small rings).
-type ResolveFunc func(key string) ([]string, error)
+type ResolveFunc func(ctx context.Context, key string) ([]string, error)
 
 // Metrics is the replica subsystem's instrument panel. All fields are
 // non-nil after NewMetrics; with a nil registry they are private
@@ -106,11 +108,11 @@ func (c *Coordinator) now() time.Time {
 // the item on every member, acknowledging once WriteQuorum members
 // (clamped to the set size) accepted it. Failing members are tolerated
 // as long as the quorum holds; the sweep re-replicates to them later.
-func (c *Coordinator) Put(key string, value []byte) error {
+func (c *Coordinator) Put(ctx context.Context, key string, value []byte) error {
 	m := c.metrics()
 	start := c.now()
 	opts := c.Opts.WithDefaults()
-	set, err := c.Resolve(key)
+	set, err := c.Resolve(ctx, key)
 	if err != nil {
 		m.Failures.With("put").Inc()
 		return fmt.Errorf("replica put %q: resolve: %w", key, err)
@@ -125,7 +127,7 @@ func (c *Coordinator) Put(key string, value []byte) error {
 	// fine: the local engine's stamp still advances past anything this
 	// node has seen, and the writer nonce keeps stamps unique.
 	var seen uint64
-	if resp, getErr := c.Call(set[0], wire.Request{Type: wire.TStoreGet, Name: key}); getErr == nil && resp.Found {
+	if resp, getErr := c.Call(ctx, set[0], wire.Request{Type: wire.TStoreGet, Name: key}); getErr == nil && resp.Found {
 		seen = resp.Version
 	}
 	version, writer := c.Engine.Stamp(key, c.Self, seen)
@@ -143,7 +145,7 @@ func (c *Coordinator) Put(key string, value []byte) error {
 	var lastErr error
 	for _, addr := range targets {
 		req := wire.Request{Type: wire.TStorePut, Name: key, Items: []wire.StoreItem{item}}
-		if _, callErr := c.Call(addr, req); callErr != nil {
+		if _, callErr := c.Call(ctx, addr, req); callErr != nil {
 			lastErr = callErr
 			continue
 		}
@@ -164,11 +166,11 @@ func (c *Coordinator) Put(key string, value []byte) error {
 // found" needs every member to answer empty; when some members are
 // unreachable and nothing was found, Get reports an error so callers
 // cannot mistake a partition for an empty key.
-func (c *Coordinator) Get(key string) ([]byte, bool, error) {
+func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, bool, error) {
 	m := c.metrics()
 	start := c.now()
 	opts := c.Opts.WithDefaults()
-	set, err := c.Resolve(key)
+	set, err := c.Resolve(ctx, key)
 	if err != nil {
 		m.Failures.With("get").Inc()
 		return nil, false, fmt.Errorf("replica get %q: resolve: %w", key, err)
@@ -189,7 +191,7 @@ func (c *Coordinator) Get(key string) ([]byte, bool, error) {
 	var polled []string                 // answered members in poll order
 	var lastErr error
 	for _, addr := range set {
-		resp, callErr := c.Call(addr, wire.Request{Type: wire.TStoreGet, Name: key})
+		resp, callErr := c.Call(ctx, addr, wire.Request{Type: wire.TStoreGet, Name: key})
 		if callErr != nil {
 			lastErr = callErr
 			continue
@@ -234,7 +236,7 @@ func (c *Coordinator) Get(key string) ([]byte, bool, error) {
 		if it, ok := held[addr]; ok && it.Version == best.Version && it.Writer == best.Writer {
 			continue
 		}
-		if resp, repErr := c.Call(addr, repair); repErr == nil && resp.Applied > 0 {
+		if resp, repErr := c.Call(ctx, addr, repair); repErr == nil && resp.Applied > 0 {
 			m.ReadRepairs.Inc()
 		}
 	}
@@ -248,7 +250,7 @@ func (c *Coordinator) Get(key string) ([]byte, bool, error) {
 // member confirmed the item. Pushes are batched per member and issued
 // in deterministic (sorted-key, set-order) sequence. It returns the
 // number of item-pushes applied remotely and keys dropped locally.
-func (c *Coordinator) SweepOnce() (applied, dropped int, firstErr error) {
+func (c *Coordinator) SweepOnce(ctx context.Context) (applied, dropped int, firstErr error) {
 	m := c.metrics()
 	opts := c.Opts.WithDefaults()
 	if opts.DropReplicaWrites {
@@ -269,7 +271,7 @@ func (c *Coordinator) SweepOnce() (applied, dropped int, firstErr error) {
 		if !ok {
 			continue
 		}
-		set, err := c.Resolve(key)
+		set, err := c.Resolve(ctx, key)
 		if err != nil || len(set) == 0 {
 			if err != nil && firstErr == nil {
 				firstErr = err
@@ -296,7 +298,7 @@ func (c *Coordinator) SweepOnce() (applied, dropped int, firstErr error) {
 	lag := 0
 	for _, addr := range order {
 		b := batches[addr]
-		resp, err := c.Call(addr, wire.Request{Type: wire.TReplicate, Items: b.items})
+		resp, err := c.Call(ctx, addr, wire.Request{Type: wire.TReplicate, Items: b.items})
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -139,7 +140,7 @@ func newFakeCluster(members ...string) *fakeCluster {
 	return fc
 }
 
-func (fc *fakeCluster) call(addr string, req wire.Request) (wire.Response, error) {
+func (fc *fakeCluster) call(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
 	fc.mu.Lock()
 	fc.calls = append(fc.calls, fmt.Sprintf("%s:%s", addr, req.Type))
 	dead := fc.dead[addr]
@@ -163,7 +164,7 @@ func (fc *fakeCluster) coordinator(self string, opts Options) *Coordinator {
 		Self:    self,
 		Opts:    opts,
 		Engine:  fc.engines[self],
-		Resolve: func(string) ([]string, error) { return fc.set, nil },
+		Resolve: func(context.Context, string) ([]string, error) { return fc.set, nil },
 		Call:    fc.call,
 	}
 }
@@ -171,7 +172,7 @@ func (fc *fakeCluster) coordinator(self string, opts Options) *Coordinator {
 func TestCoordinatorQuorumWriteAndRead(t *testing.T) {
 	fc := newFakeCluster("n0", "n1", "n2")
 	co := fc.coordinator("n0", Options{Factor: 3, WriteQuorum: 2, ReadQuorum: 2})
-	if err := co.Put("doc", []byte("v1")); err != nil {
+	if err := co.Put(context.Background(), "doc", []byte("v1")); err != nil {
 		t.Fatalf("put: %v", err)
 	}
 	for _, m := range fc.set {
@@ -179,12 +180,12 @@ func TestCoordinatorQuorumWriteAndRead(t *testing.T) {
 			t.Errorf("member %s missing the write (found %v)", m, ok)
 		}
 	}
-	v, found, err := co.Get("doc")
+	v, found, err := co.Get(context.Background(), "doc")
 	if err != nil || !found || string(v) != "v1" {
 		t.Fatalf("get = %q, %v, %v", v, found, err)
 	}
 	// Unanimous empty → clean not-found.
-	if _, found, err := co.Get("ghost"); err != nil || found {
+	if _, found, err := co.Get(context.Background(), "ghost"); err != nil || found {
 		t.Errorf("ghost get = found=%v err=%v, want clean not-found", found, err)
 	}
 }
@@ -193,11 +194,11 @@ func TestCoordinatorWriteToleratesMinorityFailure(t *testing.T) {
 	fc := newFakeCluster("n0", "n1", "n2")
 	fc.dead["n2"] = true
 	co := fc.coordinator("n0", Options{Factor: 3, WriteQuorum: 2})
-	if err := co.Put("doc", []byte("v1")); err != nil {
+	if err := co.Put(context.Background(), "doc", []byte("v1")); err != nil {
 		t.Fatalf("put with one dead replica should ack at W=2: %v", err)
 	}
 	fc.dead["n1"] = true
-	if err := co.Put("doc2", []byte("v2")); err == nil {
+	if err := co.Put(context.Background(), "doc2", []byte("v2")); err == nil {
 		t.Fatal("put with two dead replicas must fail at W=2")
 	}
 	if got := co.Metrics.Failures.With("put").Value(); got != 1 {
@@ -211,7 +212,7 @@ func TestCoordinatorReadRepair(t *testing.T) {
 	fc.engines["n0"].Apply(item("doc", "old", 1, "n8#1"))
 	fc.engines["n1"].Apply(fresh)
 	co := fc.coordinator("n0", Options{Factor: 3, ReadQuorum: 3})
-	v, found, err := co.Get("doc")
+	v, found, err := co.Get(context.Background(), "doc")
 	if err != nil || !found || string(v) != "new" {
 		t.Fatalf("get = %q, %v, %v; want freshest", v, found, err)
 	}
@@ -232,7 +233,7 @@ func TestCoordinatorGetDistrustsPartialSilence(t *testing.T) {
 	co := fc.coordinator("n0", Options{Factor: 3, ReadQuorum: 1})
 	// Nothing stored anywhere, one member unreachable: must error, not
 	// report a clean miss.
-	if _, found, err := co.Get("ghost"); err == nil || found {
+	if _, found, err := co.Get(context.Background(), "ghost"); err == nil || found {
 		t.Errorf("partial silence: found=%v err=%v, want error", found, err)
 	}
 }
@@ -245,7 +246,7 @@ func TestCoordinatorSweepReplicatesAndDrops(t *testing.T) {
 	fc.engines["n3"].Apply(orphan)
 	fc.set = []string{"n0", "n1", "n2"}
 	co := fc.coordinator("n3", Options{Factor: 3})
-	applied, dropped, err := co.SweepOnce()
+	applied, dropped, err := co.SweepOnce(context.Background())
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
 	}
@@ -268,7 +269,7 @@ func TestCoordinatorSweepKeepsCopyWhileMemberUnreachable(t *testing.T) {
 	fc.set = []string{"n0", "n1", "n2"}
 	fc.dead["n2"] = true
 	co := fc.coordinator("n3", Options{Factor: 3})
-	_, dropped, _ := co.SweepOnce()
+	_, dropped, _ := co.SweepOnce(context.Background())
 	if dropped != 0 {
 		t.Error("must not drop the local copy before every member confirmed")
 	}
@@ -284,7 +285,7 @@ func TestCoordinatorSweepDeterministicOrder(t *testing.T) {
 			fc.engines["n0"].Apply(item(k, "v", 1, "w#1"))
 		}
 		co := fc.coordinator("n0", Options{Factor: 3})
-		if _, _, err := co.SweepOnce(); err != nil {
+		if _, _, err := co.SweepOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return fc.calls
@@ -300,13 +301,13 @@ func TestCoordinatorSweepDeterministicOrder(t *testing.T) {
 func TestCoordinatorDropReplicaWritesBugSeam(t *testing.T) {
 	fc := newFakeCluster("n0", "n1", "n2")
 	co := fc.coordinator("n0", Options{Factor: 3, WriteQuorum: 2, DropReplicaWrites: true})
-	if err := co.Put("doc", []byte("v1")); err != nil {
+	if err := co.Put(context.Background(), "doc", []byte("v1")); err != nil {
 		t.Fatalf("seeded-bug put must still ack: %v", err)
 	}
 	if _, ok := fc.engines["n1"].Get("doc"); ok {
 		t.Error("bug seam must not push replica copies")
 	}
-	if applied, dropped, _ := co.SweepOnce(); applied != 0 || dropped != 0 {
+	if applied, dropped, _ := co.SweepOnce(context.Background()); applied != 0 || dropped != 0 {
 		t.Error("bug seam must disable sweeps")
 	}
 }

@@ -1,6 +1,7 @@
 package simcheck
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/transport"
@@ -67,7 +68,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpPut:
 		n := h.origin(op.Slot)
-		err := n.Put(op.Key, []byte(op.Value))
+		err := n.Put(context.Background(), op.Key, []byte(op.Value))
 		// Record the value even when the put reports failure: part of the
 		// replica set may have accepted the write before the quorum
 		// fell short, so the value can legitimately be read back later.
@@ -86,7 +87,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpGet:
 		n := h.origin(op.Slot)
-		v, err := n.Get(op.Key)
+		v, err := n.Get(context.Background(), op.Key)
 		acc := h.model.vals[op.Key]
 		if err != nil {
 			// Acknowledged writes must stay readable in a partition-free
@@ -105,7 +106,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpLookup:
 		n := h.origin(op.Slot)
-		res, err := n.Lookup(transport.LiveKeyID(op.Key))
+		res, err := n.Lookup(context.Background(), transport.LiveKeyID(op.Key))
 		if err != nil {
 			if !h.partitioned {
 				return fail("lookup-availability", "lookup %q from n%d: %v", op.Key, op.Slot, err)

@@ -2,6 +2,7 @@ package simcheck
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -46,10 +47,10 @@ func (h *harness) world(quiescent bool) *world {
 		Partitioned: h.partitioned,
 		Model:       h.model,
 		lookup: func(slot int, key id.ID) (transport.LookupResult, error) {
-			return h.nodes[slot].Lookup(key)
+			return h.nodes[slot].Lookup(context.Background(), key)
 		},
 		get: func(slot int, key string) ([]byte, error) {
-			return h.nodes[slot].Get(key)
+			return h.nodes[slot].Get(context.Background(), key)
 		},
 	}
 	for _, s := range h.liveSlots() {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -73,8 +74,8 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 	)
 	wrap := func(self string, inner wire.Caller) wire.Caller {
 		faulty := nw.Caller(self, inner)
-		return wire.CallerFunc(func(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
-			resp, err := faulty.Call(addr, req, timeout)
+		return wire.CallerFunc(func(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
+			resp, err := faulty.Call(ctx, addr, req)
 			if !crashed && addr == victimAddr && req.Type == wire.TStorePut && req.Name == midKey && err == nil {
 				crashed = true
 				crash()
@@ -103,7 +104,7 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		key := fmt.Sprintf("chaos-rep-%d", i)
 		val := "v-" + key
-		if err := nodes[i%len(nodes)].Put(key, []byte(val)); err != nil {
+		if err := nodes[i%len(nodes)].Put(context.Background(), key, []byte(val)); err != nil {
 			t.Fatalf("put %s: %v", key, err)
 		}
 		acked[key] = val
@@ -135,7 +136,7 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 	// quorum reached), then both non-owner members crash. The write is
 	// acknowledged with a single surviving copy.
 	midVal := "v-" + midKey
-	if err := nodes[0].Put(midKey, []byte(midVal)); err != nil {
+	if err := nodes[0].Put(context.Background(), midKey, []byte(midVal)); err != nil {
 		t.Fatalf("mid-write put %s: %v", midKey, err)
 	}
 	if !crashed {
@@ -160,7 +161,7 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 		}
 	}
 	for key, want := range acked {
-		v, err := survivors[2].Get(key)
+		v, err := survivors[2].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s after double crash: %v", key, err)
 		}
@@ -197,7 +198,7 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 		}
 	}
 	for key, want := range acked {
-		v, err := majority[1].Get(key)
+		v, err := majority[1].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s during partition: %v", key, err)
 		}
@@ -218,7 +219,7 @@ func TestChaosReplicationSurvivesCrashesAndPartition(t *testing.T) {
 	}
 	for _, nd := range survivors {
 		for key, want := range acked {
-			v, err := nd.Get(key)
+			v, err := nd.Get(context.Background(), key)
 			if err != nil {
 				t.Fatalf("get %s from %s after heal: %v", key, logical[nd.Addr()], err)
 			}

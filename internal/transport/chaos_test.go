@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -119,7 +120,7 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 	keys := make([]string, 20)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("chaos-key-%d", i)
-		if err := nodes[i%len(nodes)].Put(keys[i], []byte("v-"+keys[i])); err != nil {
+		if err := nodes[i%len(nodes)].Put(context.Background(), keys[i], []byte("v-"+keys[i])); err != nil {
 			t.Fatalf("put %s: %v", keys[i], err)
 		}
 	}
@@ -132,7 +133,7 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 		kid := LiveKeyID(key)
 		want := trueOwner(nodes, kid)
 		for _, from := range []*Node{nodes[0], nodes[3], nodes[6]} {
-			res, err := from.Lookup(kid)
+			res, err := from.Lookup(context.Background(), kid)
 			if err != nil {
 				t.Fatalf("lookup %s from %s under chaos: %v", key, from.Addr(), err)
 			}
@@ -140,7 +141,7 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 				t.Fatalf("key %d: owner %s, want %s", i, res.Owner.Addr, want.Addr())
 			}
 		}
-		v, err := nodes[(i+5)%len(nodes)].Get(key)
+		v, err := nodes[(i+5)%len(nodes)].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s under chaos: %v", key, err)
 		}
@@ -166,7 +167,7 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 		}
 	}
 	for _, key := range keys {
-		if _, err := nodes[2].Get(key); err != nil {
+		if _, err := nodes[2].Get(context.Background(), key); err != nil {
 			t.Fatalf("get %s during partition: %v", key, err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 		}
 	}
 	for i, key := range keys {
-		v, err := nodes[(i+1)%len(nodes)].Get(key)
+		v, err := nodes[(i+1)%len(nodes)].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s after heal: %v", key, err)
 		}
@@ -250,14 +251,14 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 func TestChaosLowerRingClimbOnFailure(t *testing.T) {
 	var blackout atomic.Bool
 	wrap := func(self string, inner wire.Caller) wire.Caller {
-		return wire.CallerFunc(func(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
+		return wire.CallerFunc(func(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
 			if blackout.Load() && req.Type == wire.TFindClosest && req.Layer >= 2 {
 				return wire.Response{}, &wire.NetError{
 					Addr: addr, Op: "test:blackout", Sent: false,
 					Err: errors.New("lower ring unroutable"),
 				}
 			}
-			return inner.Call(addr, req, timeout)
+			return inner.Call(ctx, addr, req)
 		})
 	}
 	// The breaker stays disabled: it tracks peers, not (peer, layer)
@@ -268,7 +269,7 @@ func TestChaosLowerRingClimbOnFailure(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		key := id.HashString(fmt.Sprintf("climb-%d", trial))
 		want := trueOwner(nodes, key)
-		res, err := nodes[0].Lookup(key)
+		res, err := nodes[0].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup %d under lower-ring blackout: %v", trial, err)
 		}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,10 +21,19 @@ const maxWalkRestarts = 2
 
 // call performs one RPC through the node's full outgoing chain — retry
 // policy and circuit breaker over the (possibly fault-injected)
-// instrumented transport — with the node's configured per-attempt
-// timeout.
-func (n *Node) call(addr string, req wire.Request) (wire.Response, error) {
-	return n.caller.Call(addr, req, n.cfg.CallTimeout)
+// instrumented pooled transport. The context bounds the whole call
+// including retries; each attempt is additionally capped by the
+// configured per-attempt timeout.
+func (n *Node) call(ctx context.Context, addr string, req wire.Request) (wire.Response, error) {
+	return n.caller.Call(ctx, addr, req)
+}
+
+// callBG is call for maintenance paths (stabilization, repair, leave,
+// joins): they run on their own cadence with no caller to propagate a
+// deadline from, so each RPC is bounded only by the per-attempt timeout
+// and retry budget.
+func (n *Node) callBG(addr string, req wire.Request) (wire.Response, error) {
+	return n.call(context.Background(), addr, req)
 }
 
 // suspectDead reports whether addr has accumulated enough consecutive
@@ -86,7 +96,7 @@ func (n *Node) computeRingNames() ([]string, error) {
 // (paper §3.3).
 func (n *Node) Join(bootstrap string) error {
 	// Learn the landmark table from the nearby node when we have none.
-	info, err := n.call(bootstrap, wire.Request{Type: wire.TGetInfo})
+	info, err := n.callBG(bootstrap, wire.Request{Type: wire.TGetInfo})
 	if err != nil {
 		return fmt.Errorf("transport: bootstrap unreachable: %w", err)
 	}
@@ -100,7 +110,7 @@ func (n *Node) Join(bootstrap string) error {
 	self := n.Self()
 
 	// Highest layer first: find our global successor through bootstrap.
-	gsucc, _, err := n.walkOwner(bootstrap, 1, n.id)
+	gsucc, _, err := n.walkOwner(context.Background(), bootstrap, 1, n.id)
 	if err != nil {
 		return fmt.Errorf("transport: global join lookup: %w", err)
 	}
@@ -109,7 +119,7 @@ func (n *Node) Join(bootstrap string) error {
 	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
 	n.layers[0].succ = []wire.Peer{gsucc}
 	n.mu.Unlock()
-	if _, err := n.call(gsucc.Addr, wire.Request{
+	if _, err := n.callBG(gsucc.Addr, wire.Request{
 		Type: wire.TNotify, Layer: 1, Peer: self,
 	}); err != nil {
 		return fmt.Errorf("transport: notify global successor: %w", err)
@@ -133,11 +143,11 @@ func (n *Node) Join(bootstrap string) error {
 // ring table if we became a boundary node.
 func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer) error {
 	rid := ringID(layer, name)
-	storing, _, err := n.walkOwner(bootstrap, 1, rid)
+	storing, _, err := n.walkOwner(context.Background(), bootstrap, 1, rid)
 	if err != nil {
 		return err
 	}
-	resp, err := n.call(storing.Addr, wire.Request{
+	resp, err := n.callBG(storing.Addr, wire.Request{
 		Type:  wire.TGetRingTable,
 		Table: wire.RingTable{Layer: layer, Name: name},
 	})
@@ -154,21 +164,21 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 			Layer: layer, Name: name,
 			Smallest: self, SecondSm: self, Largest: self, SecondLg: self,
 		}
-		_, putErr := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
+		_, putErr := n.callBG(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
 		return putErr
 	}
 	member, err := n.liveTableMember(resp.Table)
 	if err != nil {
 		return err
 	}
-	rsucc, _, err := n.walkOwner(member.Addr, layer, n.id)
+	rsucc, _, err := n.walkOwner(context.Background(), member.Addr, layer, n.id)
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	n.layers[layer-1].succ = []wire.Peer{rsucc}
 	n.mu.Unlock()
-	if _, err := n.call(rsucc.Addr, wire.Request{
+	if _, err := n.callBG(rsucc.Addr, wire.Request{
 		Type: wire.TNotify, Layer: layer, Peer: self,
 	}); err != nil {
 		return err
@@ -176,7 +186,7 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 	// Boundary update (paper: "if it should replace one of them, it sends
 	// a ring table modification message back").
 	if t, changed := updateBoundaries(resp.Table, self); changed {
-		if _, err := n.call(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err != nil {
+		if _, err := n.callBG(storing.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err != nil {
 			return err
 		}
 	}
@@ -189,7 +199,7 @@ func (n *Node) liveTableMember(t wire.RingTable) (wire.Peer, error) {
 		if p.Addr == "" {
 			continue
 		}
-		if _, err := n.call(p.Addr, wire.Request{Type: wire.TPing}); err == nil {
+		if _, err := n.callBG(p.Addr, wire.Request{Type: wire.TPing}); err == nil {
 			return p, nil
 		}
 	}
@@ -240,7 +250,7 @@ func (n *Node) pruneDeadBoundaries(t wire.RingTable) wire.RingTable {
 	alive := func(addr string) bool {
 		v, ok := verdict[addr]
 		if !ok {
-			_, err := n.call(addr, wire.Request{Type: wire.TPing})
+			_, err := n.callBG(addr, wire.Request{Type: wire.TPing})
 			v = err == nil
 			verdict[addr] = v
 		}
@@ -261,7 +271,7 @@ func (n *Node) pruneDeadBoundaries(t wire.RingTable) wire.RingTable {
 func (n *Node) evictAt(at string, layer int, dead string) {
 	n.nm.evictions.Inc()
 	n.markSweepNeeded()
-	_, _ = n.call(at, wire.Request{
+	_, _ = n.callBG(at, wire.Request{
 		Type:  wire.TEvict,
 		Layer: layer,
 		Peer:  wire.Peer{Addr: dead, ID: [20]byte(NodeID(dead))},
@@ -276,13 +286,13 @@ func (n *Node) evictAt(at string, layer int, dead string) {
 // left, the walk restarts from `via` (bounded by maxWalkRestarts) rather
 // than aborting. Application-level errors mean the hop is alive and are
 // fatal immediately — never grounds for eviction.
-func (n *Node) walkOwner(via string, layer int, key id.ID) (wire.Peer, int, error) {
+func (n *Node) walkOwner(ctx context.Context, via string, layer int, key id.ID) (wire.Peer, int, error) {
 	cur := via
 	prev := ""
 	hops := 0
 	restarts := 0
 	for i := 0; i < maxWalk; i++ {
-		resp, err := n.call(cur, wire.Request{
+		resp, err := n.call(ctx, cur, wire.Request{
 			Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
 		})
 		if err != nil {
@@ -335,12 +345,14 @@ type LookupResult struct {
 }
 
 // Lookup routes hierarchically from this node to the owner of key,
-// consulting the location cache first when one is configured.
-func (n *Node) Lookup(key id.ID) (LookupResult, error) {
+// consulting the location cache first when one is configured. The
+// context bounds the whole lookup: cancellation or a deadline aborts
+// the walk between (and inside) hops.
+func (n *Node) Lookup(ctx context.Context, key id.ID) (LookupResult, error) {
 	n.nm.lookups.Inc()
 	if n.cache != nil {
 		if owner, ok := n.cache.get(key); ok {
-			if res, ok := n.verifyCachedOwner(owner, key); ok {
+			if res, ok := n.verifyCachedOwner(ctx, owner, key); ok {
 				n.nm.cacheHits.Inc()
 				return res, nil
 			}
@@ -348,7 +360,7 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 		}
 		n.nm.cacheMisses.Inc()
 	}
-	res, err := n.lookupFull(key)
+	res, err := n.lookupFull(ctx, key)
 	if err != nil {
 		n.nm.lookupErrors.Inc()
 	} else if n.cache != nil {
@@ -361,8 +373,8 @@ func (n *Node) Lookup(key id.ID) (LookupResult, error) {
 // hierarchical destination check at the cached peer. Only a confirmed
 // owner is used, so cache staleness can waste one call but never
 // misroute.
-func (n *Node) verifyCachedOwner(owner wire.Peer, key id.ID) (LookupResult, bool) {
-	resp, err := n.call(owner.Addr, wire.Request{
+func (n *Node) verifyCachedOwner(ctx context.Context, owner wire.Peer, key id.ID) (LookupResult, bool) {
+	resp, err := n.call(ctx, owner.Addr, wire.Request{
 		Type: wire.TFindClosest, Layer: 1, Key: [20]byte(key), Hierarchical: true,
 	})
 	if err != nil || !resp.Owner {
@@ -381,7 +393,7 @@ func (n *Node) verifyCachedOwner(owner wire.Peer, key id.ID) (LookupResult, bool
 // unroutable the lookup climbs to the next layer up instead of aborting
 // — the global ring is the final authority on ownership, so skipping a
 // broken lower ring costs hops, never correctness.
-func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
+func (n *Node) lookupFull(ctx context.Context, key id.ID) (LookupResult, error) {
 	res := LookupResult{LayerHops: make([]int, n.cfg.Depth)}
 	cur := n.addr
 	prev := ""
@@ -393,7 +405,7 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 			if i >= maxWalk {
 				return res, fmt.Errorf("transport: layer %d walk did not converge", layer)
 			}
-			resp, err := n.call(cur, wire.Request{
+			resp, err := n.call(ctx, cur, wire.Request{
 				Type: wire.TFindClosest, Layer: layer, Key: [20]byte(key),
 				Hierarchical: true,
 			})
@@ -448,7 +460,7 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 		if i >= maxWalk {
 			return res, fmt.Errorf("transport: global walk did not converge")
 		}
-		resp, err := n.call(cur, wire.Request{
+		resp, err := n.call(ctx, cur, wire.Request{
 			Type: wire.TFindClosest, Layer: 1, Key: [20]byte(key),
 			Hierarchical: true,
 		})
@@ -501,23 +513,23 @@ func (n *Node) lookupFull(key id.ID) (LookupResult, error) {
 // the owner's neighbor state is unreachable, the resolver degrades to
 // this node's own successor-list view of the same ring region, so a
 // freshly dead owner does not make the whole key unresolvable.
-func (n *Node) resolveReplicaSet(key string) ([]string, error) {
-	res, err := n.Lookup(LiveKeyID(key))
+func (n *Node) resolveReplicaSet(ctx context.Context, key string) ([]string, error) {
+	res, err := n.Lookup(ctx, LiveKeyID(key))
 	if err != nil {
 		return nil, err
 	}
 	owner := res.Owner.Addr
 	var succs []string
-	if nb, nbErr := n.call(owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); nbErr == nil {
+	if nb, nbErr := n.call(ctx, owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); nbErr == nil {
 		for _, p := range nb.Succ {
 			succs = append(succs, p.Addr)
 		}
 	} else {
 		// Owner unreachable: re-walk for a live owner and fall back to our
 		// own successor list for the trailing members.
-		if again, lerr := n.Lookup(LiveKeyID(key)); lerr == nil && again.Owner.Addr != owner {
+		if again, lerr := n.Lookup(ctx, LiveKeyID(key)); lerr == nil && again.Owner.Addr != owner {
 			owner = again.Owner.Addr
-			if nb2, err2 := n.call(owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); err2 == nil {
+			if nb2, err2 := n.call(ctx, owner, wire.Request{Type: wire.TGetNeighbors, Layer: 1}); err2 == nil {
 				for _, p := range nb2.Succ {
 					succs = append(succs, p.Addr)
 				}
@@ -538,16 +550,16 @@ func (n *Node) resolveReplicaSet(key string) ([]string, error) {
 // is acknowledged once Replication.WriteQuorum members accepted it;
 // members missed here are caught up by read-repair and the
 // re-replication sweep.
-func (n *Node) Put(key string, value []byte) error {
-	return n.co.Put(key, value)
+func (n *Node) Put(ctx context.Context, key string, value []byte) error {
+	return n.co.Put(ctx, key, value)
 }
 
 // Get fetches a value with a quorum read over the key's replica set,
 // returning the freshest version seen and read-repairing stale members.
 // A missing key is an error (matching the pre-replication contract);
 // Get only trusts "not found" when every replica-set member answered.
-func (n *Node) Get(key string) ([]byte, error) {
-	v, found, err := n.co.Get(key)
+func (n *Node) Get(ctx context.Context, key string) ([]byte, error) {
+	v, found, err := n.co.Get(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -563,7 +575,7 @@ func (n *Node) Get(key string) ([]byte, error) {
 // longer owes are dropped once every responsible member confirmed
 // theirs. Returns the number of remote item installs and local drops.
 func (n *Node) ReplicaSweepOnce() (applied, dropped int, err error) {
-	return n.co.SweepOnce()
+	return n.co.SweepOnce(context.Background())
 }
 
 // markSweepNeeded requests a re-replication sweep on the next
@@ -622,7 +634,7 @@ func (n *Node) StabilizeLayer(layer int) error {
 	// Drop a dead predecessor so a live one can be adopted (Chord's
 	// check_predecessor).
 	if pred.Addr != "" && pred.Addr != n.addr {
-		if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err != nil {
+		if _, err := n.callBG(pred.Addr, wire.Request{Type: wire.TPing}); err != nil {
 			n.mu.Lock()
 			if n.layers[layer-1].pred == pred {
 				n.layers[layer-1].pred = wire.Peer{}
@@ -643,7 +655,7 @@ func (n *Node) StabilizeLayer(layer int) error {
 			s0, found = cand, true
 			break
 		}
-		resp, err := n.call(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
+		resp, err := n.callBG(cand.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
 		if err == nil {
 			s0, nb, found = cand, resp, true
 			break
@@ -674,9 +686,9 @@ func (n *Node) StabilizeLayer(layer int) error {
 	// notified us (Between(x, a, a) holds for every x != a).
 	if nb.Pred.Addr != "" && nb.Pred.Addr != n.addr &&
 		id.Between(peerID(nb.Pred), n.id, peerID(s0)) {
-		if _, err := n.call(nb.Pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
+		if _, err := n.callBG(nb.Pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
 			s0 = nb.Pred
-			resp, err := n.call(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
+			resp, err := n.callBG(s0.Addr, wire.Request{Type: wire.TGetNeighbors, Layer: layer})
 			if err != nil {
 				return nil
 			}
@@ -710,7 +722,7 @@ func (n *Node) StabilizeLayer(layer int) error {
 			continue
 		}
 		seen[p.Addr] = true
-		if _, err := n.call(p.Addr, wire.Request{Type: wire.TPing}); err != nil {
+		if _, err := n.callBG(p.Addr, wire.Request{Type: wire.TPing}); err != nil {
 			continue
 		}
 		list = append(list, p)
@@ -718,7 +730,7 @@ func (n *Node) StabilizeLayer(layer int) error {
 	n.mu.Lock()
 	n.layers[layer-1].succ = list
 	n.mu.Unlock()
-	_, _ = n.call(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
+	_, _ = n.callBG(s0.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
 	// Even with a healthy successor, the ring as a whole may be one of
 	// two components left by a healed partition; scan the entry points
 	// for a closer successor from the other component.
@@ -748,11 +760,11 @@ func (n *Node) repairLayer(layer int) {
 	}
 	self := n.Self()
 	if pred.Addr != "" && pred.Addr != n.addr {
-		if _, err := n.call(pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
+		if _, err := n.callBG(pred.Addr, wire.Request{Type: wire.TPing}); err == nil {
 			n.mu.Lock()
 			n.layers[layer-1].succ = []wire.Peer{pred}
 			n.mu.Unlock()
-			_, _ = n.call(pred.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
+			_, _ = n.callBG(pred.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: self})
 			n.nm.repairs.Inc()
 			return
 		}
@@ -795,7 +807,7 @@ func (n *Node) reanchor(layer int) bool {
 	n.mu.Lock()
 	n.layers[layer-1].succ = []wire.Peer{cand}
 	n.mu.Unlock()
-	_, _ = n.call(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
+	_, _ = n.callBG(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
 	return true
 }
 
@@ -831,7 +843,7 @@ func (n *Node) mergeScan(layer int) {
 	}
 	n.mu.Unlock()
 	if adopt {
-		_, _ = n.call(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
+		_, _ = n.callBG(cand.Addr, wire.Request{Type: wire.TNotify, Layer: layer, Peer: n.Self()})
 		n.nm.repairs.Inc()
 	}
 }
@@ -850,7 +862,7 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 			if lm == n.addr {
 				continue
 			}
-			owner, _, err := n.walkOwner(lm, 1, n.id)
+			owner, _, err := n.walkOwner(context.Background(), lm, 1, n.id)
 			if err != nil || owner.Addr == "" || owner.Addr == n.addr {
 				continue
 			}
@@ -868,11 +880,11 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 		return wire.Peer{}, false
 	}
 	rid := ringID(layer, name)
-	storing, _, err := n.walkOwner(n.addr, 1, rid)
+	storing, _, err := n.walkOwner(context.Background(), n.addr, 1, rid)
 	if err != nil {
 		return wire.Peer{}, false
 	}
-	resp, err := n.call(storing.Addr, wire.Request{
+	resp, err := n.callBG(storing.Addr, wire.Request{
 		Type:  wire.TGetRingTable,
 		Table: wire.RingTable{Layer: layer, Name: name},
 	})
@@ -883,7 +895,7 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 	if err != nil || member.Addr == n.addr {
 		return wire.Peer{}, false
 	}
-	rsucc, _, err := n.walkOwner(member.Addr, layer, n.id)
+	rsucc, _, err := n.walkOwner(context.Background(), member.Addr, layer, n.id)
 	if err != nil || rsucc.Addr == "" || rsucc.Addr == n.addr {
 		return wire.Peer{}, false
 	}
@@ -913,12 +925,12 @@ func (n *Node) RepairRingTables() error {
 		return tables[i].Name < tables[j].Name
 	})
 	for _, t := range tables {
-		owner, _, err := n.walkOwner(n.addr, 1, ringID(t.Layer, t.Name))
+		owner, _, err := n.walkOwner(context.Background(), n.addr, 1, ringID(t.Layer, t.Name))
 		if err != nil {
 			continue
 		}
 		if owner.Addr != n.addr {
-			if _, err := n.call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err == nil {
+			if _, err := n.callBG(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t}); err == nil {
 				n.mu.Lock()
 				delete(n.tables, ringKey(t.Layer, t.Name))
 				n.mu.Unlock()
@@ -931,7 +943,7 @@ func (n *Node) RepairRingTables() error {
 	self := n.Self()
 	for l, name := range names {
 		layer := l + 2
-		owner, _, err := n.walkOwner(n.addr, 1, ringID(layer, name))
+		owner, _, err := n.walkOwner(context.Background(), n.addr, 1, ringID(layer, name))
 		if err != nil || owner.Addr == "" {
 			continue
 		}
@@ -942,7 +954,7 @@ func (n *Node) RepairRingTables() error {
 			n.mu.Unlock()
 			resp = wire.Response{OK: true, Table: t, Found: ok}
 		} else {
-			resp, err = n.call(owner.Addr, wire.Request{
+			resp, err = n.callBG(owner.Addr, wire.Request{
 				Type:  wire.TGetRingTable,
 				Table: wire.RingTable{Layer: layer, Name: name},
 			})
@@ -963,7 +975,7 @@ func (n *Node) RepairRingTables() error {
 				n.tables[ringKey(layer, name)] = t2
 				n.mu.Unlock()
 			} else {
-				_, _ = n.call(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t2})
+				_, _ = n.callBG(owner.Addr, wire.Request{Type: wire.TPutRingTable, Table: t2})
 			}
 		}
 	}
@@ -991,7 +1003,7 @@ func (n *Node) FixFingersOnce(count int) error {
 				owner = prev // reuse: successor(target) == previous finger
 			} else {
 				var err error
-				owner, _, err = n.walkOwner(n.addr, layer, target)
+				owner, _, err = n.walkOwner(context.Background(), n.addr, layer, target)
 				if err != nil {
 					// A stale finger or successor pointed the walk at a
 					// departed peer. Skip this slot — stabilization drops
@@ -1035,7 +1047,7 @@ func (n *Node) Leave() error {
 		var s0 wire.Peer
 		for _, c := range succ {
 			if c.Addr != "" && c.Addr != n.addr {
-				if _, err := n.call(c.Addr, wire.Request{Type: wire.TPing}); err == nil {
+				if _, err := n.callBG(c.Addr, wire.Request{Type: wire.TPing}); err == nil {
 					s0 = c
 					break
 				}
@@ -1044,10 +1056,10 @@ func (n *Node) Leave() error {
 		if s0.Addr == "" {
 			continue // singleton layer
 		}
-		_, _ = n.call(s0.Addr, wire.Request{Type: wire.TLeaveSucc, Layer: layer, Peer: pred})
+		_, _ = n.callBG(s0.Addr, wire.Request{Type: wire.TLeaveSucc, Layer: layer, Peer: pred})
 		if pred.Addr != "" && pred.Addr != n.addr {
 			handoff := append([]wire.Peer{s0}, succ...)
-			_, _ = n.call(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff})
+			_, _ = n.callBG(pred.Addr, wire.Request{Type: wire.TLeavePred, Layer: layer, Peers: handoff})
 		}
 	}
 	// Migrate stored state to the global successor: the versioned items
@@ -1076,12 +1088,12 @@ func (n *Node) Leave() error {
 	})
 	if gsucc.Addr != "" {
 		if len(items) > 0 {
-			if _, err := n.call(gsucc.Addr, wire.Request{Type: wire.THandoff, Items: items}); err == nil {
+			if _, err := n.callBG(gsucc.Addr, wire.Request{Type: wire.THandoff, Items: items}); err == nil {
 				n.co.Metrics.HandoffItems.Add(uint64(len(items)))
 			}
 		}
 		for _, t := range tables {
-			_, _ = n.call(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
+			_, _ = n.callBG(gsucc.Addr, wire.Request{Type: wire.TPutRingTable, Table: t})
 		}
 	}
 	return n.Close()

@@ -48,7 +48,7 @@ func TestEvictPurgesEveryLayer(t *testing.T) {
 		plantPeer(n, layer, dead, 3, 11)
 	}
 	for layer := 1; layer <= 2; layer++ {
-		resp, err := wire.Call(n.Addr(), wire.Request{
+		resp, err := wireCall(n.Addr(), wire.Request{
 			Type: wire.TEvict, Layer: layer, Peer: dead,
 		}, 2*time.Second)
 		if err != nil || !resp.OK {
@@ -91,7 +91,7 @@ func TestEvictRejectsInvalidTargets(t *testing.T) {
 		{Type: wire.TEvict, Layer: 5, Peer: peerFor("10.1.1.1:1")}, // bad layer
 	}
 	for i, req := range cases {
-		_, err := wire.Call(n.Addr(), req, 2*time.Second)
+		_, err := wireCall(n.Addr(), req, 2*time.Second)
 		if !wire.IsRemote(err) {
 			t.Errorf("case %d: want remote rejection, got %v", i, err)
 		}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -12,7 +13,7 @@ func TestGracefulLeaveHandsOverData(t *testing.T) {
 	nodes := cluster(t, 8)
 	// Store data whose owner we will evict.
 	for i := 0; i < 12; i++ {
-		if err := nodes[i%len(nodes)].Put(fmt.Sprintf("doc-%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := nodes[i%len(nodes)].Put(context.Background(), fmt.Sprintf("doc-%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatalf("put: %v", err)
 		}
 	}
@@ -32,7 +33,7 @@ func TestGracefulLeaveHandsOverData(t *testing.T) {
 	// All data still readable, including keys the victim owned.
 	for i := 0; i < 12; i++ {
 		key := fmt.Sprintf("doc-%d", i)
-		v, err := alive[i%len(alive)].Get(key)
+		v, err := alive[i%len(alive)].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s after leave: %v", key, err)
 		}
@@ -44,7 +45,7 @@ func TestGracefulLeaveHandsOverData(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		key := id.HashString(fmt.Sprintf("post-leave-%d", trial))
 		want := trueOwner(alive, key)
-		res, err := alive[trial%len(alive)].Lookup(key)
+		res, err := alive[trial%len(alive)].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestLiveDepth3(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		key := id.HashString(fmt.Sprintf("d3-%d", trial))
 		want := trueOwner(nodes, key)
-		res, err := nodes[trial%len(nodes)].Lookup(key)
+		res, err := nodes[trial%len(nodes)].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,11 +162,11 @@ func TestLiveDepth3(t *testing.T) {
 func TestReplicatedGetSurvivesOwnerFailure(t *testing.T) {
 	nodes := cluster(t, 8)
 	key := "replicated-doc"
-	if err := nodes[1].Put(key, []byte("precious")); err != nil {
+	if err := nodes[1].Put(context.Background(), key, []byte("precious")); err != nil {
 		t.Fatal(err)
 	}
 	// Find the key's owner and kill it silently (no graceful handoff).
-	res, err := nodes[0].Lookup(LiveKeyID(key))
+	res, err := nodes[0].Lookup(context.Background(), LiveKeyID(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestReplicatedGetSurvivesOwnerFailure(t *testing.T) {
 			t.Fatal(fingerErr)
 		}
 	}
-	v, err := alive[0].Get(key)
+	v, err := alive[0].Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("replicated read after owner failure: %v", err)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -22,7 +23,7 @@ func TestHopCountersMatchLookups(t *testing.T) {
 	perLayer := make([]uint64, 2)
 	for trial := 0; trial < 30; trial++ {
 		key := id.HashString(fmt.Sprintf("metric-key-%d", trial))
-		res, err := src.Lookup(key)
+		res, err := src.Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup %d: %v", trial, err)
 		}
@@ -59,7 +60,7 @@ func TestHopCountersMatchLookups(t *testing.T) {
 func TestMetricsExposition(t *testing.T) {
 	nodes := cluster(t, 3)
 	src := nodes[0]
-	if _, err := src.Lookup(id.HashString("expo-key")); err != nil {
+	if _, err := src.Lookup(context.Background(), id.HashString("expo-key")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -105,7 +106,7 @@ func TestRPCCountersMove(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A served ping increments the server-side counter and byte totals.
-	if _, err := wire.Call(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
+	if _, err := wireCall(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
@@ -144,7 +145,7 @@ func TestLookupCacheHit(t *testing.T) {
 	}
 
 	key := id.HashString("cached-key")
-	first, err := nd.Lookup(key)
+	first, err := nd.Lookup(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestLookupCacheHit(t *testing.T) {
 		t.Fatalf("after first lookup: hits=%d misses=%d",
 			nd.nm.cacheHits.Value(), nd.nm.cacheMisses.Value())
 	}
-	second, err := nd.Lookup(key)
+	second, err := nd.Lookup(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,8 +41,25 @@ type Config struct {
 	// Prober estimates latency to landmarks (default: VirtualProber over
 	// Coord).
 	Prober Prober
-	// CallTimeout bounds each RPC attempt (default 3s).
+	// CallTimeout bounds each RPC attempt (default 3s). It becomes the
+	// retry policy's PerAttempt timeout and the write deadline of pooled
+	// and server-side connections.
 	CallTimeout time.Duration
+	// Codec selects the wire encoding for outgoing calls (default
+	// wire.DefaultCodec(), the binary codec; wire.Gob is the
+	// compatibility codec). Servers accept either: the client announces
+	// its codec in the session preamble.
+	Codec wire.Codec
+	// PoolSize is the per-peer connection pool size (0 = wire
+	// DefaultPoolSize). Negative disables pooling and opens one
+	// connection per call — the pre-overhaul behaviour, kept as a
+	// benchmark baseline.
+	PoolSize int
+	// Coalesce deduplicates identical in-flight read RPCs (TFindClosest,
+	// TStoreGet): concurrent callers share one exchange. Off by default
+	// because collapsing calls changes the observable call sequence,
+	// which deterministic fault-replay harnesses depend on.
+	Coalesce bool
 	// Retry configures the retry policy applied to every outgoing RPC:
 	// exponential backoff with jitter, idempotency-aware (state-installing
 	// writes are only retried when the request provably never reached the
@@ -138,12 +155,16 @@ type Node struct {
 	handled int64 // requests served (also exported via the registry)
 	wg      sync.WaitGroup
 
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // live server-side sessions, force-closed on Close
+
 	nm      *nodeMetrics
 	store   *replica.Engine      // versioned local KV store
 	co      *replica.Coordinator // quorum write/read/sweep driver over the store
 	cache   *lookupCache         // nil when Config.LookupCache == 0
-	caller  wire.Caller          // full outgoing chain: retrier → (injector) → instrumented transport
+	caller  wire.Caller          // full outgoing chain: (coalescer) → retrier → (injector) → instrumented pool
 	retrier *wire.Retrier
+	pool    *wire.Pool
 	suspect int // consecutive-failure count that triggers eviction
 }
 
@@ -192,6 +213,7 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		store:  replica.NewEngine(),
 		tables: make(map[string]wire.RingTable),
 		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	n.id = NodeID(n.addr)
 	if cfg.Prober == nil {
@@ -202,13 +224,27 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		reg = metrics.NewRegistry()
 	}
 	n.nm = newNodeMetrics(reg, cfg.Depth)
-	n.nm.wm.Dial = cfg.Dial
-	var base wire.Caller = n.nm.wm
+	n.pool = wire.NewPool(wire.PoolOptions{
+		Codec:        cfg.Codec,
+		Dial:         cfg.Dial,
+		Size:         cfg.PoolSize,
+		DialTimeout:  cfg.CallTimeout,
+		WriteTimeout: cfg.CallTimeout,
+		ConnWrap:     n.nm.wm.CountConn,
+	})
+	base := n.nm.wm.Wrap(n.pool)
 	if cfg.WrapCaller != nil {
 		base = cfg.WrapCaller(n.addr, base)
 	}
-	n.retrier = wire.NewRetrier(base, cfg.Retry, cfg.Breaker, reg)
+	retry := cfg.Retry
+	if retry.PerAttempt == 0 {
+		retry.PerAttempt = cfg.CallTimeout
+	}
+	n.retrier = wire.NewRetrier(base, retry, cfg.Breaker, reg)
 	n.caller = n.retrier
+	if cfg.Coalesce {
+		n.caller = wire.NewCoalescer(n.retrier, reg)
+	}
 	n.suspect = cfg.EvictSuspicion
 	if n.suspect <= 0 {
 		n.suspect = cfg.Retry.EffectiveAttempts()
@@ -221,9 +257,7 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		Opts:    cfg.Replication,
 		Engine:  n.store,
 		Resolve: n.resolveReplicaSet,
-		Call: func(addr string, req wire.Request) (wire.Response, error) {
-			return n.call(addr, req)
-		},
+		Call:    n.call,
 		Metrics: replica.NewMetrics(reg),
 		Now:     time.Now,
 	}
@@ -281,8 +315,39 @@ func (n *Node) Close() error {
 	}
 	close(n.closed)
 	err := n.ln.Close()
+	n.pool.Close()
+	// Peers hold persistent pooled sessions to this node; their server
+	// goroutines would otherwise block in a frame read until the idle
+	// timeout. Force-close them — ServeConn drains in-flight handlers
+	// before returning.
+	n.connMu.Lock()
+	for c := range n.conns {
+		_ = c.Close()
+	}
+	n.connMu.Unlock()
 	n.wg.Wait()
 	return err
+}
+
+// track registers a server-side connection for shutdown, or closes it
+// immediately when the node is already shutting down.
+func (n *Node) track(c net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	select {
+	case <-n.closed:
+		_ = c.Close()
+		return false
+	default:
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
 }
 
 func (n *Node) acceptLoop() {
@@ -297,18 +362,17 @@ func (n *Node) acceptLoop() {
 				continue
 			}
 		}
+		if !n.track(conn) {
+			continue
+		}
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			defer conn.Close()
-			cc := &wire.CountingConn{Conn: conn}
-			req, err := wire.ReadRequest(cc, n.cfg.CallTimeout)
-			if err != nil {
-				return
-			}
-			resp := n.handle(req)
-			_ = wire.WriteResponse(cc, resp, n.cfg.CallTimeout)
-			n.nm.wm.ObserveServed(req.Type, resp.OK, cc.ReadBytes, cc.WrittenBytes)
+			defer n.untrack(conn)
+			_ = wire.ServeConn(n.nm.wm.CountConn(conn), n.handle, wire.ServeOptions{
+				WriteTimeout: n.cfg.CallTimeout,
+				Observe:      n.nm.wm.ObserveServed,
+			})
 		}()
 	}
 }

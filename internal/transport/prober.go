@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -37,7 +38,7 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 	best := math.Inf(1)
 	for i := 0; i < samples; i++ {
 		start := time.Now()
-		if _, err := wire.CallVia(p.Dial, addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
+		if err := probe(p.Dial, addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
 			return 0, fmt.Errorf("transport: ping %s: %w", addr, err)
 		}
 		if rtt := time.Since(start); rtt.Seconds()*1000 < best {
@@ -45,6 +46,16 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 		}
 	}
 	return best / 2, nil
+}
+
+// probe performs one one-shot exchange bounded by timeout. Probes run
+// outside any request context, so the deadline comes from a context of
+// their own.
+func probe(dial wire.DialFunc, addr string, req wire.Request, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_, err := wire.CallVia(ctx, dial, nil, addr, req)
+	return err
 }
 
 // VirtualProber places nodes on a synthetic 2-D plane: latency is the
@@ -65,7 +76,9 @@ func (p *VirtualProber) Latency(addr string) (float64, error) {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	resp, err := wire.CallVia(p.Dial, addr, wire.Request{Type: wire.TGetInfo}, timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	resp, err := wire.CallVia(ctx, p.Dial, nil, addr, wire.Request{Type: wire.TGetInfo})
 	if err != nil {
 		return 0, fmt.Errorf("transport: get_info %s: %w", addr, err)
 	}

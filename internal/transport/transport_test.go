@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/id"
 	"repro/internal/wire"
 )
+
+// wireCall performs one connection-per-call exchange bounded by timeout.
+func wireCall(addr string, req wire.Request, timeout time.Duration) (wire.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return wire.Call(ctx, addr, req)
+}
 
 // cluster starts n live nodes placed in two virtual-coordinate clusters
 // ("west" around (0,0) and "east" around (500,500)), with one landmark per
@@ -111,17 +119,17 @@ func TestSingleNodeNetwork(t *testing.T) {
 	if createErr := nd.CreateNetwork(); createErr != nil {
 		t.Fatal(createErr)
 	}
-	res, err := nd.Lookup(id.HashString("anything"))
+	res, err := nd.Lookup(context.Background(), id.HashString("anything"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Owner.Addr != nd.Addr() || res.Hops != 0 {
 		t.Errorf("owner %s hops %d", res.Owner.Addr, res.Hops)
 	}
-	if putErr := nd.Put("greeting", []byte("hello")); putErr != nil {
+	if putErr := nd.Put(context.Background(), "greeting", []byte("hello")); putErr != nil {
 		t.Fatal(putErr)
 	}
-	v, err := nd.Get("greeting")
+	v, err := nd.Get(context.Background(), "greeting")
 	if err != nil || string(v) != "hello" {
 		t.Errorf("get: %q %v", v, err)
 	}
@@ -133,7 +141,7 @@ func TestClusterLookupCorrectness(t *testing.T) {
 		key := id.HashString(fmt.Sprintf("key-%d", trial))
 		want := trueOwner(nodes, key)
 		for _, from := range []*Node{nodes[0], nodes[3], nodes[7]} {
-			res, err := from.Lookup(key)
+			res, err := from.Lookup(context.Background(), key)
 			if err != nil {
 				t.Fatalf("lookup from %s: %v", from.Addr(), err)
 			}
@@ -207,13 +215,13 @@ func TestPutGetAcrossNodes(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		key := fmt.Sprintf("file-%d", i)
 		val := []byte(fmt.Sprintf("location-%d", i))
-		if err := nodes[i%len(nodes)].Put(key, val); err != nil {
+		if err := nodes[i%len(nodes)].Put(context.Background(), key, val); err != nil {
 			t.Fatalf("put %s: %v", key, err)
 		}
 	}
 	for i := 0; i < 20; i++ {
 		key := fmt.Sprintf("file-%d", i)
-		v, err := nodes[(i+3)%len(nodes)].Get(key)
+		v, err := nodes[(i+3)%len(nodes)].Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s: %v", key, err)
 		}
@@ -228,7 +236,7 @@ func TestLowerLayerHopsHappen(t *testing.T) {
 	lower, total := 0, 0
 	for trial := 0; trial < 60; trial++ {
 		key := id.HashString(fmt.Sprintf("probe-%d", trial))
-		res, err := nodes[trial%len(nodes)].Lookup(key)
+		res, err := nodes[trial%len(nodes)].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -261,11 +269,11 @@ func TestRingTablesDiscoverable(t *testing.T) {
 		}
 		seen[name] = true
 		rid := ringID(2, name)
-		owner, _, err := nodes[0].walkOwner(nodes[0].Addr(), 1, rid)
+		owner, _, err := nodes[0].walkOwner(context.Background(), nodes[0].Addr(), 1, rid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := wire.Call(owner.Addr, wire.Request{
+		resp, err := wireCall(owner.Addr, wire.Request{
 			Type:  wire.TGetRingTable,
 			Table: wire.RingTable{Layer: 2, Name: name},
 		}, 5*time.Second)
@@ -275,7 +283,7 @@ func TestRingTablesDiscoverable(t *testing.T) {
 		if !resp.Found {
 			t.Fatalf("ring table %q not at its storing node %s", name, owner.Addr)
 		}
-		if _, err := wire.Call(resp.Table.Smallest.Addr, wire.Request{Type: wire.TPing}, time.Second); err != nil {
+		if _, err := wireCall(resp.Table.Smallest.Addr, wire.Request{Type: wire.TPing}, time.Second); err != nil {
 			t.Errorf("ring table %q names unreachable member", name)
 		}
 	}
@@ -298,7 +306,7 @@ func TestNodeFailureHealing(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		key := id.HashString(fmt.Sprintf("after-fail-%d", trial))
 		want := trueOwner(alive, key)
-		res, err := alive[trial%len(alive)].Lookup(key)
+		res, err := alive[trial%len(alive)].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup after failure: %v", err)
 		}
@@ -347,7 +355,7 @@ func TestHandledCounter(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nd.Close()
-	if _, err := wire.Call(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
+	if _, err := wireCall(nd.Addr(), wire.Request{Type: wire.TPing}, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if nd.Handled() != 1 {
@@ -361,7 +369,7 @@ func TestUnknownMessageRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nd.Close()
-	if _, err := wire.Call(nd.Addr(), wire.Request{Type: 99}, time.Second); err == nil {
+	if _, err := wireCall(nd.Addr(), wire.Request{Type: 99}, time.Second); err == nil {
 		t.Error("unknown message type accepted")
 	}
 }

@@ -1,0 +1,640 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary is the default wire codec: a hand-rolled, reflection-free,
+// length-checked encoding of the two envelopes. The layout is
+//
+//	Request:  [type u8][field mask uvarint][present fields in order]
+//	Response: [field mask uvarint][present fields in order]
+//
+// where the mask has one bit per envelope field (bools are carried by the
+// mask itself) and a field is present iff it is non-zero, mirroring gob's
+// omit-zero semantics so the two codecs are value-equivalent under the
+// nil≡empty normalization the fuzz targets use. Scalars are varints
+// (zigzag for signed), strings and byte slices are uvarint-length-prefixed,
+// identifiers are 20 raw bytes, and composite values (Peer, RingTable,
+// StoreItem) encode their fields unconditionally so re-encoding a decoded
+// envelope is canonical. Encoding appends to the caller's buffer and
+// allocates nothing; decoding validates every length claim against the
+// remaining input and never panics.
+type Binary struct{}
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// ID implements Codec.
+func (Binary) ID() byte { return codecIDBinary }
+
+var (
+	errTruncated = errors.New("wire: truncated binary envelope")
+	errTrailing  = errors.New("wire: trailing bytes after binary envelope")
+	errVarint    = errors.New("wire: malformed varint")
+)
+
+// Request field mask bits, in encode order.
+const (
+	rqLayer = 1 << iota
+	rqKey
+	rqName
+	rqPeer
+	rqPeers
+	rqTable
+	rqValue
+	rqItems
+	rqHierarchical // no body: the bit is the value
+
+	rqKnown = rqHierarchical<<1 - 1
+)
+
+// Response field mask bits, in encode order. The four bools ride in the
+// mask; the rest gate a body field.
+const (
+	rsOK = 1 << iota
+	rsDone
+	rsOwner
+	rsFound
+	rsErr
+	rsNext
+	rsSelf
+	rsRingNames
+	rsLandmarks
+	rsCoord
+	rsSucc
+	rsPred
+	rsTable
+	rsValue
+	rsVersion
+	rsWriter
+	rsApplied
+
+	rsKnown = rsApplied<<1 - 1
+)
+
+// AppendRequest implements Codec.
+func (Binary) AppendRequest(dst []byte, req *Request) ([]byte, error) {
+	dst = append(dst, byte(req.Type))
+	var mask uint64
+	if req.Layer != 0 {
+		mask |= rqLayer
+	}
+	if req.Key != ([20]byte{}) {
+		mask |= rqKey
+	}
+	if req.Name != "" {
+		mask |= rqName
+	}
+	if req.Peer != (Peer{}) {
+		mask |= rqPeer
+	}
+	if len(req.Peers) > 0 {
+		mask |= rqPeers
+	}
+	if req.Table != (RingTable{}) {
+		mask |= rqTable
+	}
+	if len(req.Value) > 0 {
+		mask |= rqValue
+	}
+	if len(req.Items) > 0 {
+		mask |= rqItems
+	}
+	if req.Hierarchical {
+		mask |= rqHierarchical
+	}
+	dst = binary.AppendUvarint(dst, mask)
+	if mask&rqLayer != 0 {
+		dst = binary.AppendVarint(dst, int64(req.Layer))
+	}
+	if mask&rqKey != 0 {
+		dst = append(dst, req.Key[:]...)
+	}
+	if mask&rqName != 0 {
+		dst = appendString(dst, req.Name)
+	}
+	if mask&rqPeer != 0 {
+		dst = appendPeer(dst, req.Peer)
+	}
+	if mask&rqPeers != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Peers)))
+		for _, p := range req.Peers {
+			dst = appendPeer(dst, p)
+		}
+	}
+	if mask&rqTable != 0 {
+		dst = appendTable(dst, &req.Table)
+	}
+	if mask&rqValue != 0 {
+		dst = appendBlob(dst, req.Value)
+	}
+	if mask&rqItems != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Items)))
+		for i := range req.Items {
+			dst = appendItem(dst, &req.Items[i])
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRequest implements Codec.
+func (Binary) DecodeRequest(data []byte) (Request, error) {
+	var req Request
+	r := breader{b: data}
+	t, err := r.u8()
+	if err != nil {
+		return req, err
+	}
+	req.Type = MsgType(t)
+	mask, err := r.uvarint()
+	if err != nil {
+		return req, err
+	}
+	if mask&^uint64(rqKnown) != 0 {
+		return req, fmt.Errorf("wire: unknown request field bits %#x", mask&^uint64(rqKnown))
+	}
+	if mask&rqLayer != 0 {
+		if req.Layer, err = r.vint(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqKey != 0 {
+		if req.Key, err = r.id(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqName != 0 {
+		if req.Name, err = r.str(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqPeer != 0 {
+		if req.Peer, err = r.peer(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqPeers != 0 {
+		if req.Peers, err = r.peers(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqTable != 0 {
+		if req.Table, err = r.table(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqValue != 0 {
+		if req.Value, err = r.blob(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqItems != 0 {
+		if req.Items, err = r.items(); err != nil {
+			return req, err
+		}
+	}
+	req.Hierarchical = mask&rqHierarchical != 0
+	if r.off != len(r.b) {
+		return req, errTrailing
+	}
+	return req, nil
+}
+
+// AppendResponse implements Codec.
+func (Binary) AppendResponse(dst []byte, resp *Response) ([]byte, error) {
+	var mask uint64
+	if resp.OK {
+		mask |= rsOK
+	}
+	if resp.Done {
+		mask |= rsDone
+	}
+	if resp.Owner {
+		mask |= rsOwner
+	}
+	if resp.Found {
+		mask |= rsFound
+	}
+	if resp.Err != "" {
+		mask |= rsErr
+	}
+	if resp.Next != (Peer{}) {
+		mask |= rsNext
+	}
+	if resp.Self != (Peer{}) {
+		mask |= rsSelf
+	}
+	if len(resp.RingNames) > 0 {
+		mask |= rsRingNames
+	}
+	if len(resp.Landmarks) > 0 {
+		mask |= rsLandmarks
+	}
+	if resp.Coord != ([2]float64{}) {
+		mask |= rsCoord
+	}
+	if len(resp.Succ) > 0 {
+		mask |= rsSucc
+	}
+	if resp.Pred != (Peer{}) {
+		mask |= rsPred
+	}
+	if resp.Table != (RingTable{}) {
+		mask |= rsTable
+	}
+	if len(resp.Value) > 0 {
+		mask |= rsValue
+	}
+	if resp.Version != 0 {
+		mask |= rsVersion
+	}
+	if resp.Writer != "" {
+		mask |= rsWriter
+	}
+	if resp.Applied != 0 {
+		mask |= rsApplied
+	}
+	dst = binary.AppendUvarint(dst, mask)
+	if mask&rsErr != 0 {
+		dst = appendString(dst, resp.Err)
+	}
+	if mask&rsNext != 0 {
+		dst = appendPeer(dst, resp.Next)
+	}
+	if mask&rsSelf != 0 {
+		dst = appendPeer(dst, resp.Self)
+	}
+	if mask&rsRingNames != 0 {
+		dst = appendStrings(dst, resp.RingNames)
+	}
+	if mask&rsLandmarks != 0 {
+		dst = appendStrings(dst, resp.Landmarks)
+	}
+	if mask&rsCoord != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(resp.Coord[0]))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(resp.Coord[1]))
+	}
+	if mask&rsSucc != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Succ)))
+		for _, p := range resp.Succ {
+			dst = appendPeer(dst, p)
+		}
+	}
+	if mask&rsPred != 0 {
+		dst = appendPeer(dst, resp.Pred)
+	}
+	if mask&rsTable != 0 {
+		dst = appendTable(dst, &resp.Table)
+	}
+	if mask&rsValue != 0 {
+		dst = appendBlob(dst, resp.Value)
+	}
+	if mask&rsVersion != 0 {
+		dst = binary.AppendUvarint(dst, resp.Version)
+	}
+	if mask&rsWriter != 0 {
+		dst = appendString(dst, resp.Writer)
+	}
+	if mask&rsApplied != 0 {
+		dst = binary.AppendVarint(dst, int64(resp.Applied))
+	}
+	return dst, nil
+}
+
+// DecodeResponse implements Codec.
+func (Binary) DecodeResponse(data []byte) (Response, error) {
+	var resp Response
+	r := breader{b: data}
+	mask, err := r.uvarint()
+	if err != nil {
+		return resp, err
+	}
+	if mask&^uint64(rsKnown) != 0 {
+		return resp, fmt.Errorf("wire: unknown response field bits %#x", mask&^uint64(rsKnown))
+	}
+	resp.OK = mask&rsOK != 0
+	resp.Done = mask&rsDone != 0
+	resp.Owner = mask&rsOwner != 0
+	resp.Found = mask&rsFound != 0
+	if mask&rsErr != 0 {
+		if resp.Err, err = r.str(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsNext != 0 {
+		if resp.Next, err = r.peer(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsSelf != 0 {
+		if resp.Self, err = r.peer(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsRingNames != 0 {
+		if resp.RingNames, err = r.strings(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsLandmarks != 0 {
+		if resp.Landmarks, err = r.strings(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsCoord != 0 {
+		for i := 0; i < 2; i++ {
+			raw, ferr := r.take(8)
+			if ferr != nil {
+				return resp, ferr
+			}
+			resp.Coord[i] = math.Float64frombits(binary.BigEndian.Uint64(raw))
+		}
+	}
+	if mask&rsSucc != 0 {
+		if resp.Succ, err = r.peers(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsPred != 0 {
+		if resp.Pred, err = r.peer(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsTable != 0 {
+		if resp.Table, err = r.table(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsValue != 0 {
+		if resp.Value, err = r.blob(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsVersion != 0 {
+		if resp.Version, err = r.uvarint(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsWriter != 0 {
+		if resp.Writer, err = r.str(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsApplied != 0 {
+		if resp.Applied, err = r.vint(); err != nil {
+			return resp, err
+		}
+	}
+	if r.off != len(r.b) {
+		return resp, errTrailing
+	}
+	return resp, nil
+}
+
+// ---- encode helpers (append-only, no allocation beyond dst growth) ----
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBlob(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendString(dst, s)
+	}
+	return dst
+}
+
+func appendPeer(dst []byte, p Peer) []byte {
+	dst = appendString(dst, p.Addr)
+	return append(dst, p.ID[:]...)
+}
+
+func appendTable(dst []byte, t *RingTable) []byte {
+	dst = binary.AppendVarint(dst, int64(t.Layer))
+	dst = appendString(dst, t.Name)
+	dst = appendPeer(dst, t.Smallest)
+	dst = appendPeer(dst, t.SecondSm)
+	dst = appendPeer(dst, t.Largest)
+	return appendPeer(dst, t.SecondLg)
+}
+
+func appendItem(dst []byte, it *StoreItem) []byte {
+	dst = appendString(dst, it.Key)
+	dst = appendBlob(dst, it.Value)
+	dst = binary.AppendUvarint(dst, it.Version)
+	return appendString(dst, it.Writer)
+}
+
+// ---- decode helpers ----
+
+// breader walks an envelope payload with explicit bounds checks; every
+// length claim is validated against the bytes actually remaining, so
+// hostile input errors out instead of allocating or panicking.
+type breader struct {
+	b   []byte
+	off int
+}
+
+func (r *breader) remaining() int { return len(r.b) - r.off }
+
+func (r *breader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, errTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *breader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, errTruncated
+		}
+		return 0, errVarint
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *breader) vint() (int, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, errTruncated
+		}
+		return 0, errVarint
+	}
+	r.off += n
+	return int(v), nil
+}
+
+func (r *breader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, errTruncated
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// length reads a count/size claim and rejects anything that cannot fit in
+// the remaining input given a minimum encoded size per unit.
+func (r *breader) length(minUnit int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/minUnit) {
+		return 0, errTruncated
+	}
+	return int(v), nil
+}
+
+func (r *breader) str() (string, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return "", err
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// blob returns a copy: frame payload buffers are pooled, so decoded
+// values must own their memory.
+func (r *breader) blob() ([]byte, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil // canonical: absent and empty are the same value
+	}
+	out := make([]byte, n)
+	copy(out, raw)
+	return out, nil
+}
+
+func (r *breader) strings() ([]string, error) {
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *breader) id() ([20]byte, error) {
+	var id [20]byte
+	raw, err := r.take(len(id))
+	if err != nil {
+		return id, err
+	}
+	copy(id[:], raw)
+	return id, nil
+}
+
+func (r *breader) peer() (Peer, error) {
+	var p Peer
+	var err error
+	if p.Addr, err = r.str(); err != nil {
+		return p, err
+	}
+	p.ID, err = r.id()
+	return p, err
+}
+
+func (r *breader) peers() ([]Peer, error) {
+	// A peer is at least 21 bytes (empty-addr length prefix + raw ID).
+	n, err := r.length(21)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := r.peer()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func (r *breader) table() (RingTable, error) {
+	var t RingTable
+	var err error
+	if t.Layer, err = r.vint(); err != nil {
+		return t, err
+	}
+	if t.Name, err = r.str(); err != nil {
+		return t, err
+	}
+	for _, dst := range []*Peer{&t.Smallest, &t.SecondSm, &t.Largest, &t.SecondLg} {
+		if *dst, err = r.peer(); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+func (r *breader) items() ([]StoreItem, error) {
+	// A store item is at least 4 bytes (three length prefixes + version).
+	n, err := r.length(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]StoreItem, 0, n)
+	for i := 0; i < n; i++ {
+		var it StoreItem
+		if it.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if it.Value, err = r.blob(); err != nil {
+			return nil, err
+		}
+		if it.Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if it.Writer, err = r.str(); err != nil {
+			return nil, err
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// flightKey identifies an exchange two callers may share: same peer,
+// same read operation, same arguments.
+type flightKey struct {
+	addr         string
+	typ          MsgType
+	layer        int
+	key          [20]byte
+	name         string
+	hierarchical bool
+}
+
+// flight is one in-progress shared exchange.
+type flight struct {
+	done chan struct{}
+	resp Response
+	err  error
+}
+
+// Coalescer deduplicates identical in-flight read exchanges: while a
+// TFindClosest or TStoreGet to a peer is outstanding, further calls with
+// the same arguments wait for its result instead of issuing their own.
+// Only those two types coalesce — they are pure reads whose answer does
+// not depend on which caller asks, and they dominate lookup fan-out
+// (concurrent lookups for nearby keys walk the same finger chain).
+//
+// The flight runs on its own goroutine under context.WithoutCancel, so
+// one waiter's cancellation never fails the others; each waiter still
+// honors its own ctx and abandons the wait (not the flight) on cancel.
+// Errors are shared exactly like responses — a failed flight fails every
+// waiter, and the retrier below the caller sees one failure per flight,
+// not per waiter.
+//
+// Coalescing sits at the TOP of the caller chain (above the retrier and
+// any fault injector): collapsing calls below the injector would make
+// faultnet's replayed fault schedules depend on goroutine timing. For
+// the same reason it is opt-in (transport.Config.Coalesce) and off in
+// the deterministic harnesses.
+type Coalescer struct {
+	inner Caller
+
+	mu      sync.Mutex
+	flights map[flightKey]*flight
+
+	coalesced *metrics.Counter
+}
+
+// NewCoalescer builds a coalescing caller around inner. With a nil
+// registry the counter is a private throwaway.
+func NewCoalescer(inner Caller, reg *metrics.Registry) *Coalescer {
+	c := &Coalescer{inner: inner, flights: make(map[flightKey]*flight)}
+	if reg != nil {
+		c.coalesced = reg.NewCounter("wire_coalesced_total",
+			"Read RPCs answered by joining an identical in-flight exchange.")
+	} else {
+		c.coalesced = &metrics.Counter{}
+	}
+	return c
+}
+
+// Call implements Caller.
+func (c *Coalescer) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	if req.Type != TFindClosest && req.Type != TStoreGet {
+		return c.inner.Call(ctx, addr, req)
+	}
+	k := flightKey{
+		addr:         addr,
+		typ:          req.Type,
+		layer:        req.Layer,
+		key:          req.Key,
+		name:         req.Name,
+		hierarchical: req.Hierarchical,
+	}
+	c.mu.Lock()
+	f, joined := c.flights[k]
+	if !joined {
+		f = &flight{done: make(chan struct{})}
+		c.flights[k] = f
+	}
+	c.mu.Unlock()
+	if joined {
+		c.coalesced.Inc()
+	} else {
+		go c.run(ctx, k, f, addr, req)
+	}
+	select {
+	case <-f.done:
+		return f.resp, f.err
+	case <-ctx.Done():
+		// Abandon the wait, not the flight: remaining waiters (and the
+		// flight's result, which may still populate caches downstream for
+		// them) are unaffected. Sent is conservatively true — the shared
+		// request may be on the wire.
+		return Response{}, &NetError{Addr: addr, Op: "call", Sent: true, Err: context.Cause(ctx)}
+	}
+}
+
+// run executes one shared flight to completion and publishes its result.
+func (c *Coalescer) run(ctx context.Context, k flightKey, f *flight, addr string, req Request) {
+	f.resp, f.err = c.inner.Call(context.WithoutCancel(ctx), addr, req)
+	c.mu.Lock()
+	delete(c.flights, k)
+	c.mu.Unlock()
+	close(f.done)
+}

@@ -2,75 +2,87 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 	"time"
 )
 
-// FuzzDecodeMessage feeds arbitrary bytes to both envelope decoders. The
-// contract under fuzz: decoding never panics, and any input that decodes
-// successfully re-encodes to a canonical byte form that decodes to the
-// same value (no lossy or ambiguous envelopes).
+// FuzzDecodeMessage feeds arbitrary bytes to every codec's envelope
+// decoders. The contract under fuzz: decoding never panics, and any
+// input that decodes successfully re-encodes to a canonical byte form
+// that decodes to the same value (no lossy or ambiguous envelopes, up
+// to the nil≡empty equivalence both codecs share).
 func FuzzDecodeMessage(f *testing.F) {
-	var seedReq bytes.Buffer
-	EncodeRequest(&seedReq, &Request{
+	seedReq := &Request{
 		Type: TFindClosest, Layer: 2, Key: [20]byte{1, 2, 3}, Name: "ring:az",
 		Peer: Peer{Addr: "n1:9000", ID: [20]byte{9}}, Hierarchical: true,
-	})
-	f.Add(seedReq.Bytes())
-	var seedResp bytes.Buffer
-	EncodeResponse(&seedResp, &Response{
+	}
+	seedResp := &Response{
 		OK: true, Next: Peer{Addr: "n2:9000"}, Done: true,
 		RingNames: []string{"a", "ab"}, Succ: []Peer{{Addr: "n3:9000"}},
-	})
-	f.Add(seedResp.Bytes())
-	var seedStore bytes.Buffer
-	EncodeRequest(&seedStore, &Request{
+	}
+	seedStore := &Request{
 		Type: TReplicate, Name: "doc-1",
 		Items: []StoreItem{{Key: "doc-1", Value: []byte("v1"), Version: 7, Writer: "n1:9000#3"}},
-	})
-	f.Add(seedStore.Bytes())
-	var seedStoreResp bytes.Buffer
-	EncodeResponse(&seedStoreResp, &Response{
+	}
+	seedStoreResp := &Response{
 		OK: true, Found: true, Value: []byte("v1"), Version: 7, Writer: "n1:9000#3", Applied: 1,
-	})
-	f.Add(seedStoreResp.Bytes())
+	}
+	for _, c := range Codecs() {
+		if b, err := c.AppendRequest(nil, seedReq); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendResponse(nil, seedResp); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendRequest(nil, seedStore); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendResponse(nil, seedStoreResp); err == nil {
+			f.Add(b)
+		}
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if req, err := DecodeRequest(bytes.NewReader(data)); err == nil {
-			var buf bytes.Buffer
-			if err := EncodeRequest(&buf, &req); err != nil {
-				t.Fatalf("re-encode decoded request: %v", err)
+		for _, c := range Codecs() {
+			if req, err := c.DecodeRequest(data); err == nil {
+				canon, encErr := c.AppendRequest(nil, &req)
+				if encErr != nil {
+					t.Fatalf("%s: re-encode decoded request: %v", c.Name(), encErr)
+				}
+				req2, decErr := c.DecodeRequest(canon)
+				if decErr != nil {
+					t.Fatalf("%s: decode canonical request bytes: %v", c.Name(), decErr)
+				}
+				if !reflect.DeepEqual(normalizeReq(req), normalizeReq(req2)) {
+					t.Fatalf("%s: request not stable through codec:\n  first  %#v\n  second %#v",
+						c.Name(), req, req2)
+				}
 			}
-			req2, err := DecodeRequest(bytes.NewReader(buf.Bytes()))
-			if err != nil {
-				t.Fatalf("decode canonical request bytes: %v", err)
-			}
-			if !reflect.DeepEqual(req, req2) {
-				t.Fatalf("request not stable through codec:\n  first  %#v\n  second %#v", req, req2)
-			}
-		}
-		if resp, err := DecodeResponse(bytes.NewReader(data)); err == nil {
-			var buf bytes.Buffer
-			if err := EncodeResponse(&buf, &resp); err != nil {
-				t.Fatalf("re-encode decoded response: %v", err)
-			}
-			resp2, err := DecodeResponse(bytes.NewReader(buf.Bytes()))
-			if err != nil {
-				t.Fatalf("decode canonical response bytes: %v", err)
-			}
-			if !reflect.DeepEqual(resp, resp2) {
-				t.Fatalf("response not stable through codec:\n  first  %#v\n  second %#v", resp, resp2)
+			if resp, err := c.DecodeResponse(data); err == nil {
+				canon, encErr := c.AppendResponse(nil, &resp)
+				if encErr != nil {
+					t.Fatalf("%s: re-encode decoded response: %v", c.Name(), encErr)
+				}
+				resp2, decErr := c.DecodeResponse(canon)
+				if decErr != nil {
+					t.Fatalf("%s: decode canonical response bytes: %v", c.Name(), decErr)
+				}
+				if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(resp2)) {
+					t.Fatalf("%s: response not stable through codec:\n  first  %#v\n  second %#v",
+						c.Name(), resp, resp2)
+				}
 			}
 		}
 	})
 }
 
 // FuzzRoundTrip builds request and response envelopes from fuzzed fields
-// and asserts encode→decode is the identity, end to end through a pipe
-// exchange as well as through the raw codec.
+// and asserts encode→decode is the identity for every codec — through
+// the raw codec and through a full framed MemNet exchange.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint8(TPing), 1, []byte("key material"), "ring:a", "n0:9000", []byte("value"), true)
 	f.Add(uint8(TPut), 3, []byte{}, "", "", []byte(nil), false)
@@ -93,18 +105,6 @@ func FuzzRoundTrip(f *testing.F) {
 
 			Hierarchical: hier,
 		}
-		var buf bytes.Buffer
-		if err := EncodeRequest(&buf, &req); err != nil {
-			t.Fatalf("encode request: %v", err)
-		}
-		got, err := DecodeRequest(&buf)
-		if err != nil {
-			t.Fatalf("decode request: %v", err)
-		}
-		if !reflect.DeepEqual(normalizeReq(req), normalizeReq(got)) {
-			t.Fatalf("request round trip mismatch:\n  sent %#v\n  got  %#v", req, got)
-		}
-
 		resp := Response{
 			OK: true, Err: name,
 			Next: Peer{Addr: addr, ID: key}, Done: hier, Owner: !hier,
@@ -114,49 +114,70 @@ func FuzzRoundTrip(f *testing.F) {
 			Table: req.Table, Found: hier, Value: value,
 			Version: uint64(layer), Writer: addr + "#2", Applied: layer,
 		}
-		buf.Reset()
-		if encErr := EncodeResponse(&buf, &resp); encErr != nil {
-			t.Fatalf("encode response: %v", encErr)
-		}
-		gotResp, err := DecodeResponse(&buf)
-		if err != nil {
-			t.Fatalf("decode response: %v", err)
-		}
-		if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(gotResp)) {
-			t.Fatalf("response round trip mismatch:\n  sent %#v\n  got  %#v", resp, gotResp)
+
+		for _, c := range Codecs() {
+			enc, err := c.AppendRequest(nil, &req)
+			if err != nil {
+				t.Fatalf("%s: encode request: %v", c.Name(), err)
+			}
+			got, err := c.DecodeRequest(enc)
+			if err != nil {
+				t.Fatalf("%s: decode request: %v", c.Name(), err)
+			}
+			if !reflect.DeepEqual(normalizeReq(req), normalizeReq(got)) {
+				t.Fatalf("%s: request round trip mismatch:\n  sent %#v\n  got  %#v", c.Name(), req, got)
+			}
+
+			encResp, err := c.AppendResponse(nil, &resp)
+			if err != nil {
+				t.Fatalf("%s: encode response: %v", c.Name(), err)
+			}
+			gotResp, err := c.DecodeResponse(encResp)
+			if err != nil {
+				t.Fatalf("%s: decode response: %v", c.Name(), err)
+			}
+			if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(gotResp)) {
+				t.Fatalf("%s: response round trip mismatch:\n  sent %#v\n  got  %#v", c.Name(), resp, gotResp)
+			}
 		}
 
-		// Same envelope through a full MemNet exchange: what a peer
-		// receives is exactly what was sent.
+		// Same envelopes through a full framed MemNet exchange, once per
+		// codec: what a peer receives is exactly what was sent.
 		mn := NewMemNet()
 		ln, err := mn.Listen("peer")
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer ln.Close()
-		served := make(chan Request, 1)
+		served := make(chan Request, len(Codecs()))
 		go func() {
-			conn, acceptErr := ln.Accept()
-			if acceptErr != nil {
-				return
+			for {
+				conn, acceptErr := ln.Accept()
+				if acceptErr != nil {
+					return
+				}
+				go func() {
+					_ = ServeConn(conn, func(r Request) Response {
+						served <- r
+						return resp
+					}, ServeOptions{})
+				}()
 			}
-			defer conn.Close()
-			r, readErr := ReadRequest(conn, time.Second)
-			if readErr != nil {
-				return
-			}
-			served <- r
-			WriteResponse(conn, resp, time.Second)
 		}()
-		viaWire, err := CallVia(mn.Dial, "peer", req, 5*time.Second)
-		if err != nil {
-			t.Fatalf("exchange: %v", err)
-		}
-		if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(viaWire)) {
-			t.Fatalf("response altered by wire exchange:\n  sent %#v\n  got  %#v", resp, viaWire)
-		}
-		if !reflect.DeepEqual(normalizeReq(req), normalizeReq(<-served)) {
-			t.Fatal("request altered by wire exchange")
+		for _, c := range Codecs() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			viaWire, callErr := CallVia(ctx, mn.Dial, c, "peer", req)
+			cancel()
+			if callErr != nil {
+				t.Fatalf("%s: exchange: %v", c.Name(), callErr)
+			}
+			if !reflect.DeepEqual(normalizeResp(resp), normalizeResp(viaWire)) {
+				t.Fatalf("%s: response altered by wire exchange:\n  sent %#v\n  got  %#v",
+					c.Name(), resp, viaWire)
+			}
+			if !reflect.DeepEqual(normalizeReq(req), normalizeReq(<-served)) {
+				t.Fatalf("%s: request altered by wire exchange", c.Name())
+			}
 		}
 	})
 }

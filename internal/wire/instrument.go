@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -13,10 +14,13 @@ import (
 var AllMsgTypes = []MsgType{
 	TPing, TGetInfo, TFindClosest, TGetNeighbors, TNotify, TGetRingTable,
 	TPutRingTable, TPut, TGet, TLeaveSucc, TLeavePred, TEvict,
+	TStorePut, TStoreGet, TReplicate, THandoff,
 }
 
 // CountingConn wraps a net.Conn and tallies bytes read and written. The
-// counters are plain ints: a wire exchange is handled by one goroutine.
+// counters are plain ints: use it only where one goroutine owns the
+// connection (tests, one-shot probes); multiplexed connections use the
+// atomic counters of Metrics.CountConn.
 type CountingConn struct {
 	net.Conn
 	ReadBytes    int64
@@ -38,12 +42,12 @@ func (c *CountingConn) Write(p []byte) (int, error) {
 // Metrics instruments the wire protocol against a metrics registry:
 // per-MsgType request and error counts for both the client and server
 // roles, total bytes in/out, and a call-latency histogram. One Metrics
-// belongs to one registry (and, in practice, one node).
+// belongs to one registry (and, in practice, one node). It is a set of
+// seams, matching the redesigned call path: Wrap instruments a Caller
+// (whatever pool/retrier stack sits beneath it), CountConn meters a
+// connection's bytes in either role, ObserveServed tallies one served
+// request.
 type Metrics struct {
-	// Dial, when non-nil, replaces TCP as the transport for outgoing
-	// calls (see DialFunc). Set it before the first Call.
-	Dial DialFunc
-
 	latency  *metrics.Histogram
 	bytesIn  *metrics.Counter
 	bytesOut *metrics.Counter
@@ -51,14 +55,14 @@ type Metrics struct {
 	reqVec, errVec       *metrics.CounterVec
 	srvReqVec, srvErrVec *metrics.CounterVec
 	// Pre-curried children indexed by MsgType (index 0 unused).
-	reqs, errs, srvReqs, srvErrs [TEvict + 1]*metrics.Counter
+	reqs, errs, srvReqs, srvErrs [THandoff + 1]*metrics.Counter
 }
 
 // NewMetrics registers the wire metric families on reg.
 func NewMetrics(reg *metrics.Registry) *Metrics {
 	m := &Metrics{
 		latency: reg.NewHistogram("rpc_latency_seconds",
-			"Outgoing RPC latency, dial through response decode.", metrics.DefLatencyBuckets),
+			"Outgoing RPC latency, submission through response decode.", metrics.DefLatencyBuckets),
 		bytesIn: reg.NewCounter("rpc_bytes_in_total",
 			"Bytes read from wire connections, both roles."),
 		bytesOut: reg.NewCounter("rpc_bytes_out_total",
@@ -81,35 +85,59 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	return m
 }
 
-func pick(curried *[TEvict + 1]*metrics.Counter, vec *metrics.CounterVec, t MsgType) *metrics.Counter {
+func pick(curried *[THandoff + 1]*metrics.Counter, vec *metrics.CounterVec, t MsgType) *metrics.Counter {
 	if int(t) < len(curried) && curried[t] != nil {
 		return curried[t]
 	}
 	return vec.With(t.String())
 }
 
-// Call performs one instrumented RPC (see Call) and records its type,
-// outcome, byte counts and latency.
-func (m *Metrics) Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	start := time.Now()
-	resp, in, out, err := exchange(m.Dial, addr, req, timeout)
-	m.latency.Observe(time.Since(start).Seconds())
-	m.bytesIn.Add(uint64(in))
-	m.bytesOut.Add(uint64(out))
-	pick(&m.reqs, m.reqVec, req.Type).Inc()
-	if err != nil {
-		pick(&m.errs, m.errVec, req.Type).Inc()
-	}
-	return resp, err
+// Wrap instruments a caller: every call through the returned Caller
+// records its type, outcome and latency.
+func (m *Metrics) Wrap(inner Caller) Caller {
+	return CallerFunc(func(ctx context.Context, addr string, req Request) (Response, error) {
+		start := time.Now()
+		resp, err := inner.Call(ctx, addr, req)
+		m.latency.Observe(time.Since(start).Seconds())
+		pick(&m.reqs, m.reqVec, req.Type).Inc()
+		if err != nil {
+			pick(&m.errs, m.errVec, req.Type).Inc()
+		}
+		return resp, err
+	})
 }
 
-// ObserveServed records one server-side exchange: the request type, how
-// it was answered, and the connection's byte counts.
-func (m *Metrics) ObserveServed(t MsgType, ok bool, bytesIn, bytesOut int64) {
+// CountConn wraps a connection so its traffic feeds the byte counters.
+// The counters are atomic: pooled connections carry concurrent
+// exchanges. Use it as the pool's ConnWrap and on accepted server conns.
+func (m *Metrics) CountConn(conn net.Conn) net.Conn {
+	return &meteredConn{Conn: conn, in: m.bytesIn, out: m.bytesOut}
+}
+
+// meteredConn feeds a connection's bytes into a Metrics' counters.
+type meteredConn struct {
+	net.Conn
+	in, out *metrics.Counter
+}
+
+func (c *meteredConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+// ObserveServed records one server-side exchange: the request type and
+// how it was answered. (Bytes are accounted by CountConn on the accepted
+// connection.)
+func (m *Metrics) ObserveServed(t MsgType, ok bool) {
 	pick(&m.srvReqs, m.srvReqVec, t).Inc()
 	if !ok {
 		pick(&m.srvErrs, m.srvErrVec, t).Inc()
 	}
-	m.bytesIn.Add(uint64(bytesIn))
-	m.bytesOut.Add(uint64(bytesOut))
 }

@@ -1,8 +1,9 @@
 package wire
 
 import (
-	"net"
+	"context"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -21,15 +22,19 @@ func echoServe(t *testing.T, ln net.Listener, wg *sync.WaitGroup) {
 				return
 			}
 			go func(c net.Conn) {
-				defer c.Close()
-				req, err := ReadRequest(c, time.Second)
-				if err != nil {
-					return
-				}
-				WriteResponse(c, Response{OK: true, Err: req.Name}, time.Second)
+				_ = ServeConn(c, func(req Request) Response {
+					return Response{OK: true, Err: req.Name}
+				}, ServeOptions{})
 			}(conn)
 		}
 	}()
+}
+
+// callVia performs one one-shot exchange over dial bounded by timeout.
+func callVia(dial DialFunc, addr string, req Request, timeout time.Duration) (Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return CallVia(ctx, dial, nil, addr, req)
 }
 
 func TestMemNetCall(t *testing.T) {
@@ -44,7 +49,7 @@ func TestMemNetCall(t *testing.T) {
 	var wg sync.WaitGroup
 	echoServe(t, ln, &wg)
 
-	resp, err := CallVia(mn.Dial, "n0", Request{Type: TPing, Name: "hello"}, time.Second)
+	resp, err := callVia(mn.Dial, "n0", Request{Type: TPing, Name: "hello"}, time.Second)
 	if err != nil {
 		t.Fatalf("CallVia: %v", err)
 	}
@@ -54,7 +59,7 @@ func TestMemNetCall(t *testing.T) {
 
 	ln.Close()
 	wg.Wait()
-	if _, err := CallVia(mn.Dial, "n0", Request{Type: TPing}, time.Second); err == nil {
+	if _, err := callVia(mn.Dial, "n0", Request{Type: TPing}, time.Second); err == nil {
 		t.Fatal("dial to closed listener succeeded")
 	} else if !errors.Is(err, ErrConnRefused) {
 		t.Fatalf("unexpected error: %v", err)

@@ -1,0 +1,364 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// servePool runs a ServeConn accept loop on a fresh MemNet listener,
+// counting accepted connections.
+func servePool(t *testing.T, mn *MemNet, name string, h Handler) *int32 {
+	t.Helper()
+	ln, err := mn.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepts := new(int32)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			atomic.AddInt32(accepts, 1)
+			go func() { _ = ServeConn(conn, h, ServeOptions{}) }()
+		}
+	}()
+	return accepts
+}
+
+func poolCall(p *Pool, addr string, req Request, timeout time.Duration) (Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return p.Call(ctx, addr, req)
+}
+
+// TestPoolReusesConnections pins the tentpole property: sequential calls
+// to one peer share a single pooled connection instead of dialing each.
+func TestPoolReusesConnections(t *testing.T) {
+	mn := NewMemNet()
+	accepts := servePool(t, mn, "peer", func(req Request) Response {
+		return Response{OK: true, Err: req.Name}
+	})
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+	for i := 0; i < 20; i++ {
+		resp, err := poolCall(p, "peer", Request{Type: TPing, Name: "x"}, 2*time.Second)
+		if err != nil || resp.Err != "x" {
+			t.Fatalf("call %d: %v (%+v)", i, err, resp)
+		}
+	}
+	if n := atomic.LoadInt32(accepts); n != 1 {
+		t.Errorf("20 pooled calls opened %d connections, want 1", n)
+	}
+}
+
+// TestPoolPipelinesOutOfOrder pins multiplexing: on ONE connection, a
+// fast exchange issued after a slow one completes first, and each caller
+// still receives its own matched response.
+func TestPoolPipelinesOutOfOrder(t *testing.T) {
+	mn := NewMemNet()
+	release := make(chan struct{})
+	accepts := servePool(t, mn, "peer", func(req Request) Response {
+		if req.Name == "slow" {
+			<-release
+		}
+		return Response{OK: true, Err: req.Name}
+	})
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+
+	slowDone := make(chan Response, 1)
+	go func() {
+		resp, err := poolCall(p, "peer", Request{Type: TGet, Name: "slow"}, 5*time.Second)
+		if err != nil {
+			t.Errorf("slow call: %v", err)
+		}
+		slowDone <- resp
+	}()
+	// Wait until the slow request is in flight on the pooled connection.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if p.peer("peer").load() >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fast, err := poolCall(p, "peer", Request{Type: TGet, Name: "fast"}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("fast call blocked behind the slow exchange: %v", err)
+	}
+	if fast.Err != "fast" {
+		t.Fatalf("fast call got the wrong response: %+v", fast)
+	}
+	select {
+	case <-slowDone:
+		t.Fatal("slow exchange completed before it was released")
+	default:
+	}
+	close(release)
+	select {
+	case resp := <-slowDone:
+		if resp.Err != "slow" {
+			t.Fatalf("slow call got the wrong response: %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow exchange never completed after release")
+	}
+	if n := atomic.LoadInt32(accepts); n != 1 {
+		t.Errorf("pipelined exchanges used %d connections, want 1", n)
+	}
+}
+
+// load reports a peer's total in-flight exchanges (test helper).
+func (pp *poolPeer) load() int {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	total := 0
+	for _, c := range pp.conns {
+		total += c.load()
+	}
+	return total
+}
+
+// TestPoolCancelAbandonsOneExchange pins per-exchange cancellation: a
+// canceled call fails with its context cause while the connection and
+// its other in-flight exchanges keep working.
+func TestPoolCancelAbandonsOneExchange(t *testing.T) {
+	mn := NewMemNet()
+	release := make(chan struct{})
+	servePool(t, mn, "peer", func(req Request) Response {
+		if req.Name == "stuck" {
+			<-release
+		}
+		return Response{OK: true, Err: req.Name}
+	})
+	defer close(release)
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stuckErr := make(chan error, 1)
+	go func() {
+		_, err := p.Call(ctx, "peer", Request{Type: TGet, Name: "stuck"})
+		stuckErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-stuckErr:
+		var ne *NetError
+		if !errors.As(err, &ne) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled exchange error = %v, want NetError wrapping context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not abort the exchange")
+	}
+	// The connection must still serve other exchanges.
+	resp, err := poolCall(p, "peer", Request{Type: TPing, Name: "after"}, 2*time.Second)
+	if err != nil || resp.Err != "after" {
+		t.Fatalf("exchange after cancellation: %v (%+v)", err, resp)
+	}
+}
+
+// TestPoolBrokenConnFailsAllInflight pins failure fan-out: when the peer
+// kills the connection, every in-flight exchange fails with a NetError,
+// and the next call transparently redials.
+func TestPoolBrokenConnFailsAllInflight(t *testing.T) {
+	mn := NewMemNet()
+	ln, err := mn.Listen("peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var killed atomic.Bool
+	kill := make(chan net.Conn, 1)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if killed.CompareAndSwap(false, true) {
+				// First connection: drain the preamble and request frames
+				// (MemNet pipes are synchronous, so the client's writes
+				// need a reader) but never respond; die on command.
+				go func() { _, _ = io.Copy(io.Discard, conn) }()
+				kill <- conn
+				continue
+			}
+			go func() { _ = ServeConn(conn, func(req Request) Response { return Response{OK: true} }, ServeOptions{}) }()
+		}
+	}()
+
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+	const inflight = 4
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			_, err := poolCall(p, "peer", Request{Type: TGet, Name: "doomed"}, 5*time.Second)
+			errs <- err
+		}()
+	}
+	victim := <-kill
+	// Give the calls a moment to register their tags, then cut the wire.
+	time.Sleep(50 * time.Millisecond)
+	victim.Close()
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-errs:
+			var ne *NetError
+			if !errors.As(err, &ne) {
+				t.Errorf("in-flight exchange %d: %v, want NetError", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("in-flight exchange not failed by the dead connection")
+		}
+	}
+	if resp, err := poolCall(p, "peer", Request{Type: TPing}, 2*time.Second); err != nil || !resp.OK {
+		t.Fatalf("redial after broken connection: %v (%+v)", err, resp)
+	}
+}
+
+// TestPoolBaselineModeDialsPerCall pins Size < 0: no pooling, one fresh
+// connection per exchange (the benchmark baseline).
+func TestPoolBaselineModeDialsPerCall(t *testing.T) {
+	mn := NewMemNet()
+	accepts := servePool(t, mn, "peer", func(req Request) Response {
+		return Response{OK: true}
+	})
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: -1})
+	defer p.Close()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := poolCall(p, "peer", Request{Type: TPing}, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := atomic.LoadInt32(accepts); n != calls {
+		t.Errorf("baseline mode opened %d connections for %d calls", n, calls)
+	}
+}
+
+// countingCaller counts inner calls and blocks until released.
+type countingCaller struct {
+	calls   atomic.Int32
+	release chan struct{}
+}
+
+func (c *countingCaller) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	c.calls.Add(1)
+	if c.release != nil {
+		<-c.release
+	}
+	return Response{OK: true, Err: req.Name}, nil
+}
+
+func TestCoalescerSharesIdenticalReads(t *testing.T) {
+	inner := &countingCaller{release: make(chan struct{})}
+	reg := metrics.NewRegistry()
+	co := NewCoalescer(inner, reg)
+	req := Request{Type: TFindClosest, Layer: 1, Key: [20]byte{9}, Name: "r"}
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make(chan Response, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := co.Call(context.Background(), "peer", req)
+			if err != nil {
+				t.Errorf("coalesced call: %v", err)
+			}
+			results <- resp
+		}()
+	}
+	// Wait for the flight to exist and the waiters to pile on.
+	deadline := time.Now().Add(2 * time.Second)
+	for inner.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(inner.release)
+	wg.Wait()
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("%d identical in-flight reads issued %d inner calls, want 1", waiters, got)
+	}
+	for i := 0; i < waiters; i++ {
+		if resp := <-results; resp.Err != "r" {
+			t.Errorf("waiter got wrong response: %+v", resp)
+		}
+	}
+}
+
+func TestCoalescerDoesNotCoalesceWrites(t *testing.T) {
+	inner := &countingCaller{}
+	co := NewCoalescer(inner, nil)
+	req := Request{Type: TPut, Name: "k", Value: []byte("v")}
+	for i := 0; i < 3; i++ {
+		if _, err := co.Call(context.Background(), "peer", req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.calls.Load(); got != 3 {
+		t.Errorf("3 writes issued %d inner calls, want 3 (writes must never coalesce)", got)
+	}
+}
+
+func TestCoalescerWaiterCancelDoesNotKillFlight(t *testing.T) {
+	inner := &countingCaller{release: make(chan struct{})}
+	co := NewCoalescer(inner, nil)
+	req := Request{Type: TStoreGet, Name: "k"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledErr := make(chan error, 1)
+	go func() {
+		_, err := co.Call(ctx, "peer", req)
+		canceledErr <- err
+	}()
+	survivor := make(chan Response, 1)
+	go func() {
+		resp, err := co.Call(context.Background(), "peer", req)
+		if err != nil {
+			t.Errorf("surviving waiter: %v", err)
+		}
+		survivor <- resp
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for inner.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-canceledErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled waiter error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	close(inner.release)
+	select {
+	case resp := <-survivor:
+		if resp.Err != "k" {
+			t.Errorf("survivor got wrong response: %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving waiter starved: the canceled waiter killed the flight")
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Errorf("inner calls = %d, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -19,6 +20,11 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the per-retry sleep (0 = default 500ms).
 	MaxBackoff time.Duration
+	// PerAttempt bounds each individual attempt: the retrier derives a
+	// child context with this timeout per try, so one hung attempt
+	// cannot eat the whole budget. 0 = DefaultTimeout; negative leaves
+	// attempts bounded only by the caller's context.
+	PerAttempt time.Duration
 	// Overall, when positive, bounds the whole call including backoff
 	// sleeps: a retry that cannot start before the budget expires is not
 	// attempted. 0 leaves the total implicitly bounded by
@@ -41,6 +47,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxBackoff == 0 {
 		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.PerAttempt == 0 {
+		p.PerAttempt = DefaultTimeout
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
@@ -141,27 +150,41 @@ func NewRetrier(inner Caller, rp RetryPolicy, bp BreakerPolicy, reg *metrics.Reg
 	return r
 }
 
-// Call implements Caller with retries and breaker checks.
-func (r *Retrier) Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	var deadline time.Time
+// Call implements Caller with retries and breaker checks. The overall
+// budget is the tighter of the caller's context deadline and the
+// policy's Overall; each attempt additionally gets a PerAttempt child
+// timeout, and backoff sleeps abort on cancellation.
+func (r *Retrier) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	deadline, bounded := ctx.Deadline()
 	if r.rp.Overall > 0 {
-		deadline = time.Now().Add(r.rp.Overall)
+		if od := time.Now().Add(r.rp.Overall); !bounded || od.Before(deadline) {
+			deadline, bounded = od, true
+		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < r.rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			sleep := r.backoff(attempt)
-			if !deadline.IsZero() && time.Now().Add(sleep).After(deadline) {
+			if bounded && time.Now().Add(sleep).After(deadline) {
 				break // out of overall budget; report the last failure
 			}
 			r.retries.Inc()
-			time.Sleep(sleep)
+			timer := time.NewTimer(sleep)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return Response{}, lastErr // canceled mid-backoff: attempt > 0, so lastErr is set
+			}
+		}
+		if ctx.Err() != nil {
+			break
 		}
 		if !r.allow(addr) {
 			r.failFast.Inc()
 			return Response{}, &CircuitOpenError{Addr: addr}
 		}
-		resp, err := r.inner.Call(addr, req, timeout)
+		resp, err := r.attempt(ctx, addr, req)
 		if err == nil || IsRemote(err) {
 			// Either outcome proves the peer is alive and responsive.
 			r.succeed(addr)
@@ -173,7 +196,22 @@ func (r *Retrier) Call(addr string, req Request, timeout time.Duration) (Respons
 			return resp, err
 		}
 	}
+	if lastErr == nil {
+		// The context died before the first attempt ran: no peer
+		// involvement, so Sent is false and no failure was recorded.
+		lastErr = &NetError{Addr: addr, Op: "call", Sent: false, Err: context.Cause(ctx)}
+	}
 	return Response{}, lastErr
+}
+
+// attempt runs one try under the policy's per-attempt timeout.
+func (r *Retrier) attempt(ctx context.Context, addr string, req Request) (Response, error) {
+	if r.rp.PerAttempt <= 0 {
+		return r.inner.Call(ctx, addr, req)
+	}
+	actx, cancel := context.WithTimeout(ctx, r.rp.PerAttempt)
+	defer cancel()
+	return r.inner.Call(actx, addr, req)
 }
 
 // backoff returns the jittered sleep before retry number `retry` (1 is

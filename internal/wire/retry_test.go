@@ -1,7 +1,7 @@
 package wire
 
 import (
-	"encoding/gob"
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -20,7 +20,7 @@ type scriptCaller struct {
 	calls int
 }
 
-func (s *scriptCaller) Call(addr string, req Request, timeout time.Duration) (Response, error) {
+func (s *scriptCaller) Call(ctx context.Context, addr string, req Request) (Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
@@ -54,7 +54,7 @@ func recvErr(addr string) error {
 
 func TestTypedErrors(t *testing.T) {
 	addr := echoServer(t, func(req Request) Response { return Errorf("nope") })
-	_, err := Call(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
+	_, err := callT(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Type != TGet || !strings.Contains(re.Msg, "nope") {
 		t.Fatalf("want RemoteError, got %#v", err)
@@ -62,7 +62,7 @@ func TestTypedErrors(t *testing.T) {
 	if !IsRemote(err) {
 		t.Error("IsRemote(RemoteError) = false")
 	}
-	_, err = Call("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond)
+	_, err = callT("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond)
 	var ne *NetError
 	if !errors.As(err, &ne) || ne.Op != "dial" || ne.Sent {
 		t.Fatalf("want unsent dial NetError, got %#v", err)
@@ -95,7 +95,7 @@ func TestRetrierRecoversTransientFailure(t *testing.T) {
 	reg := metrics.NewRegistry()
 	sc := &scriptCaller{outs: []error{dialErr("p"), dialErr("p"), nil}}
 	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, reg)
-	resp, err := r.Call("p", Request{Type: TPing}, time.Second)
+	resp, err := r.Call(context.Background(), "p", Request{Type: TPing})
 	if err != nil || !resp.OK {
 		t.Fatalf("call failed: %v", err)
 	}
@@ -114,7 +114,7 @@ func TestRetrierRecoversTransientFailure(t *testing.T) {
 func TestRetrierNeverRetriesRemoteErrors(t *testing.T) {
 	sc := &scriptCaller{outs: []error{&RemoteError{Type: TGet, Msg: "missing"}}}
 	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, nil)
-	_, err := r.Call("p", Request{Type: TGet}, time.Second)
+	_, err := r.Call(context.Background(), "p", Request{Type: TGet})
 	if !IsRemote(err) {
 		t.Fatalf("want RemoteError through, got %v", err)
 	}
@@ -130,7 +130,7 @@ func TestRetrierIdempotencyAware(t *testing.T) {
 	// A non-idempotent put whose request may have been applied: one shot.
 	sc := &scriptCaller{outs: []error{recvErr("p")}}
 	r := NewRetrier(sc, fastRetry(), BreakerPolicy{}, nil)
-	if _, err := r.Call("p", Request{Type: TPut, Name: "k"}, time.Second); err == nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPut, Name: "k"}); err == nil {
 		t.Fatal("want failure")
 	}
 	if sc.count() != 1 {
@@ -139,7 +139,7 @@ func TestRetrierIdempotencyAware(t *testing.T) {
 	// The same put failing at dial never reached the peer: retried.
 	sc2 := &scriptCaller{outs: []error{dialErr("p"), nil}}
 	r2 := NewRetrier(sc2, fastRetry(), BreakerPolicy{}, nil)
-	if _, err := r2.Call("p", Request{Type: TPut, Name: "k"}, time.Second); err != nil {
+	if _, err := r2.Call(context.Background(), "p", Request{Type: TPut, Name: "k"}); err != nil {
 		t.Fatalf("unsent put not retried: %v", err)
 	}
 	if sc2.count() != 2 {
@@ -153,7 +153,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 		dialErr("p"), dialErr("p"), dialErr("p"), // opens at threshold 3
 	}}
 	r := NewRetrier(sc, fastRetry(), BreakerPolicy{Threshold: 3, Cooldown: 30 * time.Millisecond}, reg)
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); err == nil {
 		t.Fatal("want failure")
 	}
 	if !r.BreakerOpen("p") {
@@ -164,7 +164,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 	// While open: fail fast without touching the peer.
 	before := sc.count()
-	_, err := r.Call("p", Request{Type: TPing}, time.Second)
+	_, err := r.Call(context.Background(), "p", Request{Type: TPing})
 	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("want ErrCircuitOpen, got %v", err)
 	}
@@ -173,7 +173,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 	// After the cooldown a probe goes through; success closes the breaker.
 	time.Sleep(40 * time.Millisecond)
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err != nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); err != nil {
 		t.Fatalf("half-open probe failed: %v", err)
 	}
 	if r.BreakerOpen("p") || r.ConsecutiveFailures("p") != 0 {
@@ -197,16 +197,16 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 
 func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	sc := &scriptCaller{} // no script: every call fails below
-	fail := CallerFunc(func(addr string, req Request, timeout time.Duration) (Response, error) {
-		sc.Call(addr, req, timeout)
+	fail := CallerFunc(func(ctx context.Context, addr string, req Request) (Response, error) {
+		sc.Call(ctx, addr, req)
 		return Response{}, dialErr(addr)
 	})
 	r := NewRetrier(fail, RetryPolicy{MaxAttempts: 1}, BreakerPolicy{Threshold: 1, Cooldown: 10 * time.Millisecond}, nil)
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); err == nil {
 		t.Fatal("want failure")
 	}
 	time.Sleep(15 * time.Millisecond)
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); err == nil {
 		t.Fatal("want probe failure")
 	}
 	if !r.BreakerOpen("p") {
@@ -214,7 +214,7 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 	// The reopened breaker rejects again without dialing.
 	before := sc.count()
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("want ErrCircuitOpen, got %v", err)
 	}
 	if sc.count() != before {
@@ -229,7 +229,7 @@ func TestRetrierOverallBudget(t *testing.T) {
 		MaxBackoff: 50 * time.Millisecond, Overall: 60 * time.Millisecond,
 	}, BreakerPolicy{Threshold: -1}, nil)
 	start := time.Now()
-	if _, err := r.Call("p", Request{Type: TPing}, time.Second); err == nil {
+	if _, err := r.Call(context.Background(), "p", Request{Type: TPing}); err == nil {
 		t.Fatal("want failure")
 	}
 	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
@@ -240,46 +240,72 @@ func TestRetrierOverallBudget(t *testing.T) {
 	}
 }
 
-func TestWriteResponseDeadline(t *testing.T) {
+func TestWriteFrameStalledReader(t *testing.T) {
 	// A client that sends a request and then never reads: the server-side
-	// write must error out once the kernel buffers fill instead of
-	// pinning the handler goroutine forever. A large response defeats
-	// socket buffering.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
+	// frame write must error out once its per-frame deadline fires instead
+	// of pinning the handler goroutine forever. net.Pipe has no buffering,
+	// so the write blocks immediately.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	var wmu sync.Mutex
 	done := make(chan error, 1)
 	go func() {
-		conn, acceptErr := ln.Accept()
-		if acceptErr != nil {
-			done <- acceptErr
-			return
-		}
-		defer conn.Close()
-		if _, readErr := ReadRequest(conn, 2*time.Second); readErr != nil {
-			done <- readErr
-			return
-		}
-		done <- WriteResponse(conn, Response{OK: true, Value: make([]byte, 16<<20)}, 300*time.Millisecond)
+		resp := Response{OK: true, Value: make([]byte, 1<<20)}
+		done <- writeFrame(server, &wmu, Binary{}, 1, &resp, 200*time.Millisecond)
 	}()
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(&Request{Type: TGet, Name: "k"}); err != nil {
-		t.Fatal(err)
-	}
-	// Never read; the server must give up on its own.
 	select {
 	case err := <-done:
 		if err == nil {
 			t.Error("stalled-reader write reported success")
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("WriteResponse blocked past its deadline on a stalled reader")
+		t.Fatal("writeFrame blocked past its deadline on a stalled reader")
+	}
+}
+
+func TestWriteDeadlineResetPerFrame(t *testing.T) {
+	// Regression for the pooled-connection deadline bug: the write
+	// deadline must be re-armed from the current time for every frame. An
+	// implementation that arms it once per connection would fail the later
+	// exchanges of a long-lived session, because by then the original
+	// deadline has passed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, acceptErr := ln.Accept()
+			if acceptErr != nil {
+				return
+			}
+			go func() {
+				_ = ServeConn(conn, func(req Request) Response {
+					return Response{OK: true, Err: req.Name}
+				}, ServeOptions{WriteTimeout: 150 * time.Millisecond})
+			}()
+		}
+	}()
+	p := NewPool(PoolOptions{Size: 1, WriteTimeout: 150 * time.Millisecond})
+	defer p.Close()
+	addr := ln.Addr().String()
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			// Sit out longer than the per-frame write timeout between
+			// exchanges; only an accumulated deadline would expire.
+			time.Sleep(200 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, callErr := p.Call(ctx, addr, Request{Type: TPing, Name: "seq"})
+		cancel()
+		if callErr != nil {
+			t.Fatalf("exchange %d over reused connection: %v", i, callErr)
+		}
+		if resp.Err != "seq" {
+			t.Fatalf("exchange %d echoed %q", i, resp.Err)
+		}
 	}
 }
 

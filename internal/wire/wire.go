@@ -1,14 +1,24 @@
 // Package wire defines the message protocol spoken by live HIERAS nodes
-// (package transport): a simple request/response scheme, gob-encoded, one
-// exchange per TCP connection. Keeping the protocol synchronous and
-// connection-per-call makes node handlers trivially deadlock-free; lookup
-// traffic is client-driven and iterative.
+// (package transport): a request/response scheme carried as tagged,
+// length-prefixed frames over persistent connections. A connection opens
+// with a fixed preamble naming the codec (the zero-alloc Binary codec by
+// default, gob as a compatibility option) and then multiplexes many
+// in-flight exchanges, matched by tag — so the hot path pays no dial,
+// no handshake and no serialization reflection per call. Lookup traffic
+// stays client-driven and iterative, and handlers never issue outgoing
+// RPCs, so node handlers remain trivially deadlock-free.
+//
+// The call surface is context-first: deadlines and cancellation flow
+// from the caller through Caller.Call(ctx, addr, req) instead of fixed
+// per-dial timeouts. Pool provides the pooled multiplexed client,
+// ServeConn the server side, and Call/CallVia a one-shot
+// connection-per-call exchange (the benchmark baseline and the path of
+// last resort).
 package wire
 
 import (
-	"encoding/gob"
+	"context"
 	"fmt"
-	"io"
 	"net"
 	"time"
 )
@@ -177,21 +187,30 @@ type Response struct {
 	Applied int
 }
 
-// Caller abstracts one RPC exchange with a peer. The plain transport
-// (CallerFunc(Call)), the instrumented Metrics, the fault-injecting
-// callers of internal/faultnet and the Retrier all implement it, so the
-// node stack composes its call chain — injectors below retries, retries
-// below application logic — without knowing the concrete layers.
+// DefaultTimeout bounds a call whose context carries no deadline. Every
+// layer that needs a time bound (one-shot dials, pooled frame writes,
+// retry attempts) falls back to it, so a background-context call can
+// never hang forever.
+const DefaultTimeout = 3 * time.Second
+
+// Caller abstracts one RPC exchange with a peer. The deadline and
+// cancellation come from ctx: a context with no deadline is bounded by
+// DefaultTimeout at whatever layer performs I/O. The pooled transport
+// (Pool), the instrumented wrapper (Metrics.Wrap), the coalescer, the
+// fault-injecting callers of internal/faultnet and the Retrier all
+// implement it, so the node stack composes its call chain — coalescing
+// above retries, retries above injectors, injectors above the pool —
+// without knowing the concrete layers.
 type Caller interface {
-	Call(addr string, req Request, timeout time.Duration) (Response, error)
+	Call(ctx context.Context, addr string, req Request) (Response, error)
 }
 
 // CallerFunc adapts a function to the Caller interface.
-type CallerFunc func(addr string, req Request, timeout time.Duration) (Response, error)
+type CallerFunc func(ctx context.Context, addr string, req Request) (Response, error)
 
 // Call implements Caller.
-func (f CallerFunc) Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	return f(addr, req, timeout)
+func (f CallerFunc) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	return f(ctx, addr, req)
 }
 
 // DialFunc opens a transport connection to a peer address. The default
@@ -204,95 +223,116 @@ func tcpDial(addr string, timeout time.Duration) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, timeout)
 }
 
-// Call performs one RPC: dial, send, receive, close. Failures are typed:
-// a *RemoteError when the peer answered with Response.OK == false, a
-// *NetError for dial/send/receive breakage.
-func Call(addr string, req Request, timeout time.Duration) (Response, error) {
-	resp, _, _, err := exchange(nil, addr, req, timeout)
-	return resp, err
+// Call performs one connection-per-call RPC with the default codec over
+// TCP: dial, preamble, one framed exchange, close. Failures are typed: a
+// *RemoteError when the peer answered with Response.OK == false, a
+// *NetError for dial/send/receive breakage. Production traffic goes
+// through Pool; Call remains for probes, tools and as the benchmark
+// baseline.
+func Call(ctx context.Context, addr string, req Request) (Response, error) {
+	return CallVia(ctx, nil, nil, addr, req)
 }
 
-// CallVia is Call over an explicit dialer (nil = TCP).
-func CallVia(dial DialFunc, addr string, req Request, timeout time.Duration) (Response, error) {
-	resp, _, _, err := exchange(dial, addr, req, timeout)
-	return resp, err
-}
-
-// exchange is the shared RPC body; it reports bytes read and written so
-// the instrumented Metrics.Call can account traffic. dial == nil uses TCP.
-func exchange(dial DialFunc, addr string, req Request, timeout time.Duration) (resp Response, in, out int64, err error) {
+// CallVia is Call over an explicit dialer and codec (nil = TCP, nil =
+// DefaultCodec).
+func CallVia(ctx context.Context, dial DialFunc, codec Codec, addr string, req Request) (Response, error) {
 	if dial == nil {
 		dial = tcpDial
 	}
+	if codec == nil {
+		codec = DefaultCodec()
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if !hasDeadline {
+		deadline = time.Now().Add(DefaultTimeout)
+	}
+	timeout := time.Until(deadline)
+	if timeout <= 0 || ctx.Err() != nil {
+		return Response{}, &NetError{Addr: addr, Op: "dial", Sent: false, Err: context.Cause(ctx)}
+	}
 	conn, err := dial(addr, timeout)
 	if err != nil {
-		return resp, 0, 0, &NetError{Addr: addr, Op: "dial", Sent: false, Err: err}
+		return Response{}, &NetError{Addr: addr, Op: "dial", Sent: false, Err: err}
 	}
-	cc := &CountingConn{Conn: conn}
 	defer conn.Close()
-	if dlErr := conn.SetDeadline(time.Now().Add(timeout)); dlErr != nil {
-		return resp, 0, 0, dlErr
+	stop := watchCtx(ctx, conn)
+	defer stop()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Response{}, err
 	}
-	if encErr := EncodeRequest(cc, &req); encErr != nil {
-		// Sent is conservative: any bytes on the wire may have formed a
-		// decodable request on the peer.
-		return resp, cc.ReadBytes, cc.WrittenBytes,
-			&NetError{Addr: addr, Op: "send", Sent: cc.WrittenBytes > 0, Err: encErr}
+
+	pb := getFrameBuf()
+	buf := appendPreamble((*pb)[:0], codec)
+	frameStart := len(buf)
+	buf = append(buf, frameHole[:]...)
+	buf, encErr := codec.AppendRequest(buf, &req)
+	if encErr != nil {
+		*pb = buf
+		putFrameBuf(pb)
+		return Response{}, &NetError{Addr: addr, Op: "send", Sent: false, Err: encErr}
 	}
-	if resp, err = DecodeResponse(cc); err != nil {
-		return resp, cc.ReadBytes, cc.WrittenBytes,
-			&NetError{Addr: addr, Op: "recv", Sent: true, Err: err}
+	putFrameHeader(buf[frameStart:], oneShotTag)
+	n, werr := conn.Write(buf)
+	*pb = buf
+	putFrameBuf(pb)
+	if werr != nil {
+		return Response{}, &NetError{Addr: addr, Op: "send", Sent: n > 0, Err: ctxCause(ctx, werr)}
+	}
+
+	rb := getFrameBuf()
+	payload, tag, rerr := readFrame(conn, (*rb)[:0])
+	var resp Response
+	if rerr == nil {
+		if tag != oneShotTag {
+			rerr = fmt.Errorf("wire: response tag %d for one-shot exchange", tag)
+		} else {
+			resp, rerr = codec.DecodeResponse(payload)
+		}
+	}
+	*rb = payload
+	putFrameBuf(rb)
+	if rerr != nil {
+		return Response{}, &NetError{Addr: addr, Op: "recv", Sent: true, Err: ctxCause(ctx, rerr)}
 	}
 	if !resp.OK {
-		return resp, cc.ReadBytes, cc.WrittenBytes, &RemoteError{Type: req.Type, Msg: resp.Err}
+		return resp, &RemoteError{Type: req.Type, Msg: resp.Err}
 	}
-	return resp, cc.ReadBytes, cc.WrittenBytes, nil
+	return resp, nil
 }
 
-// EncodeRequest gob-encodes one request envelope to w. It is the exact
-// client-side serialisation of the protocol; the fuzz targets exercise it
-// directly.
-func EncodeRequest(w io.Writer, req *Request) error {
-	return gob.NewEncoder(w).Encode(req)
-}
+// oneShotTag tags the single exchange of a connection-per-call RPC.
+const oneShotTag = 1
 
-// DecodeRequest gob-decodes one request envelope from r. Arbitrary input
-// must yield either a Request or an error — never a panic; the
-// FuzzDecodeMessage target enforces this.
-func DecodeRequest(r io.Reader) (Request, error) {
-	var req Request
-	err := gob.NewDecoder(r).Decode(&req)
-	return req, err
-}
+// frameHole reserves header space in an encode buffer; putFrameHeader
+// fills it once the payload length is known.
+var frameHole [frameHeader]byte
 
-// EncodeResponse gob-encodes one response envelope to w.
-func EncodeResponse(w io.Writer, resp *Response) error {
-	return gob.NewEncoder(w).Encode(resp)
-}
-
-// DecodeResponse gob-decodes one response envelope from r.
-func DecodeResponse(r io.Reader) (Response, error) {
-	var resp Response
-	err := gob.NewDecoder(r).Decode(&resp)
-	return resp, err
-}
-
-// ReadRequest decodes one request from a server-side connection.
-func ReadRequest(conn net.Conn, timeout time.Duration) (Request, error) {
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return Request{}, err
+// ctxCause reports why an I/O operation failed: if ctx was canceled the
+// watcher closed the connection, so the cancellation — not the resulting
+// "use of closed network connection" — is the root cause.
+func ctxCause(ctx context.Context, ioErr error) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
 	}
-	return DecodeRequest(conn)
+	return ioErr
 }
 
-// WriteResponse encodes one response to a server-side connection. The
-// write deadline bounds the encode: without it a peer that stops reading
-// after sending its request would pin the handler goroutine forever.
-func WriteResponse(conn net.Conn, resp Response, timeout time.Duration) error {
-	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
-		return err
+// watchCtx closes conn when ctx is canceled, so a one-shot exchange
+// aborts promptly instead of waiting out its I/O deadline. The returned
+// stop func releases the watcher.
+func watchCtx(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
 	}
-	return EncodeResponse(conn, &resp)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // Errorf builds a failed response.

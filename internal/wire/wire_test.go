@@ -1,13 +1,15 @@
 package wire
 
 import (
-	"net"
+	"context"
 	"errors"
+	"net"
 	"testing"
 	"time"
 )
 
-// echoServer accepts one connection at a time and answers with handler.
+// echoServer serves framed sessions on a fresh TCP listener, answering
+// every request with handler.
 func echoServer(t *testing.T, handler func(Request) Response) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -21,17 +23,17 @@ func echoServer(t *testing.T, handler func(Request) Response) string {
 			if err != nil {
 				return
 			}
-			go func() {
-				defer conn.Close()
-				req, err := ReadRequest(conn, 2*time.Second)
-				if err != nil {
-					return
-				}
-				_ = WriteResponse(conn, handler(req), 2*time.Second)
-			}()
+			go func() { _ = ServeConn(conn, handler, ServeOptions{}) }()
 		}
 	}()
 	return ln.Addr().String()
+}
+
+// callT is a one-shot Call bounded by timeout.
+func callT(addr string, req Request, timeout time.Duration) (Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return Call(ctx, addr, req)
 }
 
 func TestCallRoundTrip(t *testing.T) {
@@ -41,7 +43,7 @@ func TestCallRoundTrip(t *testing.T) {
 		}
 		return Response{OK: true, Value: []byte("stored")}
 	})
-	resp, err := Call(addr, Request{Type: TPut, Name: "k", Value: []byte("v")}, 2*time.Second)
+	resp, err := callT(addr, Request{Type: TPut, Name: "k", Value: []byte("v")}, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestCallRemoteError(t *testing.T) {
 	addr := echoServer(t, func(req Request) Response {
 		return Errorf("boom %d", 42)
 	})
-	_, err := Call(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
+	_, err := callT(addr, Request{Type: TGet, Name: "x"}, 2*time.Second)
 	var re *RemoteError
 	if err == nil || !errors.As(err, &re) || re.Msg != "boom 42" {
 		t.Errorf("want remote error, got %v", err)
@@ -62,7 +64,7 @@ func TestCallRemoteError(t *testing.T) {
 }
 
 func TestCallDialFailure(t *testing.T) {
-	if _, err := Call("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond); err == nil {
+	if _, err := callT("127.0.0.1:1", Request{Type: TPing}, 300*time.Millisecond); err == nil {
 		t.Error("dialing a dead port should fail")
 	}
 }
@@ -87,7 +89,7 @@ func TestCallTimeout(t *testing.T) {
 		}
 	}()
 	start := time.Now()
-	_, err = Call(ln.Addr().String(), Request{Type: TPing}, 200*time.Millisecond)
+	_, err = callT(ln.Addr().String(), Request{Type: TPing}, 200*time.Millisecond)
 	if err == nil {
 		t.Fatal("silent server should time out")
 	}
@@ -96,7 +98,44 @@ func TestCallTimeout(t *testing.T) {
 	}
 }
 
-func TestComplexPayloadsSurviveGob(t *testing.T) {
+func TestCallHonorsContextCancel(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, acceptErr := ln.Accept()
+		if acceptErr != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 1024)
+		_, _ = conn.Read(buf)
+		select {}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, callErr := Call(ctx, ln.Addr().String(), Request{Type: TPing})
+		done <- callErr
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled call reported success")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancellation cause not propagated: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not abort the call")
+	}
+}
+
+func TestComplexPayloadsSurviveCodecs(t *testing.T) {
 	table := RingTable{
 		Layer: 2, Name: "1012",
 		Smallest: Peer{Addr: "a:1", ID: [20]byte{1}},
@@ -114,25 +153,29 @@ func TestComplexPayloadsSurviveGob(t *testing.T) {
 			Coord:     [2]float64{1.5, -2.5},
 		}
 	})
-	resp, err := Call(addr, Request{
-		Type:  TGetRingTable,
-		Table: table,
-		Peer:  Peer{Addr: "e:5", ID: [20]byte{5}},
-	}, 2*time.Second)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.Table != table {
-		t.Errorf("table mangled: %+v", resp.Table)
-	}
-	if len(resp.Succ) != 2 || resp.Succ[0].Addr != "e:5" {
-		t.Errorf("succ mangled: %+v", resp.Succ)
-	}
-	if resp.RingNames[1] != "2201" || resp.Coord[1] != -2.5 {
-		t.Error("auxiliary fields mangled")
-	}
-	if !resp.Found {
-		t.Error("bool lost")
+	for _, codec := range Codecs() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, err := CallVia(ctx, nil, codec, addr, Request{
+			Type:  TGetRingTable,
+			Table: table,
+			Peer:  Peer{Addr: "e:5", ID: [20]byte{5}},
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if resp.Table != table {
+			t.Errorf("%s: table mangled: %+v", codec.Name(), resp.Table)
+		}
+		if len(resp.Succ) != 2 || resp.Succ[0].Addr != "e:5" {
+			t.Errorf("%s: succ mangled: %+v", codec.Name(), resp.Succ)
+		}
+		if resp.RingNames[1] != "2201" || resp.Coord[1] != -2.5 {
+			t.Errorf("%s: auxiliary fields mangled", codec.Name())
+		}
+		if !resp.Found {
+			t.Errorf("%s: bool lost", codec.Name())
+		}
 	}
 }
 
