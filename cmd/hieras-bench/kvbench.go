@@ -6,11 +6,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/replica"
@@ -28,6 +31,18 @@ type kvPhase struct {
 	P99Ms     float64 `json:"p99_ms"`
 }
 
+// kvSync summarises the anti-entropy sync-bandwidth phase: after a
+// sparse slice of the keyspace is forced divergent, how many wire bytes
+// the digest-based rounds shipped to re-converge it, against the
+// analytic cost of the same number of full-transfer sweep rounds.
+type kvSync struct {
+	Rounds           int     `json:"rounds"`
+	DivergedKeys     int     `json:"diverged_keys"`
+	AntiEntropyBytes uint64  `json:"antientropy_bytes"`
+	FullSweepBytes   uint64  `json:"full_sweep_bytes"`
+	Ratio            float64 `json:"ratio"`
+}
+
 // kvBenchResult is the BENCH_kv.json schema. Fields are stable: CI
 // trajectory tooling reads them across commits.
 type kvBenchResult struct {
@@ -43,11 +58,46 @@ type kvBenchResult struct {
 	} `json:"replication"`
 	Puts kvPhase `json:"puts"`
 	Gets kvPhase `json:"gets"`
+	Sync kvSync  `json:"sync"`
+}
+
+// kvCounter reads one un-labelled counter from a node's metrics
+// exposition.
+func kvCounter(nd *transport.Node, name string) (uint64, error) {
+	var b strings.Builder
+	if _, err := nd.Metrics().WriteTo(&b); err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return 0, fmt.Errorf("metric %s: parse %q: %w", name, rest, err)
+			}
+			return uint64(v), nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not in exposition", name)
+}
+
+// kvClusterCounter sums one counter across the cluster.
+func kvClusterCounter(nodes []*transport.Node, name string) (uint64, error) {
+	var total uint64
+	for _, nd := range nodes {
+		v, err := kvCounter(nd, name)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
 }
 
 // kvCluster starts n transport nodes on one MemNet with the given
-// replication options, bootstraps the overlay, and converges it.
-func kvCluster(n int, opts replica.Options) ([]*transport.Node, error) {
+// replication options, bootstraps the overlay, and converges it. The
+// MemNet is returned so the sync phase can inject divergent replicas
+// directly over the wire.
+func kvCluster(n int, opts replica.Options) (*wire.MemNet, []*transport.Node, error) {
 	mem := wire.NewMemNet()
 	addr := func(i int) string { return fmt.Sprintf("n%d", i) }
 	coord := func(i int) [2]float64 {
@@ -60,7 +110,7 @@ func kvCluster(n int, opts replica.Options) ([]*transport.Node, error) {
 	for i := 0; i < n; i++ {
 		ln, err := mem.Listen(addr(i))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nd, err := transport.Start("", transport.Config{
 			Depth:       2,
@@ -74,31 +124,31 @@ func kvCluster(n int, opts replica.Options) ([]*transport.Node, error) {
 			Dial:        mem.Dial,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nodes = append(nodes, nd)
 	}
 	if err := nodes[0].CreateNetwork(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := 1; i < n; i++ {
 		if err := nodes[i].Join(addr(0)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for round := 0; round < 4; round++ {
 		for _, nd := range nodes {
 			if err := nd.StabilizeOnce(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	for _, nd := range nodes {
 		if err := nd.BuildAllFingers(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return nodes, nil
+	return mem, nodes, nil
 }
 
 // runKVBench runs the replicated-KV benchmark and writes the JSON
@@ -106,7 +156,7 @@ func kvCluster(n int, opts replica.Options) ([]*transport.Node, error) {
 func runKVBench(seed int64, keys int, path string, out io.Writer) error {
 	const clusterSize = 8
 	opts := replica.Options{Factor: 3, WriteQuorum: 2, ReadQuorum: 2}
-	nodes, err := kvCluster(clusterSize, opts)
+	mem, nodes, err := kvCluster(clusterSize, opts)
 	if err != nil {
 		return fmt.Errorf("kv bench cluster: %w", err)
 	}
@@ -174,6 +224,87 @@ func runKVBench(seed int64, keys int, path string, out io.Writer) error {
 		P50Ms: getQ.Quantile(0.5), P99Ms: getQ.Quantile(0.99),
 	}
 
+	// Sync-bandwidth phase: force a sparse slice of the keyspace (2%)
+	// divergent by installing a higher-versioned replica on exactly one
+	// current holder of each key, then count the wire bytes the
+	// digest-based anti-entropy rounds ship to re-converge — against the
+	// analytic cost of the same number of full-transfer sweep rounds.
+	// Sparse divergence is the regime anti-entropy is built for: a dirty
+	// key costs its digest bucket, not the whole range, so most of the
+	// keyspace is never re-shipped.
+	diverged := keys / 50
+	if diverged < 1 {
+		diverged = 1
+	}
+	divValue := bytes.Repeat([]byte{'Z'}, len(value))
+	for i := 0; i < diverged; i++ {
+		k := key(i)
+		holder := ""
+		for _, nd := range nodes {
+			if _, held := nd.GetLocal(k); held {
+				holder = nd.Addr()
+				break
+			}
+		}
+		if holder == "" {
+			return fmt.Errorf("sync phase: no replica holds %s", k)
+		}
+		item := wire.StoreItem{Key: k, Value: divValue, Version: 1<<40 + uint64(i), Writer: "bench-diverge"}
+		callCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, callErr := wire.CallVia(callCtx, mem.Dial, nil, holder, wire.Request{Type: wire.TReplicate, Items: []wire.StoreItem{item}})
+		cancel()
+		if callErr != nil {
+			return fmt.Errorf("sync phase: inject divergent %s on %s: %w", k, holder, callErr)
+		}
+		if !resp.OK || resp.Applied != 1 {
+			return fmt.Errorf("sync phase: divergent %s not applied on %s", k, holder)
+		}
+	}
+
+	aeBefore, err := kvClusterCounter(nodes, "antientropy_bytes_total")
+	if err != nil {
+		return err
+	}
+	const syncRounds = 4
+	for round := 0; round < syncRounds; round++ {
+		for _, nd := range nodes {
+			if _, _, _, aeErr := nd.ReplicaAntiEntropyOnce(); aeErr != nil {
+				return fmt.Errorf("sync phase: anti-entropy round %d on %s: %w", round, nd.Addr(), aeErr)
+			}
+		}
+	}
+	aeAfter, err := kvClusterCounter(nodes, "antientropy_bytes_total")
+	if err != nil {
+		return err
+	}
+	var sweepRound uint64
+	for _, nd := range nodes {
+		b, sweepErr := nd.ReplicaFullSweepBytes()
+		if sweepErr != nil {
+			return fmt.Errorf("sync phase: full-sweep baseline on %s: %w", nd.Addr(), sweepErr)
+		}
+		sweepRound += b
+	}
+	res.Sync = kvSync{
+		Rounds:           syncRounds,
+		DivergedKeys:     diverged,
+		AntiEntropyBytes: aeAfter - aeBefore,
+		FullSweepBytes:   sweepRound * syncRounds,
+	}
+	if res.Sync.FullSweepBytes > 0 {
+		res.Sync.Ratio = float64(res.Sync.AntiEntropyBytes) / float64(res.Sync.FullSweepBytes)
+	}
+	// The divergent versions out-stamp the benchmark's writes, so a
+	// quorum read must now return them — otherwise the rounds above did
+	// not actually converge and the byte figures are meaningless.
+	converged, err := nodes[1].Get(context.Background(), key(0))
+	if err != nil {
+		return fmt.Errorf("sync phase: read-back after convergence: %w", err)
+	}
+	if !bytes.Equal(converged, divValue) {
+		return fmt.Errorf("sync phase: %s did not converge to the injected version", key(0))
+	}
+
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -182,9 +313,10 @@ func runKVBench(seed int64, keys int, path string, out io.Writer) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "kv bench (r=%d W=%d R=%d, %d nodes): %d puts @ %.0f/s (p50 %.3fms p99 %.3fms), %d gets @ %.0f/s (p50 %.3fms p99 %.3fms) -> %s\n",
+	fmt.Fprintf(out, "kv bench (r=%d W=%d R=%d, %d nodes): %d puts @ %.0f/s (p50 %.3fms p99 %.3fms), %d gets @ %.0f/s (p50 %.3fms p99 %.3fms), sync %dB vs %dB full-sweep (%.1f%%) -> %s\n",
 		res.Replication.Factor, res.Replication.WriteQuorum, res.Replication.ReadQuorum, res.Nodes,
 		res.Puts.Ops, res.Puts.OpsPerSec, res.Puts.P50Ms, res.Puts.P99Ms,
-		res.Gets.Ops, res.Gets.OpsPerSec, res.Gets.P50Ms, res.Gets.P99Ms, path)
+		res.Gets.Ops, res.Gets.OpsPerSec, res.Gets.P50Ms, res.Gets.P99Ms,
+		res.Sync.AntiEntropyBytes, res.Sync.FullSweepBytes, 100*res.Sync.Ratio, path)
 	return nil
 }

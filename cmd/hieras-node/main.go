@@ -15,7 +15,7 @@
 //	            -join 127.0.0.1:7001
 //
 // Then type commands on stdin: put <key> <value> | get <key> |
-// lookup <key> | neighbors | info | stats | quit.
+// del <key> | lookup <key> | neighbors | info | stats | quit.
 //
 // Pass -metrics <addr> to serve the node's Prometheus-text metrics on
 // http://<addr>/metrics (plus a /healthz endpoint); `stats` prints the
@@ -68,6 +68,9 @@ func main() {
 	flag.DurationVar(&opts.RetryMaxBackoff, "retry-max-backoff", def.RetryMaxBackoff, "cap on the per-retry backoff")
 	flag.IntVar(&opts.BreakerThreshold, "breaker-threshold", def.BreakerThreshold, "consecutive failures that open a peer's circuit breaker (0 disables it)")
 	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", def.BreakerCooldown, "how long an open breaker rejects calls before probing")
+
+	flag.DurationVar(&opts.TTL, "ttl", def.TTL, "data lifetime: puts expire and tombstones are pruned after this long (0 keeps data forever)")
+	flag.IntVar(&opts.AntiEntropyEvery, "anti-entropy-every", def.AntiEntropyEvery, "run the digest replica-sync round every N stabilize ticks")
 	flag.Parse()
 
 	coord, err := parseCoord(*coordStr)
@@ -223,8 +226,18 @@ func repl(node *transport.Node) {
 			} else {
 				fmt.Printf("%s\n", v)
 			}
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				break
+			}
+			if err := node.Delete(context.Background(), fields[1]); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
 		default:
-			fmt.Println("commands: info | neighbors | lookup <key> | put <k> <v> | get <k> | stats | quit")
+			fmt.Println("commands: info | neighbors | lookup <key> | put <k> <v> | get <k> | del <k> | stats | quit")
 		}
 		fmt.Print("> ")
 	}

@@ -14,6 +14,7 @@ type thing struct {
 
 // Registration on init paths with registered names: clean.
 func New(reg *metrics.Registry) *thing {
+	reg.NewCounter("antientropy_rounds_total", "h")
 	return &thing{
 		c:   reg.NewCounter("good_total", "h"),
 		vec: reg.NewCounterVec("hops_total", "h", "layer"),
@@ -30,7 +31,8 @@ func (t *thing) Instrument(reg *metrics.Registry) {
 
 // A typo'd name splits a time series: flagged against the registry.
 func NewTypo(reg *metrics.Registry) {
-	reg.NewCounter("goood_total", "h") // want `unknown metric name "goood_total"`
+	reg.NewCounter("goood_total", "h")              // want `unknown metric name "goood_total"`
+	reg.NewCounter("antientropy_round_total", "h") // want `unknown metric name "antientropy_round_total"`
 }
 
 // A dynamic name can't be checked at all.

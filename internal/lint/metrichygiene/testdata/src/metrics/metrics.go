@@ -42,6 +42,7 @@ func (*Registry) NewCounterFunc(name, help string, fn func() float64, labels ...
 func (*Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label)   {}
 
 const KnownMetricNames = `
+antientropy_rounds_total
 good_total
 hops_total
 queue_depth

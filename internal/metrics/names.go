@@ -9,6 +9,8 @@ package metrics
 // one place. Adding a metric means adding a line here.
 const KnownMetricNames = `
 accelerated_routes_total
+antientropy_bytes_total
+antientropy_rounds_total
 cache_hits_total
 cache_misses_total
 churn_fails_total
@@ -24,6 +26,7 @@ failure_layer_aborts_total
 failure_succ_skips_total
 faultnet_injected_total
 hops_total
+kv_expired_total
 lookup_errors_total
 lookups_total
 pool_block_seconds

@@ -33,6 +33,9 @@ type Metrics struct {
 	ReadRepairs  *metrics.Counter
 	HandoffItems *metrics.Counter
 	Dropped      *metrics.Counter
+	AERounds     *metrics.Counter
+	AEBytes      *metrics.Counter
+	Expired      *metrics.Counter
 }
 
 var quorumBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
@@ -48,7 +51,7 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		Lag: reg.NewGauge("replica_lag",
 			"Stale or missing key copies observed (and refreshed) by the last re-replication sweep."),
 		RereplBytes: reg.NewCounter("rereplication_bytes_total",
-			"Value bytes pushed to peers by re-replication sweeps."),
+			"Value bytes pushed to peers by re-replication: full-key sweeps and anti-entropy push-backs."),
 		WriteSeconds: reg.NewHistogram("quorum_write_seconds",
 			"Latency of quorum writes, from replica-set resolution to quorum ack.", quorumBuckets),
 		ReadSeconds: reg.NewHistogram("quorum_read_seconds",
@@ -61,6 +64,12 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Versioned items transferred by graceful-leave handoffs."),
 		Dropped: reg.NewCounter("replica_dropped_total",
 			"Keys dropped locally after a sweep confirmed the node left their replica set."),
+		AERounds: reg.NewCounter("antientropy_rounds_total",
+			"Digest-based anti-entropy rounds completed."),
+		AEBytes: reg.NewCounter("antientropy_bytes_total",
+			"Bytes moved by anti-entropy rounds: digest frames plus pulled and pushed divergent items."),
+		Expired: reg.NewCounter("kv_expired_total",
+			"Items (values and tombstones) purged locally after passing their expiry stamp."),
 	}
 }
 
@@ -80,6 +89,36 @@ type Coordinator struct {
 	// never influences control flow. Deterministic harnesses may leave
 	// it nil to skip timing altogether.
 	Now func() time.Time
+
+	// KeyID maps a kv key to its ring identifier — the same mapping the
+	// transport's lookups use — so anti-entropy can describe held data
+	// as key-ID arcs. Required for AntiEntropyOnce.
+	KeyID func(key string) [20]byte
+	// Clock is the data-lifecycle time base, shared with the Engine's
+	// injected clock. Nil means no expiry (TTL is ignored).
+	Clock func() uint64
+	// TTL is the lifetime stamped onto coordinated writes, in Clock
+	// units (0 = items never expire). Tombstones reuse it as their
+	// garbage-collection grace period, which must exceed the cluster's
+	// convergence time or a delete can be forgotten before every
+	// replica learns it.
+	TTL uint64
+}
+
+// clock reads the lifecycle time base (0 with none, so nothing expires).
+func (c *Coordinator) clock() uint64 {
+	if c.Clock == nil {
+		return 0
+	}
+	return c.Clock()
+}
+
+// expireStamp computes the Expire field for a write coordinated now.
+func (c *Coordinator) expireStamp() uint64 {
+	if c.TTL == 0 || c.Clock == nil {
+		return 0
+	}
+	return c.clock() + c.TTL
 }
 
 func (c *Coordinator) metrics() *Metrics {
@@ -131,7 +170,7 @@ func (c *Coordinator) Put(ctx context.Context, key string, value []byte) error {
 		seen = resp.Version
 	}
 	version, writer := c.Engine.Stamp(key, c.Self, seen)
-	item := wire.StoreItem{Key: key, Value: value, Version: version, Writer: writer}
+	item := wire.StoreItem{Key: key, Value: value, Version: version, Writer: writer, Expire: c.expireStamp()}
 
 	targets := set
 	if opts.DropReplicaWrites {
@@ -154,6 +193,60 @@ func (c *Coordinator) Put(ctx context.Context, key string, value []byte) error {
 	if acks < need && !(opts.DropReplicaWrites && acks >= 1) {
 		m.Failures.With("put").Inc()
 		return fmt.Errorf("replica put %q: %d/%d acks (need %d): %w", key, acks, len(targets), need, lastErr)
+	}
+	c.observe(m.WriteSeconds, start)
+	return nil
+}
+
+// Delete performs one quorum delete: a tombstone item is stamped past
+// the freshest version visible at the owner and installed on every
+// replica-set member under the same quorum rule as Put. The tombstone
+// supersedes live versions through the normal LWW order, so a stale
+// replica that missed the delete cannot resurrect the key; it is
+// garbage-collected TTL after the delete (and kept forever when TTL is
+// 0, trading space for a delete that can never be forgotten).
+func (c *Coordinator) Delete(ctx context.Context, key string) error {
+	m := c.metrics()
+	start := c.now()
+	opts := c.Opts.WithDefaults()
+	set, err := c.Resolve(ctx, key)
+	if err != nil {
+		m.Failures.With("delete").Inc()
+		return fmt.Errorf("replica delete %q: resolve: %w", key, err)
+	}
+	if len(set) == 0 {
+		m.Failures.With("delete").Inc()
+		return fmt.Errorf("replica delete %q: empty replica set", key)
+	}
+
+	var seen uint64
+	if resp, getErr := c.Call(ctx, set[0], wire.Request{Type: wire.TStoreGet, Name: key}); getErr == nil && resp.Found {
+		seen = resp.Version
+	}
+	version, writer := c.Engine.Stamp(key, c.Self, seen)
+	item := wire.StoreItem{Key: key, Version: version, Writer: writer, Tombstone: true, Expire: c.expireStamp()}
+
+	targets := set
+	if opts.DropReplicaWrites {
+		targets = set[:1] // bug seam: owner copy only, no replicas
+	}
+	need := opts.WriteQuorum
+	if need > len(set) {
+		need = len(set)
+	}
+	acks := 0
+	var lastErr error
+	for _, addr := range targets {
+		req := wire.Request{Type: wire.TStorePut, Name: key, Items: []wire.StoreItem{item}}
+		if _, callErr := c.Call(ctx, addr, req); callErr != nil {
+			lastErr = callErr
+			continue
+		}
+		acks++
+	}
+	if acks < need && !(opts.DropReplicaWrites && acks >= 1) {
+		m.Failures.With("delete").Inc()
+		return fmt.Errorf("replica delete %q: %d/%d acks (need %d): %w", key, acks, len(targets), need, lastErr)
 	}
 	c.observe(m.WriteSeconds, start)
 	return nil
@@ -199,7 +292,8 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, bool, error)
 		answers++
 		polled = append(polled, addr)
 		if resp.Found {
-			it := wire.StoreItem{Key: key, Value: resp.Value, Version: resp.Version, Writer: resp.Writer}
+			it := wire.StoreItem{Key: key, Value: resp.Value, Version: resp.Version, Writer: resp.Writer,
+				Expire: resp.Expire, Tombstone: resp.Tombstone}
 			held[addr] = it
 			if !found || Supersedes(it, best) {
 				best = it
@@ -224,11 +318,21 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, bool, error)
 		return nil, false, fmt.Errorf("replica get %q: %d/%d answers (need %d): %w",
 			key, answers, len(set), need, lastErr)
 	}
+	// A dead winner — tombstone or past its expiry stamp — reads as
+	// "not found", but it is positive evidence: a fresher tombstone
+	// outranking every live version means the key is deleted, no matter
+	// how many members were unreachable. The read-repair below still
+	// pushes it so stale members converge on the delete instead of
+	// resurrecting the key on a later read.
+	alive := Alive(best, c.clock())
 	// Read-repair: refresh answered members that lack the winner. The
 	// DropReplicaWrites bug seam suppresses this too — the seeded bug is
 	// "this node never pushes copies", with no accidental self-healing.
 	if opts.DropReplicaWrites {
 		c.observe(m.ReadSeconds, start)
+		if !alive {
+			return nil, false, nil
+		}
 		return best.Value, true, nil
 	}
 	repair := wire.Request{Type: wire.TStorePut, Name: key, Items: []wire.StoreItem{best}}
@@ -241,6 +345,9 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, bool, error)
 		}
 	}
 	c.observe(m.ReadSeconds, start)
+	if !alive {
+		return nil, false, nil
+	}
 	return best.Value, true, nil
 }
 

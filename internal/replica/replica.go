@@ -95,6 +95,7 @@ type Engine struct {
 	mu    sync.Mutex
 	items map[string]wire.StoreItem
 	seq   uint64 // node-local write counter, feeds unique Writer stamps
+	clock func() uint64
 }
 
 // NewEngine returns an empty store.
@@ -102,17 +103,75 @@ func NewEngine() *Engine {
 	return &Engine{items: make(map[string]wire.StoreItem)}
 }
 
+// SetClock injects the clock item lifecycles are judged against: an
+// item with Expire != 0 is dead once clock() >= Expire. With no clock
+// (the default) nothing ever expires. Production nodes inject
+// wall-clock nanos; deterministic harnesses inject a logical tick
+// counter — expiry compares stamps, so any monotone uint64 works as
+// long as every node in a cluster shares the same time base.
+func (e *Engine) SetClock(clock func() uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = clock
+}
+
+// now reads the injected clock (0 with none, so nothing expires).
+// Callers hold e.mu.
+func (e *Engine) now() uint64 {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock()
+}
+
+// Expired reports whether item is past its expiry stamp at time now.
+func Expired(item wire.StoreItem, now uint64) bool {
+	return item.Expire != 0 && now >= item.Expire
+}
+
+// Alive reports whether item represents a readable value at time now:
+// not a tombstone and not expired.
+func Alive(item wire.StoreItem, now uint64) bool {
+	return !item.Tombstone && !Expired(item, now)
+}
+
 // Apply merges one item, returning true when it advanced the store
-// (the key was absent or the item supersedes the held one).
+// (the key was absent or the item supersedes the held one). An item
+// that is already expired at the local clock is rejected outright:
+// expiry is judged against the stamp that travels with the item, so a
+// replica that already purged the key cannot be re-infected by a
+// slower peer — expiry converges instead of resurrecting.
 func (e *Engine) Apply(item wire.StoreItem) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if Expired(item, e.now()) {
+		return false
+	}
 	cur, ok := e.items[item.Key]
 	if ok && !Supersedes(item, cur) {
 		return false
 	}
 	e.items[item.Key] = item
 	return true
+}
+
+// PurgeExpired removes every item past its expiry stamp — values and
+// tombstones alike — and returns how many were removed. Tombstones
+// carry their grace period in the same Expire stamp, so delete markers
+// are garbage-collected by the same pass once every replica has had
+// time to learn them.
+func (e *Engine) PurgeExpired() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	purged := 0
+	for k, it := range e.items {
+		if Expired(it, now) {
+			delete(e.items, k)
+			purged++
+		}
+	}
+	return purged
 }
 
 // ApplyBatch merges a batch and returns how many items advanced the

@@ -15,6 +15,9 @@ func (h *harness) exec(op Op) *Failure {
 	fail := func(invariant, format string, args ...interface{}) *Failure {
 		return &Failure{Invariant: invariant, Err: fmt.Errorf(format, args...)}
 	}
+	// Logical time moves once per op — before the op runs, so two ops
+	// never share a tick and expiry stays a pure function of the program.
+	h.clock.Add(1)
 	switch op.Kind {
 	case OpJoin:
 		if h.partitioned || op.Slot < 2 || op.Slot >= h.cfg.Slots || h.nodes[op.Slot] != nil {
@@ -68,12 +71,22 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpPut:
 		n := h.origin(op.Slot)
+		wasDeleted := h.model.deleted[op.Key]
 		err := n.Put(context.Background(), op.Key, []byte(op.Value))
 		// Record the value even when the put reports failure: part of the
 		// replica set may have accepted the write before the quorum
 		// fell short, so the value can legitimately be read back later.
+		// put also clears the deleted mark — even a partial write can
+		// out-stamp the tombstone.
 		h.model.put(op.Key, op.Value)
+		h.extendLease(op.Key)
 		if err != nil {
+			if wasDeleted {
+				// Unacknowledged write against a tombstoned key: either
+				// side of the LWW race may win, so neither presence nor
+				// absence is assertable from here on.
+				delete(h.model.acked, op.Key)
+			}
 			if !h.partitioned {
 				return fail("put-availability", "put %q from n%d: %v", op.Key, op.Slot, err)
 			}
@@ -92,9 +105,10 @@ func (h *harness) exec(op Op) *Failure {
 		if err != nil {
 			// Acknowledged writes must stay readable in a partition-free
 			// cluster — no churn exemptions, that is what the quorum
-			// bought. Unacknowledged writes may be absent, and a split
-			// cluster may be unable to assemble a read quorum.
-			if h.model.acked[op.Key] && !h.partitioned {
+			// bought. Unacknowledged writes may be absent, deleted or
+			// expired keys are expected to vanish, and a split cluster
+			// may be unable to assemble a read quorum.
+			if h.model.mustRead(op.Key, h.clock.Load()) && !h.partitioned {
 				return fail("get-availability", "get %q from n%d: %v (write was acknowledged)", op.Key, op.Slot, err)
 			}
 			return nil
@@ -102,6 +116,37 @@ func (h *harness) exec(op Op) *Failure {
 		if !acc[string(v)] {
 			return fail("get-safety", "get %q from n%d returned %q, not a value ever written (%d known)",
 				op.Key, op.Slot, v, len(acc))
+		}
+
+	case OpDelete:
+		n := h.origin(op.Slot)
+		err := n.Delete(context.Background(), op.Key)
+		h.extendLease(op.Key) // the tombstone's grace is a fresh lease
+		if err != nil {
+			// A failed delete may still have installed tombstones on a
+			// minority of the set, so the key is no longer promised
+			// readable — but absence is not promised either.
+			delete(h.model.acked, op.Key)
+			if !h.partitioned {
+				return fail("delete-availability", "delete %q from n%d: %v", op.Key, op.Slot, err)
+			}
+			return nil
+		}
+		if h.partitioned {
+			// One side's quorum acknowledged the tombstone, but a
+			// concurrent write on the other side can carry a higher
+			// stamp and legitimately resurrect the key after the heal.
+			delete(h.model.acked, op.Key)
+			break
+		}
+		// Partition-free, the tombstone was stamped past every version
+		// the owner acknowledged, so it wins LWW: the key must read as
+		// not-found once the cluster converges.
+		h.model.deleted[op.Key] = true
+
+	case OpTick:
+		if op.Slot > 0 {
+			h.clock.Add(uint64(op.Slot))
 		}
 
 	case OpLookup:

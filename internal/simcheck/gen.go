@@ -58,14 +58,16 @@ func generate(cfg Config) []Op {
 			case r < 25:
 				op = Op{Kind: OpHeal}
 				partitioned = false
-			case r < 45:
+			case r < 42:
 				op = Op{Kind: OpGet, Slot: anySlot(), Key: someKey()}
-			case r < 65:
+			case r < 58:
 				op = Op{Kind: OpLookup, Slot: anySlot(), Key: someKey()}
-			case r < 85:
+			case r < 78:
 				op = Op{Kind: OpPut, Slot: anySlot(), Key: someKey(), Value: fmt.Sprintf("v%d", valSeq)}
 				written = append(written, op.Key)
 				valSeq++
+			case r < 90:
+				op = Op{Kind: OpDelete, Slot: anySlot(), Key: someKey()}
 			default:
 				op = Op{Kind: OpCheck}
 			}
@@ -92,17 +94,31 @@ func generate(cfg Config) []Op {
 				} else {
 					continue
 				}
-			case r < 58:
+			case r < 56:
 				op = Op{Kind: OpPut, Slot: anySlot(), Key: someKey(), Value: fmt.Sprintf("v%d", valSeq)}
 				written = append(written, op.Key)
 				valSeq++
-			case r < 70:
+			case r < 66:
 				op = Op{Kind: OpGet, Slot: anySlot(), Key: someKey()}
+			case r < 72:
+				op = Op{Kind: OpDelete, Slot: anySlot(), Key: someKey()}
 			case r < 82:
 				op = Op{Kind: OpLookup, Slot: anySlot(), Key: someKey()}
-			case r < 90:
+			case r < 88:
 				op = Op{Kind: OpPartition}
 				partitioned = true
+			case r < 94:
+				if cfg.TTL == 0 {
+					op = Op{Kind: OpCheck}
+					break
+				}
+				// Jumps range up to past the full TTL, so some lapse every
+				// outstanding lease faster than republish can renew it.
+				span := cfg.TTL + 2
+				if span > 1000 {
+					span = 1000
+				}
+				op = Op{Kind: OpTick, Slot: 1 + rng.Intn(int(span))}
 			default:
 				op = Op{Kind: OpCheck}
 			}

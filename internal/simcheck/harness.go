@@ -5,6 +5,7 @@ import (
 	"math"
 	"reflect"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/binning"
@@ -24,6 +25,18 @@ import (
 type model struct {
 	vals  map[string]map[string]bool
 	acked map[string]bool
+	// deleted marks keys whose quorum delete was acknowledged outside a
+	// partition: the tombstone was stamped past the freshest version the
+	// owner had acknowledged, so it wins the LWW order and the key must
+	// read as not-found once the cluster converges. Any later put clears
+	// the mark (a fresh write legitimately supersedes a tombstone).
+	deleted map[string]bool
+	// expireAt is the latest lease any write stamped on the key, in
+	// harness clock ticks (only tracked when cfg.TTL > 0). Once the
+	// clock passes it the key may have expired — owners republish
+	// before expiry, so the key may equally still be alive; invariants
+	// therefore stop asserting presence rather than asserting absence.
+	expireAt map[string]uint64
 }
 
 func (m *model) put(key, value string) {
@@ -31,6 +44,7 @@ func (m *model) put(key, value string) {
 		m.vals[key] = map[string]bool{}
 	}
 	m.vals[key][value] = true
+	delete(m.deleted, key)
 }
 
 func (m *model) keys() []string {
@@ -38,8 +52,26 @@ func (m *model) keys() []string {
 	for k := range m.vals {
 		ks = append(ks, k)
 	}
+	for k := range m.deleted {
+		if m.vals[k] == nil {
+			ks = append(ks, k) // deleted without ever being written
+		}
+	}
 	sort.Strings(ks)
 	return ks
+}
+
+// expired reports whether key's lease may have lapsed at tick now.
+func (m *model) expired(key string, now uint64) bool {
+	at, ok := m.expireAt[key]
+	return ok && now >= at
+}
+
+// mustRead reports whether a read of key is required to succeed: its
+// write was quorum-acknowledged, no acknowledged delete has since
+// tombstoned it, and its lease cannot have lapsed.
+func (m *model) mustRead(key string, now uint64) bool {
+	return m.acked[key] && !m.deleted[key] && !m.expired(key, now)
 }
 
 // harness owns one in-process cluster: a wire.MemNet for transport (so
@@ -56,6 +88,11 @@ type harness struct {
 	expectNames [][]string // per slot, from an independent binning run
 	partitioned bool
 	model       *model
+	// clock is the cluster-wide logical time every node runs on: exec
+	// advances it once per op (plus OpTick jumps), so expiry is a pure
+	// function of the program, never of wall time. Atomic because RPC
+	// handler goroutines read it while the executor thread advances it.
+	clock atomic.Uint64
 }
 
 func slotAddr(slot int) string { return fmt.Sprintf("n%d", slot) }
@@ -79,8 +116,14 @@ func newHarness(cfg Config) (*harness, error) {
 		nodes:       make([]*transport.Node, cfg.Slots),
 		coords:      make([][2]float64, cfg.Slots),
 		expectNames: make([][]string, cfg.Slots),
-		model:       &model{vals: map[string]map[string]bool{}, acked: map[string]bool{}},
+		model: &model{
+			vals:     map[string]map[string]bool{},
+			acked:    map[string]bool{},
+			deleted:  map[string]bool{},
+			expireAt: map[string]uint64{},
+		},
 	}
+	h.clock.Store(1) // tick 0 would read as replica's "no clock" sentinel
 	ladder, err := binning.DefaultLadder(cfg.Depth)
 	if err != nil {
 		return nil, err
@@ -119,6 +162,20 @@ func dist(a, b [2]float64) float64 {
 	return math.Hypot(a[0]-b[0], a[1]-b[1])
 }
 
+// extendLease records that a write or delete just stamped key with a
+// fresh TTL lease. Leases only ever extend in the model: the LWW winner
+// among racing stamps is not predictable from op order alone, and a
+// longer model lease merely delays the point where invariants stop
+// asserting the key's presence.
+func (h *harness) extendLease(key string) {
+	if h.cfg.TTL == 0 {
+		return
+	}
+	if at := h.clock.Load() + h.cfg.TTL; at > h.model.expireAt[key] {
+		h.model.expireAt[key] = at
+	}
+}
+
 // replOptions is the replication configuration every harness node runs:
 // factor 3 with a majority write quorum, so any single crash or failed
 // handoff leaves an acknowledged write with a surviving copy, and a
@@ -153,9 +210,14 @@ func (h *harness) startNode(slot int) error {
 		// failure count, which is schedule-determined.
 		Breaker:     wire.BreakerPolicy{Threshold: -1},
 		Replication: h.replOptions(),
-		WrapCaller:  h.fnet.Caller,
-		Listener:    ln,
-		Dial:        h.mem.Dial,
+		// Every node shares the harness's logical clock, so expiry
+		// decisions are identical cluster-wide and replayable; TTL is in
+		// the same tick units (time.Duration only by type).
+		Clock:      h.clock.Load,
+		TTL:        time.Duration(h.cfg.TTL),
+		WrapCaller: h.fnet.Caller,
+		Listener:   ln,
+		Dial:       h.mem.Dial,
 	})
 	if err != nil {
 		ln.Close()
@@ -224,11 +286,12 @@ func (h *harness) maintainRound(full bool) {
 		} else {
 			_ = n.FixFingersOnce(16)
 		}
-		// Re-replication sweep, last: it re-homes data over whatever ring
-		// state this round repaired, exactly as StabilizeOnce would in a
-		// deployment. Best-effort by design — a sweep that cannot reach a
-		// member keeps the local copy and retries next round.
-		_, _, _ = n.ReplicaSweepOnce()
+		// Anti-entropy round, last: it re-homes data, syncs replicas by
+		// digest and expires dead leases over whatever ring state this
+		// round repaired, exactly as StabilizeOnce would in a deployment.
+		// Best-effort by design — a round that cannot reach a member
+		// keeps the local copy and retries next round.
+		_, _, _, _ = n.ReplicaAntiEntropyOnce()
 	}
 }
 

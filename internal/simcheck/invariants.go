@@ -29,7 +29,8 @@ type nodeView struct {
 // (reachability lookups, data reads).
 type world struct {
 	Depth       int
-	Factor      int // replication factor every node runs
+	Factor      int    // replication factor every node runs
+	Now         uint64 // harness logical clock at snapshot time
 	Quiescent   bool
 	Partitioned bool
 	Live        []nodeView // ascending slot order
@@ -43,6 +44,7 @@ func (h *harness) world(quiescent bool) *world {
 	w := &world{
 		Depth:       h.cfg.Depth,
 		Factor:      h.replOptions().Factor,
+		Now:         h.clock.Load(),
 		Quiescent:   quiescent,
 		Partitioned: h.partitioned,
 		Model:       h.model,
@@ -88,6 +90,7 @@ func registry() []Invariant {
 		{Name: "finger-exactness", Quiescent: true, Check: checkFingers},
 		{Name: "ring-table-exactness", Quiescent: true, Check: checkRingTables},
 		{Name: "replica-placement", Quiescent: true, Check: checkPlacement},
+		{Name: "data-lifecycle", Quiescent: true, Check: checkLifecycle},
 		{Name: "reachability", Quiescent: true, Check: checkReachability},
 		{Name: "data-safety", Quiescent: true, Check: checkData},
 	}
@@ -365,6 +368,13 @@ func checkDurability(w *world) error {
 	}
 	sort.Strings(acked)
 	for _, key := range acked {
+		if w.Model.deleted[key] || w.Model.expired(key, w.Now) {
+			// An acknowledged tombstone or a lapsed lease releases the
+			// durability promise: the whole point of the lifecycle is
+			// that this data is allowed — required, at a fixpoint — to
+			// disappear.
+			continue
+		}
 		vals := held[key]
 		if len(vals) == 0 {
 			return fmt.Errorf("acknowledged key %q is held by no live node — every quorum copy was lost", key)
@@ -437,9 +447,11 @@ func checkPlacement(w *world) error {
 				ref = it
 				continue
 			}
-			if it.Version != ref.Version || it.Writer != ref.Writer || !bytes.Equal(it.Value, ref.Value) {
-				return fmt.Errorf("key %q: replicas diverge at a fixpoint: %s holds v%d/%s, %s holds v%d/%s",
-					key, members[0], ref.Version, ref.Writer, addr, it.Version, it.Writer)
+			if it.Version != ref.Version || it.Writer != ref.Writer || !bytes.Equal(it.Value, ref.Value) ||
+				it.Expire != ref.Expire || it.Tombstone != ref.Tombstone {
+				return fmt.Errorf("key %q: replicas diverge at a fixpoint: %s holds v%d/%s (expire %d, tombstone %t), %s holds v%d/%s (expire %d, tombstone %t)",
+					key, members[0], ref.Version, ref.Writer, ref.Expire, ref.Tombstone,
+					addr, it.Version, it.Writer, it.Expire, it.Tombstone)
 			}
 		}
 		var strays []string
@@ -456,21 +468,60 @@ func checkPlacement(w *world) error {
 	return nil
 }
 
+// checkLifecycle: dead data is gone at a fixpoint. No live node still
+// holds an item whose lease lapsed — every anti-entropy round purges
+// expired values and tombstones, so surviving one to quiescence means
+// the purge or the expiry stamps diverged. And every key whose delete
+// was quorum-acknowledged exists at most as a tombstone: a live value
+// would mean a stale replica out-stamped the tombstone, the
+// resurrection the LWW order is supposed to make impossible.
+func checkLifecycle(w *world) error {
+	for _, v := range w.Live {
+		for _, it := range v.Snap.Items {
+			if it.Expire != 0 && it.Expire <= w.Now {
+				return fmt.Errorf("%s still holds %q with lease expired at %d (clock %d) at a fixpoint",
+					v.Snap.Addr, it.Key, it.Expire, w.Now)
+			}
+		}
+	}
+	deleted := make([]string, 0, len(w.Model.deleted))
+	for k := range w.Model.deleted {
+		deleted = append(deleted, k)
+	}
+	sort.Strings(deleted)
+	for _, key := range deleted {
+		for _, v := range w.Live {
+			for _, it := range v.Snap.Items {
+				if it.Key == key && !it.Tombstone {
+					return fmt.Errorf("deleted key %q resurrected on %s as v%d/%s %q",
+						key, v.Snap.Addr, it.Version, it.Writer, bytes.ToValidUTF8(it.Value, []byte{'?'}))
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // checkData: every key the model knows reads back only values that were
-// actually written, and every acknowledged key reads back successfully —
-// at a quiescent fixpoint a quorum read of an acked write must succeed,
-// with no churn exemptions. Unacknowledged writes (quorum failures on a
-// partition minority) may be absent; if they resurface, the value must
-// still be one the harness wrote.
+// actually written, every acknowledged live key reads back successfully,
+// and every acknowledged-deleted key reads as not-found — at a quiescent
+// fixpoint a quorum read settles the tombstone race, with no churn
+// exemptions. Unacknowledged writes (quorum failures on a partition
+// minority) may be absent and expired leases may have been purged; if a
+// value surfaces anyway, it must still be one the harness wrote.
 func checkData(w *world) error {
 	origin := w.Live[0].Slot
 	for _, key := range w.Model.keys() {
 		v, err := w.get(origin, key)
 		if err != nil {
-			if w.Model.acked[key] {
+			if w.Model.mustRead(key, w.Now) {
 				return fmt.Errorf("get %q: %v (write was acknowledged by a quorum; it must stay readable)", key, err)
 			}
 			continue
+		}
+		if w.Model.deleted[key] {
+			return fmt.Errorf("get %q: delete was acknowledged by a quorum, but the key still reads back %q",
+				key, bytes.ToValidUTF8(v, []byte{'?'}))
 		}
 		if !w.Model.vals[key][string(v)] {
 			return fmt.Errorf("get %q: value %q was never written", key, bytes.ToValidUTF8(v, []byte{'?'}))

@@ -25,6 +25,18 @@ const (
 	OpPut OpKind = "put"
 	// OpGet reads Key and checks the result against the model.
 	OpGet OpKind = "get"
+	// OpDelete quorum-deletes Key from the node at Slot: a tombstone is
+	// installed on the replica set and the key must read as not-found
+	// once the cluster converges. Deletes acknowledged inside a
+	// partition assert nothing — a concurrent cross-partition write can
+	// legitimately supersede the tombstone after the heal.
+	OpDelete OpKind = "delete"
+	// OpTick advances the harness's logical clock by Slot extra ticks
+	// (every op already advances it by one). With a TTL configured, a
+	// jump past the remaining lease expires data faster than the
+	// owners' republish cycle can renew it — the only way soft state
+	// legitimately disappears.
+	OpTick OpKind = "tick"
 	// OpLookup routes to Key's owner and checks hop sanity.
 	OpLookup OpKind = "lookup"
 	// OpPartition splits the cluster into even and odd slots (which is
@@ -56,8 +68,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("%s(n%d)", o.Kind, o.Slot)
 	case OpPut:
 		return fmt.Sprintf("put(n%d, %q=%q)", o.Slot, o.Key, o.Value)
-	case OpGet, OpLookup:
+	case OpGet, OpLookup, OpDelete:
 		return fmt.Sprintf("%s(n%d, %q)", o.Kind, o.Slot, o.Key)
+	case OpTick:
+		return fmt.Sprintf("tick(+%d)", o.Slot)
 	default:
 		return string(o.Kind)
 	}
@@ -69,11 +83,11 @@ func (o Op) GoString() string {
 	k := string(o.Kind)
 	parts := []string{fmt.Sprintf("Kind: simcheck.Op%s", strings.ToUpper(k[:1])+k[1:])}
 	switch o.Kind {
-	case OpJoin, OpLeave, OpFail:
+	case OpJoin, OpLeave, OpFail, OpTick:
 		parts = append(parts, fmt.Sprintf("Slot: %d", o.Slot))
 	case OpPut:
 		parts = append(parts, fmt.Sprintf("Slot: %d, Key: %q, Value: %q", o.Slot, o.Key, o.Value))
-	case OpGet, OpLookup:
+	case OpGet, OpLookup, OpDelete:
 		parts = append(parts, fmt.Sprintf("Slot: %d, Key: %q", o.Slot, o.Key))
 	}
 	return "{" + strings.Join(parts, ", ") + "}"

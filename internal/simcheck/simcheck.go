@@ -32,6 +32,13 @@ type Config struct {
 	Ops int
 	// Depth is the hierarchy depth (default 2).
 	Depth int
+	// TTL is the data lifetime in logical clock ticks (each executed op
+	// advances the harness clock by one; OpTick jumps it further). Puts
+	// expire TTL ticks after being written unless their owner's
+	// republish cycle renews the lease first, and tombstones are pruned
+	// after the same grace. 0 — the default — keeps data and tombstones
+	// forever.
+	TTL uint64
 	// SkipRepairLayer, when in 1..Depth, suppresses that layer's
 	// stabilization during maintenance — a deliberately seeded
 	// maintenance bug used to prove the invariant suite catches and

@@ -5,6 +5,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // TestHealthyProperty: the honest protocol survives randomized
@@ -27,6 +30,60 @@ func TestHealthyProperty(t *testing.T) {
 func TestHealthyPropertyDepth3(t *testing.T) {
 	if f := Run(Config{Seed: 5, Depth: 3}); f != nil {
 		t.Fatalf("property failed:\n%v", f)
+	}
+}
+
+// TestHealthyPropertyWithTTL runs the property with a data lifetime
+// configured: programs now contain deletes and clock jumps, leases
+// lapse mid-program, owners republish, and the lifecycle invariants
+// (expired data purged at fixpoints, acknowledged deletes stay deleted)
+// must hold alongside everything else.
+func TestHealthyPropertyWithTTL(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if f := Run(Config{Seed: seed, TTL: 12}); f != nil {
+				t.Fatalf("property failed:\n%v", f)
+			}
+		})
+	}
+}
+
+// TestDeleteLifecycleProgram pins the deterministic delete story: an
+// acknowledged delete makes the key unreadable at the next quiescent
+// checkpoint, a later put resurrects it, and churn in between does not
+// bring the tombstoned value back.
+func TestDeleteLifecycleProgram(t *testing.T) {
+	if f := Replay(0, []Op{
+		{Kind: OpPut, Slot: 0, Key: "k", Value: "v1"},
+		{Kind: OpCheck},
+		{Kind: OpDelete, Slot: 3, Key: "k"},
+		{Kind: OpJoin, Slot: 2},
+		{Kind: OpFail, Slot: 2},
+		{Kind: OpCheck},
+		{Kind: OpPut, Slot: 1, Key: "k", Value: "v2"},
+		{Kind: OpCheck},
+	}); f != nil {
+		t.Fatalf("delete lifecycle program failed:\n%v", f)
+	}
+}
+
+// TestExpiryProgram pins the lease story: data written under a TTL
+// survives ordinary op-to-op ticks (owners republish before expiry),
+// but a clock jump past the lease expires it everywhere — reads stop
+// returning it and no node still holds a copy at the fixpoint.
+func TestExpiryProgram(t *testing.T) {
+	cfg := Config{TTL: 10}
+	if f := cfg.Replay([]Op{
+		{Kind: OpPut, Slot: 0, Key: "k", Value: "v"},
+		{Kind: OpCheck}, // lease alive: the key must read back
+		{Kind: OpGet, Slot: 2, Key: "k"},
+		{Kind: OpTick, Slot: 25}, // jump past any renewable lease
+		{Kind: OpGet, Slot: 1, Key: "k"},
+		{Kind: OpCheck}, // lease lapsed: purged everywhere at the fixpoint
+	}); f != nil {
+		t.Fatalf("expiry program failed:\n%v", f)
 	}
 }
 
@@ -206,6 +263,43 @@ func TestShrinkValues(t *testing.T) {
 	want := []Op{{Kind: OpPut, Slot: 0, Key: "k", Value: "v"}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("shrinkValues returned %v, want %v", got, want)
+	}
+}
+
+// TestLifecycleInvariantCatches feeds checkLifecycle fabricated worlds
+// containing exactly the violations it exists to catch — an expired
+// item surviving a fixpoint, and a deleted key resurrected as a live
+// value — proving the invariant is not vacuously true.
+func TestLifecycleInvariantCatches(t *testing.T) {
+	m := &model{vals: map[string]map[string]bool{}, acked: map[string]bool{}, deleted: map[string]bool{}}
+	live := func(items ...wire.StoreItem) []nodeView {
+		return []nodeView{{Snap: transport.Snapshot{Addr: "n0", Items: items}}}
+	}
+
+	expired := &world{Now: 100, Model: m,
+		Live: live(wire.StoreItem{Key: "k", Value: []byte("v"), Expire: 50})}
+	if err := checkLifecycle(expired); err == nil || !strings.Contains(err.Error(), "lease expired") { //lint:allow wraperr the failure message is the shrink artifact a human reads; its wording is what this test pins
+		t.Errorf("expired item survived checkLifecycle: %v", err)
+	}
+
+	alive := &world{Now: 100, Model: m,
+		Live: live(wire.StoreItem{Key: "k", Value: []byte("v"), Expire: 200})}
+	if err := checkLifecycle(alive); err != nil {
+		t.Errorf("unexpired item tripped checkLifecycle: %v", err)
+	}
+
+	resurrected := &world{Now: 100,
+		Model: &model{deleted: map[string]bool{"gone": true}},
+		Live:  live(wire.StoreItem{Key: "gone", Value: []byte("zombie"), Version: 9})}
+	if err := checkLifecycle(resurrected); err == nil || !strings.Contains(err.Error(), "resurrected") { //lint:allow wraperr the failure message is the shrink artifact a human reads; its wording is what this test pins
+		t.Errorf("resurrected delete survived checkLifecycle: %v", err)
+	}
+
+	tombstoned := &world{Now: 100,
+		Model: &model{deleted: map[string]bool{"gone": true}},
+		Live:  live(wire.StoreItem{Key: "gone", Version: 9, Tombstone: true})}
+	if err := checkLifecycle(tombstoned); err != nil {
+		t.Errorf("tombstone tripped checkLifecycle: %v", err)
 	}
 }
 

@@ -569,18 +569,49 @@ func (n *Node) Get(ctx context.Context, key string) ([]byte, error) {
 	return v, nil
 }
 
+// Delete removes a key durably: a quorum write of a tombstone that
+// supersedes live versions through the normal LWW order, so a stale
+// replica cannot resurrect the key. The tombstone is garbage-collected
+// TTL after the delete (kept forever when TTL is 0).
+func (n *Node) Delete(ctx context.Context, key string) error {
+	return n.co.Delete(ctx, key)
+}
+
 // ReplicaSweepOnce runs one re-replication/republish sweep: every
 // locally held key is re-resolved against the current ring, members
 // that are behind receive the held item, and copies this node no
 // longer owes are dropped once every responsible member confirmed
 // theirs. Returns the number of remote item installs and local drops.
+// The sweep runs under the node's lifecycle context, so Close aborts
+// it promptly instead of waiting out in-flight member calls. Kept as
+// the full-transfer baseline; the stabilize cadence runs the digest
+// anti-entropy round instead.
 func (n *Node) ReplicaSweepOnce() (applied, dropped int, err error) {
-	return n.co.SweepOnce(context.Background())
+	return n.co.SweepOnce(n.lifeCtx)
 }
 
-// markSweepNeeded requests a re-replication sweep on the next
-// StabilizeOnce round, bypassing the SweepEvery cadence — called on
-// every eviction so data re-homes as soon as a death is confirmed.
+// ReplicaAntiEntropyOnce runs one digest-based anti-entropy round:
+// purge expired items, republish owner-held items nearing expiry,
+// re-home keys this node no longer owes, then exchange compact range
+// digests with every replica-set peer and transfer only the divergent
+// buckets. Returns pulled/pushed item counts and local drops. Like the
+// sweep it runs under the node's lifecycle context.
+func (n *Node) ReplicaAntiEntropyOnce() (pulled, pushed, dropped int, err error) {
+	return n.co.AntiEntropyOnce(n.lifeCtx)
+}
+
+// ReplicaFullSweepBytes reports the bytes one full-transfer SweepOnce
+// round would ship from this node right now — every held item pushed
+// whole to every other replica-set member. It moves no data; the chaos
+// suite and the KV benchmark use it as the bandwidth baseline the
+// digest protocol's antientropy_bytes_total is compared against.
+func (n *Node) ReplicaFullSweepBytes() (uint64, error) {
+	return n.co.SweepBytes(n.lifeCtx)
+}
+
+// markSweepNeeded requests an anti-entropy round on the next
+// StabilizeOnce round, bypassing the AntiEntropyEvery cadence — called
+// on every eviction so data re-homes as soon as a death is confirmed.
 func (n *Node) markSweepNeeded() {
 	n.mu.Lock()
 	n.needSweep = true
@@ -590,9 +621,10 @@ func (n *Node) markSweepNeeded() {
 // StabilizeOnce runs one stabilization round on every layer: verify the
 // successor, adopt a closer one, refresh the successor list, notify, and
 // repair ring tables whose ownership moved or whose storing node died.
-// It finishes with a best-effort re-replication sweep on the SweepEvery
-// cadence (or immediately after an eviction), so data re-homes on the
-// same clock that heals the rings.
+// It finishes with a best-effort digest anti-entropy round on the
+// AntiEntropyEvery cadence (or immediately after an eviction), so data
+// re-homes and diverged replicas re-converge on the same clock that
+// heals the rings.
 func (n *Node) StabilizeOnce() error {
 	for layer := 1; layer <= n.cfg.Depth; layer++ {
 		if err := n.StabilizeLayer(layer); err != nil {
@@ -603,17 +635,17 @@ func (n *Node) StabilizeOnce() error {
 		return err
 	}
 	n.mu.Lock()
-	n.sweepTick++
-	due := n.needSweep || n.sweepTick >= n.cfg.SweepEvery
+	n.aeTick++
+	due := n.needSweep || n.aeTick >= n.cfg.AntiEntropyEvery
 	if due {
-		n.sweepTick = 0
+		n.aeTick = 0
 		n.needSweep = false
 	}
 	n.mu.Unlock()
 	if due {
-		// Best-effort: a sweep blocked by an unreachable member retries on
+		// Best-effort: a round blocked by an unreachable member retries on
 		// the next round; it must not fail the stabilization round.
-		_, _, _ = n.ReplicaSweepOnce()
+		_, _, _, _ = n.ReplicaAntiEntropyOnce()
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -94,11 +95,23 @@ type Config struct {
 	// uses the replica defaults (factor 3, majority writes, single-reader
 	// reads).
 	Replication replica.Options
-	// SweepEvery runs the re-replication/republish sweep on every k-th
-	// StabilizeOnce round (default 1 = every round). Evictions force a
-	// sweep on the next round regardless, so death-triggered
-	// re-replication does not wait out the cadence.
-	SweepEvery int
+	// AntiEntropyEvery runs the digest-based anti-entropy round on every
+	// k-th StabilizeOnce round (default 1 = every round). Like sweeps,
+	// evictions force a round immediately, so death-triggered repair does
+	// not wait out the cadence.
+	AntiEntropyEvery int
+	// TTL is the lifetime stamped onto coordinated writes, in the units
+	// of Clock — nanoseconds under the default wall clock, so a plain
+	// time.Duration reads naturally. 0 means data never expires.
+	// Tombstoned deletes reuse TTL as their garbage-collection grace
+	// period; it must exceed the cluster's convergence time or a delete
+	// can be forgotten before every replica learns it.
+	TTL time.Duration
+	// Clock is the data-lifecycle time base items' Expire stamps are
+	// judged against (default: wall-clock nanoseconds). Deterministic
+	// harnesses inject a logical tick counter; every node of a cluster
+	// must share one time base.
+	Clock func() uint64
 	// Listener, when non-nil, is served instead of a fresh TCP listener;
 	// its Addr().String() becomes the node's address. In-process harnesses
 	// pass a wire.MemNet listener so node identifiers (derived from the
@@ -119,8 +132,8 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 3 * time.Second
 	}
-	if c.SweepEvery < 1 {
-		c.SweepEvery = 1
+	if c.AntiEntropyEvery < 1 {
+		c.AntiEntropyEvery = 1
 	}
 	c.Replication = c.Replication.WithDefaults()
 	return c
@@ -148,12 +161,18 @@ type Node struct {
 	landmarks []string
 	joined    bool                      // member of an overlay (CreateNetwork/Join succeeded); gates repair
 	tables    map[string]wire.RingTable // key = ringKey(layer, name)
-	sweepTick int                       // StabilizeOnce rounds since the last sweep
-	needSweep bool                      // eviction observed; sweep on the next round
+	aeTick    int                       // StabilizeOnce rounds since the last anti-entropy round
+	needSweep bool                      // eviction observed; anti-entropy on the next round
 
 	closed  chan struct{}
 	handled int64 // requests served (also exported via the registry)
 	wg      sync.WaitGroup
+
+	// lifeCtx is cancelled by Close, so in-flight maintenance RPC chains
+	// (sweeps, anti-entropy) abort promptly instead of stalling shutdown.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	clock      func() uint64 // data-lifecycle time base (Config.Clock or wall nanos)
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // live server-side sessions, force-closed on Close
@@ -174,6 +193,10 @@ func NodeID(addr string) id.ID { return id.HashString("live:" + addr) }
 // LiveKeyID derives the identifier of an application key (shared with the
 // kv convention).
 func LiveKeyID(key string) id.ID { return id.HashString("key:" + key) }
+
+// liveKeyBytes is LiveKeyID in the raw-array form the replica layer's
+// range digests use.
+func liveKeyBytes(key string) [20]byte { return [20]byte(LiveKeyID(key)) }
 
 func ringKey(layer int, name string) string { return fmt.Sprintf("%d|%s", layer, name) }
 
@@ -216,6 +239,12 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		conns:  make(map[net.Conn]struct{}),
 	}
 	n.id = NodeID(n.addr)
+	n.lifeCtx, n.lifeCancel = context.WithCancel(context.Background())
+	n.clock = cfg.Clock
+	if n.clock == nil {
+		n.clock = func() uint64 { return uint64(time.Now().UnixNano()) }
+	}
+	n.store.SetClock(n.clock)
 	if cfg.Prober == nil {
 		n.cfg.Prober = &VirtualProber{Self: cfg.Coord, Timeout: cfg.CallTimeout, Dial: cfg.Dial}
 	}
@@ -260,6 +289,9 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		Call:    n.call,
 		Metrics: replica.NewMetrics(reg),
 		Now:     time.Now,
+		KeyID:   liveKeyBytes,
+		Clock:   n.clock,
+		TTL:     uint64(cfg.TTL),
 	}
 	n.layers = make([]*layerState, cfg.Depth)
 	for i := range n.layers {
@@ -314,6 +346,7 @@ func (n *Node) Close() error {
 	default:
 	}
 	close(n.closed)
+	n.lifeCancel() // abort in-flight sweeps and anti-entropy rounds
 	err := n.ln.Close()
 	n.pool.Close()
 	// Peers hold persistent pooled sessions to this node; their server
@@ -455,7 +488,9 @@ func (n *Node) handle(req wire.Request) wire.Response {
 
 	case wire.TGet:
 		it, ok := n.store.Get(req.Name)
-		if !ok {
+		if !ok || !replica.Alive(it, n.clock()) {
+			// The legacy read hides tombstones and expired items: a deleted
+			// or dead key reads as absent.
 			return wire.Errorf("key %q not found", req.Name)
 		}
 		out := make([]byte, len(it.Value))
@@ -473,9 +508,13 @@ func (n *Node) handle(req wire.Request) wire.Response {
 		if !ok {
 			return wire.Response{OK: true, Found: false}
 		}
+		// Tombstones and lifecycle stamps are reported as held: quorum
+		// readers must see a fresher tombstone outrank stale live copies,
+		// or a delete would resurrect through read-repair.
 		out := make([]byte, len(it.Value))
 		copy(out, it.Value)
-		return wire.Response{OK: true, Found: true, Value: out, Version: it.Version, Writer: it.Writer}
+		return wire.Response{OK: true, Found: true, Value: out, Version: it.Version, Writer: it.Writer,
+			Expire: it.Expire, Tombstone: it.Tombstone}
 
 	case wire.TReplicate, wire.THandoff:
 		for _, it := range req.Items {
@@ -484,6 +523,23 @@ func (n *Node) handle(req wire.Request) wire.Response {
 			}
 		}
 		return wire.Response{OK: true, Applied: n.store.ApplyBatch(req.Items)}
+
+	case wire.TDigest:
+		// Anti-entropy digest: fold local items in the arc (Key, KeyHi]
+		// into the fixed bucket layout. Pure read over the engine — no
+		// outgoing RPCs, preserving the deadlock-free handler contract.
+		return wire.Response{OK: true, Digests: n.store.RangeDigest(liveKeyBytes, req.Key, req.KeyHi)}
+
+	case wire.TSyncPull:
+		if len(req.Buckets) == 0 {
+			return wire.Errorf("sync_pull without bucket list")
+		}
+		for _, b := range req.Buckets {
+			if b >= replica.DigestBuckets {
+				return wire.Errorf("sync_pull bucket %d out of range (protocol has %d)", b, replica.DigestBuckets)
+			}
+		}
+		return wire.Response{OK: true, Items: n.store.RangeItems(liveKeyBytes, req.Key, req.KeyHi, req.Buckets)}
 
 	case wire.TLeaveSucc:
 		ls, err := n.layerFor(req.Layer)

@@ -67,6 +67,17 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker rejects calls before
 	// probing the peer again (default 2s).
 	BreakerCooldown time.Duration
+
+	// TTL is the data lifetime: puts expire TTL after being written and
+	// deletes leave tombstones for the same grace period. 0 (the
+	// default) keeps data and tombstones forever. A positive TTL must
+	// comfortably exceed the anti-entropy convergence time, or a
+	// tombstone can expire before every replica has seen it.
+	TTL time.Duration
+	// AntiEntropyEvery runs the digest-based replica-sync round on every
+	// Nth stabilize tick (default 1: every tick). Eviction of a dead
+	// peer still forces an immediate round regardless of cadence.
+	AntiEntropyEvery int
 }
 
 // DefaultOptions returns the defaults cmd/hieras-node advertises in its
@@ -83,6 +94,7 @@ func DefaultOptions() Options {
 		RetryMaxBackoff:  500 * time.Millisecond,
 		BreakerThreshold: 5,
 		BreakerCooldown:  2 * time.Second,
+		AntiEntropyEvery: 1,
 	}
 }
 
@@ -114,6 +126,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.BreakerCooldown == 0 {
 		o.BreakerCooldown = d.BreakerCooldown
+	}
+	if o.AntiEntropyEvery == 0 {
+		o.AntiEntropyEvery = d.AntiEntropyEvery
 	}
 	return o
 }
@@ -161,6 +176,13 @@ func (o Options) Validate() error {
 		return fmt.Errorf("%w: breaker cooldown %v, must be positive while the breaker is on",
 			ErrBadOptions, o.BreakerCooldown)
 	}
+	if o.TTL < 0 {
+		return fmt.Errorf("%w: negative ttl %v (use 0 to keep data forever)", ErrBadOptions, o.TTL)
+	}
+	if o.AntiEntropyEvery < 1 {
+		return fmt.Errorf("%w: anti-entropy cadence %d, must be >= 1 stabilize ticks",
+			ErrBadOptions, o.AntiEntropyEvery)
+	}
 	return nil
 }
 
@@ -197,6 +219,8 @@ func (o Options) Config() (Config, error) {
 			BaseBackoff: o.RetryBackoff,
 			MaxBackoff:  o.RetryMaxBackoff,
 		},
-		Breaker: wire.BreakerPolicy{Threshold: breaker, Cooldown: o.BreakerCooldown},
+		Breaker:          wire.BreakerPolicy{Threshold: breaker, Cooldown: o.BreakerCooldown},
+		TTL:              o.TTL,
+		AntiEntropyEvery: o.AntiEntropyEvery,
 	}, nil
 }

@@ -43,6 +43,9 @@ func TestOptionsValidateRejections(t *testing.T) {
 		{"max backoff below base", func(o *Options) { o.RetryMaxBackoff = time.Millisecond }},
 		{"negative breaker threshold", func(o *Options) { o.BreakerThreshold = -1 }},
 		{"breaker on without cooldown", func(o *Options) { o.BreakerCooldown = 0 }},
+		{"negative ttl", func(o *Options) { o.TTL = -time.Second }},
+		{"zero anti-entropy cadence", func(o *Options) { o.AntiEntropyEvery = 0 }},
+		{"negative anti-entropy cadence", func(o *Options) { o.AntiEntropyEvery = -2 }},
 	}
 	for _, c := range cases {
 		o := base
@@ -84,6 +87,20 @@ func TestOptionsConfigTranslation(t *testing.T) {
 	}
 	if cfg.Breaker.Threshold != 5 {
 		t.Errorf("breaker threshold = %d, want 5", cfg.Breaker.Threshold)
+	}
+	if cfg.AntiEntropyEvery != 1 {
+		t.Errorf("anti-entropy cadence = %d, want 1", cfg.AntiEntropyEvery)
+	}
+
+	// TTL rides through untouched.
+	withTTL := DefaultOptions()
+	withTTL.TTL, withTTL.AntiEntropyEvery = time.Minute, 4
+	cfgTTL, err := withTTL.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgTTL.TTL != time.Minute || cfgTTL.AntiEntropyEvery != 4 {
+		t.Errorf("ttl/cadence = %v/%d, want 1m/4", cfgTTL.TTL, cfgTTL.AntiEntropyEvery)
 	}
 
 	// Breaker 0 = off must become the wire -1 sentinel, never the wire

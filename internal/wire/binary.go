@@ -48,8 +48,10 @@ const (
 	rqValue
 	rqItems
 	rqHierarchical // no body: the bit is the value
+	rqKeyHi
+	rqBuckets
 
-	rqKnown = rqHierarchical<<1 - 1
+	rqKnown = rqBuckets<<1 - 1
 )
 
 // Response field mask bits, in encode order. The four bools ride in the
@@ -72,8 +74,12 @@ const (
 	rsVersion
 	rsWriter
 	rsApplied
+	rsExpire
+	rsTombstone // no body: the bit is the value
+	rsDigests
+	rsItems
 
-	rsKnown = rsApplied<<1 - 1
+	rsKnown = rsItems<<1 - 1
 )
 
 // AppendRequest implements Codec.
@@ -107,6 +113,12 @@ func (Binary) AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if req.Hierarchical {
 		mask |= rqHierarchical
 	}
+	if req.KeyHi != ([20]byte{}) {
+		mask |= rqKeyHi
+	}
+	if len(req.Buckets) > 0 {
+		mask |= rqBuckets
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	if mask&rqLayer != 0 {
 		dst = binary.AppendVarint(dst, int64(req.Layer))
@@ -136,6 +148,15 @@ func (Binary) AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(req.Items)))
 		for i := range req.Items {
 			dst = appendItem(dst, &req.Items[i])
+		}
+	}
+	if mask&rqKeyHi != 0 {
+		dst = append(dst, req.KeyHi[:]...)
+	}
+	if mask&rqBuckets != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Buckets)))
+		for _, b := range req.Buckets {
+			dst = binary.AppendUvarint(dst, uint64(b))
 		}
 	}
 	return dst, nil
@@ -194,6 +215,16 @@ func (Binary) DecodeRequest(data []byte) (Request, error) {
 	}
 	if mask&rqItems != 0 {
 		if req.Items, err = r.items(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqKeyHi != 0 {
+		if req.KeyHi, err = r.id(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqBuckets != 0 {
+		if req.Buckets, err = r.buckets(); err != nil {
 			return req, err
 		}
 	}
@@ -258,6 +289,18 @@ func (Binary) AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if resp.Applied != 0 {
 		mask |= rsApplied
 	}
+	if resp.Expire != 0 {
+		mask |= rsExpire
+	}
+	if resp.Tombstone {
+		mask |= rsTombstone
+	}
+	if len(resp.Digests) > 0 {
+		mask |= rsDigests
+	}
+	if len(resp.Items) > 0 {
+		mask |= rsItems
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	if mask&rsErr != 0 {
 		dst = appendString(dst, resp.Err)
@@ -301,6 +344,21 @@ func (Binary) AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	}
 	if mask&rsApplied != 0 {
 		dst = binary.AppendVarint(dst, int64(resp.Applied))
+	}
+	if mask&rsExpire != 0 {
+		dst = binary.AppendUvarint(dst, resp.Expire)
+	}
+	if mask&rsDigests != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Digests)))
+		for _, d := range resp.Digests {
+			dst = binary.BigEndian.AppendUint64(dst, d)
+		}
+	}
+	if mask&rsItems != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Items)))
+		for i := range resp.Items {
+			dst = appendItem(dst, &resp.Items[i])
+		}
 	}
 	return dst, nil
 }
@@ -389,6 +447,22 @@ func (Binary) DecodeResponse(data []byte) (Response, error) {
 			return resp, err
 		}
 	}
+	if mask&rsExpire != 0 {
+		if resp.Expire, err = r.uvarint(); err != nil {
+			return resp, err
+		}
+	}
+	resp.Tombstone = mask&rsTombstone != 0
+	if mask&rsDigests != 0 {
+		if resp.Digests, err = r.digests(); err != nil {
+			return resp, err
+		}
+	}
+	if mask&rsItems != 0 {
+		if resp.Items, err = r.items(); err != nil {
+			return resp, err
+		}
+	}
 	if r.off != len(r.b) {
 		return resp, errTrailing
 	}
@@ -433,7 +507,13 @@ func appendItem(dst []byte, it *StoreItem) []byte {
 	dst = appendString(dst, it.Key)
 	dst = appendBlob(dst, it.Value)
 	dst = binary.AppendUvarint(dst, it.Version)
-	return appendString(dst, it.Writer)
+	dst = appendString(dst, it.Writer)
+	dst = binary.AppendUvarint(dst, it.Expire)
+	var tomb byte
+	if it.Tombstone {
+		tomb = 1
+	}
+	return append(dst, tomb)
 }
 
 // ---- decode helpers ----
@@ -611,8 +691,9 @@ func (r *breader) table() (RingTable, error) {
 }
 
 func (r *breader) items() ([]StoreItem, error) {
-	// A store item is at least 4 bytes (three length prefixes + version).
-	n, err := r.length(4)
+	// A store item is at least 6 bytes (three length prefixes, version,
+	// expire and the tombstone byte).
+	n, err := r.length(6)
 	if err != nil {
 		return nil, err
 	}
@@ -634,7 +715,60 @@ func (r *breader) items() ([]StoreItem, error) {
 		if it.Writer, err = r.str(); err != nil {
 			return nil, err
 		}
+		if it.Expire, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		tomb, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if tomb > 1 {
+			return nil, fmt.Errorf("wire: store item tombstone byte %d", tomb)
+		}
+		it.Tombstone = tomb == 1
 		out = append(out, it)
+	}
+	return out, nil
+}
+
+func (r *breader) buckets() ([]uint32, error) {
+	// A bucket index is at least one varint byte.
+	n, err := r.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: bucket index %d overflows uint32", v)
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
+}
+
+func (r *breader) digests() ([]uint64, error) {
+	n, err := r.length(8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		raw, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, binary.BigEndian.Uint64(raw))
 	}
 	return out, nil
 }

@@ -78,6 +78,8 @@ func Idempotent(t MsgType) bool {
 		return true
 	case TStoreGet:
 		return true // plain read
+	case TDigest, TSyncPull:
+		return true // anti-entropy reads: digests and bucket snapshots
 	case TNotify, TPutRingTable, TPut, TLeaveSucc, TLeavePred:
 		// State-installing writes: replaying one can resurrect state
 		// the ring has already moved past, so these are retried only

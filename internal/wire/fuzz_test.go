@@ -29,6 +29,13 @@ func FuzzDecodeMessage(f *testing.F) {
 	seedStoreResp := &Response{
 		OK: true, Found: true, Value: []byte("v1"), Version: 7, Writer: "n1:9000#3", Applied: 1,
 	}
+	seedDigest := &Request{
+		Type: TSyncPull, Key: [20]byte{4}, KeyHi: [20]byte{8}, Buckets: []uint32{0, 7, 31},
+	}
+	seedDigestResp := &Response{
+		OK: true, Digests: []uint64{0xdeadbeef, 0, 42},
+		Items: []StoreItem{{Key: "doc-2", Version: 9, Writer: "n2:9000#1", Expire: 100, Tombstone: true}},
+	}
 	for _, c := range Codecs() {
 		if b, err := c.AppendRequest(nil, seedReq); err == nil {
 			f.Add(b)
@@ -40,6 +47,12 @@ func FuzzDecodeMessage(f *testing.F) {
 			f.Add(b)
 		}
 		if b, err := c.AppendResponse(nil, seedStoreResp); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendRequest(nil, seedDigest); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendResponse(nil, seedDigestResp); err == nil {
 			f.Add(b)
 		}
 	}
@@ -101,7 +114,10 @@ func FuzzRoundTrip(f *testing.F) {
 			Peers: []Peer{{Addr: addr + "'", ID: key}},
 			Table: RingTable{Layer: layer, Name: name, Smallest: Peer{Addr: addr, ID: key}},
 			Value: value,
-			Items: []StoreItem{{Key: name, Value: value, Version: uint64(typ), Writer: addr + "#1"}},
+			Items: []StoreItem{{Key: name, Value: value, Version: uint64(typ), Writer: addr + "#1",
+				Expire: uint64(typ) * 3, Tombstone: hier}},
+			KeyHi:   pid,
+			Buckets: []uint32{uint32(typ), uint32(typ) + 1},
 
 			Hierarchical: hier,
 		}
@@ -113,6 +129,9 @@ func FuzzRoundTrip(f *testing.F) {
 			Succ: []Peer{{Addr: addr}}, Pred: Peer{ID: key},
 			Table: req.Table, Found: hier, Value: value,
 			Version: uint64(layer), Writer: addr + "#2", Applied: layer,
+			Expire: uint64(typ), Tombstone: !hier,
+			Digests: []uint64{uint64(typ), ^uint64(typ)},
+			Items:   req.Items,
 		}
 
 		for _, c := range Codecs() {
@@ -195,6 +214,9 @@ func normalizeReq(r Request) Request {
 	if len(r.Items) == 0 {
 		r.Items = nil
 	}
+	if len(r.Buckets) == 0 {
+		r.Buckets = nil
+	}
 	for i := range r.Items {
 		if len(r.Items[i].Value) == 0 {
 			r.Items[i].Value = nil
@@ -215,6 +237,17 @@ func normalizeResp(r Response) Response {
 	}
 	if len(r.Landmarks) == 0 {
 		r.Landmarks = nil
+	}
+	if len(r.Digests) == 0 {
+		r.Digests = nil
+	}
+	if len(r.Items) == 0 {
+		r.Items = nil
+	}
+	for i := range r.Items {
+		if len(r.Items[i].Value) == 0 {
+			r.Items[i].Value = nil
+		}
 	}
 	return r
 }

@@ -231,6 +231,89 @@ func TestPoolBrokenConnFailsAllInflight(t *testing.T) {
 	}
 }
 
+// TestPoolWedgedConnStrikeLimit pins the wedge detector: a connection
+// whose peer accepts frames but never answers is declared wedged after
+// wedgeStrikes consecutive exchange timeouts and torn down — failing
+// its remaining in-flight exchanges promptly instead of letting each
+// ride out its own deadline — and the next call dials a replacement.
+func TestPoolWedgedConnStrikeLimit(t *testing.T) {
+	mn := NewMemNet()
+	ln, err := mn.Listen("peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wedgedConn atomic.Bool
+	accepts := new(int32)
+	go func() {
+		for {
+			conn, acceptErr := ln.Accept()
+			if acceptErr != nil {
+				return
+			}
+			atomic.AddInt32(accepts, 1)
+			if wedgedConn.CompareAndSwap(false, true) {
+				// First connection: drain the preamble and request frames
+				// (MemNet pipes are synchronous, so the client's writes
+				// need a reader) but never respond — a wedged peer, not a
+				// dead one.
+				go func() { _, _ = io.Copy(io.Discard, conn) }()
+				continue
+			}
+			go func() { _ = ServeConn(conn, func(req Request) Response { return Response{OK: true} }, ServeOptions{}) }()
+		}
+	}()
+
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+
+	// A patient exchange rides the wedged connection. Its own deadline is
+	// far out; only the wedge teardown can fail it quickly.
+	bystander := make(chan error, 1)
+	go func() {
+		_, callErr := poolCall(p, "peer", Request{Type: TGet, Name: "bystander"}, time.Minute)
+		bystander <- callErr
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.peer("peer").load() < 1 && !time.Now().After(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Each timed-out exchange with no intervening completion is one
+	// strike; the limit kills the connection.
+	for i := 0; i < wedgeStrikes; i++ {
+		_, strikeErr := poolCall(p, "peer", Request{Type: TGet, Name: "strike"}, 25*time.Millisecond)
+		if !errors.Is(strikeErr, context.DeadlineExceeded) {
+			t.Fatalf("strike %d: %v, want deadline exceeded", i, strikeErr)
+		}
+	}
+
+	// Teardown fans the wedge failure out to the patient exchange well
+	// before its minute-long deadline.
+	select {
+	case bystanderErr := <-bystander:
+		var ne *NetError
+		if !errors.As(bystanderErr, &ne) {
+			t.Fatalf("bystander on wedged connection: %v, want NetError", bystanderErr)
+		}
+		if errors.Is(bystanderErr, context.DeadlineExceeded) {
+			t.Fatalf("bystander hit its own deadline instead of the wedge teardown: %v", bystanderErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wedge teardown did not fail the in-flight exchange")
+	}
+
+	// The struck-out connection is replaced: the next call dials fresh
+	// and succeeds.
+	resp, err := poolCall(p, "peer", Request{Type: TPing}, 2*time.Second)
+	if err != nil || !resp.OK {
+		t.Fatalf("call after wedge teardown: %v (%+v)", err, resp)
+	}
+	if n := atomic.LoadInt32(accepts); n != 2 {
+		t.Errorf("wedge recovery used %d connections, want 2 (wedged + replacement)", n)
+	}
+}
+
 // TestPoolBaselineModeDialsPerCall pins Size < 0: no pooling, one fresh
 // connection per exchange (the benchmark baseline).
 func TestPoolBaselineModeDialsPerCall(t *testing.T) {

@@ -327,4 +327,10 @@ func TestMsgTypeIdempotencyTable(t *testing.T) {
 			t.Errorf("%v should be idempotent (version-guarded merge)", typ)
 		}
 	}
+	// Anti-entropy exchanges are reads over the receiver's store.
+	for _, typ := range []MsgType{TDigest, TSyncPull} {
+		if !Idempotent(typ) {
+			t.Errorf("%v should be idempotent (anti-entropy read)", typ)
+		}
+	}
 }

@@ -68,6 +68,16 @@ const (
 	// THandoff transfers a departing node's versioned items to its
 	// successor (the replicated counterpart of the TPut-per-key handoff).
 	THandoff
+	// TDigest asks a replica-set member for its per-bucket range digest
+	// over the key-ID arc (Key, KeyHi]: DigestBuckets XOR-folded item
+	// hashes covering (key, version, writer, expire, tombstone). Equal
+	// digests mean the bucket needs no transfer; the anti-entropy round
+	// pulls only divergent buckets.
+	TDigest
+	// TSyncPull fetches the receiver's full items for the divergent
+	// buckets of a range digest: the arc (Key, KeyHi] filtered to the
+	// bucket indexes listed in Buckets.
+	TSyncPull
 )
 
 func (m MsgType) String() string {
@@ -104,6 +114,10 @@ func (m MsgType) String() string {
 		return "replicate"
 	case THandoff:
 		return "handoff"
+	case TDigest:
+		return "digest"
+	case TSyncPull:
+		return "sync_pull"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -119,11 +133,20 @@ type Peer struct {
 // the same key (last-writer-wins); Writer breaks version ties with a
 // total order, so two replicas holding the same (Version, Writer) are
 // guaranteed to hold the same value and merges are deterministic.
+//
+// Expire and Tombstone give items a lifecycle that converges under
+// replication: Expire is an absolute clock stamp (0 = never) that
+// travels with the item, so every replica retires it at the same
+// instant instead of each restarting a relative TTL; Tombstone marks a
+// delete that supersedes live versions through the normal LWW order, so
+// a stale replica cannot resurrect a deleted key.
 type StoreItem struct {
-	Key     string
-	Value   []byte
-	Version uint64
-	Writer  string // unique per write: "coordinatorAddr#seq"
+	Key       string
+	Value     []byte
+	Version   uint64
+	Writer    string // unique per write: "coordinatorAddr#seq"
+	Expire    uint64 // absolute expiry stamp, 0 = never expires
+	Tombstone bool   // a delete marker, not a value
 }
 
 // RingTable is the on-the-wire form of a lower ring's boundary table.
@@ -147,6 +170,12 @@ type Request struct {
 	Table RingTable
 	Value []byte      // TPut payload
 	Items []StoreItem // TStorePut: the single item; TReplicate/THandoff: a batch
+	// TDigest/TSyncPull: the key-ID arc (Key, KeyHi] being synced; Key
+	// doubles as the arc's exclusive lower bound. Key == KeyHi covers the
+	// whole ring.
+	KeyHi [20]byte
+	// TSyncPull: divergent bucket indexes (into DigestBuckets) to pull.
+	Buckets []uint32
 	// Hierarchical marks a TFindClosest step of a multi-layer routing
 	// procedure: the handler applies the paper's destination check against
 	// the GLOBAL ring (is this node the key's owner?) instead of the
@@ -185,6 +214,17 @@ type Response struct {
 	Version uint64
 	Writer  string
 	Applied int
+
+	// TStoreGet: the stored item's lifecycle stamps, so quorum readers
+	// can propagate tombstones and expiry by read-repair instead of
+	// resurrecting deleted keys.
+	Expire    uint64
+	Tombstone bool
+
+	// TDigest: per-bucket XOR digests over the requested arc.
+	Digests []uint64
+	// TSyncPull: the receiver's items in the requested buckets.
+	Items []StoreItem
 }
 
 // DefaultTimeout bounds a call whose context carries no deadline. Every
