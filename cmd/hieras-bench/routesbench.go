@@ -1,0 +1,303 @@
+// routesbench.go benchmarks the route acceleration tiers against each
+// other and prices their maintenance. The sim section routes one
+// deterministic request stream through the same transit-stub overlay in
+// all three -route-mode configurations — classic hierarchical walk,
+// verified location cache, one-hop full table — and reports throughput,
+// hops and simulated-latency tails per mode. The live section converges
+// an in-process MemNet cluster running the onehop tier and reports the
+// gossip cost of getting there: route-gossip bytes against total RPC
+// bytes, plus the verified 1-hop rate the spend buys. The result is
+// written as BENCH_routes.json so CI can hold the 1-hop rate to its
+// floor and the maintenance share to its ceiling across commits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"time"
+
+	hieras "repro"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// routeModeResult summarises one route mode's run over the shared
+// request stream.
+type routeModeResult struct {
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	MeanHops      float64 `json:"mean_hops"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	// HitRate is the fraction of lookups answered by the tier's fast
+	// path (cache hit or verified one-hop answer); 0 for classic.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// routesBenchResult is the BENCH_routes.json schema. Fields are stable:
+// CI trajectory tooling reads them across commits.
+type routesBenchResult struct {
+	Bench string `json:"bench"`
+	Seed  int64  `json:"seed"`
+	Sim   struct {
+		Nodes    int                        `json:"nodes"`
+		Requests int                        `json:"requests"`
+		Modes    map[string]routeModeResult `json:"modes"`
+	} `json:"sim"`
+	Live struct {
+		Nodes           int     `json:"nodes"`
+		StabilizeRounds int     `json:"stabilize_rounds"`
+		Lookups         int     `json:"lookups"`
+		OneHopRate      float64 `json:"one_hop_rate"`
+		GossipBytes     uint64  `json:"gossip_bytes"`
+		RPCBytes        uint64  `json:"rpc_bytes"`
+		GossipShare     float64 `json:"gossip_share"`
+	} `json:"live"`
+}
+
+// measureMode routes the deterministic request stream through one
+// Lookuper and summarises it. The stream reuses each key a few times so
+// the caching tier gets the repeat traffic it exists for; every mode
+// sees the identical stream.
+func measureMode(sys *hieras.System, look func(origin int, key string) (hieras.Route, error), requests int) (routeModeResult, error) {
+	q, err := stats.NewSketch(0.01)
+	if err != nil {
+		return routeModeResult{}, err
+	}
+	distinct := requests / 4
+	if distinct < 1 {
+		distinct = 1
+	}
+	hops, hits := 0, 0
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		origin := (i * 13) % sys.N()
+		key := fmt.Sprintf("routes-%d", i%distinct)
+		r, err := look(origin, key)
+		if err != nil {
+			return routeModeResult{}, err
+		}
+		hops += r.Hops
+		if r.CacheHit {
+			hits++
+		}
+		if err := q.Add(r.Latency); err != nil {
+			return routeModeResult{}, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return routeModeResult{
+		LookupsPerSec: float64(requests) / elapsed,
+		MeanHops:      float64(hops) / float64(requests),
+		P50Ms:         q.Quantile(0.5),
+		P99Ms:         q.Quantile(0.99),
+		HitRate:       float64(hits) / float64(requests),
+	}, nil
+}
+
+// routesCluster starts an n-node MemNet cluster with the one-hop tier
+// on, joins everyone, and stabilizes to a fixpoint: every node's route
+// table identical with the full membership joined AND a whole round
+// changing nobody's snapshot — returning how many rounds that took (the
+// number CI watches for convergence regressions). The fixpoint matters:
+// route tables fill within a couple of rounds, but a verified one-hop
+// answer needs the owner's predecessor pointer settled too, or the
+// ownership check at the owner rejects the probe and the lookup falls
+// back as stale.
+func routesCluster(n int) ([]*transport.Node, int, error) {
+	mem := wire.NewMemNet()
+	addr := func(i int) string { return fmt.Sprintf("n%d", i) }
+	coord := func(i int) [2]float64 {
+		if i%2 == 0 {
+			return [2]float64{float64(i), float64(i % 7)}
+		}
+		return [2]float64{500 + float64(i), float64(i % 7)}
+	}
+	nodes := make([]*transport.Node, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := mem.Listen(addr(i))
+		if err != nil {
+			return nil, 0, err
+		}
+		nd, err := transport.Start("", transport.Config{
+			Depth:       2,
+			Landmarks:   []string{addr(0), addr(1)},
+			Coord:       coord(i),
+			CallTimeout: 2 * time.Second,
+			Retry:       wire.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Millisecond},
+			Breaker:     wire.BreakerPolicy{Threshold: -1},
+			RouteMode:   transport.RouteOneHop,
+			Listener:    ln,
+			Dial:        mem.Dial,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		nodes = append(nodes, nd)
+	}
+	if err := nodes[0].CreateNetwork(); err != nil {
+		return nil, 0, err
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(addr(0)); err != nil {
+			return nil, 0, err
+		}
+	}
+	want := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, addr(i))
+	}
+	sort.Strings(want)
+	snapshots := func() []transport.Snapshot {
+		out := make([]transport.Snapshot, 0, n)
+		for _, nd := range nodes {
+			out = append(out, nd.Snapshot())
+		}
+		return out
+	}
+	prev := snapshots()
+	rounds, settled := 0, false
+	for ; rounds < 40; rounds++ {
+		for _, nd := range nodes {
+			if err := nd.StabilizeOnce(); err != nil {
+				return nil, 0, err
+			}
+		}
+		cur := snapshots()
+		if routesConverged(nodes, want) && reflect.DeepEqual(cur, prev) {
+			settled = true
+			rounds++
+			break
+		}
+		prev = cur
+	}
+	if !settled {
+		return nil, 0, fmt.Errorf("cluster did not reach a stabilization fixpoint in %d rounds", rounds)
+	}
+	for _, nd := range nodes {
+		if err := nd.BuildAllFingers(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return nodes, rounds, nil
+}
+
+// routesConverged reports whether every node holds the identical route
+// table whose global-ring Join members are exactly the full membership.
+func routesConverged(nodes []*transport.Node, want []string) bool {
+	ref := nodes[0].Snapshot().Routes
+	var members []string
+	for _, ev := range ref {
+		if ev.Layer == 1 && ev.Kind == wire.RouteJoin {
+			members = append(members, ev.Peer.Addr)
+		}
+	}
+	sort.Strings(members)
+	if !reflect.DeepEqual(members, want) {
+		return false
+	}
+	for _, nd := range nodes[1:] {
+		if !reflect.DeepEqual(nd.Snapshot().Routes, ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// runRoutesBench runs the route-mode benchmark and writes the JSON
+// artifact to path, echoing a summary to out.
+func runRoutesBench(seed int64, requests int, path string, out io.Writer) error {
+	res := routesBenchResult{Bench: "routes", Seed: seed}
+
+	// Sim section: the same overlay and request stream under all three
+	// route modes.
+	sys, err := hieras.New(hieras.Options{Nodes: 400, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("routes bench overlay: %w", err)
+	}
+	cached, err := sys.Cached(256, true)
+	if err != nil {
+		return err
+	}
+	oneHop := sys.OneHop()
+	res.Sim.Nodes = sys.N()
+	res.Sim.Requests = requests
+	res.Sim.Modes = map[string]routeModeResult{}
+	for _, m := range []struct {
+		name string
+		look func(int, string) (hieras.Route, error)
+	}{
+		{transport.RouteClassic, sys.Lookup},
+		{transport.RouteCached, cached.Lookup},
+		{transport.RouteOneHop, oneHop.Lookup},
+	} {
+		r, modeErr := measureMode(sys, m.look, requests)
+		if modeErr != nil {
+			return fmt.Errorf("routes bench mode %s: %w", m.name, modeErr)
+		}
+		res.Sim.Modes[m.name] = r
+	}
+
+	// Live section: what the tier costs to maintain. Converge an 8-node
+	// onehop cluster, serve lookups from its tables, and price the
+	// route gossip against the cluster's total RPC volume.
+	const clusterSize = 8
+	nodes, rounds, err := routesCluster(clusterSize)
+	if err != nil {
+		return fmt.Errorf("routes bench cluster: %w", err)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			_ = nd.Close()
+		}
+	}()
+	res.Live.Nodes = clusterSize
+	res.Live.StabilizeRounds = rounds
+
+	const liveLookups = 200
+	hitsBefore, err := kvClusterCounter(nodes, "onehop_hits_total")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < liveLookups; i++ {
+		kid := transport.LiveKeyID(fmt.Sprintf("live-%d", i))
+		if _, lookErr := nodes[i%clusterSize].Lookup(context.Background(), kid); lookErr != nil {
+			return fmt.Errorf("routes bench live lookup %d: %w", i, lookErr)
+		}
+	}
+	hitsAfter, err := kvClusterCounter(nodes, "onehop_hits_total")
+	if err != nil {
+		return err
+	}
+	res.Live.Lookups = liveLookups
+	res.Live.OneHopRate = float64(hitsAfter-hitsBefore) / float64(liveLookups)
+	if res.Live.GossipBytes, err = kvClusterCounter(nodes, "route_gossip_bytes_total"); err != nil {
+		return err
+	}
+	if res.Live.RPCBytes, err = kvClusterCounter(nodes, "rpc_bytes_out_total"); err != nil {
+		return err
+	}
+	if res.Live.RPCBytes > 0 {
+		res.Live.GossipShare = float64(res.Live.GossipBytes) / float64(res.Live.RPCBytes)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	classic, onehop := res.Sim.Modes[transport.RouteClassic], res.Sim.Modes[transport.RouteOneHop]
+	fmt.Fprintf(out, "routes bench (%d sim nodes, %d requests): classic p50 %.1fms, onehop p50 %.1fms @ %.0f%% one-hop; live %d-node cluster converged in %d rounds, gossip %dB of %dB rpc (%.1f%%) -> %s\n",
+		res.Sim.Nodes, res.Sim.Requests, classic.P50Ms, onehop.P50Ms, 100*onehop.HitRate,
+		res.Live.Nodes, res.Live.StabilizeRounds, res.Live.GossipBytes, res.Live.RPCBytes,
+		100*res.Live.GossipShare, path)
+	return nil
+}

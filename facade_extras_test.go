@@ -66,6 +66,69 @@ func TestCachedMissKeepsLowerLayerAccounting(t *testing.T) {
 	}
 }
 
+func TestOneHopSystem(t *testing.T) {
+	sys := newSmall(t)
+	oh := sys.OneHop()
+	// Stable cluster: the table names every owner correctly, so every
+	// lookup is a verified single hop.
+	var direct Route
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		r, err := oh.Lookup(i%sys.N(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := sys.Lookup(i%sys.N(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.CacheHit || r.Hops > 1 || r.Dest != full.Dest {
+			t.Fatalf("stable-cluster lookup %d not a verified 1-hop: %+v (full dest %d)", i, r, full.Dest)
+		}
+		if i == 0 {
+			direct = r
+		}
+	}
+	if oh.HitRate() != 1 {
+		t.Errorf("stable-cluster hit rate = %v, want 1", oh.HitRate())
+	}
+	// Tombstone the owner of k-0: its keys now fail verification and fall
+	// back — correct owner, classic cost plus the wasted probe, no hit.
+	if err := oh.Evict(direct.Dest); err != nil {
+		t.Fatal(err)
+	}
+	r, err := oh.Lookup(0, "k-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Error("stale table entry still reported as a hit")
+	}
+	if r.Dest != direct.Dest {
+		t.Errorf("fallback dest = %d, want true owner %d", r.Dest, direct.Dest)
+	}
+	// Restore ends the staleness window.
+	if restoreErr := oh.Restore(direct.Dest); restoreErr != nil {
+		t.Fatal(restoreErr)
+	}
+	r2, err := oh.Lookup(0, "k-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit {
+		t.Errorf("restored peer not answered one-hop: %+v", r2)
+	}
+	if _, err := oh.Lookup(-1, "x"); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("bad origin: err = %v, want ErrOriginOutOfRange", err)
+	}
+	if err := oh.Evict(sys.N()); !errors.Is(err, ErrOriginOutOfRange) {
+		t.Errorf("bad evict peer: err = %v, want ErrOriginOutOfRange", err)
+	}
+	if c, err := oh.ChordLookup(3, "k-1"); err != nil || c.CacheHit {
+		t.Errorf("chord baseline must bypass the table: %+v err=%v", c, err)
+	}
+}
+
 func TestDegradedSystem(t *testing.T) {
 	sys := newSmall(t)
 	if _, err := sys.FailPeers(1.5, 1); !errors.Is(err, ErrBadFraction) {

@@ -51,6 +51,7 @@ var (
 	_ Lookuper = (*System)(nil)
 	_ Lookuper = (*CachedSystem)(nil)
 	_ Lookuper = (*DegradedSystem)(nil)
+	_ Lookuper = (*OneHopSystem)(nil)
 )
 
 // Options configures a simulated HIERAS system.

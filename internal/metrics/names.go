@@ -29,6 +29,8 @@ hops_total
 kv_expired_total
 lookup_errors_total
 lookups_total
+onehop_hits_total
+onehop_stale_total
 pool_block_seconds
 pool_queue_depth
 pool_runs_total
@@ -43,6 +45,7 @@ replica_lag
 rereplication_bytes_total
 ring_climbs_total
 ring_repairs_total
+route_gossip_bytes_total
 routes_total
 rpc_bytes_in_total
 rpc_bytes_out_total

@@ -1,0 +1,206 @@
+// Package routes implements the gossip-maintained near-full routing
+// table behind the single-hop acceleration tier (ROADMAP item 2, after
+// Monnerat & Amorim's effective single-hop DHT). Each node keeps one
+// membership-event set per ring it knows about; the set is a
+// join-semilattice under the merge rule "higher stamp wins, equal stamp
+// breaks toward the higher kind", so gossip exchanges converge to the
+// same table regardless of delivery order, duplication or interleaving.
+//
+// A table answers the one question the fast path needs — who owns this
+// key in this ring? — from local memory. The answer may be stale; the
+// caller's contract is to verify it with a single RPC (the same
+// verify-or-fallback discipline the location cache uses), so staleness
+// costs one wasted hop, never a wrong owner.
+package routes
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// entryKey identifies the subject of a membership fact: one peer in one
+// ring of one layer.
+type entryKey struct {
+	layer int
+	ring  string
+	addr  string
+}
+
+// Table is a thread-safe membership-event set. The zero value is not
+// ready; use New. Table methods never perform I/O and never call out,
+// so a Table can be consulted under any lock discipline (the transport
+// node reads it inside RPC handlers, the sim façade from parallel
+// BatchLookup workers).
+type Table struct {
+	mu     sync.RWMutex
+	events map[entryKey]wire.RouteEvent
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{events: make(map[entryKey]wire.RouteEvent)}
+}
+
+// beats reports whether event a supersedes event b under the merge
+// order: a strictly higher stamp always wins; at an equal stamp the
+// higher kind (departure over join) wins, so a concurrent
+// leave/eviction is never lost to the join it races with.
+func beats(a, b wire.RouteEvent) bool {
+	if a.Stamp != b.Stamp {
+		return a.Stamp > b.Stamp
+	}
+	return a.Kind > b.Kind
+}
+
+// Apply merges one event and reports whether it advanced the table.
+// Replaying a merged event — or delivering a superseded one — is a
+// no-op, which is what makes TRouteGossip idempotent.
+func (t *Table) Apply(ev wire.RouteEvent) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.applyLocked(ev)
+}
+
+func (t *Table) applyLocked(ev wire.RouteEvent) bool {
+	k := entryKey{layer: ev.Layer, ring: ev.Ring, addr: ev.Peer.Addr}
+	cur, ok := t.events[k]
+	if ok && !beats(ev, cur) {
+		return false
+	}
+	t.events[k] = ev
+	return true
+}
+
+// ApplyAll merges a batch and returns how many events advanced the
+// table.
+func (t *Table) ApplyAll(evs []wire.RouteEvent) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	applied := 0
+	for _, ev := range evs {
+		if t.applyLocked(ev) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// Events returns the full event set sorted by (layer, ring, addr) — a
+// deterministic order, so two converged tables render identical slices
+// (the property the simcheck fixpoint detector relies on).
+func (t *Table) Events() []wire.RouteEvent {
+	t.mu.RLock()
+	out := make([]wire.RouteEvent, 0, len(t.events))
+	for _, ev := range t.events {
+		out = append(out, ev)
+	}
+	t.mu.RUnlock()
+	sortEvents(out)
+	return out
+}
+
+func sortEvents(evs []wire.RouteEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Layer != evs[j].Layer {
+			return evs[i].Layer < evs[j].Layer
+		}
+		if evs[i].Ring != evs[j].Ring {
+			return evs[i].Ring < evs[j].Ring
+		}
+		return evs[i].Peer.Addr < evs[j].Peer.Addr
+	})
+}
+
+// Len reports the number of (layer, ring, peer) subjects tracked.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.events)
+}
+
+// Diff returns the events this table holds that the given set does not
+// supersede: entries absent from evs, or beaten by the local version.
+// It is the pull half of a push-pull gossip exchange — computable from
+// the pushed set alone, so a server can answer without calling anyone.
+// The result is sorted like Events.
+func (t *Table) Diff(evs []wire.RouteEvent) []wire.RouteEvent {
+	theirs := make(map[entryKey]wire.RouteEvent, len(evs))
+	for _, ev := range evs {
+		theirs[entryKey{layer: ev.Layer, ring: ev.Ring, addr: ev.Peer.Addr}] = ev
+	}
+	t.mu.RLock()
+	var out []wire.RouteEvent
+	for k, mine := range t.events {
+		if their, ok := theirs[k]; !ok || beats(mine, their) {
+			out = append(out, mine)
+		}
+	}
+	t.mu.RUnlock()
+	sortEvents(out)
+	return out
+}
+
+// Latest returns the current event for one subject.
+func (t *Table) Latest(layer int, ring, addr string) (wire.RouteEvent, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ev, ok := t.events[entryKey{layer: layer, ring: ring, addr: addr}]
+	return ev, ok
+}
+
+// Members returns the peers whose latest event in (layer, ring) is a
+// join — the table's view of the ring's live membership — sorted by ID
+// (ties by address) so the slice doubles as the successor-search ring.
+func (t *Table) Members(layer int, ring string) []wire.Peer {
+	t.mu.RLock()
+	var out []wire.Peer
+	for k, ev := range t.events {
+		if k.layer == layer && k.ring == ring && ev.Kind == wire.RouteJoin {
+			out = append(out, ev.Peer)
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if c := bytes.Compare(out[i].ID[:], out[j].ID[:]); c != 0 {
+			return c < 0
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Owner resolves a key to its owner in (layer, ring) per the table's
+// current membership view: the first member whose ID is >= key in ring
+// order, wrapping to the smallest ID. ok is false when the table knows
+// no live member of the ring. The answer is exactly as fresh as the
+// table — callers must treat it as a hint and verify before trusting.
+func (t *Table) Owner(layer int, ring string, key [20]byte) (wire.Peer, bool) {
+	members := t.Members(layer, ring)
+	if len(members) == 0 {
+		return wire.Peer{}, false
+	}
+	for _, p := range members {
+		if bytes.Compare(p.ID[:], key[:]) >= 0 {
+			return p, true
+		}
+	}
+	return members[0], true
+}
+
+// NextStamp returns a stamp that supersedes whatever the table holds
+// for the subject while tracking the caller's logical clock: the
+// maximum of clock and latest+1. Announcing with NextStamp guarantees
+// the new fact wins the merge everywhere — in particular it lets a
+// rejoining node outrank its own eviction tombstone.
+func (t *Table) NextStamp(layer int, ring, addr string, clock uint64) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	next := clock
+	if ev, ok := t.events[entryKey{layer: layer, ring: ring, addr: addr}]; ok && ev.Stamp+1 > next {
+		next = ev.Stamp + 1
+	}
+	return next
+}

@@ -1,0 +1,191 @@
+package routes
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func ev(layer int, ring, addr string, kind uint8, stamp uint64) wire.RouteEvent {
+	var id [20]byte
+	copy(id[:], addr)
+	return wire.RouteEvent{Layer: layer, Ring: ring, Peer: wire.Peer{Addr: addr, ID: id}, Kind: kind, Stamp: stamp}
+}
+
+// TestMergeRule pins the gossip merge order one case at a time: newer
+// stamps win, equal stamps break toward the departure, and superseded
+// or replayed events never move the table.
+func TestMergeRule(t *testing.T) {
+	cases := []struct {
+		name    string
+		have    wire.RouteEvent
+		apply   wire.RouteEvent
+		applied bool
+		want    uint8 // surviving kind
+	}{
+		{"newer join beats older leave", ev(1, "g", "a", wire.RouteLeave, 5), ev(1, "g", "a", wire.RouteJoin, 6), true, wire.RouteJoin},
+		{"newer leave beats older join", ev(1, "g", "a", wire.RouteJoin, 5), ev(1, "g", "a", wire.RouteLeave, 6), true, wire.RouteLeave},
+		{"newer evict beats older join", ev(1, "g", "a", wire.RouteJoin, 5), ev(1, "g", "a", wire.RouteEvict, 6), true, wire.RouteEvict},
+		{"older event loses", ev(1, "g", "a", wire.RouteJoin, 9), ev(1, "g", "a", wire.RouteEvict, 3), false, wire.RouteJoin},
+		{"equal stamp: evict tombstone beats join", ev(1, "g", "a", wire.RouteJoin, 7), ev(1, "g", "a", wire.RouteEvict, 7), true, wire.RouteEvict},
+		{"equal stamp: leave beats join", ev(1, "g", "a", wire.RouteJoin, 7), ev(1, "g", "a", wire.RouteLeave, 7), true, wire.RouteLeave},
+		{"equal stamp: join does not beat evict", ev(1, "g", "a", wire.RouteEvict, 7), ev(1, "g", "a", wire.RouteJoin, 7), false, wire.RouteEvict},
+		{"exact replay is a no-op", ev(1, "g", "a", wire.RouteJoin, 7), ev(1, "g", "a", wire.RouteJoin, 7), false, wire.RouteJoin},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := New()
+			if !tbl.Apply(tc.have) {
+				t.Fatal("seeding an empty table must apply")
+			}
+			if got := tbl.Apply(tc.apply); got != tc.applied {
+				t.Errorf("Apply advanced=%v, want %v", got, tc.applied)
+			}
+			cur, ok := tbl.Latest(1, "g", "a")
+			if !ok {
+				t.Fatal("subject vanished")
+			}
+			if cur.Kind != tc.want {
+				t.Errorf("surviving kind = %d, want %d", cur.Kind, tc.want)
+			}
+		})
+	}
+}
+
+// TestMergeOrderIndependence: the merge is a join-semilattice, so any
+// delivery order, duplication or batch split converges to the same
+// event set — the property that lets converged tables compare equal at
+// a simcheck fixpoint.
+func TestMergeOrderIndependence(t *testing.T) {
+	var all []wire.RouteEvent
+	for i := 0; i < 6; i++ {
+		addr := fmt.Sprintf("n%d", i%3)
+		all = append(all,
+			ev(1, "g", addr, wire.RouteJoin, uint64(i+1)),
+			ev(2, "ring", addr, wire.RouteEvict, uint64(10-i)),
+			ev(1, "g", addr, wire.RouteLeave, uint64(i+1)), // ties the join at i+1
+		)
+	}
+	base := New()
+	base.ApplyAll(all)
+	want := base.Events()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]wire.RouteEvent(nil), all...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicate a random prefix to exercise replay idempotence.
+		shuffled = append(shuffled, shuffled[:rng.Intn(len(shuffled))]...)
+		tbl := New()
+		tbl.ApplyAll(shuffled)
+		if got := tbl.Events(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: order-dependent merge:\n got  %v\n want %v", trial, got, want)
+		}
+	}
+}
+
+// TestEvictionTombstone: an evicted peer drops out of the membership
+// view, stays out under replayed joins, and only a strictly fresher
+// re-announce (NextStamp) brings it back.
+func TestEvictionTombstone(t *testing.T) {
+	tbl := New()
+	tbl.Apply(ev(1, "g", "a", wire.RouteJoin, 3))
+	tbl.Apply(ev(1, "g", "b", wire.RouteJoin, 4))
+	tbl.Apply(ev(1, "g", "a", wire.RouteEvict, 8))
+
+	members := tbl.Members(1, "g")
+	if len(members) != 1 || members[0].Addr != "b" {
+		t.Fatalf("members after eviction = %v, want just b", members)
+	}
+	// A replayed (stale) join cannot resurrect the evicted peer.
+	if tbl.Apply(ev(1, "g", "a", wire.RouteJoin, 3)) {
+		t.Error("stale join resurrected an evicted peer")
+	}
+	// NextStamp outranks the tombstone, so a genuine rejoin lands.
+	stamp := tbl.NextStamp(1, "g", "a", 2)
+	if stamp != 9 {
+		t.Errorf("NextStamp = %d, want tombstone+1 = 9", stamp)
+	}
+	if !tbl.Apply(ev(1, "g", "a", wire.RouteJoin, stamp)) {
+		t.Error("rejoin with NextStamp did not apply")
+	}
+	if got := len(tbl.Members(1, "g")); got != 2 {
+		t.Errorf("members after rejoin = %d, want 2", got)
+	}
+}
+
+// TestDiff: the pull half of the exchange returns exactly the entries
+// the pushed set is missing or holds stale — and nothing else, so a
+// converged pair exchanges empty diffs.
+func TestDiff(t *testing.T) {
+	tbl := New()
+	tbl.Apply(ev(1, "g", "a", wire.RouteJoin, 5))
+	tbl.Apply(ev(1, "g", "b", wire.RouteLeave, 9))
+	tbl.Apply(ev(2, "r", "c", wire.RouteJoin, 2))
+
+	push := []wire.RouteEvent{
+		ev(1, "g", "a", wire.RouteJoin, 5),  // identical: not in diff
+		ev(1, "g", "b", wire.RouteJoin, 4),  // stale: our leave@9 is in diff
+		ev(1, "g", "d", wire.RouteJoin, 11), // unknown to us: their novelty, not ours
+	}
+	got := tbl.Diff(push)
+	want := []wire.RouteEvent{ev(1, "g", "b", wire.RouteLeave, 9), ev(2, "r", "c", wire.RouteJoin, 2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	// After merging the push, a repeat diff shrinks to what the pusher
+	// still lacks; once both sides merge, diffs are empty both ways.
+	tbl.ApplyAll(push)
+	other := New()
+	other.ApplyAll(push)
+	other.ApplyAll(got)
+	if d := tbl.Diff(other.Events()); len(d) != 0 {
+		t.Fatalf("converged tables still diff: %v", d)
+	}
+	if d := other.Diff(tbl.Events()); len(d) != 0 {
+		t.Fatalf("converged tables still diff (reverse): %v", d)
+	}
+}
+
+// TestOwner: successor-in-ring-order semantics with wraparound, and no
+// answer at all when the table has no live view of the ring.
+func TestOwner(t *testing.T) {
+	tbl := New()
+	mk := func(addr string, hi byte) wire.RouteEvent {
+		e := ev(1, "g", addr, wire.RouteJoin, 1)
+		e.Peer.ID = [20]byte{hi}
+		return e
+	}
+	tbl.Apply(mk("n10", 0x10))
+	tbl.Apply(mk("n40", 0x40))
+	tbl.Apply(mk("n90", 0x90))
+
+	cases := []struct {
+		key  byte
+		want string
+	}{
+		{0x05, "n10"}, // before the first member
+		{0x10, "n10"}, // exact hit
+		{0x11, "n40"}, // between members
+		{0x91, "n10"}, // wraps past the largest
+	}
+	for _, tc := range cases {
+		got, ok := tbl.Owner(1, "g", [20]byte{tc.key})
+		if !ok || got.Addr != tc.want {
+			t.Errorf("Owner(key=%#x) = %q ok=%v, want %q", tc.key, got.Addr, ok, tc.want)
+		}
+	}
+	if _, ok := tbl.Owner(1, "empty-ring", [20]byte{1}); ok {
+		t.Error("Owner answered for a ring with no known members")
+	}
+	// Evict every member: the ring goes dark rather than guessing.
+	for _, addr := range []string{"n10", "n40", "n90"} {
+		tbl.Apply(ev(1, "g", addr, wire.RouteEvict, 99))
+	}
+	if _, ok := tbl.Owner(1, "g", [20]byte{0x05}); ok {
+		t.Error("Owner answered from a fully tombstoned ring")
+	}
+}

@@ -201,6 +201,12 @@ func (h *harness) startNode(slot int) error {
 		Landmarks:   []string{slotAddr(0), slotAddr(1)},
 		Coord:       h.coords[slot],
 		CallTimeout: 2 * time.Second,
+		// Every checked cluster runs the one-hop route tier, so the
+		// route-table-accuracy invariant exercises gossip dissemination
+		// on top of ordinary maintenance. cfg.RouteGossipBug flips the
+		// transport's seeded drop-gossip fault for the acceptance test.
+		RouteMode:       transport.RouteOneHop,
+		DropRouteGossip: h.cfg.RouteGossipBug,
 		// Two attempts with near-zero backoff: MemNet refuses dials to
 		// dead peers immediately, so retries cost microseconds, and two
 		// failed attempts reach the default eviction suspicion.
@@ -281,6 +287,10 @@ func (h *harness) maintainRound(full bool) {
 			_ = n.StabilizeLayer(layer)
 		}
 		_ = n.RepairRingTables()
+		// Route gossip rides the maintenance cadence exactly as it rides
+		// StabilizeOnce in a deployment: membership events spread one
+		// fanout hop per round, so quiescence implies table convergence.
+		_ = n.RouteGossipOnce()
 		if full {
 			_ = n.BuildAllFingers()
 		} else {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 
 	"repro/internal/binning"
 	"repro/internal/id"
@@ -86,6 +87,7 @@ func registry() []Invariant {
 		{Name: "ring-name-stability", Check: checkRingNames},
 		{Name: "ring-refinement", Check: checkRefinement},
 		{Name: "durability", Check: checkDurability},
+		{Name: "route-table-accuracy", Check: checkRouteAccuracy},
 		{Name: "ring-consistency", Quiescent: true, Check: checkRings},
 		{Name: "finger-exactness", Quiescent: true, Check: checkFingers},
 		{Name: "ring-table-exactness", Quiescent: true, Check: checkRingTables},
@@ -307,6 +309,97 @@ func checkRingTables(w *world) error {
 			if gotBounds != wantBounds {
 				return fmt.Errorf("ring table (%d,%q) at %s has boundaries %v, live extremes are %v",
 					layer, name, holder.Snap.Addr, gotBounds, wantBounds)
+			}
+		}
+	}
+	return nil
+}
+
+// routeSubject keys one gossip ring: the global ring is (1, ""), a
+// lower-layer ring is its layer and binned name.
+type routeSubject struct {
+	Layer int
+	Ring  string
+}
+
+// checkRouteAccuracy: the one-hop route tables stay truthful. Always
+// on, it checks event well-formedness — every gossiped peer identifier
+// is NodeID(addr), layers exist, only layer 1 is the nameless global
+// ring, and stamps are live — because a malformed event is a bug no
+// matter how stale the table is allowed to be. At a quiescent fixpoint
+// it is exact: on every live node, the Join-latest members of every
+// subject ring equal that ring's live membership, so a table answer
+// resolves to the true owner — the property that makes the single-hop
+// tier a verified accelerator. Mid-churn the tables may lag behind
+// membership; the verify-or-fallback contract covers that window
+// (reachability and get-safety hold lookups to the true owner), so
+// exactness is only asserted once maintenance has converged.
+func checkRouteAccuracy(w *world) error {
+	// Oracle membership per subject, from snapshots alone: layer 1 is
+	// every live node, lower layers group by the binned ring names.
+	oracle := map[routeSubject][]string{}
+	for layer := 1; layer <= w.Depth; layer++ {
+		for name, g := range ringGroups(w, layer) {
+			addrs := make([]string, 0, len(g))
+			for _, v := range g {
+				addrs = append(addrs, v.Snap.Addr)
+			}
+			sort.Strings(addrs)
+			oracle[routeSubject{layer, name}] = addrs
+		}
+	}
+	for _, v := range w.Live {
+		if v.Snap.Routes == nil {
+			return fmt.Errorf("%s: no one-hop route table in a one-hop cluster", v.Snap.Addr)
+		}
+		members := map[routeSubject][]string{}
+		for _, ev := range v.Snap.Routes {
+			if ev.Layer < 1 || ev.Layer > w.Depth {
+				return fmt.Errorf("%s: route event for %s names layer %d outside [1,%d]",
+					v.Snap.Addr, ev.Peer.Addr, ev.Layer, w.Depth)
+			}
+			if (ev.Ring == "") != (ev.Layer == 1) {
+				return fmt.Errorf("%s: route event for %s pairs layer %d with ring %q — only layer 1 is the global ring",
+					v.Snap.Addr, ev.Peer.Addr, ev.Layer, ev.Ring)
+			}
+			if ev.Stamp == 0 {
+				return fmt.Errorf("%s: route event for %s carries the zero stamp", v.Snap.Addr, ev.Peer.Addr)
+			}
+			if want := transport.NodeID(ev.Peer.Addr); ev.Peer.ID != [20]byte(want) {
+				return fmt.Errorf("%s: route event identifies %s as %x, NodeID(addr) is %s",
+					v.Snap.Addr, ev.Peer.Addr, ev.Peer.ID, want.Short())
+			}
+			if ev.Kind == wire.RouteJoin {
+				s := routeSubject{ev.Layer, ev.Ring}
+				members[s] = append(members[s], ev.Peer.Addr)
+			}
+		}
+		if !w.Quiescent {
+			continue
+		}
+		subjects := map[routeSubject]bool{}
+		for s := range oracle {
+			subjects[s] = true
+		}
+		for s := range members {
+			subjects[s] = true
+		}
+		ordered := make([]routeSubject, 0, len(subjects))
+		for s := range subjects {
+			ordered = append(ordered, s)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].Layer != ordered[j].Layer {
+				return ordered[i].Layer < ordered[j].Layer
+			}
+			return ordered[i].Ring < ordered[j].Ring
+		})
+		for _, s := range ordered {
+			got, want := members[s], oracle[s]
+			sort.Strings(got) // snapshot order is already sorted; re-sort defensively
+			if strings.Join(got, " ") != strings.Join(want, " ") {
+				return fmt.Errorf("%s layer %d ring %q: one-hop table members %v, live membership is %v",
+					v.Snap.Addr, s.Layer, s.Ring, got, want)
 			}
 		}
 	}

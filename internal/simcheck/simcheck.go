@@ -51,6 +51,14 @@ type Config struct {
 	// invariants must catch it and shrink to a replayable artifact.
 	// False checks the honest protocol.
 	ReplicationBug bool
+	// RouteGossipBug, when true, seeds a route-dissemination fault:
+	// every node keeps its one-hop table to itself — incoming route
+	// gossip is acknowledged and discarded and no push rounds run — so
+	// tables never learn of other members. The route-table-accuracy
+	// invariant must catch it at the first quiescent checkpoint and
+	// shrink it to a replayable artifact. False checks the honest
+	// protocol.
+	RouteGossipBug bool
 }
 
 func (c Config) withDefaults() Config {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -242,6 +244,196 @@ func TestChaosLookupsConvergeUnderFaults(t *testing.T) {
 	}
 	if !strings.Contains(fb.String(), `faultnet_injected_total{kind="drop"}`) {
 		t.Errorf("faultnet exposition missing injection counters:\n%s", fb.String())
+	}
+}
+
+// onehopMembers extracts the global-ring Join-latest member addresses
+// from a one-hop snapshot, sorted.
+func onehopMembers(routes []wire.RouteEvent) []string {
+	var out []string
+	for _, ev := range routes {
+		if ev.Layer == 1 && ev.Kind == wire.RouteJoin {
+			out = append(out, ev.Peer.Addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// waitRoutesConverged stabilizes the given nodes until every one-hop
+// table is byte-identical across them and its global-ring Join members
+// are exactly the live addresses — the gossip fixpoint — failing the
+// test if a bounded number of rounds does not get there.
+func waitRoutesConverged(t *testing.T, nodes []*Node, phase string) {
+	t.Helper()
+	want := make([]string, 0, len(nodes))
+	for _, nd := range nodes {
+		want = append(want, nd.Addr())
+	}
+	sort.Strings(want)
+	for round := 0; round < 30; round++ {
+		stabilizeAll(t, nodes, 1)
+		ref := nodes[0].Snapshot().Routes
+		if !reflect.DeepEqual(onehopMembers(ref), want) {
+			continue
+		}
+		agree := true
+		for _, nd := range nodes[1:] {
+			if !reflect.DeepEqual(nd.Snapshot().Routes, ref) {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			return
+		}
+	}
+	t.Fatalf("%s: one-hop tables did not converge to %v within 30 rounds", phase, want)
+}
+
+// TestChaosOneHopConvergence drives the single-hop route tier through
+// the chaos harness: an 8-node onehop cluster must answer stable-state
+// lookups from its gossip-maintained tables in one verified hop, keep
+// resolving true owners under injected drops and across a partition
+// (verify-or-fallback: staleness costs a probe, never a wrong owner),
+// reconverge to byte-identical full tables after the heal, and pay a
+// bounded, metered gossip cost per maintenance round.
+func TestChaosOneHopConvergence(t *testing.T) {
+	nw := faultnet.New(chaosSeed)
+	nodes := chaosCluster(t, 8, nw.Caller,
+		wire.BreakerPolicy{Threshold: 8, Cooldown: 100 * time.Millisecond},
+		func(c *Config) { c.RouteMode = RouteOneHop })
+	bindAll(nw, nodes)
+
+	// Phase 0: a fault-free cluster's tables reach the gossip fixpoint.
+	waitRoutesConverged(t, nodes, "bootstrap")
+
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("onehop-key-%d", i)
+	}
+
+	// Phase 1: on the converged cluster, lookups answer from the table —
+	// one verified hop to the true owner, visible in onehop_hits_total.
+	hitsBefore, lookups := uint64(0), 0
+	for _, nd := range nodes {
+		hitsBefore += nd.nm.onehopHits.Value()
+	}
+	for _, key := range keys {
+		kid := LiveKeyID(key)
+		want := trueOwner(nodes, kid)
+		for _, from := range []*Node{nodes[0], nodes[3], nodes[6]} {
+			res, err := from.Lookup(context.Background(), kid)
+			if err != nil {
+				t.Fatalf("lookup %s on converged cluster: %v", key, err)
+			}
+			if res.Owner.Addr != want.Addr() {
+				t.Fatalf("lookup %s: owner %s, want %s", key, res.Owner.Addr, want.Addr())
+			}
+			lookups++
+		}
+	}
+	hits := uint64(0)
+	for _, nd := range nodes {
+		hits += nd.nm.onehopHits.Value()
+	}
+	if got := hits - hitsBefore; got < uint64(lookups)*9/10 {
+		t.Errorf("only %d/%d converged-cluster lookups were one-hop hits, want >= 90%%", got, lookups)
+	}
+
+	// Phase 2: steady-state chaos. Dropped verifications may force
+	// fallback walks, but every lookup still resolves the true owner.
+	nw.SetRules(chaosRules()...)
+	for _, key := range keys {
+		kid := LiveKeyID(key)
+		want := trueOwner(nodes, kid)
+		res, err := nodes[2].Lookup(context.Background(), kid)
+		if err != nil {
+			t.Fatalf("lookup %s under chaos: %v", key, err)
+		}
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("lookup %s under chaos: owner %s, want %s", key, res.Owner.Addr, want.Addr())
+		}
+	}
+	nw.SetRules()
+
+	// Phase 3: cut off n7. The majority evicts it from its rings, gossip
+	// spreads the tombstone, and majority tables reconverge on the seven
+	// survivors; lookups resolve the true owner among them.
+	names := make([]string, 0, 7)
+	for i := 0; i < 7; i++ {
+		names = append(names, fmt.Sprintf("n%d", i))
+	}
+	nw.Partition(names, []string{"n7"})
+	majority := nodes[:7]
+	stabilizeAll(t, majority, 6)
+	waitRoutesConverged(t, majority, "partitioned majority")
+	for _, key := range keys {
+		kid := LiveKeyID(key)
+		want := trueOwner(majority, kid)
+		res, err := majority[1].Lookup(context.Background(), kid)
+		if err != nil {
+			t.Fatalf("lookup %s during partition: %v", key, err)
+		}
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("lookup %s during partition: owner %s, want %s", key, res.Owner.Addr, want.Addr())
+		}
+	}
+
+	// Phase 4: heal. n7 hears its own tombstone, out-stamps it with a
+	// fresh join, and every table reconverges to the identical full view.
+	nw.Heal()
+	time.Sleep(150 * time.Millisecond) // let open breakers reach half-open
+	stabilizeAll(t, nodes, 6)
+	waitRoutesConverged(t, nodes, "after heal")
+	for _, key := range keys {
+		kid := LiveKeyID(key)
+		want := trueOwner(nodes, kid)
+		res, err := nodes[7].Lookup(context.Background(), kid)
+		if err != nil {
+			t.Fatalf("lookup %s after heal: %v", key, err)
+		}
+		if res.Owner.Addr != want.Addr() {
+			t.Fatalf("lookup %s after heal: owner %s, want %s", key, res.Owner.Addr, want.Addr())
+		}
+	}
+
+	// Maintenance cost: gossip is metered, and at the fixpoint one more
+	// round costs at most fanout pushes of the full event list per node —
+	// replies are empty diffs. The ceiling is computed from the actual
+	// converged table, so growth in per-round overhead fails here.
+	gossipBefore := uint64(0)
+	for _, nd := range nodes {
+		gossipBefore += nd.nm.gossipBytes.Value()
+	}
+	if gossipBefore == 0 {
+		t.Error("route_gossip_bytes_total is zero after a full chaos run")
+	}
+	stabilizeAll(t, nodes, 1)
+	gossipAfter := uint64(0)
+	for _, nd := range nodes {
+		gossipAfter += nd.nm.gossipBytes.Value()
+	}
+	perPush := routeEventsBytes(nodes[0].Snapshot().Routes) + routeEventsBytes(nil)
+	fanout := nodes[0].cfg.SuccListLen + 1 // global successor list plus predecessor
+	ceiling := uint64(len(nodes)*fanout) * perPush
+	if got := gossipAfter - gossipBefore; got > ceiling {
+		t.Errorf("converged maintenance round cost %d gossip bytes, ceiling %d", got, ceiling)
+	}
+
+	// Determinism: the injected-fault sequence replays bit-identically.
+	events := nw.Events()
+	if len(events) == 0 {
+		t.Fatal("chaos run injected no faults")
+	}
+	replayed := faultnet.Replay(chaosSeed, nw.Log())
+	if len(replayed) != len(events) {
+		t.Fatalf("replay produced %d events, live run %d", len(replayed), len(events))
+	}
+	for i := range events {
+		if events[i].String() != replayed[i].String() {
+			t.Fatalf("fault %d diverged: live %q, replay %q", i, events[i], replayed[i])
+		}
 	}
 }
 

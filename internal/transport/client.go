@@ -55,7 +55,6 @@ func (n *Node) CreateNetwork() error {
 	}
 	self := n.Self()
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.ringNames = names
 	n.landmarks = append([]string(nil), n.cfg.Landmarks...)
 	n.joined = true
@@ -70,6 +69,8 @@ func (n *Node) CreateNetwork() error {
 		}
 		n.tables[ringKey(t.Layer, t.Name)] = t
 	}
+	n.mu.Unlock()
+	n.announceRoutes()
 	return nil
 }
 
@@ -135,7 +136,145 @@ func (n *Node) Join(bootstrap string) error {
 	n.mu.Lock()
 	n.joined = true
 	n.mu.Unlock()
+	n.announceRoutes()
 	return nil
+}
+
+// routeSubject names one ring a node is a member of: the gossip subject
+// space is (layer, ring, peer).
+type routeSubject struct {
+	layer int
+	ring  string
+}
+
+// ringSubjects returns every (layer, ring) this node belongs to: the
+// global ring plus its lower-layer rings.
+func (n *Node) ringSubjects() []routeSubject {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	subs := []routeSubject{{1, ""}}
+	for l, name := range n.ringNames {
+		subs = append(subs, routeSubject{l + 2, name})
+	}
+	return subs
+}
+
+// announceRoutes records this node's own membership in every ring it
+// belongs to as join events; gossip spreads them on the stabilize
+// cadence. It doubles as self-defense: a node that finds itself
+// tombstoned (a false eviction minted during a partition) re-announces
+// with a NextStamp that outranks the tombstone, so a live node always
+// wins its way back into remote tables.
+func (n *Node) announceRoutes() {
+	if n.routes == nil {
+		return
+	}
+	self := n.Self()
+	for _, s := range n.ringSubjects() {
+		if cur, ok := n.routes.Latest(s.layer, s.ring, n.addr); ok && cur.Kind == wire.RouteJoin {
+			continue
+		}
+		n.routes.Apply(wire.RouteEvent{
+			Layer: s.layer, Ring: s.ring, Peer: self, Kind: wire.RouteJoin,
+			Stamp: n.routes.NextStamp(s.layer, s.ring, n.addr, n.clock()),
+		})
+	}
+}
+
+// gossipFanout is the set of peers one gossip round pushes to: the
+// global-ring successor list plus the predecessor. Piggybacking on the
+// stabilized neighborhood means gossip reaches exactly the peers whose
+// liveness the node is already maintaining, and events travel the ring
+// in both directions.
+func (n *Node) gossipFanout() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := map[string]bool{n.addr: true, "": true}
+	var targets []string
+	for _, p := range n.layers[0].succ {
+		if !seen[p.Addr] {
+			seen[p.Addr] = true
+			targets = append(targets, p.Addr)
+		}
+	}
+	if p := n.layers[0].pred; !seen[p.Addr] {
+		targets = append(targets, p.Addr)
+	}
+	return targets
+}
+
+// pushRoutes pushes the full local event set to each target and merges
+// whatever each reply says we are missing (the pull half). Exchanged
+// payload bytes are counted against route_gossip_bytes_total; at
+// convergence replies are empty, so the steady-state cost is one push
+// frame per neighbor per round.
+func (n *Node) pushRoutes(targets []string) {
+	evs := n.routes.Events()
+	if len(evs) == 0 {
+		return
+	}
+	sent := routeEventsBytes(evs)
+	for _, addr := range targets {
+		resp, err := n.callBG(addr, wire.Request{Type: wire.TRouteGossip, Events: evs})
+		if err != nil {
+			continue
+		}
+		n.nm.gossipBytes.Add(sent + routeEventsBytes(resp.Events))
+		n.routes.ApplyAll(resp.Events)
+	}
+}
+
+// routeEventsBytes measures the gossip payload cost of an event set: the
+// size of its binary-codec encoding. Metering through one fixed codec
+// keeps the maintenance-bandwidth metric comparable across runs
+// regardless of the session codec in use.
+func routeEventsBytes(evs []wire.RouteEvent) uint64 {
+	if len(evs) == 0 {
+		return 0
+	}
+	b, err := wire.Binary{}.AppendRequest(nil, &wire.Request{Type: wire.TRouteGossip, Events: evs})
+	if err != nil {
+		return 0
+	}
+	return uint64(len(b))
+}
+
+// RouteGossipOnce runs one push-pull route-gossip exchange with the
+// gossip fanout. StabilizeOnce calls it every round; it is exposed
+// separately so harnesses can drive the gossip cadence explicitly.
+func (n *Node) RouteGossipOnce() error {
+	if n.routes == nil || n.cfg.DropRouteGossip {
+		return nil
+	}
+	n.mu.Lock()
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return nil
+	}
+	n.announceRoutes()
+	n.pushRoutes(n.gossipFanout())
+	return nil
+}
+
+// announceLeaveRoutes tombstones this node's own membership and pushes
+// the result to the neighbors that keep serving, so remote one-hop
+// tables learn of a graceful departure without waiting for failure
+// detection.
+func (n *Node) announceLeaveRoutes() {
+	if n.routes == nil {
+		return
+	}
+	self := n.Self()
+	for _, s := range n.ringSubjects() {
+		n.routes.Apply(wire.RouteEvent{
+			Layer: s.layer, Ring: s.ring, Peer: self, Kind: wire.RouteLeave,
+			Stamp: n.routes.NextStamp(s.layer, s.ring, n.addr, n.clock()),
+		})
+	}
+	if !n.cfg.DropRouteGossip {
+		n.pushRoutes(n.gossipFanout())
+	}
 }
 
 // joinRing implements one lower-layer join: route to the ring table's
@@ -345,11 +484,29 @@ type LookupResult struct {
 }
 
 // Lookup routes hierarchically from this node to the owner of key,
-// consulting the location cache first when one is configured. The
-// context bounds the whole lookup: cancellation or a deadline aborts
-// the walk between (and inside) hops.
+// consulting the acceleration tiers first: the one-hop route table in
+// RouteOneHop mode, then the location cache when one is configured.
+// Both tiers follow the same verify-or-fallback contract — a hinted
+// owner is confirmed with a single RPC before use — so staleness costs
+// one wasted call, never a wrong answer. The context bounds the whole
+// lookup: cancellation or a deadline aborts the walk between (and
+// inside) hops.
 func (n *Node) Lookup(ctx context.Context, key id.ID) (LookupResult, error) {
 	n.nm.lookups.Inc()
+	if n.routes != nil {
+		if owner, ok := n.routes.Owner(1, "", [20]byte(key)); ok {
+			if res, ok := n.verifyCachedOwner(ctx, owner, key); ok {
+				n.nm.onehopHits.Inc()
+				return res, nil
+			}
+			n.nm.onehopStale.Inc()
+			if n.suspectDead(owner.Addr) {
+				// The table named a dead owner; tombstone it so the walk
+				// below (and every later lookup) stops consulting it.
+				n.evictLocal(1, owner.Addr)
+			}
+		}
+	}
 	if n.cache != nil {
 		if owner, ok := n.cache.get(key); ok {
 			if res, ok := n.verifyCachedOwner(ctx, owner, key); ok {
@@ -363,8 +520,21 @@ func (n *Node) Lookup(ctx context.Context, key id.ID) (LookupResult, error) {
 	res, err := n.lookupFull(ctx, key)
 	if err != nil {
 		n.nm.lookupErrors.Inc()
-	} else if n.cache != nil {
-		n.cache.put(key, res.Owner)
+	} else {
+		if n.cache != nil {
+			n.cache.put(key, res.Owner)
+		}
+		if n.routes != nil {
+			// Learn the authoritative owner the walk just confirmed, so the
+			// next lookup in this key region goes single-hop. A live owner
+			// also outranks any false tombstone the table may hold for it.
+			if cur, ok := n.routes.Latest(1, "", res.Owner.Addr); !ok || cur.Kind != wire.RouteJoin {
+				n.routes.Apply(wire.RouteEvent{
+					Layer: 1, Ring: "", Peer: res.Owner, Kind: wire.RouteJoin,
+					Stamp: n.routes.NextStamp(1, "", res.Owner.Addr, n.clock()),
+				})
+			}
+		}
 	}
 	return res, err
 }
@@ -634,6 +804,10 @@ func (n *Node) StabilizeOnce() error {
 	if err := n.RepairRingTables(); err != nil {
 		return err
 	}
+	// Route gossip rides the same cadence: one push-pull exchange with
+	// the stabilized neighborhood per round, so one-hop table
+	// convergence tracks ring health.
+	_ = n.RouteGossipOnce()
 	n.mu.Lock()
 	n.aeTick++
 	due := n.needSweep || n.aeTick >= n.cfg.AntiEntropyEvery
@@ -670,6 +844,11 @@ func (n *Node) StabilizeLayer(layer int) error {
 			n.mu.Lock()
 			if n.layers[layer-1].pred == pred {
 				n.layers[layer-1].pred = wire.Peer{}
+				if n.suspectDead(pred.Addr) {
+					// Fresh, confirmed failure evidence from the ping we
+					// just lost: tombstone the peer in the one-hop table.
+					n.recordEvictLocked(layer, pred.Addr)
+				}
 			}
 			n.mu.Unlock()
 		}
@@ -706,6 +885,8 @@ func (n *Node) StabilizeLayer(layer int) error {
 		for _, p := range ls.succ {
 			if p.Addr == n.addr || !n.suspectDead(p.Addr) {
 				kept = append(kept, p)
+			} else {
+				n.recordEvictLocked(layer, p.Addr)
 			}
 		}
 		ls.succ = kept
@@ -1069,6 +1250,9 @@ func (n *Node) BuildAllFingers() error {
 // successor, and the node stops serving. The node cannot be reused after
 // Leave.
 func (n *Node) Leave() error {
+	// Tombstone our own one-hop membership and push it to the neighbors
+	// that keep serving, before the ring handover dismantles them.
+	n.announceLeaveRoutes()
 	// Hand over per-layer neighbors, most local layer first.
 	for layer := n.cfg.Depth; layer >= 1; layer-- {
 		n.mu.Lock()

@@ -29,6 +29,9 @@ type nodeMetrics struct {
 	repairs        *metrics.Counter
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
+	onehopHits     *metrics.Counter
+	onehopStale    *metrics.Counter
+	gossipBytes    *metrics.Counter
 }
 
 func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
@@ -59,6 +62,12 @@ func newNodeMetrics(reg *metrics.Registry, depth int) *nodeMetrics {
 		"Location cache hits whose owner verification succeeded.")
 	nm.cacheMisses = reg.NewCounter("cache_misses_total",
 		"Location cache misses, including failed verifications.")
+	nm.onehopHits = reg.NewCounter("onehop_hits_total",
+		"Lookups answered by the one-hop route table with a verified owner.")
+	nm.onehopStale = reg.NewCounter("onehop_stale_total",
+		"One-hop table answers whose owner verification failed (stale table; lookup fell back to the classic walk).")
+	nm.gossipBytes = reg.NewCounter("route_gossip_bytes_total",
+		"Route-gossip payload bytes exchanged by this node's push-pull rounds (both directions, binary-codec size).")
 	return nm
 }
 

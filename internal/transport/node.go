@@ -22,7 +22,22 @@ import (
 	"repro/internal/id"
 	"repro/internal/metrics"
 	"repro/internal/replica"
+	"repro/internal/routes"
 	"repro/internal/wire"
+)
+
+// Route modes: the lookup acceleration tier a node runs with.
+const (
+	// RouteClassic walks the layered rings on every lookup (the paper's
+	// procedure, no acceleration).
+	RouteClassic = "classic"
+	// RouteCached consults the verified location cache before walking
+	// (Config.LookupCache entries; the default when a cache is sized).
+	RouteCached = "cached"
+	// RouteOneHop answers from the gossip-maintained near-full route
+	// table first: one verification RPC on the table's owner, falling
+	// back to the classic walk on miss or staleness.
+	RouteOneHop = "onehop"
 )
 
 // Config parametrises a live node.
@@ -90,6 +105,19 @@ type Config struct {
 	// verified with a single RPC before use, so a stale entry costs one
 	// wasted call, never a wrong answer.
 	LookupCache int
+	// RouteMode selects the lookup acceleration tier: RouteClassic,
+	// RouteCached or RouteOneHop. Empty derives the mode from
+	// LookupCache for compatibility (cached when a cache is sized,
+	// classic otherwise). RouteOneHop maintains a gossip-fed near-full
+	// membership table per ring and answers lookups from it with a
+	// single verification RPC; the table is disseminated via
+	// TRouteGossip on the stabilize cadence.
+	RouteMode string
+	// DropRouteGossip is a seeded-bug seam for the invariant harness: the
+	// node keeps its one-hop table but neither pushes nor merges gossip,
+	// so membership changes stop disseminating and remote tables go
+	// stale. Production code must never set it.
+	DropRouteGossip bool
 	// Replication configures the replicated KV layer: replica factor,
 	// write quorum and read quorum (see replica.Options). The zero value
 	// uses the replica defaults (factor 3, majority writes, single-reader
@@ -134,6 +162,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AntiEntropyEvery < 1 {
 		c.AntiEntropyEvery = 1
+	}
+	if c.RouteMode == "" {
+		if c.LookupCache > 0 {
+			c.RouteMode = RouteCached
+		} else {
+			c.RouteMode = RouteClassic
+		}
 	}
 	c.Replication = c.Replication.WithDefaults()
 	return c
@@ -181,6 +216,7 @@ type Node struct {
 	store   *replica.Engine      // versioned local KV store
 	co      *replica.Coordinator // quorum write/read/sweep driver over the store
 	cache   *lookupCache         // nil when Config.LookupCache == 0
+	routes  *routes.Table        // one-hop membership table; nil unless RouteMode == RouteOneHop
 	caller  wire.Caller          // full outgoing chain: (coalescer) → retrier → (injector) → instrumented pool
 	retrier *wire.Retrier
 	pool    *wire.Pool
@@ -213,6 +249,18 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Depth < 1 {
 		return nil, fmt.Errorf("transport: depth must be >= 1")
+	}
+	switch cfg.RouteMode {
+	case RouteClassic:
+		// An explicit classic mode switches every acceleration tier off.
+		cfg.LookupCache = 0
+	case RouteCached:
+		if cfg.LookupCache == 0 {
+			cfg.LookupCache = 256
+		}
+	case RouteOneHop:
+	default:
+		return nil, fmt.Errorf("transport: unknown route mode %q", cfg.RouteMode)
 	}
 	if cfg.Depth > 1 && cfg.Ladder == nil {
 		l, err := binning.DefaultLadder(cfg.Depth)
@@ -280,6 +328,9 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	}
 	if cfg.LookupCache > 0 {
 		n.cache = newLookupCache(cfg.LookupCache)
+	}
+	if cfg.RouteMode == RouteOneHop {
+		n.routes = routes.New()
 	}
 	n.co = &replica.Coordinator{
 		Self:    n.addr,
@@ -541,6 +592,19 @@ func (n *Node) handle(req wire.Request) wire.Response {
 		}
 		return wire.Response{OK: true, Items: n.store.RangeItems(liveKeyBytes, req.Key, req.KeyHi, req.Buckets)}
 
+	case wire.TRouteGossip:
+		// Push-pull gossip for the one-hop tables: merge the pushed event
+		// set, answer with the events we hold that the pusher lacks. Both
+		// halves are local table work, so the no-outgoing-RPC handler
+		// contract holds.
+		if n.routes == nil || n.cfg.DropRouteGossip {
+			// Not running the tier (or the seeded-bug seam is active):
+			// acknowledge without merging so mixed-mode clusters interoperate.
+			return wire.Response{OK: true}
+		}
+		applied := n.routes.ApplyAll(req.Events)
+		return wire.Response{OK: true, Applied: applied, Events: n.routes.Diff(req.Events)}
+
 	case wire.TLeaveSucc:
 		ls, err := n.layerFor(req.Layer)
 		if err != nil {
@@ -563,6 +627,7 @@ func (n *Node) handle(req wire.Request) wire.Response {
 			return wire.Errorf("invalid eviction target %q", dead)
 		}
 		purgePeerLocked(ls, dead)
+		n.recordEvictLocked(req.Layer, dead)
 		return wire.Response{OK: true}
 
 	case wire.TLeavePred:
@@ -623,6 +688,44 @@ func (n *Node) evictLocal(layer int, dead string) {
 	if ls, err := n.layerFor(layer); err == nil {
 		purgePeerLocked(ls, dead)
 	}
+	n.recordEvictLocked(layer, dead)
+}
+
+// ringNameLocked maps a layer to the ring name used in route-gossip
+// events: the global ring is "", lower layers use this node's own ring
+// name (a node only names rings it is a member of).
+func (n *Node) ringNameLocked(layer int) (string, bool) {
+	if layer == 1 {
+		return "", true
+	}
+	if layer-2 >= 0 && layer-2 < len(n.ringNames) {
+		return n.ringNames[layer-2], true
+	}
+	return "", false
+}
+
+// recordEvictLocked stamps an eviction tombstone into the one-hop table
+// on fresh failure evidence for a peer. A subject that is already a
+// departure is left alone: re-stamping on every repeated failure would
+// push stamps arbitrarily far ahead of the clock, and a runaway
+// tombstone can shadow the peer's genuine rejoin.
+func (n *Node) recordEvictLocked(layer int, dead string) {
+	if n.routes == nil || dead == "" || dead == n.addr {
+		return
+	}
+	name, ok := n.ringNameLocked(layer)
+	if !ok {
+		return
+	}
+	if cur, ok := n.routes.Latest(layer, name, dead); ok && cur.Kind != wire.RouteJoin {
+		return
+	}
+	n.routes.Apply(wire.RouteEvent{
+		Layer: layer, Ring: name,
+		Peer:  wire.Peer{Addr: dead, ID: [20]byte(NodeID(dead))},
+		Kind:  wire.RouteEvict,
+		Stamp: n.routes.NextStamp(layer, name, dead, n.clock()),
+	})
 }
 
 // findClosestLocked is one iterative routing step in a layer (paper §3.2):

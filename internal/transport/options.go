@@ -28,6 +28,12 @@ type Options struct {
 	// LookupCache is the location-cache capacity. 0 keeps caching off;
 	// DefaultOptions sets 256.
 	LookupCache int
+	// RouteMode selects the lookup acceleration tier: "classic" (walk
+	// the layered rings every time), "cached" (verified location cache)
+	// or "onehop" (gossip-maintained near-full route table answering
+	// lookups in one verified hop). Empty derives the mode from
+	// LookupCache, matching the pre-onehop behaviour.
+	RouteMode string
 
 	// Codec names the wire encoding for outgoing calls: "binary" (the
 	// default zero-alloc codec) or "gob" (the compatibility codec).
@@ -146,6 +152,12 @@ func (o Options) Validate() error {
 	if o.LookupCache < 0 {
 		return fmt.Errorf("%w: negative lookup-cache capacity %d", ErrBadOptions, o.LookupCache)
 	}
+	switch o.RouteMode {
+	case "", RouteClassic, RouteCached, RouteOneHop:
+	default:
+		return fmt.Errorf("%w: route mode %q, want %s, %s or %s",
+			ErrBadOptions, o.RouteMode, RouteClassic, RouteCached, RouteOneHop)
+	}
 	if _, err := wire.CodecByName(o.Codec); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadOptions, err)
 	}
@@ -206,6 +218,7 @@ func (o Options) Config() (Config, error) {
 		Depth:       o.Depth,
 		CallTimeout: o.CallTimeout,
 		LookupCache: o.LookupCache,
+		RouteMode:   o.RouteMode,
 		Codec:       codec,
 		PoolSize:    o.PoolSize,
 		Coalesce:    o.Coalesce,

@@ -30,6 +30,12 @@ type Snapshot struct {
 	Keys      []string         // stored kv keys, sorted
 	Items     []wire.StoreItem // stored versioned items, key-sorted
 	Tables    []wire.RingTable
+	// Routes is the one-hop table's full event set, sorted by
+	// (layer, ring, addr); nil unless the node runs RouteOneHop. Its
+	// presence in the snapshot makes the quiescence fixpoint wait for
+	// gossip convergence, and the route-table-accuracy invariant checks
+	// it against live membership.
+	Routes []wire.RouteEvent
 }
 
 // RingID returns the identifier a (layer, name) ring's table is stored
@@ -65,6 +71,9 @@ func (n *Node) Snapshot() Snapshot {
 	}
 	for _, t := range n.tables {
 		s.Tables = append(s.Tables, t)
+	}
+	if n.routes != nil {
+		s.Routes = n.routes.Events()
 	}
 	sort.Slice(s.Tables, func(i, j int) bool {
 		if s.Tables[i].Layer != s.Tables[j].Layer {

@@ -50,8 +50,9 @@ const (
 	rqHierarchical // no body: the bit is the value
 	rqKeyHi
 	rqBuckets
+	rqEvents
 
-	rqKnown = rqBuckets<<1 - 1
+	rqKnown = rqEvents<<1 - 1
 )
 
 // Response field mask bits, in encode order. The four bools ride in the
@@ -78,8 +79,9 @@ const (
 	rsTombstone // no body: the bit is the value
 	rsDigests
 	rsItems
+	rsEvents
 
-	rsKnown = rsItems<<1 - 1
+	rsKnown = rsEvents<<1 - 1
 )
 
 // AppendRequest implements Codec.
@@ -119,6 +121,9 @@ func (Binary) AppendRequest(dst []byte, req *Request) ([]byte, error) {
 	if len(req.Buckets) > 0 {
 		mask |= rqBuckets
 	}
+	if len(req.Events) > 0 {
+		mask |= rqEvents
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	if mask&rqLayer != 0 {
 		dst = binary.AppendVarint(dst, int64(req.Layer))
@@ -157,6 +162,12 @@ func (Binary) AppendRequest(dst []byte, req *Request) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(req.Buckets)))
 		for _, b := range req.Buckets {
 			dst = binary.AppendUvarint(dst, uint64(b))
+		}
+	}
+	if mask&rqEvents != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(req.Events)))
+		for i := range req.Events {
+			dst = appendEvent(dst, &req.Events[i])
 		}
 	}
 	return dst, nil
@@ -225,6 +236,11 @@ func (Binary) DecodeRequest(data []byte) (Request, error) {
 	}
 	if mask&rqBuckets != 0 {
 		if req.Buckets, err = r.buckets(); err != nil {
+			return req, err
+		}
+	}
+	if mask&rqEvents != 0 {
+		if req.Events, err = r.events(); err != nil {
 			return req, err
 		}
 	}
@@ -301,6 +317,9 @@ func (Binary) AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 	if len(resp.Items) > 0 {
 		mask |= rsItems
 	}
+	if len(resp.Events) > 0 {
+		mask |= rsEvents
+	}
 	dst = binary.AppendUvarint(dst, mask)
 	if mask&rsErr != 0 {
 		dst = appendString(dst, resp.Err)
@@ -358,6 +377,12 @@ func (Binary) AppendResponse(dst []byte, resp *Response) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Items)))
 		for i := range resp.Items {
 			dst = appendItem(dst, &resp.Items[i])
+		}
+	}
+	if mask&rsEvents != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Events)))
+		for i := range resp.Events {
+			dst = appendEvent(dst, &resp.Events[i])
 		}
 	}
 	return dst, nil
@@ -463,6 +488,11 @@ func (Binary) DecodeResponse(data []byte) (Response, error) {
 			return resp, err
 		}
 	}
+	if mask&rsEvents != 0 {
+		if resp.Events, err = r.events(); err != nil {
+			return resp, err
+		}
+	}
 	if r.off != len(r.b) {
 		return resp, errTrailing
 	}
@@ -501,6 +531,14 @@ func appendTable(dst []byte, t *RingTable) []byte {
 	dst = appendPeer(dst, t.SecondSm)
 	dst = appendPeer(dst, t.Largest)
 	return appendPeer(dst, t.SecondLg)
+}
+
+func appendEvent(dst []byte, ev *RouteEvent) []byte {
+	dst = binary.AppendVarint(dst, int64(ev.Layer))
+	dst = appendString(dst, ev.Ring)
+	dst = appendPeer(dst, ev.Peer)
+	dst = append(dst, ev.Kind)
+	return binary.AppendUvarint(dst, ev.Stamp)
 }
 
 func appendItem(dst []byte, it *StoreItem) []byte {
@@ -727,6 +765,42 @@ func (r *breader) items() ([]StoreItem, error) {
 		}
 		it.Tombstone = tomb == 1
 		out = append(out, it)
+	}
+	return out, nil
+}
+
+func (r *breader) events() ([]RouteEvent, error) {
+	// A route event is at least 25 bytes (layer varint, empty-ring length
+	// prefix, peer, kind byte, stamp varint).
+	n, err := r.length(25)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]RouteEvent, 0, n)
+	for i := 0; i < n; i++ {
+		var ev RouteEvent
+		if ev.Layer, err = r.vint(); err != nil {
+			return nil, err
+		}
+		if ev.Ring, err = r.str(); err != nil {
+			return nil, err
+		}
+		if ev.Peer, err = r.peer(); err != nil {
+			return nil, err
+		}
+		if ev.Kind, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if ev.Kind > RouteEvict {
+			return nil, fmt.Errorf("wire: route event kind byte %d", ev.Kind)
+		}
+		if ev.Stamp, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
 	}
 	return out, nil
 }

@@ -28,6 +28,10 @@ func testRequests() []Request {
 			{Key: "a", Value: []byte("1"), Version: 9, Writer: "n1:1#4"},
 			{Key: "b", Version: 1, Writer: "n2:2#1"},
 		}},
+		{Type: TRouteGossip, Events: []RouteEvent{
+			{Layer: 1, Ring: "global", Peer: Peer{Addr: "n1:9000", ID: [20]byte{1}}, Kind: RouteJoin, Stamp: 3},
+			{Layer: 2, Ring: "1012", Peer: Peer{Addr: "n2:9000", ID: [20]byte{2}}, Kind: RouteEvict, Stamp: 11},
+		}},
 	}
 }
 
@@ -42,6 +46,9 @@ func testResponses() []Response {
 			Succ:  []Peer{{Addr: "x:1"}, {Addr: "y:2"}}, Pred: Peer{Addr: "p:3"}},
 		{OK: true, Table: RingTable{Layer: 1, Name: "22", Largest: Peer{Addr: "m:5"}}, Found: true},
 		{OK: true, Value: []byte("stored value"), Version: 12, Writer: "w:1#9", Applied: 3},
+		{OK: true, Applied: 2, Events: []RouteEvent{
+			{Layer: 1, Ring: "global", Peer: Peer{Addr: "n3:9000", ID: [20]byte{3}}, Kind: RouteLeave, Stamp: 8},
+		}},
 	}
 }
 

@@ -80,6 +80,10 @@ func Idempotent(t MsgType) bool {
 		return true // plain read
 	case TDigest, TSyncPull:
 		return true // anti-entropy reads: digests and bucket snapshots
+	case TRouteGossip:
+		// Stamp-guarded merge: the receiver keeps only events that beat
+		// what it holds, so replaying a delivered gossip push is a no-op.
+		return true
 	case TNotify, TPutRingTable, TPut, TLeaveSucc, TLeavePred:
 		// State-installing writes: replaying one can resurrect state
 		// the ring has already moved past, so these are retried only

@@ -36,6 +36,17 @@ func FuzzDecodeMessage(f *testing.F) {
 		OK: true, Digests: []uint64{0xdeadbeef, 0, 42},
 		Items: []StoreItem{{Key: "doc-2", Version: 9, Writer: "n2:9000#1", Expire: 100, Tombstone: true}},
 	}
+	seedGossip := &Request{
+		Type: TRouteGossip,
+		Events: []RouteEvent{
+			{Layer: 1, Ring: "global", Peer: Peer{Addr: "n4:9000", ID: [20]byte{5}}, Kind: RouteJoin, Stamp: 12},
+			{Layer: 2, Ring: "az", Peer: Peer{Addr: "n5:9000"}, Kind: RouteEvict, Stamp: 40},
+		},
+	}
+	seedGossipResp := &Response{
+		OK: true, Applied: 1,
+		Events: []RouteEvent{{Layer: 1, Ring: "global", Peer: Peer{Addr: "n6:9000"}, Kind: RouteLeave, Stamp: 7}},
+	}
 	for _, c := range Codecs() {
 		if b, err := c.AppendRequest(nil, seedReq); err == nil {
 			f.Add(b)
@@ -53,6 +64,12 @@ func FuzzDecodeMessage(f *testing.F) {
 			f.Add(b)
 		}
 		if b, err := c.AppendResponse(nil, seedDigestResp); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendRequest(nil, seedGossip); err == nil {
+			f.Add(b)
+		}
+		if b, err := c.AppendResponse(nil, seedGossipResp); err == nil {
 			f.Add(b)
 		}
 	}
@@ -118,6 +135,8 @@ func FuzzRoundTrip(f *testing.F) {
 				Expire: uint64(typ) * 3, Tombstone: hier}},
 			KeyHi:   pid,
 			Buckets: []uint32{uint32(typ), uint32(typ) + 1},
+			Events: []RouteEvent{{Layer: layer, Ring: name, Peer: Peer{Addr: addr, ID: pid},
+				Kind: typ % 3, Stamp: uint64(typ) + 5}},
 
 			Hierarchical: hier,
 		}
@@ -132,6 +151,7 @@ func FuzzRoundTrip(f *testing.F) {
 			Expire: uint64(typ), Tombstone: !hier,
 			Digests: []uint64{uint64(typ), ^uint64(typ)},
 			Items:   req.Items,
+			Events:  req.Events,
 		}
 
 		for _, c := range Codecs() {
@@ -217,6 +237,9 @@ func normalizeReq(r Request) Request {
 	if len(r.Buckets) == 0 {
 		r.Buckets = nil
 	}
+	if len(r.Events) == 0 {
+		r.Events = nil
+	}
 	for i := range r.Items {
 		if len(r.Items[i].Value) == 0 {
 			r.Items[i].Value = nil
@@ -243,6 +266,9 @@ func normalizeResp(r Response) Response {
 	}
 	if len(r.Items) == 0 {
 		r.Items = nil
+	}
+	if len(r.Events) == 0 {
+		r.Events = nil
 	}
 	for i := range r.Items {
 		if len(r.Items[i].Value) == 0 {

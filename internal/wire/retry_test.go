@@ -333,4 +333,8 @@ func TestMsgTypeIdempotencyTable(t *testing.T) {
 			t.Errorf("%v should be idempotent (anti-entropy read)", typ)
 		}
 	}
+	// Route gossip is a stamp-guarded merge: replays are no-ops.
+	if !Idempotent(TRouteGossip) {
+		t.Error("TRouteGossip should be idempotent (stamp-guarded merge)")
+	}
 }

@@ -78,6 +78,12 @@ const (
 	// buckets of a range digest: the arc (Key, KeyHi] filtered to the
 	// bucket indexes listed in Buckets.
 	TSyncPull
+	// TRouteGossip exchanges membership events for the one-hop route
+	// tables: the sender pushes its event set (Request.Events), the
+	// receiver merges it (newest stamp wins) and replies with the events
+	// it knows that the sender does not (Response.Events). The merge is a
+	// join-semilattice, so replays and reordering are no-ops.
+	TRouteGossip
 )
 
 func (m MsgType) String() string {
@@ -118,6 +124,8 @@ func (m MsgType) String() string {
 		return "digest"
 	case TSyncPull:
 		return "sync_pull"
+	case TRouteGossip:
+		return "route_gossip"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(m))
 	}
@@ -149,6 +157,28 @@ type StoreItem struct {
 	Tombstone bool   // a delete marker, not a value
 }
 
+// Route event kinds, ordered so that at an equal stamp the departure
+// outranks the join: a tombstone observed concurrently with a join wins
+// the merge, and the (re)joining node re-announces with a fresher stamp.
+const (
+	RouteJoin  uint8 = 0 // the peer is a live member of the ring
+	RouteLeave uint8 = 1 // the peer departed gracefully
+	RouteEvict uint8 = 2 // the peer was evicted as dead
+)
+
+// RouteEvent is one membership fact for the gossip-maintained one-hop
+// route tables: peer Peer joined/left/was evicted from ring (Layer,
+// Ring) at logical stamp Stamp. Stamps are per-(layer, ring, peer)
+// monotonic; mergers keep the highest stamp, breaking ties toward the
+// higher Kind, so event sets converge regardless of delivery order.
+type RouteEvent struct {
+	Layer int
+	Ring  string
+	Peer  Peer
+	Kind  uint8
+	Stamp uint64
+}
+
 // RingTable is the on-the-wire form of a lower ring's boundary table.
 type RingTable struct {
 	Layer    int
@@ -176,6 +206,8 @@ type Request struct {
 	KeyHi [20]byte
 	// TSyncPull: divergent bucket indexes (into DigestBuckets) to pull.
 	Buckets []uint32
+	// TRouteGossip: the sender's full membership-event set.
+	Events []RouteEvent
 	// Hierarchical marks a TFindClosest step of a multi-layer routing
 	// procedure: the handler applies the paper's destination check against
 	// the GLOBAL ring (is this node the key's owner?) instead of the
@@ -225,6 +257,11 @@ type Response struct {
 	Digests []uint64
 	// TSyncPull: the receiver's items in the requested buckets.
 	Items []StoreItem
+
+	// TRouteGossip: events the receiver knows that beat or are absent
+	// from the request's set — the pull half of the push-pull exchange.
+	// Applied counts request events that advanced the receiver's table.
+	Events []RouteEvent
 }
 
 // DefaultTimeout bounds a call whose context carries no deadline. Every
