@@ -17,10 +17,14 @@ race:
 
 # lint is the blocking contract gate: stock vet plus the repo's own
 # analyzer suite (determinism, lock-across-RPC, retry idempotency,
-# metric hygiene, structural error matching). Suppressions require
-# //lint:allow <analyzer> <reason>; a missing reason is itself a finding.
+# metric hygiene, structural error matching, goroutine lifecycle,
+# context flow, lock ordering, channel ownership). Suppressions require
+# //lint:allow <analyzer> <reason>; a missing reason is itself a
+# finding, and a suppression whose analyzer no longer fires is rot the
+# stale-allows pass rejects.
 lint: vet
 	$(GO) run ./cmd/hieras-lint ./...
+	$(GO) run ./cmd/hieras-lint -stale-allows ./...
 
 vet:
 	$(GO) vet ./...

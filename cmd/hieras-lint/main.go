@@ -6,7 +6,10 @@
 //
 // Flags:
 //
-//	-list    print the analyzer roster and exit
+//	-list          print the analyzer roster and exit
+//	-stale-allows  report //lint:allow directives whose analyzer no
+//	               longer fires at the suppressed site, instead of
+//	               findings — suppressions rot silently otherwise
 //
 // Output is one line per finding, sorted by position:
 //
@@ -30,6 +33,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzer roster and exit")
+	staleAllows := flag.Bool("stale-allows", false, "report //lint:allow directives that no longer suppress anything and exit")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -52,6 +56,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *staleAllows {
+		stale, staleErr := lint.StaleAllows(prog, analyzers)
+		if staleErr != nil {
+			fatal(staleErr)
+		}
+		for _, s := range stale {
+			if rel, relErr := filepath.Rel(root, s.Pos.Filename); relErr == nil {
+				s.Pos.Filename = rel
+			}
+			fmt.Println(s)
+		}
+		if len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "hieras-lint: %d stale allow(s); delete them or re-justify\n", len(stale))
+			os.Exit(1)
+		}
+		return
+	}
+
 	findings, err := lint.Run(prog, analyzers)
 	if err != nil {
 		fatal(err)

@@ -219,7 +219,7 @@ func (s *System) BatchLookup(origins []int, keys []string) ([]Route, error) {
 	out := make([]Route, len(keys))
 	const block = 256
 	blocks := (len(keys) + block - 1) / block
-	err := experiments.NewPool(s.scenario.Workers).Run(context.Background(), blocks,
+	err := experiments.NewPool(s.scenario.Workers).Run(context.Background(), blocks, //lint:allow ctxflow BatchLookup is the package's ctx-less convenience API; the pool drains before it returns, so nothing outlives the call
 		func(_, b int) error {
 			lo, hi := b*block, (b+1)*block
 			if hi > len(keys) {
@@ -278,7 +278,7 @@ func summarize(requests int, cmp *experiments.Comparison) ComparisonSummary {
 // Compare routes `requests` random lookups through both algorithms over
 // this system and summarises the comparison.
 func (s *System) Compare(requests int) (ComparisonSummary, error) {
-	return s.CompareContext(context.Background(), requests)
+	return s.CompareContext(context.Background(), requests) //lint:allow ctxflow Compare is the documented ctx-less convenience wrapper over CompareContext
 }
 
 // CompareContext is Compare with cancellation: the batch engine stops

@@ -296,7 +296,7 @@ func RunComparison(s Scenario) (*Comparison, error) {
 // CompareOn runs the comparison workload over an existing overlay (so
 // several experiments can share one expensive build).
 func CompareOn(o *core.Overlay, s Scenario) (*Comparison, error) {
-	return CompareStream(context.Background(), o, s, nil)
+	return CompareStream(context.Background(), o, s, nil) //lint:allow ctxflow CompareOn is the documented ctx-less convenience wrapper over CompareContext/CompareStream
 }
 
 // CompareContext is CompareOn with cancellation: it returns early with

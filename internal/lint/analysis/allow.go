@@ -19,6 +19,7 @@ const AllowPrefix = "//lint:allow"
 // Allow is one parsed //lint:allow directive.
 type Allow struct {
 	Pos      token.Pos
+	File     string
 	Line     int
 	Analyzer string
 	Reason   string
@@ -42,7 +43,8 @@ func ParseAllows(fset *token.FileSet, f *ast.File) []Allow {
 				rest = rest[:i]
 			}
 			fields := strings.Fields(rest)
-			a := Allow{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+			pos := fset.Position(c.Pos())
+			a := Allow{Pos: c.Pos(), File: pos.Filename, Line: pos.Line}
 			if len(fields) > 0 {
 				a.Analyzer = fields[0]
 				a.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
@@ -56,8 +58,9 @@ func ParseAllows(fset *token.FileSet, f *ast.File) []Allow {
 // Suppressor filters diagnostics against a package's allow directives
 // and reports malformed directives as diagnostics of their own.
 type Suppressor struct {
-	// keyed by "<analyzer>\x00<line>" of the directive's own line; a
-	// directive suppresses findings on its line and the line below.
+	// keyed by "<analyzer>\x00<file>\x00<line>" of the directive's own
+	// line; a directive suppresses findings on its line and the line
+	// below, in its own file only.
 	allowed map[string]bool
 	bad     []Diagnostic
 }
@@ -79,16 +82,16 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File, known map[string]bool
 				s.bad = append(s.bad, Diagnostic{Pos: a.Pos, Analyzer: "allow",
 					Message: "lint:allow " + a.Analyzer + " needs a reason"})
 			default:
-				s.allowed[key(a.Analyzer, a.Line)] = true
-				s.allowed[key(a.Analyzer, a.Line+1)] = true
+				s.allowed[key(a.Analyzer, a.File, a.Line)] = true
+				s.allowed[key(a.Analyzer, a.File, a.Line+1)] = true
 			}
 		}
 	}
 	return s
 }
 
-func key(analyzer string, line int) string {
-	return analyzer + "\x00" + itoa(line)
+func key(analyzer, file string, line int) string {
+	return analyzer + "\x00" + file + "\x00" + itoa(line)
 }
 
 func itoa(n int) string {
@@ -107,8 +110,8 @@ func itoa(n int) string {
 
 // Suppressed reports whether d is covered by an allow directive.
 func (s *Suppressor) Suppressed(fset *token.FileSet, d Diagnostic) bool {
-	line := fset.Position(d.Pos).Line
-	return s.allowed[key(d.Analyzer, line)]
+	pos := fset.Position(d.Pos)
+	return s.allowed[key(d.Analyzer, pos.Filename, pos.Line)]
 }
 
 // Malformed returns the diagnostics for reasonless or unknown-analyzer

@@ -16,11 +16,19 @@ import (
 )
 
 // Analyzer describes one static check. Name is the identifier used in
-// diagnostics and //lint:allow suppressions.
+// diagnostics and //lint:allow suppressions. Exactly one of Run and
+// RunProgram is set: Run analyzes one package at a time, RunProgram sees
+// every loaded package in a single invocation — for contracts that only
+// exist across package boundaries, like the lock-acquisition graph
+// spanning transport, replica, routes and wire.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+	// RunProgram, when non-nil, makes this a program-level analyzer: the
+	// driver calls it once with every loaded package instead of calling
+	// Run per package.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package's worth of input to an Analyzer.Run.
@@ -48,4 +56,31 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+}
+
+// Unit is one package's syntax and type information inside a
+// program-level pass — the per-package slice of a Pass without the
+// reporting machinery.
+type Unit struct {
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// ProgramPass carries every loaded package to a program-level
+// analyzer's RunProgram.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+
+	// Report receives diagnostics, exactly as on Pass.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos, stamped with the pass's analyzer
+// name.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
 }

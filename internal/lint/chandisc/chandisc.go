@@ -1,0 +1,283 @@
+// Package chandisc enforces channel ownership discipline in library
+// code — the rules whose violations surface as panics ("send on closed
+// channel") or permanently blocked goroutines rather than wrong
+// answers:
+//
+//  1. Only the owner closes. close() on a bidirectional channel
+//     parameter is flagged: the function did not make the channel, so
+//     it cannot know there are no senders left. A send-only parameter
+//     (chan<- T) is exempt — declaring the direction is how Go spells
+//     the producer-owns-the-close idiom.
+//  2. A plain send on a channel this package also closes, from a
+//     different function than the close, is flagged: nothing orders the
+//     send before the close, and losing that race panics.
+//  3. A plain send on a provably unbuffered channel (a local made with
+//     make(chan T) and never reassigned) outside a select is flagged:
+//     if the receiver has left — returned early, failed, been cancelled
+//     — the sender blocks forever. Put the send in a select with a
+//     ctx.Done()/stop case, or buffer the channel so the handoff cannot
+//     wedge.
+//
+// Package main and _test.go files are exempt, matching the other
+// concurrency-contract analyzers.
+package chandisc
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the chandisc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "chandisc",
+	Doc:  "channel ownership: no close of bidirectional channel params, no sends racing a close, no unbuffered sends outside select",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if strings.HasSuffix(path.Base(pass.Fset.Position(f.Pos()).Filename), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	// First pass: which channel objects does this package close, and
+	// where? Field objects are per-type, so a close of f.done in one
+	// function covers every instance — exactly the "possibly closed"
+	// class rule 2 needs.
+	closedBy := map[types.Object]*ast.FuncDecl{}
+	for _, fd := range fns {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "close" || pass.TypesInfo.Uses[id] != nil && pass.TypesInfo.Uses[id].Pkg() != nil {
+				return true
+			}
+			if obj := chanObj(pass, call.Args[0]); obj != nil {
+				if _, seen := closedBy[obj]; !seen {
+					closedBy[obj] = fd
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range fns {
+		checkFunc(pass, fd, closedBy)
+	}
+	return nil
+}
+
+// chanObj resolves a channel expression to a stable object: a variable
+// ident or a struct-field selection. Anything else (map index, call
+// result) has no cross-function identity and returns nil.
+func chanObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := analysis.ObjectOf(pass.TypesInfo, e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Obj() != nil {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the three rules inside one top-level function.
+// Function literals nested in fd count as the same owner scope: a
+// goroutine closed over its parent's channel is the classic
+// worker/collector pair, not a cross-owner hazard.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, closedBy map[types.Object]*ast.FuncDecl) {
+	params := map[types.Object]bool{}
+	collectParams(pass, fd.Type, params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			collectParams(pass, fl.Type, params)
+		}
+		return true
+	})
+	unbuffered := unbufferedLocals(pass, fd)
+
+	// selectComms records the send statements that are a select's comm
+	// clause — those are cancellable and exempt from rules 2 and 3.
+	selectComms := map[ast.Stmt]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					selectComms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Rule 1: close of a bidirectional channel parameter.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				obj := chanObj(pass, n.Args[0])
+				if obj == nil || !params[obj] {
+					return true
+				}
+				if ch, ok := obj.Type().Underlying().(*types.Chan); ok && ch.Dir() == types.SendRecv {
+					pass.Reportf(n.Pos(),
+						"close of channel parameter %s: this function did not create the channel and cannot know no senders remain; close where the channel is made, or take chan<- %s to document producer ownership",
+						obj.Name(), ch.Elem())
+				}
+			}
+		case *ast.SendStmt:
+			if selectComms[n] {
+				return true
+			}
+			obj := chanObj(pass, n.Chan)
+			if obj == nil {
+				return true
+			}
+			// Rule 2: send racing a close in another function.
+			if closer, ok := closedBy[obj]; ok && closer != fd {
+				pass.Reportf(n.Pos(),
+					"send on %s, which %s closes; nothing orders this send before that close, and losing the race panics — make the closer the only sender or guard both with the owner's lock",
+					obj.Name(), closer.Name.Name)
+				return true
+			}
+			// Rule 3: unbuffered send outside a cancellable select.
+			if unbuffered[obj] {
+				pass.Reportf(n.Pos(),
+					"unbuffered send on %s outside a select: if the receiver is gone this goroutine blocks forever; add a select with a ctx.Done()/stop case or buffer the channel",
+					obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func collectParams(pass *analysis.Pass, ft *ast.FuncType, out map[types.Object]bool) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+}
+
+// unbufferedLocals finds variables in fd provably bound to an
+// unbuffered channel: every binding is make(chan T) with no capacity
+// (or a constant zero capacity), and nothing else is ever assigned.
+func unbufferedLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	known := map[types.Object]bool{} // true = unbuffered so far
+	poison := func(obj types.Object) {
+		if obj != nil {
+			known[obj] = false
+		}
+	}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		obj := chanObj(pass, lhs)
+		if obj == nil {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if v, ok := known[obj]; ok && !v {
+			return // already poisoned
+		}
+		if rhs != nil && isUnbufferedMake(pass, rhs) {
+			known[obj] = true
+		} else {
+			poison(obj)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					bind(l, nil) // multi-value: origin unknown
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						}
+						bind(name, rhs)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				poison(chanObj(pass, n.X)) // address escapes; rebinding untrackable
+			}
+		}
+		return true
+	})
+	out := map[types.Object]bool{}
+	for obj, ok := range known {
+		if ok {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isUnbufferedMake reports whether e is make(chan T) or
+// make(chan T, 0).
+func isUnbufferedMake(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok {
+		return false
+	} else if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	if len(call.Args) == 2 {
+		if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+			return true
+		}
+	}
+	return false
+}

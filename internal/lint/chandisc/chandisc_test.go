@@ -1,0 +1,11 @@
+package chandisc
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestChannelDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/src", "chanpkg", Analyzer)
+}

@@ -1,0 +1,99 @@
+package chanpkg
+
+func consume(v int) {}
+
+// Closing a bidirectional parameter: the function did not make the
+// channel, so it cannot know no senders remain.
+func CloseParam(ch chan int) {
+	close(ch) // want `close of channel parameter`
+}
+
+// A send-only parameter documents the producer-close idiom.
+func CloseSendOnly(ch chan<- int) {
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+// The owner made it, the owner closes it.
+func OwnerClose() {
+	ch := make(chan int, 4)
+	ch <- 1
+	close(ch)
+}
+
+type stream struct {
+	out chan int
+}
+
+// Close closes s.out in one function...
+func (s *stream) Close() {
+	close(s.out)
+}
+
+// ...so a send from any other function races it.
+func (s *stream) Emit(v int) {
+	s.out <- v // want `send on out, which Close closes`
+}
+
+// An unbuffered handoff outside a select wedges forever if the receiver
+// is gone.
+func UnbufferedSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `unbuffered send on ch outside a select`
+	}()
+	consume(<-ch)
+}
+
+// The same handoff inside a cancellable select is the sanctioned shape.
+func SelectSend(stop chan struct{}) {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-stop:
+		}
+	}()
+	select {
+	case v := <-ch:
+		consume(v)
+	case <-stop:
+	}
+}
+
+// A buffered result slot never blocks its sender.
+func BufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	consume(<-ch)
+}
+
+// Rebinding to a buffered make poisons the unbuffered proof.
+func Rebound() {
+	ch := make(chan int)
+	ch = make(chan int, 8)
+	ch <- 1
+	consume(<-ch)
+}
+
+// An explicit zero capacity is still unbuffered.
+func ZeroCap() {
+	ch := make(chan int, 0)
+	go func() {
+		ch <- 1 // want `unbuffered send on ch outside a select`
+	}()
+	consume(<-ch)
+}
+
+// A reasoned allow acknowledges a handoff whose receiver provably waits.
+func Allowed() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 //lint:allow chandisc the spawner blocks on the receive right below, so the rendezvous cannot be abandoned
+	}()
+	consume(<-ch)
+}

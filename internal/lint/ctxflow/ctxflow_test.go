@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata/src", "ctxpkg", Analyzer)
+}

@@ -1,0 +1,267 @@
+// Package goroutinelife enforces the goroutine ownership contract:
+// library code may only spawn a goroutine whose lifetime is visibly
+// tied to something that ends it. A goroutine with no owner outlives
+// Close, keeps its captures reachable forever, and turns every test
+// process into a slow leak — exactly the failure class -race cannot
+// see.
+//
+// Accepted lifecycle evidence, searched in the spawned body and
+// transitively through its same-package callees:
+//
+//   - a sync.WaitGroup.Done call (the spawner Waits for it),
+//   - a receive from ctx.Done(), a stop/close channel, or any
+//     select/receive/range-over-channel (the owner signals it),
+//   - a blocking accept/read on a closable endpoint — Accept/Read*
+//     methods on a value whose type has a Close method, or
+//     io.ReadFull/ReadAll/Copy — so the owning struct's Close unblocks
+//     it.
+//
+// A go statement whose body shows none of these is reported, as is a
+// spawn whose body the analyzer cannot see (a function value or a
+// cross-package call): if the lifecycle is real, name it where the
+// goroutine starts or carry a reasoned //lint:allow.
+//
+// The analyzer also flags time.Tick (its ticker can never be stopped)
+// and time.NewTicker in functions that never call Stop. Package main
+// and _test.go files are exempt: commands run until the process exits,
+// and tests have the runtime leak gate (internal/lint/leakcheck)
+// watching them instead.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the goroutinelife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every goroutine in library code must be tied to a lifecycle (WaitGroup, ctx/stop channel, or closable endpoint)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	s := &scanner{pass: pass, decls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					s.decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				s.checkGo(n)
+			case *ast.CallExpr:
+				s.checkTicker(n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					s.checkNewTicker(n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(path.Base(pass.Fset.Position(f.Pos()).Filename), "_test.go")
+}
+
+type scanner struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// checkGo verifies one go statement's lifecycle evidence.
+func (s *scanner) checkGo(g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := analysis.CalleeFunc(s.pass.TypesInfo, g.Call); fn != nil {
+			if fd, ok := s.decls[fn]; ok {
+				body = fd.Body
+			} else {
+				s.pass.Reportf(g.Pos(),
+					"goroutine body %s is outside this package; the analyzer cannot verify its lifecycle — wrap it in a local function that ties it to a WaitGroup, ctx/stop channel, or owning Close",
+					fn.Name())
+				return
+			}
+		} else {
+			s.pass.Reportf(g.Pos(),
+				"goroutine spawns a function value; the analyzer cannot verify its lifecycle — tie it to a WaitGroup, ctx/stop channel, or owning Close at the spawn site")
+			return
+		}
+	}
+	if !s.hasLifecycle(body, map[*ast.BlockStmt]bool{}) {
+		s.pass.Reportf(g.Pos(),
+			"orphan goroutine: no WaitGroup.Done, no ctx.Done()/stop-channel receive, and no blocking read on a closable endpoint; nothing ends this goroutine when its owner shuts down")
+	}
+}
+
+// hasLifecycle searches body (and, transitively, same-package callees)
+// for any accepted lifecycle evidence.
+func (s *scanner) hasLifecycle(body *ast.BlockStmt, visited map[*ast.BlockStmt]bool) bool {
+	if body == nil || visited[body] {
+		return false
+	}
+	visited[body] = true
+	found := false
+	var callees []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine's lifecycle is its own (checked at its own
+			// go statement); it neither keeps this one alive nor stops it.
+			return false
+		case *ast.UnaryExpr:
+			// Any receive is a wait on a signal someone else controls:
+			// <-ctx.Done(), <-stop, <-time.After in a timeout helper.
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := s.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true // drains until the owner closes the channel
+				}
+			}
+		case *ast.CallExpr:
+			if s.isEvidenceCall(n) {
+				found = true
+				return false
+			}
+			if fn := analysis.CalleeFunc(s.pass.TypesInfo, n); fn != nil {
+				if fd, ok := s.decls[fn]; ok {
+					callees = append(callees, fd.Body)
+				}
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	for _, c := range callees {
+		if s.hasLifecycle(c, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEvidenceCall recognizes calls that tie a goroutine to an owner:
+// WaitGroup.Done, blocking reads on closable endpoints, and the io
+// helpers that wrap them.
+func (s *scanner) isEvidenceCall(call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "io" {
+		switch fn.Name() {
+		case "ReadFull", "ReadAll", "Copy", "CopyN", "CopyBuffer":
+			return true
+		}
+	}
+	// A blocking accept/read method on a value whose type has a Close
+	// method: the owner's Close unblocks (and so ends) the goroutine.
+	switch fn.Name() {
+	case "Accept", "Read", "ReadFrom", "ReadFull", "RecvFrom", "ReadMsg":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := s.pass.TypesInfo.Types[sel.X]; ok && hasCloseMethod(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasCloseMethod reports whether t's method set (pointer included)
+// contains an exported Close.
+func hasCloseMethod(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	if lookupMethod(ms, "Close") {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return lookupMethod(types.NewMethodSet(types.NewPointer(t)), "Close")
+	}
+	return false
+}
+
+func lookupMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTicker flags time.Tick: the underlying ticker has no handle and
+// can never be stopped.
+func (s *scanner) checkTicker(call *ast.CallExpr) {
+	if analysis.IsPkgCall(s.pass.TypesInfo, call, "time", "Tick") {
+		s.pass.Reportf(call.Pos(),
+			"time.Tick leaks its ticker (no handle to Stop); use time.NewTicker and defer Stop")
+	}
+}
+
+// checkNewTicker flags time.NewTicker in functions that never call
+// Stop on a ticker.
+func (s *scanner) checkNewTicker(fd *ast.FuncDecl) {
+	var newTickers []*ast.CallExpr
+	stops := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsPkgCall(s.pass.TypesInfo, call, "time", "NewTicker") {
+			newTickers = append(newTickers, call)
+			return true
+		}
+		if fn := analysis.CalleeFunc(s.pass.TypesInfo, call); fn != nil && fn.Name() == "Stop" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := s.pass.TypesInfo.Types[sel.X]; ok && analysis.NamedFromPkg(tv.Type, "time", "Ticker") {
+					stops = true
+				}
+			}
+		}
+		return true
+	})
+	if stops {
+		return
+	}
+	for _, call := range newTickers {
+		s.pass.Reportf(call.Pos(),
+			"time.NewTicker without a Stop in %s; an unstopped ticker leaks its goroutine and channel", fd.Name.Name)
+	}
+}

@@ -1,0 +1,11 @@
+package goroutinelife
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestGoroutineLifecycle(t *testing.T) {
+	linttest.Run(t, "testdata/src", "glife", Analyzer)
+}

@@ -1,0 +1,9 @@
+// Package gdep is a dependency fixture: its bodies are invisible to a
+// per-package goroutinelife pass over glife.
+package gdep
+
+// Run loops forever; glife cannot see that.
+func Run() {
+	for {
+	}
+}

@@ -1,0 +1,151 @@
+package glife
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"gdep"
+)
+
+func work() {}
+
+// orphan: spins forever with no owner.
+func Orphan() {
+	go func() { // want `orphan goroutine`
+		for {
+			work()
+		}
+	}()
+}
+
+// A WaitGroup ties the goroutine to its spawner.
+func WaitGroupTied() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// A ctx.Done receive ties the goroutine to its caller's cancellation.
+func CtxTied(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Draining a channel until the owner closes it is a lifecycle.
+func RangeTied(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+type conn struct{}
+
+func (c *conn) Read(p []byte) (int, error) { return 0, nil }
+func (c *conn) Close() error               { return nil }
+
+// A blocking read on a closable endpoint: Close unblocks the loop.
+func EndpointTied(c *conn) {
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Evidence is searched transitively through same-package callees...
+func NamedGood(ch chan int) {
+	go drain(ch)
+}
+
+// ...and its absence in the whole call tree is an orphan.
+func NamedOrphan() {
+	go spin() // want `orphan goroutine`
+}
+
+// A nested goroutine's lifecycle does not vouch for its spawner.
+func NestedDoesNotVouch(ch chan int) {
+	go func() { // want `orphan goroutine`
+		go drain(ch)
+		for {
+			work()
+		}
+	}()
+}
+
+// Bodies outside the package cannot be verified.
+func CrossPackage() {
+	go gdep.Run() // want `outside this package`
+}
+
+// Function values cannot be verified either.
+func FuncValue(fn func()) {
+	go fn() // want `function value`
+}
+
+// An allow with a reason suppresses the finding.
+func Allowed(fn func()) {
+	go fn() //lint:allow goroutinelife the callback contract requires callers to pass a self-terminating fn
+}
+
+func Tick() {
+	go func() {
+		for range time.Tick(time.Second) { // want `time\.Tick leaks its ticker`
+		}
+	}()
+}
+
+func TickerNoStop(ctx context.Context) {
+	t := time.NewTicker(time.Second) // want `NewTicker without a Stop`
+	go func() {
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func TickerStopped(ctx context.Context) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package leakcheck is the runtime half of the concurrency-contract
+// suite: where goroutinelife proves statically that every goroutine has
+// an owner, leakcheck verifies at `go test` time that the owners
+// actually fire. It has two gates and zero dependencies beyond the
+// standard library:
+//
+//   - Main wraps a package's TestMain: it snapshots the running
+//     goroutines before the tests, runs them, and fails the binary if
+//     any goroutine spawned during the run is still alive once a grace
+//     window (LEAKCHECK_GRACE, default 2s) has passed — with the
+//     straggler's full stack, so the leak points at its spawn site.
+//   - Watchdog arms a per-test deadlock timer: if the test has not
+//     finished when the timer fires, it dumps every goroutine stack and
+//     kills the process, turning a silent `go test` hang (the package
+//     timeout is 10 minutes) into an immediate, attributed failure.
+//
+// Both gates read goroutine state from runtime.Stack(all=true), which
+// reports user goroutines only — GC workers and other system goroutines
+// never appear. Goroutines belonging to the testing framework itself
+// (pending parallel subtests, signal handling) are filtered as benign.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// DefaultGrace is how long Main waits for goroutines to drain after the
+// tests pass, unless LEAKCHECK_GRACE overrides it. Shutdown is
+// asynchronous by design (Close returns once owners are signalled, not
+// once every stack has unwound), so the gate polls instead of
+// snapshotting once.
+const DefaultGrace = 2 * time.Second
+
+// DefaultWatchdog is Watchdog's timer when the caller passes 0.
+const DefaultWatchdog = 2 * time.Minute
+
+// Main runs m's tests between a goroutine baseline and a leak check,
+// exiting non-zero if the tests fail or leak. Install it as the
+// package's TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	baseline := map[string]bool{}
+	for id := range snapshot() {
+		baseline[id] = true
+	}
+	code := m.Run()
+	if code == 0 {
+		if left := wait(baseline, grace()); len(left) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"leakcheck: %d goroutine(s) leaked by this package's tests (still running %v after the last test):\n\n%s\n",
+				len(left), grace(), strings.Join(left, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Watchdog fails the whole test binary with a full goroutine dump if t
+// is still running after d (0 = DefaultWatchdog). Arm it at the top of
+// tests that drive real concurrency:
+//
+//	leakcheck.Watchdog(t, 30*time.Second)
+//
+// A deadlocked test cannot fail itself — every path to t.Fatal is
+// blocked — so the watchdog has to end the process, not the test.
+func Watchdog(t testing.TB, d time.Duration) {
+	if d <= 0 {
+		d = DefaultWatchdog
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done) })
+	name := t.Name()
+	go func() {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			buf := make([]byte, 1<<22)
+			n := runtime.Stack(buf, true)
+			fmt.Fprintf(os.Stderr,
+				"leakcheck: watchdog: %s still running after %v — likely deadlock; all goroutines:\n\n%s\n",
+				name, d, buf[:n])
+			os.Exit(2)
+		}
+	}()
+}
+
+func grace() time.Duration {
+	if v := os.Getenv("LEAKCHECK_GRACE"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return DefaultGrace
+}
+
+// wait polls until every non-baseline, non-benign goroutine is gone or
+// the grace window lapses, returning the stragglers' stacks.
+func wait(baseline map[string]bool, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		var left []string
+		for id, stack := range snapshot() {
+			if !baseline[id] && !benign(stack) {
+				left = append(left, stack)
+			}
+		}
+		if len(left) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return left
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// snapshot returns every user goroutine's stack block, keyed by
+// goroutine ID ("goroutine 42 [chan receive]:" → "42").
+func snapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]string{}
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		block = strings.TrimSpace(block)
+		rest, ok := strings.CutPrefix(block, "goroutine ")
+		if !ok {
+			continue
+		}
+		id, _, ok := strings.Cut(rest, " ")
+		if !ok {
+			continue
+		}
+		out[id] = block
+	}
+	return out
+}
+
+// benign reports whether a goroutine belongs to infrastructure that
+// legitimately outlives a test: the testing framework's own goroutines
+// (parallel subtests parked between runs, the test runner), signal
+// handling, and this package's watchdogs.
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"created by testing.",
+		"testing.(*M).Run",
+		"testing.Main(",
+		"testing.runTests",
+		"os/signal.",
+		"leakcheck.Watchdog",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

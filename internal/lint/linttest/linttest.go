@@ -158,28 +158,50 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expecta
 }
 
 // analyze applies the analyzer with //lint:allow suppression, exactly
-// as the real driver does, returning findings sorted by position.
-func analyze(t *testing.T, fix *Fixture, a *analysis.Analyzer) []analysis.Diagnostic {
+// as the real driver does, returning findings sorted by position. The
+// fixtures are presented as one unit each; a program-level analyzer
+// (RunProgram) sees all of them in a single pass.
+func analyze(t *testing.T, fixes []*Fixture, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
+	fset := fixes[0].Fset
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fix.Fset,
-		Files:     fix.Files,
-		Pkg:       fix.Pkg,
-		TypesInfo: fix.Info,
-		Report: func(d analysis.Diagnostic) {
-			d.Analyzer = a.Name
-			diags = append(diags, d)
-		},
+	report := func(d analysis.Diagnostic) {
+		d.Analyzer = a.Name
+		diags = append(diags, d)
 	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
+	switch {
+	case a.RunProgram != nil:
+		units := make([]*analysis.Unit, len(fixes))
+		for i, fix := range fixes {
+			units[i] = &analysis.Unit{Path: fix.Pkg.Path(), Files: fix.Files, Pkg: fix.Pkg, TypesInfo: fix.Info}
+		}
+		pass := &analysis.ProgramPass{Analyzer: a, Fset: fset, Units: units, Report: report}
+		if err := a.RunProgram(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	default:
+		for _, fix := range fixes {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     fix.Files,
+				Pkg:       fix.Pkg,
+				TypesInfo: fix.Info,
+				Report:    report,
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s: %v", a.Name, err)
+			}
+		}
 	}
-	sup := analysis.NewSuppressor(fix.Fset, fix.Files, map[string]bool{a.Name: true})
+	var files []*ast.File
+	for _, fix := range fixes {
+		files = append(files, fix.Files...)
+	}
+	sup := analysis.NewSuppressor(fset, files, map[string]bool{a.Name: true})
 	kept := diags[:0]
 	for _, d := range diags {
-		if !sup.Suppressed(fix.Fset, d) {
+		if !sup.Suppressed(fset, d) {
 			kept = append(kept, d)
 		}
 	}
@@ -192,13 +214,30 @@ func analyze(t *testing.T, fix *Fixture, a *analysis.Analyzer) []analysis.Diagno
 // diagnostics against the fixture's want annotations.
 func Run(t *testing.T, srcRoot, pkg string, a *analysis.Analyzer) {
 	t.Helper()
+	RunPkgs(t, srcRoot, []string{pkg}, a)
+}
+
+// RunPkgs loads several fixture packages and applies the analyzer to
+// all of them together — for program-level analyzers whose findings
+// only exist across package boundaries. Want annotations are honored in
+// every listed package.
+func RunPkgs(t *testing.T, srcRoot string, pkgs []string, a *analysis.Analyzer) {
+	t.Helper()
 	r := rootFor(srcRoot)
-	fix := r.load(t, srcRoot, pkg, map[string]bool{})
-	diags := analyze(t, fix, a)
-	wants := parseWants(t, fix.Fset, fix.Files)
+	fixes := make([]*Fixture, len(pkgs))
+	for i, pkg := range pkgs {
+		fixes[i] = r.load(t, srcRoot, pkg, map[string]bool{})
+	}
+	diags := analyze(t, fixes, a)
+	fset := fixes[0].Fset
+	var files []*ast.File
+	for _, fix := range fixes {
+		files = append(files, fix.Files...)
+	}
+	wants := parseWants(t, fset, files)
 
 	for _, d := range diags {
-		pos := fix.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {
 			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
@@ -224,5 +263,5 @@ func Diagnostics(t *testing.T, srcRoot, pkg string, a *analysis.Analyzer) []anal
 	t.Helper()
 	r := rootFor(srcRoot)
 	fix := r.load(t, srcRoot, pkg, map[string]bool{})
-	return analyze(t, fix, a)
+	return analyze(t, []*Fixture{fix}, a)
 }

@@ -44,20 +44,20 @@ type Program struct {
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	Dir           string
-	ImportPath    string
-	ForTest       string
-	Standard      bool
-	GoFiles       []string
-	CgoFiles      []string
-	TestGoFiles   []string
-	XTestGoFiles  []string
-	Imports       []string
-	TestImports   []string
-	XTestImports  []string
-	Module        *struct{ Path string }
-	DepsErrors    []*listErr
-	Error         *listErr
+	Dir            string
+	ImportPath     string
+	ForTest        string
+	Standard       bool
+	GoFiles        []string
+	CgoFiles       []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	Imports        []string
+	TestImports    []string
+	XTestImports   []string
+	Module         *struct{ Path string }
+	DepsErrors     []*listErr
+	Error          *listErr
 	IgnoredGoFiles []string
 }
 

@@ -1,0 +1,514 @@
+// Package lockorder builds the static mutex-acquisition graph across
+// the whole program and flags lock-order inversions — the deadlock
+// class -race cannot see, and the cross-lock sibling of lockrpc's
+// lock-across-RPC contract.
+//
+// A lock class is a mutex's declaration site: a named struct field
+// (pkg.Type.field — every instance of wire.muxConn.mu is one class), a
+// package-level var, or a function-local var. Within each function the
+// analyzer tracks the held set path-sensitively (Lock/RLock,
+// Unlock/RUnlock, defer Unlock, early-unlock in nested blocks, fresh
+// sets for goroutines and function literals — the same discipline as
+// lockrpc), and records an edge A→B whenever B is acquired while A is
+// held: directly, or through a call whose transitive may-lock summary
+// contains B. Summaries are computed to a fixpoint over every loaded
+// package, so an edge from transport.Node.mu into replica.Engine.mu or
+// routes.Table.mu is seen even though the acquisitions live in
+// different packages.
+//
+// Any strongly connected component of that graph is a potential
+// deadlock: two classes mutually reachable means two goroutines can
+// acquire them in opposite orders. Every edge inside an SCC (including
+// a self-edge — re-acquiring a class that is already held) is
+// reported at the position of the offending acquisition.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "flag cycles in the program-wide mutex acquisition graph (potential lock-order deadlocks)",
+	RunProgram: run,
+}
+
+// classID identifies one lock class: "pkgpath.Type.field",
+// "pkgpath.var" or "pkgpath.func.local".
+type classID string
+
+// funcKey identifies a function across units: "pkgpath.Recv.Name" —
+// string-keyed so a call resolved against a bodies-ignored dependency
+// package matches the fully-checked unit that owns the body.
+type funcKey string
+
+// edge is one observed acquisition order: to was acquired while from
+// was held.
+type edge struct {
+	from, to classID
+	pos      token.Pos
+	via      string // callee name for summary-derived edges, "" for direct Lock
+}
+
+type fnInfo struct {
+	key     funcKey
+	unit    *analysis.Unit
+	decl    *ast.FuncDecl
+	direct  map[classID]bool
+	callees []funcKey
+	maylock map[classID]bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := &graph{pass: pass, edges: map[[2]classID]*edge{}}
+	var fns []*fnInfo
+	byKey := map[funcKey]*fnInfo{}
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			if strings.HasSuffix(path.Base(pass.Fset.Position(f.Pos()).Filename), "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := u.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				fi := &fnInfo{key: keyOf(fn), unit: u, decl: fd, direct: map[classID]bool{}, maylock: map[classID]bool{}}
+				g.collectSummary(fi)
+				fns = append(fns, fi)
+				// Two units can both carry a body for one key only if a
+				// package is loaded twice; last one wins, harmlessly.
+				byKey[fi.key] = fi
+			}
+		}
+	}
+	// May-lock fixpoint: propagate callee summaries until stable.
+	for _, fi := range fns {
+		for c := range fi.direct {
+			fi.maylock[c] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for _, ck := range fi.callees {
+				callee, ok := byKey[ck]
+				if !ok {
+					continue
+				}
+				for c := range callee.maylock {
+					if !fi.maylock[c] {
+						fi.maylock[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Edge generation: path-sensitive walk of every body.
+	for _, fi := range fns {
+		s := &scanner{g: g, fi: fi, byKey: byKey}
+		s.list(fi.decl.Body.List, map[classID]token.Pos{})
+	}
+	g.reportCycles()
+	return nil
+}
+
+// keyOf builds the cross-unit key of a function or method.
+func keyOf(fn *types.Func) funcKey {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name() + "."
+		}
+	}
+	return funcKey(pkg + "." + recv + fn.Name())
+}
+
+type graph struct {
+	pass  *analysis.ProgramPass
+	edges map[[2]classID]*edge
+	order [][2]classID // insertion order, for deterministic reporting
+}
+
+func (g *graph) addEdge(from, to classID, pos token.Pos, via string) {
+	k := [2]classID{from, to}
+	if _, ok := g.edges[k]; ok {
+		return
+	}
+	g.edges[k] = &edge{from: from, to: to, pos: pos, via: via}
+	g.order = append(g.order, k)
+}
+
+// collectSummary records fi's directly-acquired classes and resolvable
+// callees. Function literals and goroutine bodies are excluded: their
+// execution is not part of this function's lock region.
+func (g *graph) collectSummary(fi *fnInfo) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if cls, lock, _ := mutexOp(fi, n); lock {
+				fi.direct[cls] = true
+				return true
+			}
+			if fn := analysis.CalleeFunc(fi.unit.TypesInfo, n); fn != nil {
+				fi.callees = append(fi.callees, keyOf(fn))
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp classifies a call as a sync Lock/RLock or Unlock/RUnlock on a
+// resolvable lock class.
+func mutexOp(fi *fnInfo, call *ast.CallExpr) (cls classID, lock, unlock bool) {
+	fn := analysis.CalleeFunc(fi.unit.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	isLock := fn.Name() == "Lock" || fn.Name() == "RLock"
+	isUnlock := fn.Name() == "Unlock" || fn.Name() == "RUnlock"
+	if !isLock && !isUnlock {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	cls, ok = classOf(fi, sel.X)
+	if !ok {
+		return "", false, false
+	}
+	return cls, isLock, isUnlock
+}
+
+// classOf resolves a mutex expression to its lock class.
+func classOf(fi *fnInfo, x ast.Expr) (classID, bool) {
+	info := fi.unit.TypesInfo
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			obj := sel.Obj()
+			if obj == nil || obj.Pkg() == nil {
+				return "", false
+			}
+			owner := namedName(sel.Recv())
+			if owner != "" {
+				return classID(obj.Pkg().Path() + "." + owner + "." + obj.Name()), true
+			}
+			return classID(obj.Pkg().Path() + "." + obj.Name()), true
+		}
+		if obj := info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			return classID(obj.Pkg().Path() + "." + obj.Name()), true // pkg-qualified var
+		}
+	case *ast.Ident:
+		v, ok := analysis.ObjectOf(info, x).(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() || v.IsField() {
+			return classID(v.Pkg().Path() + "." + v.Name()), true
+		}
+		// Function-local mutex: scoped to this function's key, so two
+		// functions' locals never alias.
+		return classID(string(fi.key) + "." + v.Name()), true
+	}
+	return "", false
+}
+
+func namedName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func clone(held map[classID]token.Pos) map[classID]token.Pos {
+	out := make(map[classID]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// scanner walks one function path-sensitively, mirroring lockrpc's
+// discipline, emitting acquisition edges into the graph.
+type scanner struct {
+	g     *graph
+	fi    *fnInfo
+	byKey map[funcKey]*fnInfo
+}
+
+func (s *scanner) list(stmts []ast.Stmt, held map[classID]token.Pos) {
+	for _, stmt := range stmts {
+		s.stmt(stmt, held)
+	}
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held map[classID]token.Pos) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if cls, lock, unlock := mutexOp(s.fi, call); lock {
+				s.acquire(cls, call.Pos(), held)
+				return
+			} else if unlock {
+				delete(held, cls)
+				return
+			}
+		}
+		s.checkTree(st, held)
+	case *ast.DeferStmt:
+		if _, _, unlock := mutexOp(s.fi, st.Call); unlock {
+			return // held until return; the rest of the list is under it
+		}
+		s.checkTree(st, held)
+	case *ast.BlockStmt:
+		s.list(st.List, clone(held))
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		s.checkTree(st.Cond, held)
+		s.list(st.Body.List, clone(held))
+		if st.Else != nil {
+			s.stmt(st.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkTree(st.Cond, held)
+		}
+		if st.Post != nil {
+			s.checkTree(st.Post, held)
+		}
+		s.list(st.Body.List, clone(held))
+	case *ast.RangeStmt:
+		s.checkTree(st.X, held)
+		s.list(st.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.checkTree(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkTree(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.list(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.list(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := clone(held)
+				if cc.Comm != nil {
+					s.stmt(cc.Comm, inner)
+				}
+				s.list(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		s.checkTree(st, held) // FuncLit inside gets a fresh held set
+	default:
+		s.checkTree(stmt, held)
+	}
+}
+
+// acquire records edges held→cls, then marks cls held.
+func (s *scanner) acquire(cls classID, pos token.Pos, held map[classID]token.Pos) {
+	for h := range held {
+		s.g.addEdge(h, cls, pos, "")
+	}
+	held[cls] = pos
+}
+
+// checkTree inspects a non-block subtree: direct lock acquisitions in
+// expression position and calls whose may-lock summary acquires under
+// the held set. Function literals start over with nothing held.
+func (s *scanner) checkTree(n ast.Node, held map[classID]token.Pos) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.list(n.Body.List, map[classID]token.Pos{})
+			return false
+		case *ast.CallExpr:
+			if cls, lock, unlock := mutexOp(s.fi, n); lock {
+				s.acquire(cls, n.Pos(), held)
+				return true
+			} else if unlock {
+				delete(held, cls)
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(s.fi.unit.TypesInfo, n)
+			if fn == nil {
+				return true
+			}
+			callee, ok := s.byKey[keyOf(fn)]
+			if !ok {
+				return true
+			}
+			for c := range callee.maylock {
+				for h := range held {
+					s.g.addEdge(h, c, n.Pos(), fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportCycles runs Tarjan's SCC over the class graph and reports every
+// edge that stays inside a component (plus self-edges).
+func (g *graph) reportCycles() {
+	adj := map[classID][]classID{}
+	var nodes []classID
+	seen := map[classID]bool{}
+	addNode := func(c classID) {
+		if !seen[c] {
+			seen[c] = true
+			nodes = append(nodes, c)
+		}
+	}
+	for _, k := range g.order {
+		addNode(k[0])
+		addNode(k[1])
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, c := range nodes {
+		sort.Slice(adj[c], func(i, j int) bool { return adj[c][i] < adj[c][j] })
+	}
+
+	comp := tarjan(nodes, adj)
+	compSize := map[int]int{}
+	for _, id := range comp {
+		compSize[id]++
+	}
+	members := map[int][]classID{}
+	for _, c := range nodes {
+		members[comp[c]] = append(members[comp[c]], c)
+	}
+	for _, k := range g.order {
+		e := g.edges[k]
+		self := e.from == e.to
+		if !self && (comp[e.from] != comp[e.to] || compSize[comp[e.from]] < 2) {
+			continue
+		}
+		var msg string
+		if self {
+			msg = fmt.Sprintf("lock %s acquired while already held", short(e.from))
+		} else {
+			cyc := members[comp[e.from]]
+			parts := make([]string, len(cyc))
+			for i, c := range cyc {
+				parts[i] = short(c)
+			}
+			msg = fmt.Sprintf("lock %s acquired while %s is held, but the reverse order also exists (cycle: %s)",
+				short(e.to), short(e.from), strings.Join(parts, " ⇄ "))
+		}
+		if e.via != "" {
+			msg += fmt.Sprintf(" — via call to %s", e.via)
+		}
+		g.pass.Reportf(e.pos, "%s; a second goroutine taking these in the opposite order deadlocks", msg)
+	}
+}
+
+// short trims the import-path prefix off a class ID for readable
+// diagnostics: "repro/internal/wire.muxConn.mu" → "wire.muxConn.mu".
+func short(c classID) string {
+	s := string(c)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// tarjan computes strongly connected components; the returned map
+// assigns each node a component id.
+func tarjan(nodes []classID, adj map[classID][]classID) map[classID]int {
+	index := map[classID]int{}
+	low := map[classID]int{}
+	onStack := map[classID]bool{}
+	comp := map[classID]int{}
+	var stack []classID
+	next, ncomp := 0, 0
+
+	var strongconnect func(v classID)
+	strongconnect = func(v classID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return comp
+}

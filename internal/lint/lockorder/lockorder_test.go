@@ -1,0 +1,13 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+// The cycle spans three fixture packages; only a program-level pass
+// over all of them sees it.
+func TestLockOrderCycles(t *testing.T) {
+	linttest.RunPkgs(t, "testdata/src", []string{"lockc", "locka", "lockb"}, Analyzer)
+}

@@ -1,0 +1,53 @@
+package locka
+
+import (
+	"sync"
+
+	"lockc"
+)
+
+type A struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Forward establishes A.Mu → C.Mu through a cross-package call.
+func Forward(a *A, c *lockc.C) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	a.n++
+	c.Grab() // want `lock lockc\.C\.Mu acquired while locka\.A\.Mu is held`
+}
+
+func lockAgain(a *A) {
+	a.Mu.Lock()
+	a.n++
+	a.Mu.Unlock()
+}
+
+// Reentry is a self-cycle: the callee re-acquires the lock the caller
+// already holds, which deadlocks on a plain sync.Mutex.
+func Reentry(a *A) {
+	a.Mu.Lock()
+	lockAgain(a) // want `lock locka\.A\.Mu acquired while already held`
+	a.Mu.Unlock()
+}
+
+// UnlockedCall releases first — no edge, no finding.
+func UnlockedCall(a *A, c *lockc.C) {
+	a.Mu.Lock()
+	a.n++
+	a.Mu.Unlock()
+	c.Grab()
+}
+
+// Local mutexes are per-function classes: nested ordering between a
+// local and a field never aliases across functions, so no cycle arises.
+func LocalNested(a *A) {
+	var mu sync.Mutex
+	mu.Lock()
+	a.Mu.Lock()
+	a.n++
+	a.Mu.Unlock()
+	mu.Unlock()
+}

@@ -1,0 +1,19 @@
+// Package lockc is the shared dependency of the lock-order fixtures:
+// its mutex participates in a cross-package cycle that neither locka
+// nor lockb can see alone.
+package lockc
+
+import "sync"
+
+type C struct {
+	Mu  sync.Mutex
+	hit int
+}
+
+// Grab acquires C's lock; callers holding their own lock create an
+// ordering edge into lockc.C.Mu.
+func (c *C) Grab() {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	c.hit++
+}

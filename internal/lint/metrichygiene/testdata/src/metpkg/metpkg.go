@@ -31,7 +31,7 @@ func (t *thing) Instrument(reg *metrics.Registry) {
 
 // A typo'd name splits a time series: flagged against the registry.
 func NewTypo(reg *metrics.Registry) {
-	reg.NewCounter("goood_total", "h")              // want `unknown metric name "goood_total"`
+	reg.NewCounter("goood_total", "h")             // want `unknown metric name "goood_total"`
 	reg.NewCounter("antientropy_round_total", "h") // want `unknown metric name "antientropy_round_total"`
 }
 
@@ -48,12 +48,12 @@ func (t *thing) handle(reg *metrics.Registry) {
 type kind string
 
 func (t *thing) labels(k kind, n int, addr string) {
-	t.vec.With(string(k)).Inc()        // enum conversion: bounded
-	t.vec.With(strconv.Itoa(n)).Inc()  // small-int formatting: bounded
-	t.vec.With("static").Inc()         // literal: bounded
-	t.vec.With(addr).Inc()             // want `label value addr is not obviously bounded`
-	t.vec.With(string(addr)).Inc()     // want `label value string\(addr\) converts a raw string`
-	t.vec.With(fmt.Sprint(n)).Inc()    // want `label value fmt\.Sprint\(n\) formats arbitrary data`
+	t.vec.With(string(k)).Inc()               // enum conversion: bounded
+	t.vec.With(strconv.Itoa(n)).Inc()         // small-int formatting: bounded
+	t.vec.With("static").Inc()                // literal: bounded
+	t.vec.With(addr).Inc()                    // want `label value addr is not obviously bounded`
+	t.vec.With(string(addr)).Inc()            // want `label value string\(addr\) converts a raw string`
+	t.vec.With(fmt.Sprint(n)).Inc()           // want `label value fmt\.Sprint\(n\) formats arbitrary data`
 	t.vec.With(fmt.Sprintf("%s", addr)).Inc() // want `formats arbitrary data`
 }
 

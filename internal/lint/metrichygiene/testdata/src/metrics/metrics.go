@@ -27,8 +27,8 @@ func (*GaugeVec) With(v string) *Gauge { return &Gauge{} }
 
 type Registry struct{}
 
-func (*Registry) NewCounter(name, help string) *Counter          { return &Counter{} }
-func (*Registry) NewGauge(name, help string) *Gauge              { return &Gauge{} }
+func (*Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+func (*Registry) NewGauge(name, help string) *Gauge     { return &Gauge{} }
 func (*Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
 	return &Histogram{}
 }

@@ -51,11 +51,11 @@ var Analyzer = &analysis.Analyzer{
 // forbidden maps package path -> function name -> message.
 var forbidden = map[string]map[string]string{
 	"time": {
-		"Now":      "time.Now reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
-		"Since":    "time.Since reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
-		"Until":    "time.Until reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
-		"Sleep":    "time.Sleep blocks on the wall clock; use the event-sim clock or an injected sleeper",
-		"Tick":     "time.Tick fires on the wall clock; schedule through the event-sim clock instead",
+		"Now":       "time.Now reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
+		"Since":     "time.Since reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
+		"Until":     "time.Until reads the wall clock; deterministic code must take time from the harness (eventsim clock or logical sequence)",
+		"Sleep":     "time.Sleep blocks on the wall clock; use the event-sim clock or an injected sleeper",
+		"Tick":      "time.Tick fires on the wall clock; schedule through the event-sim clock instead",
 		"AfterFunc": "time.AfterFunc fires on the wall clock; schedule through the event-sim clock instead",
 	},
 }

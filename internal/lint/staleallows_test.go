@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// TestStaleAllowsDetection plants one live and one stale //lint:allow in
+// a throwaway module and checks the meta-pass keeps the first and flags
+// the second. This is the correctness proof behind the CI invocation
+// `hieras-lint -stale-allows ./...`: without it, the pass could silently
+// report nothing forever and suppressions would rot unnoticed.
+func TestStaleAllowsDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module from source; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module staletest\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "stale.go"), `package staletest
+
+import "context"
+
+// Root violates ctxflow (Background outside main/tests), so the allow
+// on its line is live and must not be reported.
+func Root() context.Context {
+	return context.Background() //lint:allow ctxflow fixture lifecycle root
+}
+
+// Quiet violates nothing: its allow outlived whatever it once excused.
+func Quiet() int {
+	return 1 //lint:allow ctxflow nothing fires here
+}
+`)
+	prog, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load temp module: %v", err)
+	}
+
+	findings, err := lint.Run(prog, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding (live allow should suppress): %s", f)
+	}
+
+	stale, err := lint.StaleAllows(prog, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("stale-allows pass: %v", err)
+	}
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale allow(s), want exactly 1: %v", len(stale), stale)
+	}
+	s := stale[0]
+	if s.Analyzer != "ctxflow" {
+		t.Errorf("stale allow analyzer = %q, want ctxflow", s.Analyzer)
+	}
+	if filepath.Base(s.Pos.Filename) != "stale.go" || s.Pos.Line != 13 {
+		t.Errorf("stale allow at %s:%d, want stale.go:13", s.Pos.Filename, s.Pos.Line)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

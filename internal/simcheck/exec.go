@@ -1,7 +1,6 @@
 package simcheck
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/transport"
@@ -72,7 +71,7 @@ func (h *harness) exec(op Op) *Failure {
 	case OpPut:
 		n := h.origin(op.Slot)
 		wasDeleted := h.model.deleted[op.Key]
-		err := n.Put(context.Background(), op.Key, []byte(op.Value))
+		err := n.Put(h.ctx, op.Key, []byte(op.Value))
 		// Record the value even when the put reports failure: part of the
 		// replica set may have accepted the write before the quorum
 		// fell short, so the value can legitimately be read back later.
@@ -100,7 +99,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpGet:
 		n := h.origin(op.Slot)
-		v, err := n.Get(context.Background(), op.Key)
+		v, err := n.Get(h.ctx, op.Key)
 		acc := h.model.vals[op.Key]
 		if err != nil {
 			// Acknowledged writes must stay readable in a partition-free
@@ -120,7 +119,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpDelete:
 		n := h.origin(op.Slot)
-		err := n.Delete(context.Background(), op.Key)
+		err := n.Delete(h.ctx, op.Key)
 		h.extendLease(op.Key) // the tombstone's grace is a fresh lease
 		if err != nil {
 			// A failed delete may still have installed tombstones on a
@@ -151,7 +150,7 @@ func (h *harness) exec(op Op) *Failure {
 
 	case OpLookup:
 		n := h.origin(op.Slot)
-		res, err := n.Lookup(context.Background(), transport.LiveKeyID(op.Key))
+		res, err := n.Lookup(h.ctx, transport.LiveKeyID(op.Key))
 		if err != nil {
 			if !h.partitioned {
 				return fail("lookup-availability", "lookup %q from n%d: %v", op.Key, op.Slot, err)

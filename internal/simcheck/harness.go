@@ -1,6 +1,7 @@
 package simcheck
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -80,7 +81,12 @@ func (m *model) mustRead(key string, now uint64) bool {
 // are the two landmarks; they are started before any generated op runs
 // and never leave or fail.
 type harness struct {
-	cfg         Config
+	cfg Config
+	// ctx is the run's root context: every operation the executor issues
+	// (puts, gets, lookups) flows from it, and close cancels it so no op
+	// can outlive the harness.
+	ctx         context.Context
+	cancel      context.CancelFunc
 	mem         *wire.MemNet
 	fnet        *faultnet.Network
 	nodes       []*transport.Node
@@ -123,7 +129,8 @@ func newHarness(cfg Config) (*harness, error) {
 			expireAt: map[string]uint64{},
 		},
 	}
-	h.clock.Store(1) // tick 0 would read as replica's "no clock" sentinel
+	h.ctx, h.cancel = context.WithCancel(context.Background()) //lint:allow ctxflow the harness run root: close cancels it, and every executed op derives from it
+	h.clock.Store(1)                                           // tick 0 would read as replica's "no clock" sentinel
 	ladder, err := binning.DefaultLadder(cfg.Depth)
 	if err != nil {
 		return nil, err
@@ -235,6 +242,7 @@ func (h *harness) startNode(slot int) error {
 }
 
 func (h *harness) close() {
+	h.cancel()
 	for s, n := range h.nodes {
 		if n != nil {
 			n.Close()

@@ -2,7 +2,6 @@ package simcheck
 
 import (
 	"bytes"
-	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -50,10 +49,10 @@ func (h *harness) world(quiescent bool) *world {
 		Partitioned: h.partitioned,
 		Model:       h.model,
 		lookup: func(slot int, key id.ID) (transport.LookupResult, error) {
-			return h.nodes[slot].Lookup(context.Background(), key)
+			return h.nodes[slot].Lookup(h.ctx, key)
 		},
 		get: func(slot int, key string) ([]byte, error) {
-			return h.nodes[slot].Get(context.Background(), key)
+			return h.nodes[slot].Get(h.ctx, key)
 		},
 	}
 	for _, s := range h.liveSlots() {

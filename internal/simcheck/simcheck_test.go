@@ -5,6 +5,9 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/lint/leakcheck"
 
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -14,6 +17,7 @@ import (
 // join/leave/fail/put/get/lookup/partition/heal programs with every
 // invariant intact, including the implicit final quiescent checkpoint.
 func TestHealthyProperty(t *testing.T) {
+	leakcheck.Watchdog(t, 2*time.Minute)
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -92,6 +96,7 @@ func TestExpiryProgram(t *testing.T) {
 // — must be caught by the invariant suite, shrunk to a program of at
 // most 10 operations, and replayable from the printed artifact.
 func TestSeededBugCaughtAndShrunk(t *testing.T) {
+	leakcheck.Watchdog(t, 2*time.Minute)
 	buggy := Config{Seed: 42, SkipRepairLayer: 2}
 	f := Run(buggy)
 	if f == nil {

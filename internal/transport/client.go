@@ -30,10 +30,12 @@ func (n *Node) call(ctx context.Context, addr string, req wire.Request) (wire.Re
 
 // callBG is call for maintenance paths (stabilization, repair, leave,
 // joins): they run on their own cadence with no caller to propagate a
-// deadline from, so each RPC is bounded only by the per-attempt timeout
-// and retry budget.
+// deadline from, so each RPC is bounded by the per-attempt timeout and
+// retry budget — and by the node's lifecycle context, so Close aborts
+// any maintenance chain mid-flight instead of letting it finish against
+// a dying node.
 func (n *Node) callBG(addr string, req wire.Request) (wire.Response, error) {
-	return n.call(context.Background(), addr, req)
+	return n.call(n.lifeCtx, addr, req)
 }
 
 // suspectDead reports whether addr has accumulated enough consecutive
@@ -84,7 +86,7 @@ func (n *Node) computeRingNames() ([]string, error) {
 	}
 	lats := make([]float64, len(n.cfg.Landmarks))
 	for i, lm := range n.cfg.Landmarks {
-		lat, err := n.cfg.Prober.Latency(lm)
+		lat, err := n.cfg.Prober.Latency(n.lifeCtx, lm)
 		if err != nil {
 			return nil, fmt.Errorf("transport: probing landmark %s: %w", lm, err)
 		}
@@ -111,7 +113,7 @@ func (n *Node) Join(bootstrap string) error {
 	self := n.Self()
 
 	// Highest layer first: find our global successor through bootstrap.
-	gsucc, _, err := n.walkOwner(context.Background(), bootstrap, 1, n.id)
+	gsucc, _, err := n.walkOwner(n.lifeCtx, bootstrap, 1, n.id)
 	if err != nil {
 		return fmt.Errorf("transport: global join lookup: %w", err)
 	}
@@ -282,7 +284,7 @@ func (n *Node) announceLeaveRoutes() {
 // ring table if we became a boundary node.
 func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer) error {
 	rid := ringID(layer, name)
-	storing, _, err := n.walkOwner(context.Background(), bootstrap, 1, rid)
+	storing, _, err := n.walkOwner(n.lifeCtx, bootstrap, 1, rid)
 	if err != nil {
 		return err
 	}
@@ -310,7 +312,7 @@ func (n *Node) joinRing(bootstrap string, layer int, name string, self wire.Peer
 	if err != nil {
 		return err
 	}
-	rsucc, _, err := n.walkOwner(context.Background(), member.Addr, layer, n.id)
+	rsucc, _, err := n.walkOwner(n.lifeCtx, member.Addr, layer, n.id)
 	if err != nil {
 		return err
 	}
@@ -1075,7 +1077,7 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 			if lm == n.addr {
 				continue
 			}
-			owner, _, err := n.walkOwner(context.Background(), lm, 1, n.id)
+			owner, _, err := n.walkOwner(n.lifeCtx, lm, 1, n.id)
 			if err != nil || owner.Addr == "" || owner.Addr == n.addr {
 				continue
 			}
@@ -1093,7 +1095,7 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 		return wire.Peer{}, false
 	}
 	rid := ringID(layer, name)
-	storing, _, err := n.walkOwner(context.Background(), n.addr, 1, rid)
+	storing, _, err := n.walkOwner(n.lifeCtx, n.addr, 1, rid)
 	if err != nil {
 		return wire.Peer{}, false
 	}
@@ -1108,7 +1110,7 @@ func (n *Node) findAnchor(layer int) (wire.Peer, bool) {
 	if err != nil || member.Addr == n.addr {
 		return wire.Peer{}, false
 	}
-	rsucc, _, err := n.walkOwner(context.Background(), member.Addr, layer, n.id)
+	rsucc, _, err := n.walkOwner(n.lifeCtx, member.Addr, layer, n.id)
 	if err != nil || rsucc.Addr == "" || rsucc.Addr == n.addr {
 		return wire.Peer{}, false
 	}
@@ -1138,7 +1140,7 @@ func (n *Node) RepairRingTables() error {
 		return tables[i].Name < tables[j].Name
 	})
 	for _, t := range tables {
-		owner, _, err := n.walkOwner(context.Background(), n.addr, 1, ringID(t.Layer, t.Name))
+		owner, _, err := n.walkOwner(n.lifeCtx, n.addr, 1, ringID(t.Layer, t.Name))
 		if err != nil {
 			continue
 		}
@@ -1156,7 +1158,7 @@ func (n *Node) RepairRingTables() error {
 	self := n.Self()
 	for l, name := range names {
 		layer := l + 2
-		owner, _, err := n.walkOwner(context.Background(), n.addr, 1, ringID(layer, name))
+		owner, _, err := n.walkOwner(n.lifeCtx, n.addr, 1, ringID(layer, name))
 		if err != nil || owner.Addr == "" {
 			continue
 		}
@@ -1216,7 +1218,7 @@ func (n *Node) FixFingersOnce(count int) error {
 				owner = prev // reuse: successor(target) == previous finger
 			} else {
 				var err error
-				owner, _, err = n.walkOwner(context.Background(), n.addr, layer, target)
+				owner, _, err = n.walkOwner(n.lifeCtx, n.addr, layer, target)
 				if err != nil {
 					// A stale finger or successor pointed the walk at a
 					// departed peer. Skip this slot — stabilization drops

@@ -212,15 +212,16 @@ type Node struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // live server-side sessions, force-closed on Close
 
-	nm      *nodeMetrics
-	store   *replica.Engine      // versioned local KV store
-	co      *replica.Coordinator // quorum write/read/sweep driver over the store
-	cache   *lookupCache         // nil when Config.LookupCache == 0
-	routes  *routes.Table        // one-hop membership table; nil unless RouteMode == RouteOneHop
-	caller  wire.Caller          // full outgoing chain: (coalescer) → retrier → (injector) → instrumented pool
-	retrier *wire.Retrier
-	pool    *wire.Pool
-	suspect int // consecutive-failure count that triggers eviction
+	nm        *nodeMetrics
+	store     *replica.Engine      // versioned local KV store
+	co        *replica.Coordinator // quorum write/read/sweep driver over the store
+	cache     *lookupCache         // nil when Config.LookupCache == 0
+	routes    *routes.Table        // one-hop membership table; nil unless RouteMode == RouteOneHop
+	caller    wire.Caller          // full outgoing chain: (coalescer) → retrier → (injector) → instrumented pool
+	retrier   *wire.Retrier
+	coalescer *wire.Coalescer // nil unless Config.Coalesce; drained on Close
+	pool      *wire.Pool
+	suspect   int // consecutive-failure count that triggers eviction
 }
 
 // NodeID derives a live node's identifier from its address.
@@ -287,7 +288,7 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 		conns:  make(map[net.Conn]struct{}),
 	}
 	n.id = NodeID(n.addr)
-	n.lifeCtx, n.lifeCancel = context.WithCancel(context.Background())
+	n.lifeCtx, n.lifeCancel = context.WithCancel(context.Background()) //lint:allow ctxflow the node lifecycle root: Close cancels it, and every maintenance chain derives from it
 	n.clock = cfg.Clock
 	if n.clock == nil {
 		n.clock = func() uint64 { return uint64(time.Now().UnixNano()) }
@@ -320,7 +321,8 @@ func Start(listenAddr string, cfg Config) (*Node, error) {
 	n.retrier = wire.NewRetrier(base, retry, cfg.Breaker, reg)
 	n.caller = n.retrier
 	if cfg.Coalesce {
-		n.caller = wire.NewCoalescer(n.retrier, reg)
+		n.coalescer = wire.NewCoalescer(n.retrier, reg)
+		n.caller = n.coalescer
 	}
 	n.suspect = cfg.EvictSuspicion
 	if n.suspect <= 0 {
@@ -400,6 +402,11 @@ func (n *Node) Close() error {
 	n.lifeCancel() // abort in-flight sweeps and anti-entropy rounds
 	err := n.ln.Close()
 	n.pool.Close()
+	if n.coalescer != nil {
+		// The pool just failed every in-flight exchange, so the shared
+		// flights end promptly; wait so no flight goroutine outlives Close.
+		n.coalescer.Close()
+	}
 	// Peers hold persistent pooled sessions to this node; their server
 	// goroutines would otherwise block in a frame read until the idle
 	// timeout. Force-close them — ServeConn drains in-flight handlers

@@ -11,9 +11,11 @@ import (
 
 // Prober estimates the one-way latency in milliseconds to a remote node.
 // The distributed binning scheme only needs approximate values (paper
-// §2.2), so implementations trade accuracy for convenience.
+// §2.2), so implementations trade accuracy for convenience. The context
+// bounds the whole probe (all samples); each sample is additionally
+// capped by the implementation's per-probe timeout.
 type Prober interface {
-	Latency(addr string) (float64, error)
+	Latency(ctx context.Context, addr string) (float64, error)
 }
 
 // RTTProber measures real round-trip times with ping requests and returns
@@ -26,7 +28,7 @@ type RTTProber struct {
 }
 
 // Latency implements Prober.
-func (p *RTTProber) Latency(addr string) (float64, error) {
+func (p *RTTProber) Latency(ctx context.Context, addr string) (float64, error) {
 	samples := p.Samples
 	if samples <= 0 {
 		samples = 3
@@ -38,7 +40,7 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 	best := math.Inf(1)
 	for i := 0; i < samples; i++ {
 		start := time.Now()
-		if err := probe(p.Dial, addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
+		if err := probe(ctx, p.Dial, addr, wire.Request{Type: wire.TPing}, timeout); err != nil {
 			return 0, fmt.Errorf("transport: ping %s: %w", addr, err)
 		}
 		if rtt := time.Since(start); rtt.Seconds()*1000 < best {
@@ -48,11 +50,10 @@ func (p *RTTProber) Latency(addr string) (float64, error) {
 	return best / 2, nil
 }
 
-// probe performs one one-shot exchange bounded by timeout. Probes run
-// outside any request context, so the deadline comes from a context of
-// their own.
-func probe(dial wire.DialFunc, addr string, req wire.Request, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+// probe performs one one-shot exchange bounded by timeout within the
+// caller's context.
+func probe(ctx context.Context, dial wire.DialFunc, addr string, req wire.Request, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	_, err := wire.CallVia(ctx, dial, nil, addr, req)
 	return err
@@ -71,12 +72,12 @@ type VirtualProber struct {
 }
 
 // Latency implements Prober.
-func (p *VirtualProber) Latency(addr string) (float64, error) {
+func (p *VirtualProber) Latency(ctx context.Context, addr string) (float64, error) {
 	timeout := p.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	resp, err := wire.CallVia(ctx, p.Dial, nil, addr, wire.Request{Type: wire.TGetInfo})
 	if err != nil {

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"repro/internal/lint/leakcheck"
 	"sort"
 	"testing"
 	"time"
@@ -136,6 +137,7 @@ func TestSingleNodeNetwork(t *testing.T) {
 }
 
 func TestClusterLookupCorrectness(t *testing.T) {
+	leakcheck.Watchdog(t, time.Minute)
 	nodes := cluster(t, 8)
 	for trial := 0; trial < 40; trial++ {
 		key := id.HashString(fmt.Sprintf("key-%d", trial))
@@ -293,6 +295,7 @@ func TestRingTablesDiscoverable(t *testing.T) {
 }
 
 func TestNodeFailureHealing(t *testing.T) {
+	leakcheck.Watchdog(t, time.Minute)
 	nodes := cluster(t, 8)
 	victim := nodes[4]
 	_ = victim.Close()
@@ -337,14 +340,14 @@ func TestRTTProber(t *testing.T) {
 	}
 	defer nd.Close()
 	p := &RTTProber{Samples: 2, Timeout: time.Second}
-	lat, err := p.Latency(nd.Addr())
+	lat, err := p.Latency(context.Background(), nd.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lat < 0 || lat > 1000 {
 		t.Errorf("implausible loopback latency %v ms", lat)
 	}
-	if _, err := p.Latency("127.0.0.1:1"); err == nil {
+	if _, err := p.Latency(context.Background(), "127.0.0.1:1"); err == nil {
 		t.Error("probing a dead address should fail")
 	}
 }

@@ -50,6 +50,11 @@ type Coalescer struct {
 	mu      sync.Mutex
 	flights map[flightKey]*flight
 
+	// wg counts flight goroutines so Close can drain them. A flight ends
+	// as soon as the inner caller returns — on shutdown the pool below
+	// fails in-flight exchanges, so the drain is prompt.
+	wg sync.WaitGroup
+
 	coalesced *metrics.Counter
 }
 
@@ -89,6 +94,7 @@ func (c *Coalescer) Call(ctx context.Context, addr string, req Request) (Respons
 	if joined {
 		c.coalesced.Inc()
 	} else {
+		c.wg.Add(1)
 		go c.run(ctx, k, f, addr, req)
 	}
 	select {
@@ -105,9 +111,18 @@ func (c *Coalescer) Call(ctx context.Context, addr string, req Request) (Respons
 
 // run executes one shared flight to completion and publishes its result.
 func (c *Coalescer) run(ctx context.Context, k flightKey, f *flight, addr string, req Request) {
+	defer c.wg.Done()
 	f.resp, f.err = c.inner.Call(context.WithoutCancel(ctx), addr, req)
 	c.mu.Lock()
 	delete(c.flights, k)
 	c.mu.Unlock()
 	close(f.done)
+}
+
+// Close waits for every in-flight shared exchange to finish. Call it
+// after closing the caller below (which fails those exchanges), so the
+// drain cannot block on a healthy slow peer.
+func (c *Coalescer) Close() error {
+	c.wg.Wait()
+	return nil
 }

@@ -58,6 +58,13 @@ const wedgeStrikes = 8
 type Pool struct {
 	o PoolOptions
 
+	// lifeCtx is cancelled by Close; background grow-dials derive from it
+	// so none outlives the pool. growWG counts those dial goroutines and
+	// Close waits for them, so a closed pool leaves nothing running.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	growWG     sync.WaitGroup
+
 	mu     sync.Mutex
 	peers  map[string]*poolPeer
 	closed bool
@@ -80,7 +87,9 @@ func NewPool(o PoolOptions) *Pool {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = DefaultTimeout
 	}
-	return &Pool{o: o, peers: make(map[string]*poolPeer)}
+	p := &Pool{o: o, peers: make(map[string]*poolPeer)}
+	p.lifeCtx, p.lifeCancel = context.WithCancel(context.Background()) //lint:allow ctxflow the pool lifecycle root: Close cancels it, and background grow-dials derive from it
+	return p
 }
 
 // Call implements Caller.
@@ -101,6 +110,7 @@ func (p *Pool) Call(ctx context.Context, addr string, req Request) (Response, er
 // Close tears down every pooled connection, failing their in-flight
 // exchanges. The pool is unusable afterwards.
 func (p *Pool) Close() error {
+	p.lifeCancel()
 	p.mu.Lock()
 	peers := p.peers
 	p.peers = make(map[string]*poolPeer)
@@ -109,6 +119,7 @@ func (p *Pool) Close() error {
 	for _, pp := range peers {
 		pp.close()
 	}
+	p.growWG.Wait()
 	return nil
 }
 
@@ -153,6 +164,7 @@ type poolPeer struct {
 func (pp *poolPeer) conn(ctx context.Context) (*muxConn, error) {
 	if best, grow := pp.pick(); best != nil {
 		if grow {
+			pp.pool.growWG.Add(1)
 			go pp.grow()
 		}
 		return best, nil
@@ -196,14 +208,18 @@ func (pp *poolPeer) pick() (best *muxConn, grow bool) {
 	return best, grow
 }
 
-// grow dials one additional connection in the background.
+// grow dials one additional connection in the background. The dial is
+// bounded by the pool's lifecycle context, and a connection that lands
+// after Close (or after the pool refilled to Size) is failed rather
+// than registered, so grow can never resurrect a closed peer.
 func (pp *poolPeer) grow() {
-	ctx, cancel := context.WithTimeout(context.Background(), pp.pool.o.DialTimeout)
+	defer pp.pool.growWG.Done()
+	ctx, cancel := context.WithTimeout(pp.pool.lifeCtx, pp.pool.o.DialTimeout)
 	c, err := pp.dial(ctx)
 	cancel()
 	pp.mu.Lock()
 	pp.growing = false
-	if err == nil {
+	if err == nil && pp.pool.lifeCtx.Err() == nil {
 		if len(pp.conns) < pp.pool.o.Size {
 			pp.conns = append(pp.conns, c)
 			c = nil
@@ -217,6 +233,9 @@ func (pp *poolPeer) grow() {
 
 // dial opens, wraps and preambles one connection and starts its reader.
 func (pp *poolPeer) dial(ctx context.Context) (*muxConn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &NetError{Addr: pp.addr, Op: "dial", Sent: false, Err: context.Cause(ctx)}
+	}
 	o := &pp.pool.o
 	timeout := o.DialTimeout
 	if dl, ok := ctx.Deadline(); ok {
@@ -337,6 +356,18 @@ func (c *muxConn) roundTrip(ctx context.Context, addr string, req Request) (Resp
 	putFrameHeader(buf, tag)
 
 	c.wmu.Lock()
+	// The wait for the write lock can outlive the exchange's deadline
+	// (one slow writer queues every other exchange behind it). Re-check
+	// before writing: an expired exchange releases its tag slot here and
+	// sends nothing, instead of shipping a frame whose response nobody
+	// will claim.
+	if err := ctx.Err(); err != nil {
+		c.wmu.Unlock()
+		*pb = buf
+		putFrameBuf(pb)
+		c.forget(tag, false)
+		return Response{}, &NetError{Addr: addr, Op: "send", Sent: false, Err: context.Cause(ctx)}
+	}
 	err := c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	var n int
 	if err == nil {

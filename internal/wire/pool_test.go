@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"repro/internal/lint/leakcheck"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -66,6 +67,7 @@ func TestPoolReusesConnections(t *testing.T) {
 // fast exchange issued after a slow one completes first, and each caller
 // still receives its own matched response.
 func TestPoolPipelinesOutOfOrder(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
 	mn := NewMemNet()
 	release := make(chan struct{})
 	accepts := servePool(t, mn, "peer", func(req Request) Response {
@@ -135,6 +137,7 @@ func (pp *poolPeer) load() int {
 // canceled call fails with its context cause while the connection and
 // its other in-flight exchanges keep working.
 func TestPoolCancelAbandonsOneExchange(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
 	mn := NewMemNet()
 	release := make(chan struct{})
 	servePool(t, mn, "peer", func(req Request) Response {
@@ -175,6 +178,7 @@ func TestPoolCancelAbandonsOneExchange(t *testing.T) {
 // kills the connection, every in-flight exchange fails with a NetError,
 // and the next call transparently redials.
 func TestPoolBrokenConnFailsAllInflight(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
 	mn := NewMemNet()
 	ln, err := mn.Listen("peer")
 	if err != nil {
@@ -237,6 +241,7 @@ func TestPoolBrokenConnFailsAllInflight(t *testing.T) {
 // its remaining in-flight exchanges promptly instead of letting each
 // ride out its own deadline — and the next call dials a replacement.
 func TestPoolWedgedConnStrikeLimit(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
 	mn := NewMemNet()
 	ln, err := mn.Listen("peer")
 	if err != nil {
@@ -401,6 +406,7 @@ func TestCoalescerDoesNotCoalesceWrites(t *testing.T) {
 }
 
 func TestCoalescerWaiterCancelDoesNotKillFlight(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
 	inner := &countingCaller{release: make(chan struct{})}
 	co := NewCoalescer(inner, nil)
 	req := Request{Type: TStoreGet, Name: "k"}
@@ -443,5 +449,82 @@ func TestCoalescerWaiterCancelDoesNotKillFlight(t *testing.T) {
 	}
 	if got := inner.calls.Load(); got != 1 {
 		t.Errorf("inner calls = %d, want 1", got)
+	}
+}
+
+// TestPoolTimedOutExchangeFreesTagSlot pins the slot-release contract:
+// the moment a waiter gives up on its context, its tag no longer counts
+// toward the connection's load, so the pool's least-loaded routing and
+// grow heuristic see the truth instead of a ghost in-flight exchange.
+func TestPoolTimedOutExchangeFreesTagSlot(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
+	mn := NewMemNet()
+	release := make(chan struct{})
+	servePool(t, mn, "peer", func(req Request) Response {
+		if req.Name == "stuck" {
+			<-release
+		}
+		return Response{OK: true}
+	})
+	defer close(release)
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+
+	if _, err := poolCall(p, "peer", Request{Type: TPing}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	conn := func() *muxConn {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.peers["peer"].conns[0]
+	}()
+
+	if _, err := poolCall(p, "peer", Request{Type: TGet, Name: "stuck"}, 50*time.Millisecond); err == nil {
+		t.Fatal("exchange against a stuck handler should time out")
+	}
+	// No grace, no sleep: the timed-out waiter already released its slot.
+	if got := conn.load(); got != 0 {
+		t.Fatalf("load = %d right after the timeout, want 0 (tag slot must be released immediately)", got)
+	}
+}
+
+// TestPoolExpiredContextSendsNothing pins the write-path half: an
+// exchange whose deadline lapsed while queued behind the write lock
+// releases its tag and reports Sent=false instead of shipping a frame
+// whose response nobody will claim.
+func TestPoolExpiredContextSendsNothing(t *testing.T) {
+	leakcheck.Watchdog(t, 30*time.Second)
+	mn := NewMemNet()
+	var served atomic.Int32
+	servePool(t, mn, "peer", func(req Request) Response {
+		served.Add(1)
+		return Response{OK: true}
+	})
+	p := NewPool(PoolOptions{Dial: mn.Dial, Size: 1})
+	defer p.Close()
+
+	if _, err := poolCall(p, "peer", Request{Type: TPing}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	warm := served.Load()
+	conn := func() *muxConn {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.peers["peer"].conns[0]
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the frame write can happen
+	_, err := conn.roundTrip(ctx, "peer", Request{Type: TPing})
+	var ne *NetError
+	if !errors.As(err, &ne) || ne.Sent {
+		t.Fatalf("roundTrip with expired ctx: err = %v, want NetError with Sent=false", err)
+	}
+	if got := conn.load(); got != 0 {
+		t.Fatalf("load = %d after expired-ctx roundTrip, want 0", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := served.Load(); got != warm {
+		t.Fatalf("server handled %d frame(s) from an expired exchange, want none", got-warm)
 	}
 }

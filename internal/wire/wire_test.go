@@ -76,6 +76,8 @@ func TestCallTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	stall := make(chan struct{})
+	defer close(stall)
 	go func() {
 		for {
 			conn, acceptErr := ln.Accept()
@@ -85,7 +87,7 @@ func TestCallTimeout(t *testing.T) {
 			defer conn.Close()
 			buf := make([]byte, 1024)
 			_, _ = conn.Read(buf) // swallow the request, say nothing
-			select {}
+			<-stall
 		}
 	}()
 	start := time.Now()
@@ -104,6 +106,8 @@ func TestCallHonorsContextCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	stall := make(chan struct{})
+	defer close(stall)
 	go func() {
 		conn, acceptErr := ln.Accept()
 		if acceptErr != nil {
@@ -112,7 +116,7 @@ func TestCallHonorsContextCancel(t *testing.T) {
 		defer conn.Close()
 		buf := make([]byte, 1024)
 		_, _ = conn.Read(buf)
-		select {}
+		<-stall
 	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
